@@ -1,0 +1,47 @@
+//! Criterion benches: error-detector throughput on study-scale frames.
+
+use cleaning::detect::DetectorKind;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use datasets::DatasetId;
+use std::hint::black_box;
+
+fn bench_detectors(c: &mut Criterion) {
+    let frame = DatasetId::Adult.generate(5_000, 42).expect("generate");
+    let mut group = c.benchmark_group("detect");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(frame.n_rows() as u64));
+    for detector in DetectorKind::all() {
+        // Mislabel fitting is the expensive part; bench fit+detect for all.
+        group.bench_with_input(
+            BenchmarkId::from_parameter(detector.name()),
+            &detector,
+            |b, det| {
+                b.iter(|| {
+                    let fitted = det.fit(black_box(&frame), 7).expect("fit");
+                    black_box(fitted.detect(&frame).expect("detect"))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_detection_only(c: &mut Criterion) {
+    // Separate fit from detect for the fitted-state detectors.
+    let frame = DatasetId::Credit.generate(5_000, 7).expect("generate");
+    let mut group = c.benchmark_group("detect_fitted");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(frame.n_rows() as u64));
+    for detector in DetectorKind::outlier_detectors() {
+        let fitted = detector.fit(&frame, 3).expect("fit");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(detector.name()),
+            &fitted,
+            |b, fitted| b.iter(|| black_box(fitted.detect(&frame).expect("detect"))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_detectors, bench_detection_only);
+criterion_main!(benches);

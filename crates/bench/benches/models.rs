@@ -1,0 +1,64 @@
+//! Criterion benches: model training and tuned-training cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datasets::DatasetId;
+use mlcore::{tune_and_fit, ModelKind, ModelSpec};
+use std::hint::black_box;
+use tabular::FeatureEncoder;
+
+fn encoded_data(n: usize) -> (tabular::DenseMatrix, Vec<u8>) {
+    let frame = DatasetId::German.generate(n, 11).expect("generate");
+    let clean = frame.drop_incomplete_rows().expect("clean");
+    let (_, x) = FeatureEncoder::fit_transform(&clean, true).expect("encode");
+    let y = clean.labels().expect("labels");
+    (x, y)
+}
+
+fn bench_single_fit(c: &mut Criterion) {
+    let (x, y) = encoded_data(2_000);
+    let specs = [
+        ("log-reg", ModelSpec::LogReg { c: 1.0, max_iter: 50 }),
+        ("knn", ModelSpec::Knn { k: 11 }),
+        (
+            "xgboost",
+            ModelSpec::Gbdt { max_depth: 3, n_rounds: 50, learning_rate: 0.3, reg_lambda: 1.0 },
+        ),
+    ];
+    let mut group = c.benchmark_group("fit");
+    group.sample_size(10);
+    for (name, spec) in specs {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &spec, |b, s| {
+            b.iter(|| black_box(s.fit(black_box(&x), &y, 7)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_tuned_fit(c: &mut Criterion) {
+    let (x, y) = encoded_data(1_000);
+    let mut group = c.benchmark_group("tune_and_fit");
+    group.sample_size(10);
+    for kind in ModelKind::all() {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, k| {
+            b.iter(|| black_box(tune_and_fit(*k, black_box(&x), &y, 5, 3)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_prediction(c: &mut Criterion) {
+    let (x, y) = encoded_data(2_000);
+    let logreg = ModelSpec::LogReg { c: 1.0, max_iter: 50 }.fit(&x, &y, 1);
+    let knn = ModelSpec::Knn { k: 11 }.fit(&x, &y, 1);
+    let gbdt = ModelSpec::Gbdt { max_depth: 3, n_rounds: 50, learning_rate: 0.3, reg_lambda: 1.0 }
+        .fit(&x, &y, 1);
+    let mut group = c.benchmark_group("predict");
+    group.sample_size(10);
+    group.bench_function("log-reg", |b| b.iter(|| black_box(logreg.predict(black_box(&x)))));
+    group.bench_function("knn", |b| b.iter(|| black_box(knn.predict(black_box(&x)))));
+    group.bench_function("xgboost", |b| b.iter(|| black_box(gbdt.predict(black_box(&x)))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_fit, bench_tuned_fit, bench_prediction);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion benches: end-to-end Figure 3 pipeline cost, per error type —
+//! the cost of one paired (dirty + repaired) evaluation.
+
+use cleaning::detect::DetectorKind;
+use cleaning::repair::{MissingRepair, OutlierRepair};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datasets::DatasetId;
+use demodq::config::{RepairSpec, StudyScale};
+use demodq::pipeline::run_configuration_once;
+use mlcore::ModelKind;
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let pool = DatasetId::German.generate(2_000, 5).expect("generate");
+    let spec = DatasetId::German.spec();
+    let mut groups = spec.single_attribute_specs();
+    groups.push(spec.intersectional_spec().expect("intersectional"));
+    let scale = StudyScale {
+        pool_size: 2_000,
+        sample_size: 1_000,
+        n_splits: 1,
+        n_model_seeds: 1,
+        test_fraction: 0.25,
+        cv_folds: 5,
+    };
+    let variants = [
+        ("missing", RepairSpec::Missing(MissingRepair::all()[0])),
+        (
+            "outliers",
+            RepairSpec::Outliers {
+                detector: DetectorKind::OutliersIqr { k: 1.5 },
+                repair: OutlierRepair::all()[0],
+            },
+        ),
+        ("mislabels", RepairSpec::Mislabels),
+    ];
+    let mut group = c.benchmark_group("pipeline_paired_run");
+    group.sample_size(10);
+    for (name, repair) in variants {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &repair, |b, r| {
+            b.iter(|| {
+                black_box(
+                    run_configuration_once(
+                        black_box(&pool),
+                        ModelKind::LogReg,
+                        r,
+                        &groups,
+                        &scale,
+                        3,
+                        4,
+                    )
+                    .expect("run"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

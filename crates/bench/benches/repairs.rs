@@ -1,0 +1,53 @@
+//! Criterion benches: repair-method throughput.
+
+use cleaning::detect::DetectorKind;
+use cleaning::repair::{LabelRepair, MissingRepair, OutlierRepair};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use datasets::DatasetId;
+use std::hint::black_box;
+
+fn bench_imputation(c: &mut Criterion) {
+    let frame = DatasetId::Credit.generate(10_000, 1).expect("generate");
+    let mut group = c.benchmark_group("impute_missing");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(frame.n_rows() as u64));
+    for repair in MissingRepair::all() {
+        group.bench_with_input(BenchmarkId::from_parameter(repair.name()), &repair, |b, r| {
+            b.iter(|| {
+                let fitted = r.fit(black_box(&frame)).expect("fit");
+                black_box(fitted.apply(&frame).expect("apply"))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_outlier_repair(c: &mut Criterion) {
+    let frame = DatasetId::Heart.generate(10_000, 2).expect("generate");
+    let detector = DetectorKind::OutliersIqr { k: 1.5 }.fit(&frame, 1).expect("fit");
+    let report = detector.detect(&frame).expect("detect");
+    let mut group = c.benchmark_group("repair_outliers");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(frame.n_rows() as u64));
+    for repair in OutlierRepair::all() {
+        group.bench_with_input(BenchmarkId::from_parameter(repair.name()), &repair, |b, r| {
+            b.iter(|| {
+                let fitted = r.fit(black_box(&frame), &report).expect("fit");
+                black_box(fitted.apply(&frame, &report).expect("apply"))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_label_repair(c: &mut Criterion) {
+    let frame = DatasetId::German.generate(5_000, 3).expect("generate");
+    let detector = DetectorKind::Mislabels.fit(&frame, 1).expect("fit");
+    let report = detector.detect(&frame).expect("detect");
+    c.bench_function("repair_labels/flip", |b| {
+        b.iter(|| black_box(LabelRepair.apply(black_box(&frame), &report).expect("apply")))
+    });
+}
+
+criterion_group!(benches, bench_imputation, bench_outlier_repair, bench_label_repair);
+criterion_main!(benches);

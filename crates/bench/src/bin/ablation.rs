@@ -1,0 +1,146 @@
+//! Ablation benches for the design choices DESIGN.md §4 calls out:
+//!
+//! 1. **Missing-indicator features on/off** — §VI attributes dummy
+//!    imputation's fairness wins to the model learning parameters for
+//!    missingness; this ablation isolates that mechanism by toggling the
+//!    encoder's indicator columns on otherwise identical data.
+//! 2. **Dirty-baseline semantics** — drop-incomplete-rows (the paper's
+//!    baseline) vs impute-everything: how much of the measured "cleaning
+//!    impact" stems from the baseline's row loss.
+//!
+//! Run with `cargo run --release -p demodq-bench --bin ablation`.
+
+use datasets::DatasetId;
+use fairness::FairnessMetric;
+use mlcore::{accuracy, tune_and_fit, ModelKind};
+use statskit::Description;
+use tabular::{split::train_test_split, DataFrame, FeatureEncoder};
+
+fn eval_with_encoder(
+    train: &DataFrame,
+    test: &DataFrame,
+    indicators: bool,
+    seed: u64,
+) -> (f64, Vec<(String, f64)>) {
+    let y_train = train.labels().expect("labels");
+    let y_test = test.labels().expect("labels");
+    let encoder = FeatureEncoder::fit(train, indicators).expect("encode");
+    let x_train = encoder.transform(train).expect("transform");
+    let x_test = encoder.transform(test).expect("transform");
+    let tuned = tune_and_fit(ModelKind::LogReg, &x_train, &y_train, 5, seed);
+    let preds = tuned.model.predict(&x_test);
+    let acc = accuracy(&y_test, &preds);
+    let spec = DatasetId::Adult.spec();
+    let mut gaps = Vec::new();
+    for gs in spec.single_attribute_specs() {
+        let groups = gs.evaluate(test).expect("groups");
+        let gc = fairness::group_confusions(&y_test, &preds, &groups);
+        if let Some(d) = FairnessMetric::EqualOpportunity.absolute_disparity(&gc) {
+            gaps.push((gs.label(), d));
+        }
+    }
+    (acc, gaps)
+}
+
+fn main() {
+    let opts = demodq_bench::parse_args(std::env::args().skip(1), "");
+    let n_reps = 8usize;
+
+    println!("Ablation 1: missing-indicator features (adult, log-reg, EO gaps)");
+    println!("{:<12} {:>10} {:>12} {:>12}", "indicators", "accuracy", "EO(sex)", "EO(race)");
+    for indicators in [false, true] {
+        let mut accs = Vec::new();
+        let mut sex_gaps = Vec::new();
+        let mut race_gaps = Vec::new();
+        for rep in 0..n_reps {
+            let pool = DatasetId::Adult
+                .generate(3_000, opts.seed + rep as u64)
+                .expect("generate");
+            let (train_idx, test_idx) =
+                train_test_split(pool.n_rows(), 0.25, opts.seed ^ rep as u64).expect("split");
+            let train = pool.take(&train_idx).expect("take");
+            let test = pool.take(&test_idx).expect("take");
+            // No imputation at all: the encoder handles NaN either by
+            // indicator or silently by mean — exactly the ablated choice.
+            let (acc, gaps) = eval_with_encoder(&train, &test, indicators, opts.seed + rep as u64);
+            accs.push(acc);
+            for (g, v) in gaps {
+                if g == "sex" {
+                    sex_gaps.push(v);
+                } else {
+                    race_gaps.push(v);
+                }
+            }
+        }
+        let a = Description::of(&accs).expect("non-empty");
+        let s = Description::of(&sex_gaps).expect("non-empty");
+        let r = Description::of(&race_gaps).expect("non-empty");
+        println!(
+            "{:<12} {:>7.3}±{:<4.3} {:>8.3}±{:<4.3} {:>8.3}±{:<4.3}",
+            indicators, a.mean, a.std_err, s.mean, s.std_err, r.mean, r.std_err
+        );
+    }
+
+    println!("\nAblation 2: dirty-baseline semantics on credit (drop rows vs impute)");
+    println!("{:<22} {:>10} {:>14}", "baseline", "accuracy", "EO(age)");
+    for drop_rows in [true, false] {
+        let mut accs = Vec::new();
+        let mut gaps = Vec::new();
+        for rep in 0..n_reps {
+            let pool = DatasetId::Credit
+                .generate(3_000, opts.seed + 100 + rep as u64)
+                .expect("generate");
+            let (train_idx, test_idx) =
+                train_test_split(pool.n_rows(), 0.25, opts.seed ^ (100 + rep as u64))
+                    .expect("split");
+            let train_raw = pool.take(&train_idx).expect("take");
+            let test_raw = pool.take(&test_idx).expect("take");
+            use cleaning::repair::{CatImpute, MissingRepair, NumImpute};
+            let imputer = MissingRepair { num: NumImpute::Mean, cat: CatImpute::Dummy };
+            let (train, test) = if drop_rows {
+                let t = train_raw.drop_incomplete_rows().expect("drop");
+                let fitted = imputer.fit(&t).expect("fit imputer");
+                (t, fitted.apply(&test_raw).expect("impute test"))
+            } else {
+                let fitted = imputer.fit(&train_raw).expect("fit imputer");
+                (
+                    fitted.apply(&train_raw).expect("impute train"),
+                    fitted.apply(&test_raw).expect("impute test"),
+                )
+            };
+            let y_train = train.labels().expect("labels");
+            let y_test = test.labels().expect("labels");
+            let encoder = FeatureEncoder::fit(&train, true).expect("encode");
+            let x_train = encoder.transform(&train).expect("transform");
+            let x_test = encoder.transform(&test).expect("transform");
+            let tuned =
+                tune_and_fit(ModelKind::LogReg, &x_train, &y_train, 5, opts.seed + rep as u64);
+            let preds = tuned.model.predict(&x_test);
+            accs.push(accuracy(&y_test, &preds));
+            let spec = DatasetId::Credit.spec();
+            let gs = &spec.single_attribute_specs()[0];
+            let groups = gs.evaluate(&test).expect("groups");
+            let gc = fairness::group_confusions(&y_test, &preds, &groups);
+            if let Some(d) = FairnessMetric::EqualOpportunity.absolute_disparity(&gc) {
+                gaps.push(d);
+            }
+        }
+        let a = Description::of(&accs).expect("non-empty");
+        let g = Description::of(&gaps).expect("non-empty");
+        println!(
+            "{:<22} {:>7.3}±{:<4.3} {:>10.3}±{:<4.3}",
+            if drop_rows { "drop incomplete rows" } else { "impute everything" },
+            a.mean,
+            a.std_err,
+            g.mean,
+            g.std_err
+        );
+    }
+    println!(
+        "\nInterpretation: the indicator ablation isolates the mechanism behind the\n\
+         paper's §VI finding (dummy imputation lets the model learn missingness);\n\
+         the baseline ablation quantifies how much row-dropping — the step the\n\
+         'dirty' arm is forced into — distorts group representation on credit,\n\
+         whose missing income skews young."
+    );
+}

@@ -1,0 +1,37 @@
+//! Regenerates the paper's Figure 1: disparate proportions of tuples
+//! flagged by the five error-detection strategies for the privileged and
+//! disadvantaged single-attribute groups, G²-significant cases only.
+//!
+//! `--drilldown` adds the §III mislabel FP/FN drill-down.
+
+use datasets::DatasetId;
+use demodq::report::{render_disparities, render_drilldown};
+use demodq::rq1::{analyze_datasets, mislabel_drilldown, summarize};
+
+fn main() {
+    let opts = demodq_bench::parse_args(std::env::args().skip(1), "--drilldown");
+    let n = demodq_bench::rq1_pool_size(&opts.scale);
+    eprintln!("analysing {n} rows per dataset...");
+    let rows = analyze_datasets(&DatasetId::all(), n, opts.seed).expect("analysis failed");
+    print!("{}", render_disparities(&rows, false, 0.05));
+    let single: Vec<_> = rows.iter().filter(|r| !r.intersectional).cloned().collect();
+    let (significant, burden) = summarize(&single, 0.05);
+    println!(
+        "\n{significant} significant single-attribute disparities; {burden} burden the disadvantaged group."
+    );
+    println!(
+        "Paper finding: missing values burden disadvantaged groups in 4/6 cases;\n\
+         outliers are mixed; mislabels are flagged more often for privileged groups."
+    );
+    if opts.extra {
+        println!();
+        for id in DatasetId::all() {
+            let dd = mislabel_drilldown(id, n, opts.seed).expect("drilldown failed");
+            print!("{}", render_drilldown(&dd));
+        }
+        println!(
+            "\nPaper finding (heart): privileged FP share 57.7% vs disadvantaged 52.2%,\n\
+             the only significant FP/FN asymmetry."
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! Regenerates the paper's Figure 2: disparate proportions of tuples
+//! flagged by the error-detection strategies for the intersectionally
+//! privileged and disadvantaged groups, G²-significant cases only.
+//! (The credit dataset has a single demographic attribute and is excluded,
+//! exactly as in the paper.)
+
+use datasets::DatasetId;
+use demodq::report::render_disparities;
+use demodq::rq1::{analyze_datasets, summarize};
+
+fn main() {
+    let opts = demodq_bench::parse_args(std::env::args().skip(1), "");
+    let n = demodq_bench::rq1_pool_size(&opts.scale);
+    eprintln!("analysing {n} rows per dataset...");
+    let rows = analyze_datasets(&DatasetId::all(), n, opts.seed).expect("analysis failed");
+    print!("{}", render_disparities(&rows, true, 0.05));
+    let inter: Vec<_> = rows.iter().filter(|r| r.intersectional).cloned().collect();
+    let (significant, burden) = summarize(&inter, 0.05);
+    println!(
+        "\n{significant} significant intersectional disparities; {burden} burden the disadvantaged group."
+    );
+    println!(
+        "Paper finding: the general trend matches the single-attribute analysis —\n\
+         missing values burden the intersectionally disadvantaged (2/3 cases), other\n\
+         error types show no consistent demographic dependency."
+    );
+}

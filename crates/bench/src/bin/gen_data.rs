@@ -1,0 +1,38 @@
+//! Materialises the five synthetic study datasets as CSV files under
+//! `data/` — useful for inspecting what the generators produce, for
+//! external analysis, and for consumers who want static files rather than
+//! the generator API.
+//!
+//! ```text
+//! cargo run --release -p demodq-bench --bin gen_data -- --scale default --seed 42
+//! ```
+//!
+//! The `--scale` preset controls row counts (smoke: 1k, default: 10k,
+//! full: the original datasets' sizes from Table I).
+
+use datasets::DatasetId;
+use std::fs;
+
+fn main() {
+    let opts = demodq_bench::parse_args(std::env::args().skip(1), "");
+    let full = demodq::config::StudyScale::full();
+    fs::create_dir_all("data").expect("cannot create data/");
+    for id in DatasetId::all() {
+        let n = if opts.scale == full {
+            datasets::default_size(id)
+        } else if opts.scale == demodq::config::StudyScale::smoke() {
+            1_000
+        } else {
+            10_000
+        };
+        let frame = id.generate(n, opts.seed).expect("generate");
+        let path = format!("data/{}.csv", id.name());
+        let file = fs::File::create(&path).expect("create csv");
+        tabular::csv::write_csv(&frame, file).expect("write csv");
+        println!(
+            "{path}: {n} rows, {} columns, {} missing cells",
+            frame.n_cols(),
+            frame.missing_cells()
+        );
+    }
+}

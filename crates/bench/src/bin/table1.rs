@@ -1,0 +1,6 @@
+//! Regenerates the paper's Table I: the dataset inventory.
+
+fn main() {
+    let _ = demodq_bench::parse_args(std::env::args().skip(1), "");
+    print!("{}", demodq::report::render_dataset_table(&datasets::all_specs()));
+}

@@ -1,0 +1,45 @@
+//! Regenerates the paper's Tables X–XIII: the impact of auto-repairing
+//! predicted label errors (confident learning + label flipping) on
+//! fairness and accuracy.
+
+use datasets::{DatasetId, ErrorType};
+use demodq::report::render_impact_table;
+use demodq::runner::run_error_type_study;
+use demodq::tables::build_table;
+use fairness::FairnessMetric;
+use mlcore::ModelKind;
+
+fn main() {
+    let opts = demodq_bench::parse_args(std::env::args().skip(1), "");
+    eprintln!(
+        "running mislabel study ({} paired scores/config)...",
+        opts.scale.scores_per_config()
+    );
+    let results = run_error_type_study(
+        ErrorType::Mislabels,
+        &DatasetId::all(),
+        &ModelKind::all(),
+        &opts.scale,
+        opts.seed,
+    )
+    .expect("study failed");
+    let layout = [
+        ("X", FairnessMetric::PredictiveParity, false, "single-attribute groups, PP"),
+        ("XI", FairnessMetric::EqualOpportunity, false, "single-attribute groups, EO"),
+        ("XII", FairnessMetric::PredictiveParity, true, "intersectional groups, PP"),
+        ("XIII", FairnessMetric::EqualOpportunity, true, "intersectional groups, EO"),
+    ];
+    for (paper_table, metric, intersectional, description) in layout {
+        let table = build_table(&results, metric, intersectional, 0.05);
+        let title = format!(
+            "Measured Table {paper_table}: impact of auto-cleaning label errors ({description})"
+        );
+        println!("{}", render_impact_table(&title, &table));
+        println!("{}", demodq_bench::render_paper_reference(paper_table));
+    }
+    println!(
+        "Paper finding: label repair strongly affects both axes — accuracy improves in\n\
+         >60% of cases; EO improves (81% single-attribute, 100% intersectional) while PP\n\
+         tends to worsen (47.6% and 66.7%) — the mirror image of missing-value repair."
+    );
+}

@@ -1,0 +1,45 @@
+//! Regenerates the paper's Tables II–V: the impact of auto-cleaning
+//! missing values on fairness (PP and EO) and accuracy, for
+//! single-attribute and intersectional group definitions.
+
+use datasets::{DatasetId, ErrorType};
+use demodq::report::render_impact_table;
+use demodq::runner::run_error_type_study;
+use demodq::tables::build_table;
+use fairness::FairnessMetric;
+use mlcore::ModelKind;
+
+fn main() {
+    let opts = demodq_bench::parse_args(std::env::args().skip(1), "");
+    eprintln!(
+        "running missing-values study ({} paired scores/config)...",
+        opts.scale.scores_per_config()
+    );
+    let results = run_error_type_study(
+        ErrorType::MissingValues,
+        &DatasetId::all(),
+        &ModelKind::all(),
+        &opts.scale,
+        opts.seed,
+    )
+    .expect("study failed");
+    let layout = [
+        ("II", FairnessMetric::PredictiveParity, false, "single-attribute groups, PP"),
+        ("III", FairnessMetric::EqualOpportunity, false, "single-attribute groups, EO"),
+        ("IV", FairnessMetric::PredictiveParity, true, "intersectional groups, PP"),
+        ("V", FairnessMetric::EqualOpportunity, true, "intersectional groups, EO"),
+    ];
+    for (paper_table, metric, intersectional, description) in layout {
+        let table = build_table(&results, metric, intersectional, 0.05);
+        let title = format!(
+            "Measured Table {paper_table}: impact of auto-cleaning missing values ({description})"
+        );
+        println!("{}", render_impact_table(&title, &table));
+        println!("{}", demodq_bench::render_paper_reference(paper_table));
+    }
+    println!(
+        "Paper finding: cleaning missing values rarely worsens accuracy (13%), tends to\n\
+         worsen EO but improve PP at the single-attribute level, and improves both\n\
+         metrics for intersectional groups."
+    );
+}

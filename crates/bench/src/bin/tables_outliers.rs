@@ -1,0 +1,45 @@
+//! Regenerates the paper's Tables VI–IX: the impact of auto-cleaning
+//! outliers (sd / iqr / isolation-forest detection × mean / median / mode
+//! replacement) on fairness and accuracy.
+
+use datasets::{DatasetId, ErrorType};
+use demodq::report::render_impact_table;
+use demodq::runner::run_error_type_study;
+use demodq::tables::build_table;
+use fairness::FairnessMetric;
+use mlcore::ModelKind;
+
+fn main() {
+    let opts = demodq_bench::parse_args(std::env::args().skip(1), "");
+    eprintln!(
+        "running outlier study ({} paired scores/config, 9 detector x repair variants)...",
+        opts.scale.scores_per_config()
+    );
+    let results = run_error_type_study(
+        ErrorType::Outliers,
+        &DatasetId::all(),
+        &ModelKind::all(),
+        &opts.scale,
+        opts.seed,
+    )
+    .expect("study failed");
+    let layout = [
+        ("VI", FairnessMetric::PredictiveParity, false, "single-attribute groups, PP"),
+        ("VII", FairnessMetric::EqualOpportunity, false, "single-attribute groups, EO"),
+        ("VIII", FairnessMetric::PredictiveParity, true, "intersectional groups, PP"),
+        ("IX", FairnessMetric::EqualOpportunity, true, "intersectional groups, EO"),
+    ];
+    for (paper_table, metric, intersectional, description) in layout {
+        let table = build_table(&results, metric, intersectional, 0.05);
+        let title = format!(
+            "Measured Table {paper_table}: impact of auto-cleaning outliers ({description})"
+        );
+        println!("{}", render_impact_table(&title, &table));
+        println!("{}", demodq_bench::render_paper_reference(paper_table));
+    }
+    println!(
+        "Paper finding: outlier cleaning worsens accuracy in nearly half the cases and\n\
+         mostly leaves fairness unchanged; when it does affect fairness it is far more\n\
+         likely to worsen it (e.g. EO single-attribute: 48.7% worse vs 3.7% better)."
+    );
+}

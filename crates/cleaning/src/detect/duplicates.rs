@@ -1,0 +1,197 @@
+//! Near-duplicate detection — one of the two CleanML error types the
+//! paper's study excludes but the underlying benchmark supports; provided
+//! here to complete the CleanML surface (flagged as an extension in
+//! DESIGN.md; it does not participate in the paper's Figures/Tables).
+//!
+//! Strategy: blocking + pairwise similarity. Rows are grouped into blocks
+//! by a cheap key (rounded numeric features + categorical codes); within a
+//! block, two rows are duplicates when every numeric feature differs by at
+//! most `numeric_tolerance` (relative) and every categorical feature
+//! matches. Of each duplicate cluster, the first row is kept and the rest
+//! are flagged.
+
+use crate::report::{CellFlags, DetectionReport};
+use tabular::{Column, ColumnKind, ColumnRole, DataFrame, Result};
+
+/// Configuration of the duplicate detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DuplicateDetector {
+    /// Maximum relative difference for numeric features to count as equal
+    /// (e.g. 0.01 = 1%).
+    pub numeric_tolerance: f64,
+}
+
+impl Default for DuplicateDetector {
+    fn default() -> Self {
+        DuplicateDetector { numeric_tolerance: 0.01 }
+    }
+}
+
+/// Two numeric values are near-equal under a relative tolerance.
+fn near(a: f64, b: f64, tol: f64) -> bool {
+    if a.is_nan() || b.is_nan() {
+        return a.is_nan() && b.is_nan();
+    }
+    let scale = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() <= tol * scale
+}
+
+impl DuplicateDetector {
+    /// Flags all rows that duplicate an earlier row. The first member of
+    /// every duplicate cluster is kept unflagged (the canonical record).
+    pub fn detect(&self, frame: &DataFrame) -> Result<DetectionReport> {
+        let n = frame.n_rows();
+        // Collect comparable columns: features only (labels and sensitive
+        // attributes may legitimately coincide).
+        let mut numeric: Vec<&[f64]> = Vec::new();
+        let mut categorical: Vec<&tabular::CatColumn> = Vec::new();
+        for (idx, field) in frame.schema().fields().iter().enumerate() {
+            if field.role != ColumnRole::Feature {
+                continue;
+            }
+            match (field.kind, frame.column_at(idx)) {
+                (ColumnKind::Numeric, Column::Numeric(v)) => numeric.push(v),
+                (ColumnKind::Categorical, Column::Categorical(c)) => categorical.push(c),
+                _ => unreachable!("schema/column kind invariant"),
+            }
+        }
+        // Blocking key: categorical codes + coarsely rounded numerics.
+        let mut blocks: std::collections::HashMap<Vec<u64>, Vec<usize>> = Default::default();
+        for i in 0..n {
+            let mut key = Vec::with_capacity(numeric.len() + categorical.len());
+            for col in &categorical {
+                key.push(match col.code(i) {
+                    Some(c) => u64::from(c) + 1,
+                    None => 0,
+                });
+            }
+            for col in &numeric {
+                let v = col[i];
+                // Coarse bucket; tolerance-level comparison happens inside
+                // the block. NaN gets its own bucket.
+                key.push(if v.is_nan() {
+                    u64::MAX
+                } else {
+                    (v / (self.numeric_tolerance.max(1e-9) * 100.0)).round() as i64 as u64
+                });
+            }
+            blocks.entry(key).or_default().push(i);
+        }
+        let mut flags = vec![false; n];
+        for members in blocks.values() {
+            if members.len() < 2 {
+                continue;
+            }
+            // Pairwise within the block; first occurrence is canonical.
+            for (pos, &i) in members.iter().enumerate() {
+                if flags[i] {
+                    continue;
+                }
+                for &j in &members[pos + 1..] {
+                    if flags[j] {
+                        continue;
+                    }
+                    let same_cat = categorical.iter().all(|c| c.code(i) == c.code(j));
+                    let same_num = numeric
+                        .iter()
+                        .all(|v| near(v[i], v[j], self.numeric_tolerance));
+                    if same_cat && same_num {
+                        flags[j] = true;
+                    }
+                }
+            }
+        }
+        Ok(DetectionReport {
+            detector: "duplicates".to_string(),
+            row_flags: flags,
+            cell_flags: CellFlags::new(n),
+        })
+    }
+
+    /// Repair: drop the flagged (non-canonical) rows.
+    pub fn repair(&self, frame: &DataFrame, report: &DetectionReport) -> Result<DataFrame> {
+        let keep: Vec<bool> = report.row_flags.iter().map(|&f| !f).collect();
+        frame.filter(&keep)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabular::ColumnRole;
+
+    fn frame_with_duplicates() -> DataFrame {
+        DataFrame::builder()
+            .numeric("x", ColumnRole::Feature, vec![1.0, 2.0, 1.0001, 5.0, 2.0])
+            .categorical(
+                "c",
+                ColumnRole::Feature,
+                &[Some("a"), Some("b"), Some("a"), Some("a"), Some("b")],
+            )
+            .numeric("label", ColumnRole::Label, vec![0.0, 1.0, 0.0, 1.0, 1.0])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn flags_near_and_exact_duplicates() {
+        let df = frame_with_duplicates();
+        let report = DuplicateDetector::default().detect(&df).unwrap();
+        // Row 2 near-duplicates row 0; row 4 exactly duplicates row 1.
+        assert_eq!(report.row_flags, vec![false, false, true, false, true]);
+    }
+
+    #[test]
+    fn repair_drops_flagged_rows_only() {
+        let df = frame_with_duplicates();
+        let det = DuplicateDetector::default();
+        let report = det.detect(&df).unwrap();
+        let cleaned = det.repair(&df, &report).unwrap();
+        assert_eq!(cleaned.n_rows(), 3);
+        assert_eq!(cleaned.numeric("x").unwrap(), &[1.0, 2.0, 5.0]);
+        // Re-detection on the repaired frame finds nothing.
+        let again = det.detect(&cleaned).unwrap();
+        assert_eq!(again.flagged_rows(), 0);
+    }
+
+    #[test]
+    fn tolerance_zero_requires_exact_match() {
+        let df = frame_with_duplicates();
+        let report = DuplicateDetector { numeric_tolerance: 0.0 }.detect(&df).unwrap();
+        // Only the exact duplicate (row 4) is flagged.
+        assert_eq!(report.row_flags, vec![false, false, false, false, true]);
+    }
+
+    #[test]
+    fn missing_values_only_match_missing() {
+        let df = DataFrame::builder()
+            .numeric("x", ColumnRole::Feature, vec![f64::NAN, f64::NAN, 1.0])
+            .build()
+            .unwrap();
+        let report = DuplicateDetector::default().detect(&df).unwrap();
+        assert_eq!(report.row_flags, vec![false, true, false]);
+    }
+
+    #[test]
+    fn unique_rows_unflagged() {
+        let df = DataFrame::builder()
+            .numeric("x", ColumnRole::Feature, (0..50).map(|i| i as f64).collect())
+            .build()
+            .unwrap();
+        let report = DuplicateDetector::default().detect(&df).unwrap();
+        assert_eq!(report.flagged_rows(), 0);
+    }
+
+    #[test]
+    fn different_labels_still_duplicates() {
+        // Label is not a feature; two rows with identical features but
+        // different labels are (suspicious) duplicates.
+        let df = DataFrame::builder()
+            .numeric("x", ColumnRole::Feature, vec![3.0, 3.0])
+            .numeric("label", ColumnRole::Label, vec![0.0, 1.0])
+            .build()
+            .unwrap();
+        let report = DuplicateDetector::default().detect(&df).unwrap();
+        assert_eq!(report.row_flags, vec![false, true]);
+    }
+}

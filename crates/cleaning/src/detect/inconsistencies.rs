@@ -1,0 +1,243 @@
+//! Categorical-inconsistency detection and standardisation — the second
+//! CleanML error type the paper's study excludes (extension; not part of
+//! the paper's Figures/Tables).
+//!
+//! Real categorical columns accumulate variant spellings of the same
+//! value: `Male` / `male` / ` MALE `, `self-employed` / `self_employed`.
+//! The detector canonicalises each label (trim, lowercase, collapse
+//! separators) and flags every cell whose label is a non-canonical variant
+//! — i.e. a different raw string that normalises to the same canonical
+//! form as a more frequent sibling. The repair rewrites flagged cells to
+//! the cluster's most frequent raw spelling.
+
+use crate::report::{CellFlags, DetectionReport};
+use tabular::{ColumnKind, ColumnRole, DataFrame, Result};
+
+/// Normalises a label to its canonical comparison form.
+pub fn canonical_form(label: &str) -> String {
+    let mut out = String::with_capacity(label.len());
+    let mut prev_sep = true; // trim leading separators
+    for ch in label.trim().chars() {
+        let mapped = match ch {
+            '_' | '-' | ' ' | '/' | '.' => Some('_'),
+            c => Some(c.to_ascii_lowercase()),
+        };
+        if let Some(c) = mapped {
+            if c == '_' {
+                if !prev_sep {
+                    out.push('_');
+                }
+                prev_sep = true;
+            } else {
+                out.push(c);
+                prev_sep = false;
+            }
+        }
+    }
+    while out.ends_with('_') {
+        out.pop();
+    }
+    out
+}
+
+/// Detector for inconsistent categorical spellings.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InconsistencyDetector;
+
+impl InconsistencyDetector {
+    /// Flags cells whose label is a non-dominant spelling variant.
+    pub fn detect(&self, frame: &DataFrame) -> Result<DetectionReport> {
+        let n = frame.n_rows();
+        let mut cell_flags = CellFlags::new(n);
+        for field in frame.schema().fields() {
+            if field.role == ColumnRole::Dropped || field.kind != ColumnKind::Categorical {
+                continue;
+            }
+            let col = frame.categorical(&field.name)?;
+            // Count raw-label frequencies.
+            let mut counts = vec![0usize; col.categories().len()];
+            for code in col.codes().iter().flatten() {
+                counts[*code as usize] += 1;
+            }
+            // Cluster categories by canonical form; find each cluster's
+            // dominant raw code.
+            let mut clusters: std::collections::HashMap<String, Vec<u32>> = Default::default();
+            for (code, label) in col.categories().iter().enumerate() {
+                clusters.entry(canonical_form(label)).or_default().push(code as u32);
+            }
+            let mut non_canonical = vec![false; col.categories().len()];
+            let mut any = false;
+            for members in clusters.values() {
+                if members.len() < 2 {
+                    continue;
+                }
+                let dominant = *members
+                    .iter()
+                    .max_by_key(|&&c| (counts[c as usize], std::cmp::Reverse(c)))
+                    .expect("non-empty cluster");
+                for &c in members {
+                    if c != dominant {
+                        non_canonical[c as usize] = true;
+                        any = true;
+                    }
+                }
+            }
+            if any {
+                let flags: Vec<bool> = (0..n)
+                    .map(|i| col.code(i).is_some_and(|c| non_canonical[c as usize]))
+                    .collect();
+                cell_flags.insert_column(field.name.clone(), flags);
+            }
+        }
+        Ok(DetectionReport {
+            detector: "inconsistencies".to_string(),
+            row_flags: cell_flags.any_per_row(),
+            cell_flags,
+        })
+    }
+
+    /// Repair: rewrite every flagged cell to its cluster's dominant raw
+    /// spelling.
+    pub fn repair(&self, frame: &DataFrame, report: &DetectionReport) -> Result<DataFrame> {
+        let mut out = frame.clone();
+        for (column, flags) in report.cell_flags.iter() {
+            // Recompute the dominant mapping on the target frame (the
+            // detector and repair are self-contained per frame).
+            let (mapping, n) = {
+                let col = out.categorical(column)?;
+                let mut counts = vec![0usize; col.categories().len()];
+                for code in col.codes().iter().flatten() {
+                    counts[*code as usize] += 1;
+                }
+                let mut clusters: std::collections::HashMap<String, Vec<u32>> = Default::default();
+                for (code, label) in col.categories().iter().enumerate() {
+                    clusters.entry(canonical_form(label)).or_default().push(code as u32);
+                }
+                let mut mapping: Vec<u32> = (0..col.categories().len() as u32).collect();
+                for members in clusters.values() {
+                    if members.len() < 2 {
+                        continue;
+                    }
+                    let dominant = *members
+                        .iter()
+                        .max_by_key(|&&c| (counts[c as usize], std::cmp::Reverse(c)))
+                        .expect("non-empty cluster");
+                    for &c in members {
+                        mapping[c as usize] = dominant;
+                    }
+                }
+                (mapping, col.len())
+            };
+            let col = out.column_mut(column)?.as_categorical_mut()?;
+            for i in 0..n {
+                if flags[i] {
+                    if let Some(code) = col.code(i) {
+                        col.set_code(i, Some(mapping[code as usize]));
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabular::ColumnRole;
+
+    fn messy_frame() -> DataFrame {
+        DataFrame::builder()
+            .categorical(
+                "job",
+                ColumnRole::Feature,
+                &[
+                    Some("self-employed"),
+                    Some("self_employed"),
+                    Some("Self-Employed"),
+                    Some("self-employed"),
+                    Some("clerk"),
+                    Some(" clerk "),
+                    None,
+                ],
+            )
+            .numeric("label", ColumnRole::Label, vec![0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn canonical_form_normalises() {
+        assert_eq!(canonical_form("Self-Employed"), "self_employed");
+        assert_eq!(canonical_form("self_employed"), "self_employed");
+        assert_eq!(canonical_form(" clerk "), "clerk");
+        assert_eq!(canonical_form("A  B"), "a_b");
+        assert_eq!(canonical_form("x-/.y"), "x_y");
+        assert_ne!(canonical_form("clerk"), canonical_form("cleric"));
+    }
+
+    #[test]
+    fn detects_variant_spellings() {
+        let df = messy_frame();
+        let report = InconsistencyDetector.detect(&df).unwrap();
+        // "self-employed" appears twice -> dominant; variants at rows 1, 2
+        // flagged; " clerk " at row 5 flagged ("clerk" dominant); missing
+        // row unflagged.
+        assert_eq!(
+            report.row_flags,
+            vec![false, true, true, false, false, true, false]
+        );
+    }
+
+    #[test]
+    fn repair_canonicalises_flagged_cells() {
+        let df = messy_frame();
+        let det = InconsistencyDetector;
+        let report = det.detect(&df).unwrap();
+        let repaired = det.repair(&df, &report).unwrap();
+        let col = repaired.categorical("job").unwrap();
+        assert_eq!(col.label(1), Some("self-employed"));
+        assert_eq!(col.label(2), Some("self-employed"));
+        assert_eq!(col.label(5), Some("clerk"));
+        // Unflagged cells untouched; missing stays missing.
+        assert_eq!(col.label(4), Some("clerk"));
+        assert_eq!(col.label(6), None);
+        // Idempotence: repaired frame has no inconsistencies left.
+        assert_eq!(det.detect(&repaired).unwrap().flagged_rows(), 0);
+    }
+
+    #[test]
+    fn consistent_frame_flags_nothing() {
+        let df = DataFrame::builder()
+            .categorical("c", ColumnRole::Feature, &[Some("a"), Some("b"), Some("a")])
+            .build()
+            .unwrap();
+        let report = InconsistencyDetector.detect(&df).unwrap();
+        assert_eq!(report.flagged_rows(), 0);
+    }
+
+    #[test]
+    fn dominance_is_by_frequency() {
+        // "B" appears three times, "b" once: "B" is canonical even though
+        // lowercase might seem more natural.
+        let df = DataFrame::builder()
+            .categorical("c", ColumnRole::Feature, &[Some("B"), Some("B"), Some("B"), Some("b")])
+            .build()
+            .unwrap();
+        let det = InconsistencyDetector;
+        let report = det.detect(&df).unwrap();
+        assert_eq!(report.row_flags, vec![false, false, false, true]);
+        let repaired = det.repair(&df, &report).unwrap();
+        assert_eq!(repaired.categorical("c").unwrap().label(3), Some("B"));
+    }
+
+    #[test]
+    fn numeric_columns_ignored() {
+        let df = DataFrame::builder()
+            .numeric("x", ColumnRole::Feature, vec![1.0, 1.0])
+            .build()
+            .unwrap();
+        let report = InconsistencyDetector.detect(&df).unwrap();
+        assert_eq!(report.flagged_rows(), 0);
+    }
+}

@@ -1,0 +1,316 @@
+//! Rule-based error detection: single-tuple denial constraints.
+//!
+//! The paper's §II notes that "no known integrity constraints \[are\]
+//! available for the datasets (e.g., in the form of functional
+//! dependencies or denial constraints), which prevents us from applying
+//! more advanced cleaning and error detection techniques" — and §VII lists
+//! them as future work. This module supplies the machinery for when
+//! constraints *are* known: a small denial-constraint engine over single
+//! tuples (range constraints and two-column comparisons), with a
+//! clamp/swap/null repair policy per rule.
+//!
+//! Example constraints for the heart dataset: `ap_lo <= ap_hi` (diastolic
+//! below systolic — the real data violates this thousands of times) and
+//! `height in [100, 250]`.
+
+use crate::report::{CellFlags, DetectionReport};
+use tabular::{DataFrame, Result, TabularError};
+
+/// A single-tuple denial constraint on numeric columns.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Rule {
+    /// `column` must lie within `[min, max]` (inclusive). Missing values
+    /// never violate.
+    Range {
+        /// Constrained column.
+        column: String,
+        /// Lower bound.
+        min: f64,
+        /// Upper bound.
+        max: f64,
+    },
+    /// `left <= right` must hold between two columns of the same tuple.
+    LessEq {
+        /// Left column.
+        left: String,
+        /// Right column.
+        right: String,
+    },
+}
+
+/// What to do with a violating tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuleRepair {
+    /// Clamp range violations into the interval; swap `LessEq` violators.
+    ClampOrSwap,
+    /// Null out the offending cells (turning the violation into missing
+    /// values for the imputation machinery to handle).
+    SetMissing,
+}
+
+/// A rule with its repair policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleSpec {
+    /// The constraint.
+    pub rule: Rule,
+    /// The repair policy for violations.
+    pub repair: RuleRepair,
+}
+
+/// A set of denial constraints.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RuleSet {
+    rules: Vec<RuleSpec>,
+}
+
+impl RuleSet {
+    /// Creates a rule set.
+    pub fn new(rules: Vec<RuleSpec>) -> Self {
+        RuleSet { rules }
+    }
+
+    /// The constraints suitable for the heart dataset.
+    pub fn heart_defaults() -> Self {
+        RuleSet::new(vec![
+            RuleSpec {
+                rule: Rule::LessEq { left: "ap_lo".to_string(), right: "ap_hi".to_string() },
+                repair: RuleRepair::ClampOrSwap,
+            },
+            RuleSpec {
+                rule: Rule::Range { column: "ap_hi".to_string(), min: 60.0, max: 260.0 },
+                repair: RuleRepair::SetMissing,
+            },
+            RuleSpec {
+                rule: Rule::Range { column: "ap_lo".to_string(), min: 30.0, max: 180.0 },
+                repair: RuleRepair::SetMissing,
+            },
+            RuleSpec {
+                rule: Rule::Range { column: "height".to_string(), min: 100.0, max: 250.0 },
+                repair: RuleRepair::SetMissing,
+            },
+        ])
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True when no rules are defined.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Flags cells violating any rule.
+    pub fn detect(&self, frame: &DataFrame) -> Result<DetectionReport> {
+        let n = frame.n_rows();
+        let mut per_column: std::collections::BTreeMap<String, Vec<bool>> = Default::default();
+        let mark = |col: &str, i: usize, map: &mut std::collections::BTreeMap<String, Vec<bool>>| {
+            map.entry(col.to_string()).or_insert_with(|| vec![false; n])[i] = true;
+        };
+        for spec in &self.rules {
+            match &spec.rule {
+                Rule::Range { column, min, max } => {
+                    if min > max {
+                        return Err(TabularError::InvalidArgument(format!(
+                            "rule range [{min}, {max}] is empty"
+                        )));
+                    }
+                    let data = frame.numeric(column)?;
+                    for (i, &v) in data.iter().enumerate() {
+                        if !v.is_nan() && (v < *min || v > *max) {
+                            mark(column, i, &mut per_column);
+                        }
+                    }
+                }
+                Rule::LessEq { left, right } => {
+                    let l = frame.numeric(left)?;
+                    let r = frame.numeric(right)?;
+                    for i in 0..n {
+                        if !l[i].is_nan() && !r[i].is_nan() && l[i] > r[i] {
+                            mark(left, i, &mut per_column);
+                            mark(right, i, &mut per_column);
+                        }
+                    }
+                }
+            }
+        }
+        let mut cell_flags = CellFlags::new(n);
+        for (column, flags) in per_column {
+            cell_flags.insert_column(column, flags);
+        }
+        Ok(DetectionReport {
+            detector: "rules".to_string(),
+            row_flags: cell_flags.any_per_row(),
+            cell_flags,
+        })
+    }
+
+    /// Repairs all rule violations in a copy of `frame` according to each
+    /// rule's policy. Rules apply in order; later rules see earlier
+    /// repairs.
+    pub fn repair(&self, frame: &DataFrame) -> Result<DataFrame> {
+        let mut out = frame.clone();
+        for spec in &self.rules {
+            match (&spec.rule, spec.repair) {
+                (Rule::Range { column, min, max }, RuleRepair::ClampOrSwap) => {
+                    let data = out.column_mut(column)?.as_numeric_mut()?;
+                    for v in data.iter_mut() {
+                        if !v.is_nan() {
+                            *v = v.clamp(*min, *max);
+                        }
+                    }
+                }
+                (Rule::Range { column, min, max }, RuleRepair::SetMissing) => {
+                    let data = out.column_mut(column)?.as_numeric_mut()?;
+                    for v in data.iter_mut() {
+                        if !v.is_nan() && (*v < *min || *v > *max) {
+                            *v = f64::NAN;
+                        }
+                    }
+                }
+                (Rule::LessEq { left, right }, policy) => {
+                    let l_vals = out.numeric(left)?.to_vec();
+                    let r_vals = out.numeric(right)?.to_vec();
+                    let violations: Vec<usize> = (0..out.n_rows())
+                        .filter(|&i| {
+                            !l_vals[i].is_nan() && !r_vals[i].is_nan() && l_vals[i] > r_vals[i]
+                        })
+                        .collect();
+                    match policy {
+                        RuleRepair::ClampOrSwap => {
+                            for &i in &violations {
+                                let l = out.column_mut(left)?.as_numeric_mut()?;
+                                let saved_l = l[i];
+                                l[i] = r_vals[i];
+                                let r = out.column_mut(right)?.as_numeric_mut()?;
+                                r[i] = saved_l;
+                            }
+                        }
+                        RuleRepair::SetMissing => {
+                            for &i in &violations {
+                                out.column_mut(left)?.as_numeric_mut()?[i] = f64::NAN;
+                                out.column_mut(right)?.as_numeric_mut()?[i] = f64::NAN;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabular::ColumnRole;
+
+    fn bp_frame() -> DataFrame {
+        DataFrame::builder()
+            .numeric("ap_hi", ColumnRole::Feature, vec![120.0, 80.0, 1_200.0, 140.0])
+            .numeric("ap_lo", ColumnRole::Feature, vec![80.0, 120.0, 80.0, f64::NAN])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn less_eq_flags_swapped_readings() {
+        let rules = RuleSet::new(vec![RuleSpec {
+            rule: Rule::LessEq { left: "ap_lo".to_string(), right: "ap_hi".to_string() },
+            repair: RuleRepair::ClampOrSwap,
+        }]);
+        let report = rules.detect(&bp_frame()).unwrap();
+        // Row 1 has ap_lo 120 > ap_hi 80; row 3 has NaN (never violates).
+        assert_eq!(report.row_flags, vec![false, true, false, false]);
+        assert_eq!(report.cell_flags.column("ap_hi").unwrap()[1], true);
+        assert_eq!(report.cell_flags.column("ap_lo").unwrap()[1], true);
+    }
+
+    #[test]
+    fn swap_repair_restores_order() {
+        let rules = RuleSet::new(vec![RuleSpec {
+            rule: Rule::LessEq { left: "ap_lo".to_string(), right: "ap_hi".to_string() },
+            repair: RuleRepair::ClampOrSwap,
+        }]);
+        let repaired = rules.repair(&bp_frame()).unwrap();
+        assert_eq!(repaired.numeric("ap_hi").unwrap()[1], 120.0);
+        assert_eq!(repaired.numeric("ap_lo").unwrap()[1], 80.0);
+        // Untouched rows stay put.
+        assert_eq!(repaired.numeric("ap_hi").unwrap()[0], 120.0);
+        // Repaired frame passes detection.
+        assert_eq!(rules.detect(&repaired).unwrap().flagged_rows(), 0);
+    }
+
+    #[test]
+    fn range_rule_with_set_missing() {
+        let rules = RuleSet::new(vec![RuleSpec {
+            rule: Rule::Range { column: "ap_hi".to_string(), min: 60.0, max: 260.0 },
+            repair: RuleRepair::SetMissing,
+        }]);
+        let report = rules.detect(&bp_frame()).unwrap();
+        assert_eq!(report.row_flags, vec![false, false, true, false]);
+        let repaired = rules.repair(&bp_frame()).unwrap();
+        assert!(repaired.numeric("ap_hi").unwrap()[2].is_nan());
+        assert_eq!(repaired.numeric("ap_hi").unwrap()[0], 120.0);
+    }
+
+    #[test]
+    fn range_rule_with_clamp() {
+        let rules = RuleSet::new(vec![RuleSpec {
+            rule: Rule::Range { column: "ap_hi".to_string(), min: 60.0, max: 260.0 },
+            repair: RuleRepair::ClampOrSwap,
+        }]);
+        let repaired = rules.repair(&bp_frame()).unwrap();
+        assert_eq!(repaired.numeric("ap_hi").unwrap()[2], 260.0);
+    }
+
+    #[test]
+    fn heart_defaults_catch_generated_corruption() {
+        let df = datasets_like_heart();
+        let rules = RuleSet::heart_defaults();
+        let report = rules.detect(&df).unwrap();
+        assert!(report.flagged_rows() > 0, "corruption should violate the rules");
+        let repaired = rules.repair(&df).unwrap();
+        let after = rules.detect(&repaired).unwrap();
+        assert_eq!(after.flagged_rows(), 0, "repair must satisfy all rules");
+    }
+
+    /// A miniature heart-like frame with ten-fold BP misrecordings.
+    fn datasets_like_heart() -> DataFrame {
+        DataFrame::builder()
+            .numeric("ap_hi", ColumnRole::Feature, vec![120.0, 1_400.0, 130.0, 90.0])
+            .numeric("ap_lo", ColumnRole::Feature, vec![80.0, 90.0, 800.0, 120.0])
+            .numeric("height", ColumnRole::Feature, vec![170.0, 1.7, 165.0, 180.0])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn empty_rule_set_is_a_no_op() {
+        let rules = RuleSet::default();
+        assert!(rules.is_empty());
+        let df = bp_frame();
+        assert_eq!(rules.detect(&df).unwrap().flagged_rows(), 0);
+        let repaired = rules.repair(&df).unwrap();
+        // NaN-aware equality via CSV.
+        assert_eq!(
+            tabular::csv::to_csv_string(&repaired),
+            tabular::csv::to_csv_string(&df)
+        );
+    }
+
+    #[test]
+    fn invalid_rules_rejected() {
+        let rules = RuleSet::new(vec![RuleSpec {
+            rule: Rule::Range { column: "ap_hi".to_string(), min: 10.0, max: 5.0 },
+            repair: RuleRepair::ClampOrSwap,
+        }]);
+        assert!(rules.detect(&bp_frame()).is_err());
+        let missing_col = RuleSet::new(vec![RuleSpec {
+            rule: Rule::Range { column: "nope".to_string(), min: 0.0, max: 1.0 },
+            repair: RuleRepair::ClampOrSwap,
+        }]);
+        assert!(missing_col.detect(&bp_frame()).is_err());
+    }
+}

@@ -1,0 +1,93 @@
+//! Label repair: flip the labels of tuples flagged as mislabeled.
+//!
+//! Only ever applied to the training frame — the paper explicitly never
+//! flips test labels, as that would make results incomparable across
+//! configurations.
+
+use crate::report::DetectionReport;
+use tabular::{DataFrame, Result, TabularError};
+
+/// The (single) label repair method of the study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct LabelRepair;
+
+impl LabelRepair {
+    /// CleanML-style name.
+    pub fn name(&self) -> &'static str {
+        "flip_labels"
+    }
+
+    /// Returns a copy of `frame` with the labels of flagged rows flipped.
+    pub fn apply(&self, frame: &DataFrame, report: &DetectionReport) -> Result<DataFrame> {
+        if report.row_flags.len() != frame.n_rows() {
+            return Err(TabularError::LengthMismatch {
+                expected: frame.n_rows(),
+                actual: report.row_flags.len(),
+            });
+        }
+        let mut labels = frame.labels()?;
+        for (label, &flag) in labels.iter_mut().zip(&report.row_flags) {
+            if flag {
+                *label = 1 - *label;
+            }
+        }
+        let mut out = frame.clone();
+        out.set_labels(&labels)?;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::CellFlags;
+    use tabular::ColumnRole;
+
+    fn frame() -> DataFrame {
+        DataFrame::builder()
+            .numeric("x", ColumnRole::Feature, vec![1.0, 2.0, 3.0, 4.0])
+            .numeric("label", ColumnRole::Label, vec![0.0, 1.0, 0.0, 1.0])
+            .build()
+            .unwrap()
+    }
+
+    fn report(flags: Vec<bool>) -> DetectionReport {
+        let n = flags.len();
+        DetectionReport {
+            detector: "mislabels".to_string(),
+            row_flags: flags,
+            cell_flags: CellFlags::new(n),
+        }
+    }
+
+    #[test]
+    fn flips_flagged_labels_only() {
+        let df = frame();
+        let repaired = LabelRepair.apply(&df, &report(vec![true, false, false, true])).unwrap();
+        assert_eq!(repaired.labels().unwrap(), vec![1, 1, 0, 0]);
+        // Features untouched.
+        assert_eq!(repaired.numeric("x").unwrap(), df.numeric("x").unwrap());
+    }
+
+    #[test]
+    fn double_flip_restores_original() {
+        let df = frame();
+        let r = report(vec![true, true, false, false]);
+        let twice = LabelRepair.apply(&LabelRepair.apply(&df, &r).unwrap(), &r).unwrap();
+        assert_eq!(twice.labels().unwrap(), df.labels().unwrap());
+    }
+
+    #[test]
+    fn no_flags_is_identity() {
+        let df = frame();
+        let repaired = LabelRepair.apply(&df, &report(vec![false; 4])).unwrap();
+        assert_eq!(repaired, df);
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let df = frame();
+        assert!(LabelRepair.apply(&df, &report(vec![true])).is_err());
+        assert_eq!(LabelRepair.name(), "flip_labels");
+    }
+}

@@ -1,0 +1,10 @@
+//! Automated repair methods (paper §II): missing-value imputation,
+//! outlier-cell replacement, and label flipping.
+
+pub mod impute;
+pub mod labels;
+pub mod outliers;
+
+pub use impute::{CatImpute, FittedImputer, MissingRepair, NumImpute};
+pub use labels::LabelRepair;
+pub use outliers::{FittedOutlierRepair, OutlierRepair};

@@ -1,0 +1,143 @@
+//! Property-based tests for detection and repair invariants.
+
+use cleaning::detect::outliers::OutlierBounds;
+use cleaning::detect::{missing, DetectorKind};
+use cleaning::repair::{CatImpute, LabelRepair, MissingRepair, NumImpute, OutlierRepair};
+use proptest::prelude::*;
+use tabular::{ColumnRole, DataFrame};
+
+fn frame_from(data: Vec<f64>, labels01: Vec<bool>) -> DataFrame {
+    let labels: Vec<f64> = labels01.iter().map(|&b| f64::from(b)).collect();
+    DataFrame::builder()
+        .numeric("x", ColumnRole::Feature, data)
+        .numeric("label", ColumnRole::Label, labels)
+        .build()
+        .unwrap()
+}
+
+fn arb_frame() -> impl Strategy<Value = DataFrame> {
+    (
+        prop::collection::vec(
+            prop_oneof![8 => -1e4..1e4f64, 1 => Just(f64::NAN), 1 => -1e7..1e7f64],
+            12..120,
+        ),
+        any::<u64>(),
+    )
+        .prop_map(|(data, seed)| {
+            let labels: Vec<bool> = (0..data.len()).map(|i| (i as u64 ^ seed) % 2 == 0).collect();
+            frame_from(data, labels)
+        })
+}
+
+proptest! {
+    #[test]
+    fn imputation_removes_all_missing_and_is_idempotent(frame in arb_frame()) {
+        for num in NumImpute::all() {
+            let repair = MissingRepair { num, cat: CatImpute::Dummy };
+            let fitted = repair.fit(&frame).unwrap();
+            let once = fitted.apply(&frame).unwrap();
+            prop_assert_eq!(once.missing_cells(), 0);
+            let twice = fitted.apply(&once).unwrap();
+            prop_assert_eq!(&once, &twice);
+            prop_assert_eq!(once.n_rows(), frame.n_rows());
+        }
+    }
+
+    #[test]
+    fn imputation_never_changes_present_cells(frame in arb_frame()) {
+        let repair = MissingRepair { num: NumImpute::Median, cat: CatImpute::Mode };
+        let fitted = repair.fit(&frame).unwrap();
+        let repaired = fitted.apply(&frame).unwrap();
+        let before = frame.numeric("x").unwrap();
+        let after = repaired.numeric("x").unwrap();
+        for (b, a) in before.iter().zip(after) {
+            if !b.is_nan() {
+                prop_assert_eq!(*b, *a);
+            }
+        }
+    }
+
+    #[test]
+    fn outlier_bounds_cover_all_inliers(frame in arb_frame()) {
+        let bounds = OutlierBounds::fit_sd(&frame, 3.0).unwrap();
+        let report = bounds.detect(&frame).unwrap();
+        let data = frame.numeric("x").unwrap();
+        // Flagged cells are never missing values.
+        if let Some(flags) = report.cell_flags.column("x") {
+            for (i, &f) in flags.iter().enumerate() {
+                if f {
+                    prop_assert!(!data[i].is_nan());
+                }
+            }
+        }
+        // Row flags equal the cell disjunction.
+        prop_assert_eq!(report.row_flags, report.cell_flags.any_per_row());
+    }
+
+    #[test]
+    fn iqr_flags_superset_shrinks_with_larger_k(frame in arb_frame()) {
+        let tight = OutlierBounds::fit_iqr(&frame, 1.0).unwrap().detect(&frame).unwrap();
+        let loose = OutlierBounds::fit_iqr(&frame, 3.0).unwrap().detect(&frame).unwrap();
+        prop_assert!(loose.flagged_rows() <= tight.flagged_rows());
+        // Everything loose flags, tight also flags.
+        for (l, t) in loose.row_flags.iter().zip(&tight.row_flags) {
+            prop_assert!(!l | t);
+        }
+    }
+
+    #[test]
+    fn outlier_repair_leaves_no_flagged_value_outside_bounds(frame in arb_frame()) {
+        let bounds = OutlierBounds::fit_iqr(&frame, 1.5).unwrap();
+        let report = bounds.detect(&frame).unwrap();
+        let fitted = OutlierRepair { strategy: NumImpute::Median }.fit(&frame, &report).unwrap();
+        let repaired = fitted.apply(&frame, &report).unwrap();
+        if let Some(flags) = report.cell_flags.column("x") {
+            let after = repaired.numeric("x").unwrap();
+            let replacement = fitted.replacement("x").unwrap();
+            for (i, &f) in flags.iter().enumerate() {
+                if f {
+                    prop_assert_eq!(after[i], replacement);
+                }
+            }
+        }
+        prop_assert_eq!(repaired.labels().unwrap(), frame.labels().unwrap());
+    }
+
+    #[test]
+    fn missing_detection_counts_match_frame(frame in arb_frame()) {
+        let report = missing::detect(&frame);
+        prop_assert_eq!(report.cell_flags.flagged_cells(), frame.missing_cells());
+        let flagged = report.flagged_rows();
+        let incomplete = frame.incomplete_rows().iter().filter(|&&b| b).count();
+        prop_assert_eq!(flagged, incomplete);
+    }
+
+    #[test]
+    fn label_flip_is_involutive(frame in arb_frame(), seed in any::<u64>()) {
+        // Any row-flag pattern: flipping twice restores the original.
+        let mut rng = tabular::Rng64::seed_from_u64(seed);
+        let flags: Vec<bool> = (0..frame.n_rows()).map(|_| rng.bernoulli(0.3)).collect();
+        let report = cleaning::DetectionReport {
+            detector: "mislabels".to_string(),
+            row_flags: flags,
+            cell_flags: cleaning::CellFlags::new(frame.n_rows()),
+        };
+        let once = LabelRepair.apply(&frame, &report).unwrap();
+        let twice = LabelRepair.apply(&once, &report).unwrap();
+        prop_assert_eq!(twice.labels().unwrap(), frame.labels().unwrap());
+    }
+
+    #[test]
+    fn isolation_forest_scores_bounded(seed in any::<u64>()) {
+        let mut rng = tabular::Rng64::seed_from_u64(seed);
+        let data: Vec<f64> = (0..80).map(|_| rng.normal()).collect();
+        let labels: Vec<bool> = (0..80).map(|i| i % 2 == 0).collect();
+        let frame = frame_from(data, labels);
+        let forest = DetectorKind::OutliersIf { contamination: 0.05, n_trees: 25 }
+            .fit(&frame, seed)
+            .unwrap();
+        let report = forest.detect(&frame).unwrap();
+        // Contamination bounds the training flag rate loosely.
+        prop_assert!(report.flagged_fraction() <= 0.30);
+    }
+}

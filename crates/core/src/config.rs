@@ -1,0 +1,227 @@
+//! Experimental configurations and study scales.
+
+use cleaning::detect::DetectorKind;
+use cleaning::repair::{MissingRepair, OutlierRepair};
+use datasets::{DatasetId, ErrorType};
+use mlcore::ModelKind;
+
+/// A fully specified cleaning intervention: which errors are detected and
+/// how flagged tuples are repaired.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RepairSpec {
+    /// Impute missing values (detector is trivially `missing_values`).
+    Missing(MissingRepair),
+    /// Detect outliers with `detector` and replace flagged cells.
+    Outliers {
+        /// One of the three outlier detectors.
+        detector: DetectorKind,
+        /// Replacement statistic.
+        repair: OutlierRepair,
+    },
+    /// Detect mislabels with confident learning and flip flagged labels.
+    Mislabels,
+}
+
+impl RepairSpec {
+    /// The error type this intervention addresses.
+    pub fn error_type(&self) -> ErrorType {
+        match self {
+            RepairSpec::Missing(_) => ErrorType::MissingValues,
+            RepairSpec::Outliers { .. } => ErrorType::Outliers,
+            RepairSpec::Mislabels => ErrorType::Mislabels,
+        }
+    }
+
+    /// CleanML-style name, e.g. `impute_mean_dummy`,
+    /// `outliers-iqr/impute_median`, `flip_labels`.
+    pub fn name(&self) -> String {
+        match self {
+            RepairSpec::Missing(r) => r.name(),
+            RepairSpec::Outliers { detector, repair } => {
+                format!("{}/{}", detector.name(), repair.name())
+            }
+            RepairSpec::Mislabels => "flip_labels".to_string(),
+        }
+    }
+
+    /// The detection strategy's name.
+    pub fn detector_name(&self) -> &'static str {
+        match self {
+            RepairSpec::Missing(_) => "missing_values",
+            RepairSpec::Outliers { detector, .. } => detector.name(),
+            RepairSpec::Mislabels => "mislabels",
+        }
+    }
+
+    /// All repair variants the study sweeps for an error type:
+    /// 6 imputation combos for missing values, 3 detectors × 3 replacement
+    /// statistics for outliers, and label flipping for mislabels.
+    pub fn variants_for(error: ErrorType) -> Vec<RepairSpec> {
+        match error {
+            ErrorType::MissingValues => {
+                MissingRepair::all().into_iter().map(RepairSpec::Missing).collect()
+            }
+            ErrorType::Outliers => {
+                let mut out = Vec::new();
+                for detector in DetectorKind::outlier_detectors() {
+                    for repair in OutlierRepair::all() {
+                        out.push(RepairSpec::Outliers { detector, repair });
+                    }
+                }
+                out
+            }
+            ErrorType::Mislabels => vec![RepairSpec::Mislabels],
+        }
+    }
+}
+
+/// One experimental configuration: dataset × model × cleaning intervention.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExperimentConfig {
+    /// The dataset.
+    pub dataset: DatasetId,
+    /// The model family.
+    pub model: ModelKind,
+    /// The cleaning intervention.
+    pub repair: RepairSpec,
+}
+
+impl ExperimentConfig {
+    /// CleanML-style configuration key, e.g.
+    /// `german/missing_values/impute_mean_dummy/log-reg`.
+    pub fn key(&self) -> String {
+        format!(
+            "{}/{}/{}/{}",
+            self.dataset.name(),
+            self.repair.error_type().name(),
+            self.repair.name(),
+            self.model.name()
+        )
+    }
+}
+
+/// How big a study run is. The paper's full study uses 15,000-record
+/// samples, 20 splits and 5 model seeds per configuration (100 paired
+/// scores); the presets keep the identical protocol at reduced density.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StudyScale {
+    /// Rows generated per dataset pool (sampling source).
+    pub pool_size: usize,
+    /// Rows sampled from the pool per run (paper: 15,000).
+    pub sample_size: usize,
+    /// Train/test splits per configuration (paper: 20).
+    pub n_splits: usize,
+    /// Model instances with different seeds per split (paper: 5).
+    pub n_model_seeds: usize,
+    /// Test fraction of each split.
+    pub test_fraction: f64,
+    /// Cross-validation folds for hyperparameter tuning (paper: 5).
+    pub cv_folds: usize,
+}
+
+impl StudyScale {
+    /// Minimal scale for unit/integration tests (seconds).
+    pub fn smoke() -> StudyScale {
+        StudyScale {
+            pool_size: 900,
+            sample_size: 450,
+            n_splits: 2,
+            n_model_seeds: 2,
+            test_fraction: 0.25,
+            cv_folds: 3,
+        }
+    }
+
+    /// Laptop-scale default for the benchmark binaries (minutes).
+    pub fn default_scale() -> StudyScale {
+        StudyScale {
+            pool_size: 6_000,
+            sample_size: 2_000,
+            n_splits: 6,
+            n_model_seeds: 3,
+            test_fraction: 0.25,
+            cv_folds: 5,
+        }
+    }
+
+    /// The paper's protocol (hours; 100 paired scores per configuration).
+    pub fn full() -> StudyScale {
+        StudyScale {
+            pool_size: 40_000,
+            sample_size: 15_000,
+            n_splits: 20,
+            n_model_seeds: 5,
+            test_fraction: 0.25,
+            cv_folds: 5,
+        }
+    }
+
+    /// Parses a scale name (`smoke` / `default` / `full`).
+    pub fn parse(name: &str) -> Option<StudyScale> {
+        match name {
+            "smoke" => Some(StudyScale::smoke()),
+            "default" => Some(StudyScale::default_scale()),
+            "full" => Some(StudyScale::full()),
+            _ => None,
+        }
+    }
+
+    /// Paired scores produced per configuration.
+    pub fn scores_per_config(&self) -> usize {
+        self.n_splits * self.n_model_seeds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_counts_match_study() {
+        assert_eq!(RepairSpec::variants_for(ErrorType::MissingValues).len(), 6);
+        assert_eq!(RepairSpec::variants_for(ErrorType::Outliers).len(), 9);
+        assert_eq!(RepairSpec::variants_for(ErrorType::Mislabels).len(), 1);
+    }
+
+    #[test]
+    fn names_follow_cleanml_convention() {
+        let missing = &RepairSpec::variants_for(ErrorType::MissingValues)[0];
+        assert!(missing.name().starts_with("impute_"));
+        let outlier = &RepairSpec::variants_for(ErrorType::Outliers)[0];
+        assert!(outlier.name().contains('/'));
+        assert_eq!(RepairSpec::Mislabels.name(), "flip_labels");
+    }
+
+    #[test]
+    fn error_types_and_detectors_consistent() {
+        for error in ErrorType::all() {
+            for spec in RepairSpec::variants_for(error) {
+                assert_eq!(spec.error_type(), error);
+                assert!(!spec.detector_name().is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn config_key_format() {
+        let cfg = ExperimentConfig {
+            dataset: DatasetId::German,
+            model: ModelKind::LogReg,
+            repair: RepairSpec::Missing(MissingRepair::all()[0]),
+        };
+        let key = cfg.key();
+        assert!(key.starts_with("german/missing_values/impute_"));
+        assert!(key.ends_with("/log-reg"));
+    }
+
+    #[test]
+    fn scales_parse_and_order() {
+        let smoke = StudyScale::parse("smoke").unwrap();
+        let default = StudyScale::parse("default").unwrap();
+        let full = StudyScale::parse("full").unwrap();
+        assert!(smoke.sample_size < default.sample_size);
+        assert!(default.sample_size < full.sample_size);
+        assert_eq!(full.scores_per_config(), 100); // the paper's 100 models/config
+        assert!(StudyScale::parse("nope").is_none());
+    }
+}

@@ -1,0 +1,132 @@
+//! Impact classification: the CleanML protocol of paired-sample t-tests
+//! with a Bonferroni-adjusted significance threshold, applied to the
+//! paired dirty/repaired score vectors of each configuration.
+
+use statskit::{bonferroni_alpha, paired_t_test};
+
+/// The classified impact of a cleaning configuration on one quantity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Impact {
+    /// The repaired arm is significantly worse.
+    Worse,
+    /// No significant difference.
+    Insignificant,
+    /// The repaired arm is significantly better.
+    Better,
+}
+
+impl Impact {
+    /// Index into a 3-slot axis: Worse = 0, Insignificant = 1, Better = 2.
+    pub fn index(&self) -> usize {
+        match self {
+            Impact::Worse => 0,
+            Impact::Insignificant => 1,
+            Impact::Better => 2,
+        }
+    }
+
+    /// Label used in rendered tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Impact::Worse => "worse",
+            Impact::Insignificant => "insignificant",
+            Impact::Better => "better",
+        }
+    }
+}
+
+impl std::fmt::Display for Impact {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Classifies a paired comparison of `dirty` vs `repaired` scores.
+///
+/// * `higher_is_better = true` for accuracy (a significant increase is
+///   [`Impact::Better`]);
+/// * `higher_is_better = false` for absolute fairness disparities (a
+///   significant increase is [`Impact::Worse`]).
+///
+/// `alpha` is the raw significance level (.05 in the paper) and
+/// `n_hypotheses` the Bonferroni divisor — the number of simultaneous
+/// comparisons in the family (CleanML uses the number of cleaning methods
+/// compared per setting).
+///
+/// Fewer than two finite score pairs classify as insignificant.
+pub fn classify_pair(
+    dirty: &[f64],
+    repaired: &[f64],
+    higher_is_better: bool,
+    alpha: f64,
+    n_hypotheses: usize,
+) -> Impact {
+    let adjusted = bonferroni_alpha(alpha, n_hypotheses);
+    let Some(test) = paired_t_test(dirty, repaired) else {
+        return Impact::Insignificant;
+    };
+    if !test.significant(adjusted) {
+        return Impact::Insignificant;
+    }
+    let improved = if higher_is_better { test.mean_diff > 0.0 } else { test.mean_diff < 0.0 };
+    if improved {
+        Impact::Better
+    } else {
+        Impact::Worse
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_improvement_is_better() {
+        let dirty = [0.70, 0.71, 0.69, 0.70, 0.72, 0.71];
+        let repaired = [0.80, 0.81, 0.79, 0.80, 0.82, 0.81];
+        assert_eq!(classify_pair(&dirty, &repaired, true, 0.05, 1), Impact::Better);
+        // Same shift on a fairness disparity is a worsening.
+        assert_eq!(classify_pair(&dirty, &repaired, false, 0.05, 1), Impact::Worse);
+    }
+
+    #[test]
+    fn noise_is_insignificant() {
+        let dirty = [0.70, 0.75, 0.68, 0.73, 0.71, 0.74];
+        let repaired = [0.71, 0.73, 0.70, 0.72, 0.73, 0.70];
+        assert_eq!(classify_pair(&dirty, &repaired, true, 0.05, 1), Impact::Insignificant);
+    }
+
+    #[test]
+    fn bonferroni_makes_borderline_effects_insignificant() {
+        // A modest but consistent effect that passes at alpha=.05 with one
+        // hypothesis but not alpha/20.
+        let dirty = [0.70, 0.71, 0.72, 0.73, 0.70];
+        let repaired = [0.710, 0.726, 0.722, 0.742, 0.707];
+        let unadjusted = classify_pair(&dirty, &repaired, true, 0.05, 1);
+        let adjusted = classify_pair(&dirty, &repaired, true, 0.05, 50);
+        assert_eq!(unadjusted, Impact::Better);
+        assert_eq!(adjusted, Impact::Insignificant);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_insignificant() {
+        assert_eq!(classify_pair(&[0.5], &[0.9], true, 0.05, 1), Impact::Insignificant);
+        assert_eq!(classify_pair(&[], &[], true, 0.05, 1), Impact::Insignificant);
+        let nans = [f64::NAN, f64::NAN, f64::NAN];
+        assert_eq!(classify_pair(&nans, &nans, true, 0.05, 1), Impact::Insignificant);
+    }
+
+    #[test]
+    fn identical_scores_are_insignificant() {
+        let s = [0.8, 0.81, 0.79, 0.8];
+        assert_eq!(classify_pair(&s, &s, true, 0.05, 1), Impact::Insignificant);
+    }
+
+    #[test]
+    fn indexes_and_labels() {
+        assert_eq!(Impact::Worse.index(), 0);
+        assert_eq!(Impact::Insignificant.index(), 1);
+        assert_eq!(Impact::Better.index(), 2);
+        assert_eq!(Impact::Better.to_string(), "better");
+    }
+}

@@ -1,0 +1,51 @@
+//! # demodq — fairness-aware data-cleaning-impact experimentation framework
+//!
+//! The paper's core contribution: an extension of the CleanML protocol that
+//! computes *group fairness* metrics alongside accuracy when evaluating
+//! automated data cleaning, driven by declarative dataset definitions with
+//! `privileged_groups`.
+//!
+//! The pieces map to the paper as follows:
+//!
+//! * [`config`] — experimental configurations (dataset / model / error /
+//!   detection / repair) and study scales (the paper's full study trains
+//!   26,400 models; the scale presets let a laptop reproduce the protocol
+//!   at reduced grid density);
+//! * [`pipeline`] — the Figure 3 evaluation pipeline: split → dirty and
+//!   repaired versions → two models → paired scoring with group-wise
+//!   confusion matrices;
+//! * [`runner`] — multi-split, multi-model-seed execution of whole
+//!   configuration grids (rayon-parallel), sharing the dirty baseline
+//!   across repair variants exactly like CleanML;
+//! * [`impact`] — the paired-t-test + Bonferroni classification of each
+//!   configuration's impact on accuracy and fairness into
+//!   worse / insignificant / better;
+//! * [`tables`] — the 3×3 fairness × accuracy contingency tables of
+//!   Tables II–XIII;
+//! * [`rq1`] — the demographic-disparity analysis of detected errors
+//!   (Figures 1–2) with G² significance tests, plus the mislabel FP/FN
+//!   drill-down;
+//! * [`deepdive`] — Section VI: per-case best-technique analysis, detector
+//!   and repair comparisons, and the per-model Table XIV;
+//! * [`results`] — CleanML-style JSON result records
+//!   (`impute_mean_dummy__sex_priv__fp` keys);
+//! * [`report`] — paper-format text rendering of every table and figure.
+
+pub mod config;
+pub mod deepdive;
+pub mod export;
+pub mod fair_tuning;
+pub mod selector;
+pub mod impact;
+pub mod pipeline;
+pub mod report;
+pub mod results;
+pub mod rq1;
+pub mod runner;
+pub mod tables;
+
+pub use config::{ExperimentConfig, RepairSpec, StudyScale};
+pub use impact::{classify_pair, Impact};
+pub use pipeline::{evaluate_arm, run_configuration_once, ArmEvaluation, RunPair};
+pub use runner::{run_error_type_study, ConfigScores, GroupMetricScores, StudyResults};
+pub use tables::ImpactTable;

@@ -1,0 +1,339 @@
+//! The Figure 3 evaluation pipeline.
+//!
+//! For one experimental configuration and one `(split seed, model seed)`
+//! pair:
+//!
+//! 1. sample records from the dataset pool and split into train/test;
+//! 2. keep the raw data as the **dirty** version and apply the repair to
+//!    obtain the **repaired** version (with the paper's per-error-type
+//!    dirty semantics — see below);
+//! 3. train a tuned classifier on each version's training set;
+//! 4. predict on the matching test set;
+//! 5. score both models on accuracy and group-wise confusion matrices.
+//!
+//! Dirty-baseline semantics (paper Section V):
+//! * **missing values** — classifiers cannot ingest NaN, so the dirty
+//!   version *drops* incomplete training rows and imputes the test set
+//!   with mean/dummy (one cannot drop records at prediction time);
+//! * **outliers / mislabels** — the dirty version keeps the data as-is;
+//!   missing values are removed beforehand for both arms;
+//! * test labels are **never** flipped.
+
+use crate::config::{RepairSpec, StudyScale};
+use cleaning::detect::DetectorKind;
+use cleaning::repair::{CatImpute, LabelRepair, MissingRepair, NumImpute};
+use fairness::{group_confusions, GroupConfusions, GroupSpec};
+use mlcore::{f1_score, tune_and_fit, ModelKind};
+use tabular::{split::train_test_split, DataFrame, FeatureEncoder, Result, Rng64, TabularError};
+
+/// Scores of one trained model on its test set.
+#[derive(Debug, Clone)]
+pub struct ArmEvaluation {
+    /// Test-set accuracy.
+    pub test_accuracy: f64,
+    /// Test-set F1.
+    pub test_f1: f64,
+    /// Mean validation accuracy of the winning hyperparameters.
+    pub val_accuracy: f64,
+    /// Training accuracy of the refit model.
+    pub train_accuracy: f64,
+    /// Winning hyperparameters (CleanML's `best_params`).
+    pub best_params: String,
+    /// Group-wise confusion matrices per group spec, keyed by the spec's
+    /// label (e.g. `sex`, `sex*age`).
+    pub group_confusions: Vec<(String, GroupConfusions)>,
+}
+
+impl ArmEvaluation {
+    /// The confusion pair for a group label, if evaluated.
+    pub fn confusions_for(&self, group_label: &str) -> Option<&GroupConfusions> {
+        self.group_confusions
+            .iter()
+            .find(|(label, _)| label == group_label)
+            .map(|(_, gc)| gc)
+    }
+}
+
+/// The paired dirty/repaired evaluations of one run.
+#[derive(Debug, Clone)]
+pub struct RunPair {
+    /// Scores of the model trained/evaluated on dirty data.
+    pub dirty: ArmEvaluation,
+    /// Scores of the model trained/evaluated on repaired data.
+    pub repaired: ArmEvaluation,
+}
+
+/// Trains a tuned model of `model` kind on `train` and scores it on
+/// `test`, including group-wise confusion matrices for every group spec.
+pub fn evaluate_arm(
+    train: &DataFrame,
+    test: &DataFrame,
+    model: ModelKind,
+    groups: &[GroupSpec],
+    cv_folds: usize,
+    seed: u64,
+) -> Result<ArmEvaluation> {
+    let y_train = train.labels()?;
+    let y_test = test.labels()?;
+    let encoder = FeatureEncoder::fit(train, true)?;
+    let x_train = encoder.transform(train)?;
+    let x_test = encoder.transform(test)?;
+    let tuned = tune_and_fit(model, &x_train, &y_train, cv_folds, seed);
+    let preds = tuned.model.predict(&x_test);
+    let accuracy = mlcore::accuracy(&y_test, &preds);
+    let f1 = f1_score(&y_test, &preds);
+    let mut per_group = Vec::with_capacity(groups.len());
+    for spec in groups {
+        let masks = spec.evaluate(test)?;
+        per_group.push((spec.label(), group_confusions(&y_test, &preds, &masks)));
+    }
+    Ok(ArmEvaluation {
+        test_accuracy: accuracy,
+        test_f1: f1,
+        val_accuracy: tuned.val_accuracy,
+        train_accuracy: tuned.train_accuracy,
+        best_params: tuned.best_spec.params_string(),
+        group_confusions: per_group,
+    })
+}
+
+/// The default imputer used wherever the *dirty* pipeline is forced to
+/// fill test-set missing values: mean for numeric, dummy for categorical.
+fn baseline_imputer() -> MissingRepair {
+    MissingRepair { num: NumImpute::Mean, cat: CatImpute::Dummy }
+}
+
+/// Builds the dirty and repaired train/test frames for a configuration.
+///
+/// Returns `(dirty_train, dirty_test, repaired_train, repaired_test)`.
+pub fn prepare_arms(
+    train: &DataFrame,
+    test: &DataFrame,
+    repair: &RepairSpec,
+    seed: u64,
+) -> Result<(DataFrame, DataFrame, DataFrame, DataFrame)> {
+    match repair {
+        RepairSpec::Missing(config) => {
+            // Dirty: drop incomplete train rows; impute test (mean/dummy
+            // fitted on the complete train rows).
+            let dirty_train = train.drop_incomplete_rows()?;
+            if dirty_train.n_rows() < 10 {
+                return Err(TabularError::InvalidArgument(
+                    "dropping incomplete rows leaves too little training data".to_string(),
+                ));
+            }
+            let dirty_imputer = baseline_imputer().fit(&dirty_train)?;
+            let dirty_test = dirty_imputer.apply(test)?;
+            // Repaired: impute train and test with the configured strategy
+            // fitted on the raw train data.
+            let fitted = config.fit(train)?;
+            let repaired_train = fitted.apply(train)?;
+            let repaired_test = fitted.apply(test)?;
+            Ok((dirty_train, dirty_test, repaired_train, repaired_test))
+        }
+        RepairSpec::Outliers { detector, repair } => {
+            // Missing values removed beforehand for both arms.
+            let (base_train, base_test) = preclean_missing(train, test)?;
+            let fitted_detector = detector.fit(&base_train, seed)?;
+            let train_report = fitted_detector.detect(&base_train)?;
+            let test_report = fitted_detector.detect(&base_test)?;
+            let fitted_repair = repair.fit(&base_train, &train_report)?;
+            let repaired_train = fitted_repair.apply(&base_train, &train_report)?;
+            let repaired_test = fitted_repair.apply(&base_test, &test_report)?;
+            Ok((base_train, base_test, repaired_train, repaired_test))
+        }
+        RepairSpec::Mislabels => {
+            let (base_train, base_test) = preclean_missing(train, test)?;
+            let detector = DetectorKind::Mislabels.fit(&base_train, seed)?;
+            let report = detector.detect(&base_train)?;
+            let repaired_train = LabelRepair.apply(&base_train, &report)?;
+            // Labels are never flipped on the test set.
+            Ok((base_train, base_test.clone(), repaired_train, base_test))
+        }
+    }
+}
+
+/// Removes missing values before outlier/mislabel experiments: drops
+/// incomplete training rows, imputes the test set (mean/dummy).
+fn preclean_missing(train: &DataFrame, test: &DataFrame) -> Result<(DataFrame, DataFrame)> {
+    if train.missing_cells() == 0 && test.missing_cells() == 0 {
+        return Ok((train.clone(), test.clone()));
+    }
+    let clean_train = train.drop_incomplete_rows()?;
+    if clean_train.n_rows() < 10 {
+        return Err(TabularError::InvalidArgument(
+            "dropping incomplete rows leaves too little training data".to_string(),
+        ));
+    }
+    let imputer = baseline_imputer().fit(&clean_train)?;
+    let clean_test = imputer.apply(test)?;
+    Ok((clean_train, clean_test))
+}
+
+/// Samples a run's train/test split from the dataset pool.
+pub fn sample_split(
+    pool: &DataFrame,
+    scale: &StudyScale,
+    split_seed: u64,
+) -> Result<(DataFrame, DataFrame)> {
+    let mut rng = Rng64::seed_from_u64(split_seed);
+    let rows = rng.sample_indices(pool.n_rows(), scale.sample_size.min(pool.n_rows()));
+    let sample = pool.take(&rows)?;
+    let (train_idx, test_idx) =
+        train_test_split(sample.n_rows(), scale.test_fraction, rng.next_u64())?;
+    Ok((sample.take(&train_idx)?, sample.take(&test_idx)?))
+}
+
+/// Runs the full Figure 3 pipeline once for one configuration.
+pub fn run_configuration_once(
+    pool: &DataFrame,
+    model: ModelKind,
+    repair: &RepairSpec,
+    groups: &[GroupSpec],
+    scale: &StudyScale,
+    split_seed: u64,
+    model_seed: u64,
+) -> Result<RunPair> {
+    let (train, test) = sample_split(pool, scale, split_seed)?;
+    let (dirty_train, dirty_test, rep_train, rep_test) =
+        prepare_arms(&train, &test, repair, split_seed ^ 0x5EED)?;
+    let dirty = evaluate_arm(&dirty_train, &dirty_test, model, groups, scale.cv_folds, model_seed)?;
+    let repaired = evaluate_arm(&rep_train, &rep_test, model, groups, scale.cv_folds, model_seed)?;
+    Ok(RunPair { dirty, repaired })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cleaning::repair::OutlierRepair;
+    use datasets::DatasetId;
+
+    fn german_pool() -> DataFrame {
+        DatasetId::German.generate(900, 42).unwrap()
+    }
+
+    fn groups() -> Vec<GroupSpec> {
+        let spec = DatasetId::German.spec();
+        let mut gs = spec.single_attribute_specs();
+        gs.push(spec.intersectional_spec().unwrap());
+        gs
+    }
+
+    #[test]
+    fn sample_split_respects_scale() {
+        let pool = german_pool();
+        let scale = StudyScale::smoke();
+        let (train, test) = sample_split(&pool, &scale, 7).unwrap();
+        assert_eq!(train.n_rows() + test.n_rows(), scale.sample_size);
+        let expected_test = (scale.sample_size as f64 * scale.test_fraction).round() as usize;
+        assert_eq!(test.n_rows(), expected_test);
+    }
+
+    #[test]
+    fn missing_arms_have_correct_shapes() {
+        let pool = german_pool();
+        let scale = StudyScale::smoke();
+        let (train, test) = sample_split(&pool, &scale, 3).unwrap();
+        let repair = RepairSpec::Missing(MissingRepair::all()[0]);
+        let (dt, dte, rt, rte) = prepare_arms(&train, &test, &repair, 1).unwrap();
+        // Dirty train drops incomplete rows.
+        assert!(dt.n_rows() <= train.n_rows());
+        assert_eq!(dt.missing_cells(), 0);
+        // Dirty test keeps all rows but is imputed.
+        assert_eq!(dte.n_rows(), test.n_rows());
+        assert_eq!(dte.missing_cells(), 0);
+        // Repaired arms keep all rows, fully imputed.
+        assert_eq!(rt.n_rows(), train.n_rows());
+        assert_eq!(rt.missing_cells(), 0);
+        assert_eq!(rte.n_rows(), test.n_rows());
+        assert_eq!(rte.missing_cells(), 0);
+    }
+
+    #[test]
+    fn outlier_arms_keep_rows_and_change_cells() {
+        let pool = DatasetId::Credit.generate(900, 7).unwrap();
+        let scale = StudyScale::smoke();
+        let (train, test) = sample_split(&pool, &scale, 5).unwrap();
+        let repair = RepairSpec::Outliers {
+            detector: DetectorKind::OutliersIqr { k: 1.5 },
+            repair: OutlierRepair::all()[0],
+        };
+        let (dt, dte, rt, rte) = prepare_arms(&train, &test, &repair, 2).unwrap();
+        assert_eq!(dt.n_rows(), rt.n_rows());
+        assert_eq!(dte.n_rows(), rte.n_rows());
+        // The repaired train differs from the dirty train (outliers exist
+        // in credit by construction).
+        let dirty_util = dt.numeric("revolving_utilization").unwrap();
+        let rep_util = rt.numeric("revolving_utilization").unwrap();
+        assert!(dirty_util.iter().zip(rep_util).any(|(a, b)| a != b));
+        // Labels are identical in both arms.
+        assert_eq!(dt.labels().unwrap(), rt.labels().unwrap());
+    }
+
+    #[test]
+    fn mislabel_arms_flip_train_labels_only() {
+        let pool = german_pool();
+        let scale = StudyScale::smoke();
+        let (train, test) = sample_split(&pool, &scale, 11).unwrap();
+        let (dt, dte, rt, rte) = prepare_arms(&train, &test, &RepairSpec::Mislabels, 3).unwrap();
+        let flipped = dt
+            .labels()
+            .unwrap()
+            .iter()
+            .zip(&rt.labels().unwrap())
+            .filter(|(a, b)| a != b)
+            .count();
+        assert!(flipped > 0, "confident learning found no mislabels");
+        // Test sets are byte-identical across arms.
+        assert_eq!(dte, rte);
+    }
+
+    #[test]
+    fn full_run_produces_paired_scores() {
+        let pool = german_pool();
+        let scale = StudyScale::smoke();
+        let pair = run_configuration_once(
+            &pool,
+            ModelKind::LogReg,
+            &RepairSpec::Missing(MissingRepair::all()[0]),
+            &groups(),
+            &scale,
+            21,
+            4,
+        )
+        .unwrap();
+        for arm in [&pair.dirty, &pair.repaired] {
+            assert!(arm.test_accuracy > 0.4, "accuracy {}", arm.test_accuracy);
+            assert!(arm.test_accuracy <= 1.0);
+            assert_eq!(arm.group_confusions.len(), 3); // age, sex, age*sex
+            assert!(arm.best_params.contains('='));
+            // Confusion counts cover the full test set for partitioning
+            // (single-attribute) specs.
+            let total = arm.confusions_for("age").unwrap().total();
+            assert_eq!(total as usize, 113); // 450 * 0.25 rounded
+        }
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let pool = german_pool();
+        let scale = StudyScale::smoke();
+        let run = |sseed, mseed| {
+            run_configuration_once(
+                &pool,
+                ModelKind::LogReg,
+                &RepairSpec::Mislabels,
+                &groups(),
+                &scale,
+                sseed,
+                mseed,
+            )
+            .unwrap()
+        };
+        let a = run(5, 6);
+        let b = run(5, 6);
+        assert_eq!(a.dirty.test_accuracy, b.dirty.test_accuracy);
+        assert_eq!(a.repaired.test_accuracy, b.repaired.test_accuracy);
+        assert_eq!(a.dirty.group_confusions, b.dirty.group_confusions);
+    }
+}

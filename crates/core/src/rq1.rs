@@ -1,0 +1,284 @@
+//! RQ1: does the incidence of detected data errors track demographic group
+//! membership? (Paper Section III, Figures 1 and 2.)
+//!
+//! For every dataset × detector × group definition, count flagged tuples in
+//! the privileged and disadvantaged groups and certify disparities with a
+//! G² test at p = .05, exactly as the paper does. Also implements the
+//! mislabel **false-positive/false-negative drill-down** the paper reports
+//! for the heart dataset.
+
+use cleaning::detect::DetectorKind;
+use cleaning::MislabelDetector;
+use datasets::DatasetId;
+use fairness::GroupSpec;
+use statskit::{g_test_2x2, GTestResult};
+use tabular::Result;
+
+/// One dataset × detector × group disparity measurement.
+#[derive(Debug, Clone)]
+pub struct DisparityRow {
+    /// Dataset name.
+    pub dataset: String,
+    /// Detector name.
+    pub detector: String,
+    /// Group label (attribute name, or `a*b` for intersectional).
+    pub group: String,
+    /// Intersectional group definition?
+    pub intersectional: bool,
+    /// Flagged tuples in the privileged group.
+    pub privileged_flagged: u64,
+    /// Privileged group size.
+    pub privileged_total: u64,
+    /// Flagged tuples in the disadvantaged group.
+    pub disadvantaged_flagged: u64,
+    /// Disadvantaged group size.
+    pub disadvantaged_total: u64,
+    /// G² independence test result (None when degenerate).
+    pub g_test: Option<GTestResult>,
+}
+
+impl DisparityRow {
+    /// Fraction of the privileged group flagged.
+    pub fn privileged_fraction(&self) -> f64 {
+        if self.privileged_total == 0 {
+            0.0
+        } else {
+            self.privileged_flagged as f64 / self.privileged_total as f64
+        }
+    }
+
+    /// Fraction of the disadvantaged group flagged.
+    pub fn disadvantaged_fraction(&self) -> f64 {
+        if self.disadvantaged_total == 0 {
+            0.0
+        } else {
+            self.disadvantaged_flagged as f64 / self.disadvantaged_total as f64
+        }
+    }
+
+    /// True when the disparity passes the G² test at `alpha`
+    /// (the paper reports only such cases).
+    pub fn significant(&self, alpha: f64) -> bool {
+        self.g_test.is_some_and(|t| t.significant(alpha))
+    }
+
+    /// True when errors hit the disadvantaged group harder.
+    pub fn burdens_disadvantaged(&self) -> bool {
+        self.disadvantaged_fraction() > self.privileged_fraction()
+    }
+}
+
+/// Runs all five detectors on a generated pool of `n` rows of `dataset`
+/// and measures flag disparities for every group definition
+/// (single-attribute and intersectional).
+pub fn analyze_dataset(dataset: DatasetId, n: usize, seed: u64) -> Result<Vec<DisparityRow>> {
+    let frame = dataset.generate(n, seed)?;
+    let spec = dataset.spec();
+    let mut group_specs: Vec<GroupSpec> = spec.single_attribute_specs();
+    if let Some(inter) = spec.intersectional_spec() {
+        group_specs.push(inter);
+    }
+    let mut rows = Vec::new();
+    for detector in DetectorKind::all() {
+        // Skip missing-value analysis on datasets without missing values
+        // (the paper's footnote: heart has none).
+        if detector == DetectorKind::MissingValues && frame.missing_cells() == 0 {
+            continue;
+        }
+        let fitted = detector.fit(&frame, seed ^ 0xD47A)?;
+        let report = fitted.detect(&frame)?;
+        for gs in &group_specs {
+            let groups = gs.evaluate(&frame)?;
+            let (pf, pu) = report.counts_within(&groups.privileged);
+            let (df, du) = report.counts_within(&groups.disadvantaged);
+            rows.push(DisparityRow {
+                dataset: dataset.name().to_string(),
+                detector: detector.name().to_string(),
+                group: gs.label(),
+                intersectional: gs.is_intersectional(),
+                privileged_flagged: pf,
+                privileged_total: pf + pu,
+                disadvantaged_flagged: df,
+                disadvantaged_total: df + du,
+                g_test: g_test_2x2(pf, pu, df, du),
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// Runs the RQ1 analysis over several datasets (Figure 1 = the
+/// single-attribute rows, Figure 2 = the intersectional rows).
+pub fn analyze_datasets(
+    datasets: &[DatasetId],
+    n: usize,
+    seed: u64,
+) -> Result<Vec<DisparityRow>> {
+    let mut rows = Vec::new();
+    for &id in datasets {
+        rows.extend(analyze_dataset(id, n, seed)?);
+    }
+    Ok(rows)
+}
+
+/// The mislabel FP/FN drill-down of Section III: among tuples flagged as
+/// mislabeled, the share that are predicted false positives (labeled
+/// positive, should be negative) vs false negatives, per group.
+#[derive(Debug, Clone)]
+pub struct MislabelDrilldown {
+    /// Dataset name.
+    pub dataset: String,
+    /// Group label.
+    pub group: String,
+    /// Flagged false positives in the privileged group.
+    pub privileged_fp: u64,
+    /// Flagged false negatives in the privileged group.
+    pub privileged_fn: u64,
+    /// Flagged false positives in the disadvantaged group.
+    pub disadvantaged_fp: u64,
+    /// Flagged false negatives in the disadvantaged group.
+    pub disadvantaged_fn: u64,
+    /// G² test on the FP/FN × group table.
+    pub g_test: Option<GTestResult>,
+}
+
+impl MislabelDrilldown {
+    /// FP share among the privileged group's flags.
+    pub fn privileged_fp_share(&self) -> f64 {
+        let total = self.privileged_fp + self.privileged_fn;
+        if total == 0 {
+            0.0
+        } else {
+            self.privileged_fp as f64 / total as f64
+        }
+    }
+
+    /// FP share among the disadvantaged group's flags.
+    pub fn disadvantaged_fp_share(&self) -> f64 {
+        let total = self.disadvantaged_fp + self.disadvantaged_fn;
+        if total == 0 {
+            0.0
+        } else {
+            self.disadvantaged_fp as f64 / total as f64
+        }
+    }
+}
+
+/// Computes the drill-down for every single-attribute group of a dataset.
+pub fn mislabel_drilldown(
+    dataset: DatasetId,
+    n: usize,
+    seed: u64,
+) -> Result<Vec<MislabelDrilldown>> {
+    let frame = dataset.generate(n, seed)?;
+    let spec = dataset.spec();
+    let detector = MislabelDetector::fit(&frame, seed ^ 0xD47A)?;
+    let (fp_rows, fn_rows) = detector.flag_directions();
+    let mut out = Vec::new();
+    for gs in spec.single_attribute_specs() {
+        let groups = gs.evaluate(&frame)?;
+        let count = |rows: &[usize], mask: &[bool]| rows.iter().filter(|&&i| mask[i]).count() as u64;
+        let pfp = count(&fp_rows, &groups.privileged);
+        let pfn = count(&fn_rows, &groups.privileged);
+        let dfp = count(&fp_rows, &groups.disadvantaged);
+        let dfn = count(&fn_rows, &groups.disadvantaged);
+        out.push(MislabelDrilldown {
+            dataset: dataset.name().to_string(),
+            group: gs.label(),
+            privileged_fp: pfp,
+            privileged_fn: pfn,
+            disadvantaged_fp: dfp,
+            disadvantaged_fn: dfn,
+            g_test: g_test_2x2(pfp, pfn, dfp, dfn),
+        });
+    }
+    let _ = frame;
+    Ok(out)
+}
+
+/// A convenience summary over an RQ1 analysis: of the significant
+/// disparities, how many burden the disadvantaged group.
+pub fn summarize(rows: &[DisparityRow], alpha: f64) -> (usize, usize) {
+    let significant: Vec<&DisparityRow> = rows.iter().filter(|r| r.significant(alpha)).collect();
+    let burden = significant.iter().filter(|r| r.burdens_disadvantaged()).count();
+    (significant.len(), burden)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adult_missing_disparity_is_detected_and_significant() {
+        let rows = analyze_dataset(DatasetId::Adult, 4000, 11).unwrap();
+        let mv_sex: Vec<&DisparityRow> = rows
+            .iter()
+            .filter(|r| r.detector == "missing_values" && r.group == "sex")
+            .collect();
+        assert_eq!(mv_sex.len(), 1);
+        let row = mv_sex[0];
+        // The generator injects more missingness into the disadvantaged
+        // group; the G² test must pick this up at this sample size.
+        assert!(row.burdens_disadvantaged());
+        assert!(row.significant(0.05), "p={:?}", row.g_test.map(|t| t.p_value));
+    }
+
+    #[test]
+    fn heart_has_no_missing_rows_in_analysis() {
+        let rows = analyze_dataset(DatasetId::Heart, 1500, 3).unwrap();
+        assert!(rows.iter().all(|r| r.detector != "missing_values"));
+        // But it has outlier and mislabel rows, incl. intersectional.
+        assert!(rows.iter().any(|r| r.detector == "outliers-sd"));
+        assert!(rows.iter().any(|r| r.detector == "mislabels"));
+        assert!(rows.iter().any(|r| r.intersectional));
+    }
+
+    #[test]
+    fn fractions_are_consistent() {
+        let rows = analyze_dataset(DatasetId::German, 1200, 5).unwrap();
+        for row in &rows {
+            assert!(row.privileged_flagged <= row.privileged_total);
+            assert!(row.disadvantaged_flagged <= row.disadvantaged_total);
+            assert!((0.0..=1.0).contains(&row.privileged_fraction()));
+            assert!((0.0..=1.0).contains(&row.disadvantaged_fraction()));
+        }
+        // Single-attribute groups partition: totals match the pool.
+        let single: Vec<&DisparityRow> =
+            rows.iter().filter(|r| !r.intersectional && r.detector == "outliers-iqr").collect();
+        for row in single {
+            assert_eq!(row.privileged_total + row.disadvantaged_total, 1200, "{}", row.group);
+        }
+    }
+
+    #[test]
+    fn drilldown_counts_flagged_tuples() {
+        let dd = mislabel_drilldown(DatasetId::Heart, 1500, 9).unwrap();
+        assert_eq!(dd.len(), 2); // sex and age
+        for row in &dd {
+            let total =
+                row.privileged_fp + row.privileged_fn + row.disadvantaged_fp + row.disadvantaged_fn;
+            assert!(total > 0, "{}: no flags at all", row.group);
+            assert!((0.0..=1.0).contains(&row.privileged_fp_share()));
+            assert!((0.0..=1.0).contains(&row.disadvantaged_fp_share()));
+        }
+    }
+
+    #[test]
+    fn summarize_counts_significant_rows() {
+        let rows = analyze_dataset(DatasetId::Adult, 3000, 21).unwrap();
+        let (sig, burden) = summarize(&rows, 0.05);
+        assert!(sig >= 1);
+        assert!(burden <= sig);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = analyze_dataset(DatasetId::German, 800, 2).unwrap();
+        let b = analyze_dataset(DatasetId::German, 800, 2).unwrap();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.privileged_flagged, y.privileged_flagged);
+            assert_eq!(x.disadvantaged_flagged, y.disadvantaged_flagged);
+        }
+    }
+}

@@ -1,0 +1,448 @@
+//! Study runner: executes whole configuration grids — (dataset × model ×
+//! repair variant) × (splits × model seeds) — collecting the paired score
+//! vectors the impact classification consumes.
+//!
+//! Mirrors CleanML's execution structure: the **dirty baseline is computed
+//! once per (dataset, model, split, model-seed)** and shared across all
+//! repair variants of the error type, and detection runs once per detector
+//! rather than once per (detector, repair) pair. Tasks are independent and
+//! run rayon-parallel.
+
+use crate::config::{ExperimentConfig, RepairSpec, StudyScale};
+use crate::pipeline::{evaluate_arm, sample_split, ArmEvaluation};
+use cleaning::repair::{CatImpute, LabelRepair, MissingRepair, NumImpute};
+use datasets::{DatasetId, ErrorType};
+use fairness::{FairnessMetric, GroupSpec};
+use mlcore::ModelKind;
+use rayon::prelude::*;
+use tabular::{DataFrame, Result, TabularError};
+
+/// Paired dirty/repaired score vectors for one group × metric.
+#[derive(Debug, Clone)]
+pub struct GroupMetricScores {
+    /// Group label (e.g. `sex`, `sex*race`).
+    pub group: String,
+    /// True when the group spec is intersectional.
+    pub intersectional: bool,
+    /// The fairness metric.
+    pub metric: FairnessMetric,
+    /// Absolute disparity per run on the dirty arm (NaN when undefined).
+    pub dirty: Vec<f64>,
+    /// Absolute disparity per run on the repaired arm.
+    pub repaired: Vec<f64>,
+}
+
+/// All paired scores of one configuration.
+#[derive(Debug, Clone)]
+pub struct ConfigScores {
+    /// The configuration.
+    pub config: ExperimentConfig,
+    /// Paired accuracies (dirty arm), one entry per run.
+    pub dirty_accuracy: Vec<f64>,
+    /// Paired accuracies (repaired arm).
+    pub repaired_accuracy: Vec<f64>,
+    /// Fairness score pairs per group × metric.
+    pub fairness: Vec<GroupMetricScores>,
+}
+
+impl ConfigScores {
+    /// The scores entry for a `(group, metric)` pair.
+    pub fn fairness_for(&self, group: &str, metric: FairnessMetric) -> Option<&GroupMetricScores> {
+        self.fairness.iter().find(|f| f.group == group && f.metric == metric)
+    }
+}
+
+/// Results of a study over one error type.
+#[derive(Debug, Clone)]
+pub struct StudyResults {
+    /// The error type studied.
+    pub error: ErrorType,
+    /// The scale the study ran at.
+    pub scale: StudyScale,
+    /// One entry per (dataset, model, repair variant).
+    pub configs: Vec<ConfigScores>,
+}
+
+impl StudyResults {
+    /// Total number of model evaluations performed (two arms per run, but
+    /// the dirty arm is shared across repair variants).
+    pub fn n_model_evaluations(&self) -> usize {
+        // repaired evaluations + shared dirty evaluations
+        let repaired: usize = self
+            .configs
+            .iter()
+            .map(|c| c.repaired_accuracy.len())
+            .sum();
+        let mut dirty_keys: std::collections::BTreeSet<(String, &'static str)> =
+            Default::default();
+        for c in &self.configs {
+            dirty_keys.insert((c.config.dataset.name().to_string(), c.config.model.name()));
+        }
+        repaired + dirty_keys.len() * self.scale.scores_per_config()
+    }
+}
+
+/// FNV-1a hash for deterministic seed derivation.
+fn fnv(text: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in text.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Mixes study seed, dataset and split index into a split seed.
+/// Independent of the model so all models see identical splits
+/// (CleanML re-uses splits across methods).
+fn split_seed(study_seed: u64, dataset: DatasetId, split: usize) -> u64 {
+    study_seed
+        .wrapping_mul(0x9E3779B97F4A7C15)
+        .wrapping_add(fnv(dataset.name()))
+        .wrapping_add(split as u64 * 0xA24BAED4963EE407)
+}
+
+/// Builds the shared dirty frames and the per-variant repaired frames for
+/// one split, computing detection once per detector.
+fn prepare_all_variants(
+    train: &DataFrame,
+    test: &DataFrame,
+    error: ErrorType,
+    variants: &[RepairSpec],
+    seed: u64,
+) -> Result<(DataFrame, DataFrame, Vec<(DataFrame, DataFrame)>)> {
+    let baseline = MissingRepair { num: NumImpute::Mean, cat: CatImpute::Dummy };
+    match error {
+        ErrorType::MissingValues => {
+            let dirty_train = train.drop_incomplete_rows()?;
+            if dirty_train.n_rows() < 10 {
+                return Err(TabularError::InvalidArgument(
+                    "dropping incomplete rows leaves too little training data".to_string(),
+                ));
+            }
+            let dirty_test = baseline.fit(&dirty_train)?.apply(test)?;
+            let mut repaired = Vec::with_capacity(variants.len());
+            for variant in variants {
+                let RepairSpec::Missing(config) = variant else {
+                    return Err(TabularError::InvalidArgument(
+                        "variant/error mismatch".to_string(),
+                    ));
+                };
+                let fitted = config.fit(train)?;
+                repaired.push((fitted.apply(train)?, fitted.apply(test)?));
+            }
+            Ok((dirty_train, dirty_test, repaired))
+        }
+        ErrorType::Outliers => {
+            let (base_train, base_test) = preclean(train, test, &baseline)?;
+            // Cache detection reports per detector: repairs of the same
+            // detector share them.
+            let mut report_cache: std::collections::BTreeMap<
+                String,
+                (cleaning::DetectionReport, cleaning::DetectionReport),
+            > = Default::default();
+            let mut repaired = Vec::with_capacity(variants.len());
+            for variant in variants {
+                let RepairSpec::Outliers { detector, repair } = variant else {
+                    return Err(TabularError::InvalidArgument(
+                        "variant/error mismatch".to_string(),
+                    ));
+                };
+                if !report_cache.contains_key(detector.name()) {
+                    let fitted_detector = detector.fit(&base_train, seed)?;
+                    report_cache.insert(
+                        detector.name().to_string(),
+                        (
+                            fitted_detector.detect(&base_train)?,
+                            fitted_detector.detect(&base_test)?,
+                        ),
+                    );
+                }
+                let (train_report, test_report) = &report_cache[detector.name()];
+                let fitted_repair = repair.fit(&base_train, train_report)?;
+                repaired.push((
+                    fitted_repair.apply(&base_train, train_report)?,
+                    fitted_repair.apply(&base_test, test_report)?,
+                ));
+            }
+            Ok((base_train, base_test, repaired))
+        }
+        ErrorType::Mislabels => {
+            let (base_train, base_test) = preclean(train, test, &baseline)?;
+            let detector = cleaning::detect::DetectorKind::Mislabels.fit(&base_train, seed)?;
+            let report = detector.detect(&base_train)?;
+            let flipped = LabelRepair.apply(&base_train, &report)?;
+            let repaired = variants
+                .iter()
+                .map(|_| (flipped.clone(), base_test.clone()))
+                .collect();
+            Ok((base_train, base_test, repaired))
+        }
+    }
+}
+
+fn preclean(
+    train: &DataFrame,
+    test: &DataFrame,
+    baseline: &MissingRepair,
+) -> Result<(DataFrame, DataFrame)> {
+    if train.missing_cells() == 0 && test.missing_cells() == 0 {
+        return Ok((train.clone(), test.clone()));
+    }
+    let clean_train = train.drop_incomplete_rows()?;
+    if clean_train.n_rows() < 10 {
+        return Err(TabularError::InvalidArgument(
+            "dropping incomplete rows leaves too little training data".to_string(),
+        ));
+    }
+    let clean_test = baseline.fit(&clean_train)?.apply(test)?;
+    Ok((clean_train, clean_test))
+}
+
+/// Per-run fairness extraction: absolute disparities for every group spec
+/// and metric.
+fn disparities(
+    arm: &ArmEvaluation,
+    groups: &[(String, bool)],
+    metrics: &[FairnessMetric],
+) -> Vec<f64> {
+    let mut out = Vec::with_capacity(groups.len() * metrics.len());
+    for (label, _) in groups {
+        let gc = arm.confusions_for(label);
+        for metric in metrics {
+            let value = gc
+                .and_then(|gc| metric.absolute_disparity(gc))
+                .unwrap_or(f64::NAN);
+            out.push(value);
+        }
+    }
+    out
+}
+
+/// Output of one (dataset, model, split) task.
+struct TaskOutput {
+    dataset_idx: usize,
+    model_idx: usize,
+    /// Per model-seed: dirty accuracy, dirty disparities, and per variant
+    /// (repaired accuracy, repaired disparities).
+    runs: Vec<(f64, Vec<f64>, Vec<(f64, Vec<f64>)>)>,
+}
+
+/// Runs the full study for one error type over the given datasets and
+/// models.
+///
+/// Datasets that do not carry the error type (e.g. heart has no missing
+/// values) are skipped automatically.
+pub fn run_error_type_study(
+    error: ErrorType,
+    dataset_ids: &[DatasetId],
+    models: &[ModelKind],
+    scale: &StudyScale,
+    study_seed: u64,
+) -> Result<StudyResults> {
+    let metrics = FairnessMetric::all().to_vec();
+    let variants = RepairSpec::variants_for(error);
+
+    // Keep only datasets that declare the error type.
+    let datasets: Vec<DatasetId> = dataset_ids
+        .iter()
+        .copied()
+        .filter(|id| id.spec().has_error_type(error))
+        .collect();
+
+    // Generate pools and group specs up front (one per dataset).
+    let mut pools = Vec::with_capacity(datasets.len());
+    let mut group_specs: Vec<Vec<GroupSpec>> = Vec::with_capacity(datasets.len());
+    let mut group_labels: Vec<Vec<(String, bool)>> = Vec::with_capacity(datasets.len());
+    for id in &datasets {
+        let pool = id.generate(scale.pool_size, study_seed ^ fnv(id.name()))?;
+        let spec = id.spec();
+        let mut gs = spec.single_attribute_specs();
+        if let Some(inter) = spec.intersectional_spec() {
+            gs.push(inter);
+        }
+        group_labels.push(gs.iter().map(|g| (g.label(), g.is_intersectional())).collect());
+        group_specs.push(gs);
+        pools.push(pool);
+    }
+
+    // Task grid: (dataset, model, split).
+    let mut tasks = Vec::new();
+    for d in 0..datasets.len() {
+        for m in 0..models.len() {
+            for s in 0..scale.n_splits {
+                tasks.push((d, m, s));
+            }
+        }
+    }
+
+    let outputs: Vec<Result<TaskOutput>> = tasks
+        .par_iter()
+        .map(|&(d, m, s)| -> Result<TaskOutput> {
+            let pool = &pools[d];
+            let sseed = split_seed(study_seed, datasets[d], s);
+            let (train, test) = sample_split(pool, scale, sseed)?;
+            let (dirty_train, dirty_test, repaired_frames) =
+                prepare_all_variants(&train, &test, error, &variants, sseed ^ 0x5EED)?;
+            let mut runs = Vec::with_capacity(scale.n_model_seeds);
+            for k in 0..scale.n_model_seeds {
+                let model_seed = sseed
+                    .wrapping_add(fnv(models[m].name()))
+                    .wrapping_add(k as u64 * 0x2545F4914F6CDD1D);
+                let dirty_eval = evaluate_arm(
+                    &dirty_train,
+                    &dirty_test,
+                    models[m],
+                    &group_specs[d],
+                    scale.cv_folds,
+                    model_seed,
+                )?;
+                let dirty_disp = disparities(&dirty_eval, &group_labels[d], &metrics);
+                let mut per_variant = Vec::with_capacity(variants.len());
+                for (rep_train, rep_test) in &repaired_frames {
+                    let rep_eval = evaluate_arm(
+                        rep_train,
+                        rep_test,
+                        models[m],
+                        &group_specs[d],
+                        scale.cv_folds,
+                        model_seed,
+                    )?;
+                    let rep_disp = disparities(&rep_eval, &group_labels[d], &metrics);
+                    per_variant.push((rep_eval.test_accuracy, rep_disp));
+                }
+                runs.push((dirty_eval.test_accuracy, dirty_disp, per_variant));
+            }
+            Ok(TaskOutput { dataset_idx: d, model_idx: m, runs })
+        })
+        .collect();
+
+    // Assemble per-configuration score vectors.
+    let n_runs = scale.scores_per_config();
+    let mut configs = Vec::new();
+    for (d, id) in datasets.iter().enumerate() {
+        for (m, model) in models.iter().enumerate() {
+            for (v, variant) in variants.iter().enumerate() {
+                let mut cs = ConfigScores {
+                    config: ExperimentConfig { dataset: *id, model: *model, repair: *variant },
+                    dirty_accuracy: Vec::with_capacity(n_runs),
+                    repaired_accuracy: Vec::with_capacity(n_runs),
+                    fairness: group_labels[d]
+                        .iter()
+                        .flat_map(|(label, inter)| {
+                            metrics.iter().map(move |metric| GroupMetricScores {
+                                group: label.clone(),
+                                intersectional: *inter,
+                                metric: *metric,
+                                dirty: Vec::with_capacity(n_runs),
+                                repaired: Vec::with_capacity(n_runs),
+                            })
+                        })
+                        .collect(),
+                };
+                for output in &outputs {
+                    let output = output.as_ref().map_err(Clone::clone)?;
+                    if output.dataset_idx != d || output.model_idx != m {
+                        continue;
+                    }
+                    for (dirty_acc, dirty_disp, per_variant) in &output.runs {
+                        let (rep_acc, rep_disp) = &per_variant[v];
+                        cs.dirty_accuracy.push(*dirty_acc);
+                        cs.repaired_accuracy.push(*rep_acc);
+                        for (slot, f) in cs.fairness.iter_mut().enumerate() {
+                            f.dirty.push(dirty_disp[slot]);
+                            f.repaired.push(rep_disp[slot]);
+                        }
+                    }
+                }
+                configs.push(cs);
+            }
+        }
+    }
+
+    Ok(StudyResults { error, scale: *scale, configs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mislabel_study_on_german_smoke() {
+        let results = run_error_type_study(
+            ErrorType::Mislabels,
+            &[DatasetId::German],
+            &[ModelKind::LogReg],
+            &StudyScale::smoke(),
+            7,
+        )
+        .unwrap();
+        assert_eq!(results.configs.len(), 1);
+        let cs = &results.configs[0];
+        let expected_runs = StudyScale::smoke().scores_per_config();
+        assert_eq!(cs.dirty_accuracy.len(), expected_runs);
+        assert_eq!(cs.repaired_accuracy.len(), expected_runs);
+        // 3 groups (age, sex, age*sex) × 6 metrics.
+        assert_eq!(cs.fairness.len(), 18);
+        assert!(cs.fairness_for("sex", FairnessMetric::PredictiveParity).is_some());
+        assert!(cs.fairness_for("age*sex", FairnessMetric::EqualOpportunity).is_some());
+        assert!(cs.fairness.iter().any(|f| f.intersectional));
+        assert!(results.n_model_evaluations() >= expected_runs * 2);
+    }
+
+    #[test]
+    fn heart_skipped_for_missing_values() {
+        let results = run_error_type_study(
+            ErrorType::MissingValues,
+            &[DatasetId::Heart],
+            &[ModelKind::LogReg],
+            &StudyScale::smoke(),
+            1,
+        )
+        .unwrap();
+        assert!(results.configs.is_empty());
+    }
+
+    #[test]
+    fn study_is_deterministic() {
+        let run = || {
+            run_error_type_study(
+                ErrorType::Mislabels,
+                &[DatasetId::German],
+                &[ModelKind::LogReg],
+                &StudyScale::smoke(),
+                99,
+            )
+            .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.configs[0].dirty_accuracy, b.configs[0].dirty_accuracy);
+        assert_eq!(a.configs[0].repaired_accuracy, b.configs[0].repaired_accuracy);
+        let fa = &a.configs[0].fairness[0];
+        let fb = &b.configs[0].fairness[0];
+        // NaN-aware comparison.
+        assert_eq!(fa.dirty.len(), fb.dirty.len());
+        for (x, y) in fa.dirty.iter().zip(&fb.dirty) {
+            assert!(x == y || (x.is_nan() && y.is_nan()));
+        }
+    }
+
+    #[test]
+    fn missing_study_counts_variants() {
+        let results = run_error_type_study(
+            ErrorType::MissingValues,
+            &[DatasetId::German],
+            &[ModelKind::LogReg],
+            &StudyScale::smoke(),
+            3,
+        )
+        .unwrap();
+        assert_eq!(results.configs.len(), 6); // six imputation combos
+        // All variants share the identical dirty baseline scores.
+        let first = &results.configs[0].dirty_accuracy;
+        for cs in &results.configs[1..] {
+            assert_eq!(&cs.dirty_accuracy, first);
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! The 3×3 fairness × accuracy impact contingency tables of the paper's
+//! Tables II–XIII.
+//!
+//! Each table cell counts configurations whose cleaning impact was
+//! classified (fairness: worse/insignificant/better) × (accuracy: same
+//! three levels). One configuration contributes one entry per sensitive
+//! attribute (single-attribute tables) or one entry per dataset
+//! (intersectional tables).
+
+use crate::impact::{classify_pair, Impact};
+use crate::runner::StudyResults;
+use fairness::FairnessMetric;
+
+/// A 3×3 impact contingency table. Axis order: worse, insignificant,
+/// better — fairness on rows, accuracy on columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ImpactTable {
+    counts: [[usize; 3]; 3],
+}
+
+impl ImpactTable {
+    /// Adds one classified configuration.
+    pub fn add(&mut self, fairness: Impact, accuracy: Impact) {
+        self.counts[fairness.index()][accuracy.index()] += 1;
+    }
+
+    /// Count in one cell.
+    pub fn cell(&self, fairness: Impact, accuracy: Impact) -> usize {
+        self.counts[fairness.index()][accuracy.index()]
+    }
+
+    /// Total number of classified configurations.
+    pub fn total(&self) -> usize {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// Row sum (fairness marginal).
+    pub fn fairness_marginal(&self, fairness: Impact) -> usize {
+        self.counts[fairness.index()].iter().sum()
+    }
+
+    /// Column sum (accuracy marginal).
+    pub fn accuracy_marginal(&self, accuracy: Impact) -> usize {
+        self.counts.iter().map(|row| row[accuracy.index()]).sum()
+    }
+
+    /// Cell value as a percentage of the total (0 when empty).
+    pub fn percentage(&self, fairness: Impact, accuracy: Impact) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            100.0 * self.cell(fairness, accuracy) as f64 / total as f64
+        }
+    }
+
+    /// Merges another table into this one.
+    pub fn merge(&mut self, other: &ImpactTable) {
+        for f in 0..3 {
+            for a in 0..3 {
+                self.counts[f][a] += other.counts[f][a];
+            }
+        }
+    }
+}
+
+/// How the Bonferroni divisor is chosen when classifying a study's
+/// configurations: the number of repair variants compared per setting
+/// (CleanML's "sequence of paired t-tests" family size).
+pub fn bonferroni_family_size(results: &StudyResults) -> usize {
+    crate::config::RepairSpec::variants_for(results.error).len()
+}
+
+/// Classification of one configuration × group entry.
+#[derive(Debug, Clone)]
+pub struct ClassifiedEntry {
+    /// Which configuration.
+    pub config: crate::config::ExperimentConfig,
+    /// Group label.
+    pub group: String,
+    /// Intersectional group definition?
+    pub intersectional: bool,
+    /// Metric used for the fairness axis.
+    pub metric: FairnessMetric,
+    /// Fairness impact.
+    pub fairness: Impact,
+    /// Accuracy impact.
+    pub accuracy: Impact,
+}
+
+/// Classifies every (configuration, group) pair of a study for one metric
+/// and group granularity.
+pub fn classify_study(
+    results: &StudyResults,
+    metric: FairnessMetric,
+    intersectional: bool,
+    alpha: f64,
+) -> Vec<ClassifiedEntry> {
+    let m = bonferroni_family_size(results);
+    let mut out = Vec::new();
+    for cs in &results.configs {
+        let accuracy = classify_pair(&cs.dirty_accuracy, &cs.repaired_accuracy, true, alpha, m);
+        for f in &cs.fairness {
+            if f.metric != metric || f.intersectional != intersectional {
+                continue;
+            }
+            let fairness = classify_pair(&f.dirty, &f.repaired, false, alpha, m);
+            out.push(ClassifiedEntry {
+                config: cs.config,
+                group: f.group.clone(),
+                intersectional,
+                metric,
+                fairness,
+                accuracy,
+            });
+        }
+    }
+    out
+}
+
+/// Builds the paper-style 3×3 table for a study, metric and group
+/// granularity (e.g. Table II = missing values × single-attribute × PP).
+pub fn build_table(
+    results: &StudyResults,
+    metric: FairnessMetric,
+    intersectional: bool,
+    alpha: f64,
+) -> ImpactTable {
+    let mut table = ImpactTable::default();
+    for entry in classify_study(results, metric, intersectional, alpha) {
+        table.add(entry.fairness, entry.accuracy);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ExperimentConfig, RepairSpec};
+    use crate::runner::{ConfigScores, GroupMetricScores};
+    use datasets::{DatasetId, ErrorType};
+    use mlcore::ModelKind;
+
+    #[test]
+    fn table_counts_and_marginals() {
+        let mut t = ImpactTable::default();
+        t.add(Impact::Worse, Impact::Better);
+        t.add(Impact::Worse, Impact::Better);
+        t.add(Impact::Better, Impact::Insignificant);
+        assert_eq!(t.total(), 3);
+        assert_eq!(t.cell(Impact::Worse, Impact::Better), 2);
+        assert_eq!(t.fairness_marginal(Impact::Worse), 2);
+        assert_eq!(t.accuracy_marginal(Impact::Better), 2);
+        assert!((t.percentage(Impact::Worse, Impact::Better) - 66.666).abs() < 0.01);
+        let mut u = ImpactTable::default();
+        u.merge(&t);
+        u.merge(&t);
+        assert_eq!(u.total(), 6);
+    }
+
+    #[test]
+    fn empty_table_percentage_is_zero() {
+        let t = ImpactTable::default();
+        assert_eq!(t.percentage(Impact::Better, Impact::Better), 0.0);
+    }
+
+    fn synthetic_results() -> StudyResults {
+        // One config where cleaning clearly helps accuracy and clearly
+        // hurts the PP disparity on the single-attribute group.
+        let dirty_acc = vec![0.70, 0.71, 0.69, 0.70, 0.71, 0.72];
+        let rep_acc = vec![0.80, 0.81, 0.79, 0.80, 0.81, 0.82];
+        let dirty_pp = vec![0.05, 0.06, 0.05, 0.04, 0.05, 0.06];
+        let rep_pp = vec![0.15, 0.16, 0.15, 0.14, 0.15, 0.16];
+        StudyResults {
+            error: ErrorType::Mislabels,
+            scale: crate::config::StudyScale::smoke(),
+            configs: vec![ConfigScores {
+                config: ExperimentConfig {
+                    dataset: DatasetId::German,
+                    model: ModelKind::LogReg,
+                    repair: RepairSpec::Mislabels,
+                },
+                dirty_accuracy: dirty_acc,
+                repaired_accuracy: rep_acc,
+                fairness: vec![
+                    GroupMetricScores {
+                        group: "sex".to_string(),
+                        intersectional: false,
+                        metric: FairnessMetric::PredictiveParity,
+                        dirty: dirty_pp.clone(),
+                        repaired: rep_pp.clone(),
+                    },
+                    GroupMetricScores {
+                        group: "age*sex".to_string(),
+                        intersectional: true,
+                        metric: FairnessMetric::PredictiveParity,
+                        dirty: rep_pp,
+                        repaired: dirty_pp,
+                    },
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn classification_respects_direction_conventions() {
+        let results = synthetic_results();
+        let single = classify_study(&results, FairnessMetric::PredictiveParity, false, 0.05);
+        assert_eq!(single.len(), 1);
+        assert_eq!(single[0].accuracy, Impact::Better);
+        assert_eq!(single[0].fairness, Impact::Worse); // disparity grew
+        let inter = classify_study(&results, FairnessMetric::PredictiveParity, true, 0.05);
+        assert_eq!(inter[0].fairness, Impact::Better); // disparity shrank
+    }
+
+    #[test]
+    fn build_table_places_entries() {
+        let results = synthetic_results();
+        let t = build_table(&results, FairnessMetric::PredictiveParity, false, 0.05);
+        assert_eq!(t.total(), 1);
+        assert_eq!(t.cell(Impact::Worse, Impact::Better), 1);
+    }
+
+    #[test]
+    fn family_size_matches_variant_count() {
+        let results = synthetic_results();
+        assert_eq!(bonferroni_family_size(&results), 1); // mislabels: one repair
+    }
+}

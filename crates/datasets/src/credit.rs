@@ -1,0 +1,214 @@
+//! The **credit** (Kaggle "Give Me Some Credit") dataset as a seeded
+//! generative model.
+//!
+//! Structural facts encoded:
+//! * single sensitive attribute **age** (privileged: older than 30) — the
+//!   dataset has no second demographic attribute, so the paper excludes it
+//!   from the intersectional analysis;
+//! * `monthly_income` has ~20% missing values (the dataset's hallmark) and
+//!   `number_of_dependents` ~2.6%, with missingness skewed towards the
+//!   *young* (disadvantaged) applicants;
+//! * `revolving_utilization` and `debt_ratio` have extreme heavy tails
+//!   (the real data contains utilisation values in the thousands);
+//! * the past-due counter columns contain the notorious **96/98 sentinel
+//!   codes** — data-entry artifacts that outlier detectors flag;
+//! * the positive class is "good credit" (no serious delinquency), the
+//!   desirable outcome, with a high base rate (~93%).
+
+use crate::gen;
+use crate::spec::{DatasetSpec, ErrorType, SensitiveAttribute};
+use fairness::{CmpOp, GroupPredicate};
+use tabular::{ColumnRole, DataFrame, Result, Rng64};
+
+/// The declarative definition.
+pub fn spec() -> DatasetSpec {
+    DatasetSpec {
+        name: "credit",
+        source: "finance",
+        full_size: 150_000,
+        label: "good_credit",
+        error_types: vec![ErrorType::MissingValues, ErrorType::Outliers, ErrorType::Mislabels],
+        drop_variables: vec![],
+        sensitive_attributes: vec![SensitiveAttribute {
+            name: "age",
+            privileged: GroupPredicate::num("age", CmpOp::Gt, 30.0),
+            privileged_description: "older than 30",
+        }],
+        has_intersectional: false,
+    }
+}
+
+/// Generates `n` rows with the given seed.
+pub fn generate(n: usize, seed: u64) -> Result<DataFrame> {
+    let mut rng = Rng64::seed_from_u64(seed ^ 0xC4ED);
+    let mut age = Vec::with_capacity(n);
+    let mut revolving = Vec::with_capacity(n);
+    let mut past_due_30 = Vec::with_capacity(n);
+    let mut debt_ratio = Vec::with_capacity(n);
+    let mut income = Vec::with_capacity(n);
+    let mut open_lines = Vec::with_capacity(n);
+    let mut late_90 = Vec::with_capacity(n);
+    let mut real_estate = Vec::with_capacity(n);
+    let mut dependents = Vec::with_capacity(n);
+    let mut label = Vec::with_capacity(n);
+
+    for _ in 0..n {
+        let a = rng.normal_with(52.0, 14.5).clamp(21.0, 103.0).round();
+        let young = a <= 30.0;
+        // Utilisation: mostly < 1, heavy log-normal tail.
+        let util = if rng.bernoulli(0.975) {
+            (rng.next_f64().powf(0.7)).min(1.3)
+        } else {
+            rng.log_normal(3.0, 2.0).min(60_000.0)
+        };
+        let risk = rng.exponential(1.0) * if young { 1.5 } else { 1.0 };
+        let pd30 = (risk * 0.8).floor().min(12.0);
+        let dr = if rng.bernoulli(0.93) {
+            (rng.next_f64() * 1.2).min(1.2)
+        } else {
+            rng.log_normal(5.5, 1.5).min(330_000.0)
+        };
+        let inc = rng.log_normal(8.6, 0.7).min(250_000.0).round();
+        let lines = rng.normal_with(8.5, 5.0).clamp(0.0, 58.0).round();
+        let l90 = (risk * 0.25).floor().min(10.0);
+        let re = rng.normal_with(1.0, 1.1).clamp(0.0, 20.0).round();
+        let dep = rng.normal_with(if young { 0.9 } else { 0.7 }, 1.1).clamp(0.0, 10.0).round();
+
+        // Positive = good credit: high base rate, eroded by risk factors.
+        let score = 3.4
+            - 1.3 * util.min(1.5)
+            - 0.9 * pd30
+            - 1.4 * l90
+            + 0.012 * (a - 52.0)
+            + 0.15 * ((inc / 5_000.0).ln().max(-2.0));
+        // Sharpened concept (see adult.rs for rationale).
+        let y = gen::label_from_score(&mut rng, 2.5 * score);
+
+        age.push(a);
+        revolving.push(util);
+        past_due_30.push(pd30);
+        debt_ratio.push(dr);
+        income.push(inc);
+        open_lines.push(lines);
+        late_90.push(l90);
+        real_estate.push(re);
+        dependents.push(dep);
+        label.push(y);
+    }
+
+    let mut frame = DataFrame::builder()
+        .numeric("age", ColumnRole::Sensitive, age)
+        .numeric("revolving_utilization", ColumnRole::Feature, revolving)
+        .numeric("past_due_30_59", ColumnRole::Feature, past_due_30)
+        .numeric("debt_ratio", ColumnRole::Feature, debt_ratio)
+        .numeric("monthly_income", ColumnRole::Feature, income)
+        .numeric("open_credit_lines", ColumnRole::Feature, open_lines)
+        .numeric("late_90_days", ColumnRole::Feature, late_90)
+        .numeric("real_estate_loans", ColumnRole::Feature, real_estate)
+        .numeric("dependents", ColumnRole::Feature, dependents)
+        .numeric("good_credit", ColumnRole::Label, label)
+        .build()?;
+
+    // The 96/98 sentinel codes: a small fraction of the past-due counters
+    // carry impossible values (a known artifact of the real data).
+    gen::inject_corruption(&mut frame, "past_due_30_59", 0.0018, &mut rng, |_, r| {
+        if r.bernoulli(0.5) {
+            96.0
+        } else {
+            98.0
+        }
+    })?;
+
+    // Missingness: monthly income ~20%, dependents ~2.6%; the young
+    // (disadvantaged) report income less often.
+    let old_mask = gen::numeric_gt_mask(&frame, "age", 30.0)?;
+    let boost = gen::group_boost(&old_mask, 0.92, 1.55);
+    gen::inject_missing_numeric(&mut frame, "monthly_income", 0.185, &boost, &mut rng)?;
+    gen::inject_missing_numeric(&mut frame, "dependents", 0.026, &boost, &mut rng)?;
+
+    // Directional label noise: delinquency records are noisy; older
+    // (privileged) applicants' longer histories accrue more spurious
+    // good-credit records (false positives), while the young are more
+    // often wrongly recorded as delinquent (false negatives).
+    let fp_rate: Vec<f64> = old_mask.iter().map(|&o| if o { 0.052 } else { 0.028 }).collect();
+    let fn_rate: Vec<f64> = old_mask.iter().map(|&o| if o { 0.040 } else { 0.056 }).collect();
+    gen::inject_directional_label_noise(&mut frame, &fp_rate, &fn_rate, &mut rng)?;
+
+    gen::validate_generated(&frame, n)?;
+    Ok(frame)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn high_base_rate_of_good_credit() {
+        let df = generate(8000, 1).unwrap();
+        let labels = df.labels().unwrap();
+        let rate = labels.iter().filter(|&&l| l == 1).count() as f64 / 8000.0;
+        assert!(rate > 0.80 && rate < 0.97, "positive rate {rate}");
+    }
+
+    #[test]
+    fn income_missing_around_twenty_percent_and_skewed_young() {
+        let df = generate(20_000, 2).unwrap();
+        let age = df.numeric("age").unwrap();
+        let inc = df.numeric("monthly_income").unwrap();
+        let total_missing = inc.iter().filter(|x| x.is_nan()).count() as f64 / 20_000.0;
+        assert!((total_missing - 0.19).abs() < 0.04, "missing {total_missing}");
+        let (mut my, mut ny, mut mo, mut no) = (0usize, 0usize, 0usize, 0usize);
+        for i in 0..20_000 {
+            if age[i] <= 30.0 {
+                ny += 1;
+                my += usize::from(inc[i].is_nan());
+            } else {
+                no += 1;
+                mo += usize::from(inc[i].is_nan());
+            }
+        }
+        assert!(
+            my as f64 / ny as f64 > mo as f64 / no as f64,
+            "young missing rate should exceed old"
+        );
+    }
+
+    #[test]
+    fn sentinel_codes_present() {
+        let df = generate(30_000, 3).unwrap();
+        let pd = df.numeric("past_due_30_59").unwrap();
+        let sentinels = pd.iter().filter(|&&x| x == 96.0 || x == 98.0).count();
+        assert!(sentinels > 10, "sentinels {sentinels}");
+    }
+
+    #[test]
+    fn heavy_tail_in_utilization() {
+        let df = generate(10_000, 4).unwrap();
+        let util = df.numeric("revolving_utilization").unwrap();
+        let over_10 = util.iter().filter(|&&x| x > 10.0).count();
+        assert!(over_10 > 5, "tail values {over_10}");
+        let median_ish = {
+            let mut v: Vec<f64> = util.to_vec();
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v[5000]
+        };
+        assert!(median_ish < 1.0);
+    }
+
+    #[test]
+    fn age_only_sensitive_attribute_no_intersectional() {
+        let s = spec();
+        assert_eq!(s.sensitive_attributes.len(), 1);
+        assert!(!s.has_intersectional);
+        assert!(s.intersectional_spec().is_none());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        // Compare CSV serialisations: NaN (missing) breaks PartialEq.
+        assert_eq!(
+            tabular::csv::to_csv_string(&generate(400, 11).unwrap()),
+            tabular::csv::to_csv_string(&generate(400, 11).unwrap())
+        );
+    }
+}

@@ -1,0 +1,219 @@
+//! The **folk** (folktables ACSIncome, California 2018) dataset as a
+//! seeded generative model — proposed by Ding et al. as the replacement
+//! for `adult`, replicating the same prediction task.
+//!
+//! Structural facts encoded:
+//! * same sensitive attributes as adult (sex, race) with a more balanced
+//!   class distribution (ACSIncome's positive rate is ~37%, vs adult's
+//!   ~24%);
+//! * **structural missingness**: the ACS datasheet documents that
+//!   `OCCP` (occupation) and `COW` (class of worker) are *Not Applicable*
+//!   for respondents younger than 18 or outside the labour force — the
+//!   mechanism the paper's §VI highlights as the reason dummy imputation
+//!   wins (the model can learn the N/A dependency);
+//! * additional survey-nonresponse missingness skewed towards
+//!   disadvantaged groups;
+//! * `WKHP` (hours worked) and income-adjacent columns with heavy tails.
+
+use crate::gen;
+use crate::spec::{DatasetSpec, ErrorType, SensitiveAttribute};
+use fairness::{CmpOp, GroupPredicate};
+use tabular::{ColumnRole, DataFrame, Result, Rng64};
+
+/// The declarative definition.
+pub fn spec() -> DatasetSpec {
+    DatasetSpec {
+        name: "folk",
+        source: "census",
+        full_size: 378_817,
+        label: "income_50k",
+        error_types: vec![ErrorType::MissingValues, ErrorType::Outliers, ErrorType::Mislabels],
+        drop_variables: vec![],
+        sensitive_attributes: vec![
+            SensitiveAttribute {
+                name: "sex",
+                privileged: GroupPredicate::cat("sex", CmpOp::Eq, "male"),
+                privileged_description: "male",
+            },
+            SensitiveAttribute {
+                name: "race",
+                privileged: GroupPredicate::cat("race", CmpOp::Eq, "white"),
+                privileged_description: "white",
+            },
+        ],
+        has_intersectional: true,
+    }
+}
+
+const COW: [&str; 5] =
+    ["employee", "government", "self-employed", "unemployed", "unpaid-family"];
+const OCCP: [&str; 6] = ["management", "professional", "service", "sales", "production", "transport"];
+const RACES: [&str; 5] = ["white", "black", "asian", "native", "other"];
+const RACE_W: [f64; 5] = [0.60, 0.06, 0.16, 0.01, 0.17]; // California 2018 mix
+const SCHL_MAX: f64 = 24.0;
+
+/// Generates `n` rows with the given seed.
+pub fn generate(n: usize, seed: u64) -> Result<DataFrame> {
+    let mut rng = Rng64::seed_from_u64(seed ^ 0xF01D);
+    let mut agep = Vec::with_capacity(n);
+    let mut cow = Vec::with_capacity(n);
+    let mut schl = Vec::with_capacity(n);
+    let mut occp = Vec::with_capacity(n);
+    let mut wkhp = Vec::with_capacity(n);
+    let mut pincp_other = Vec::with_capacity(n);
+    let mut race = Vec::with_capacity(n);
+    let mut sex = Vec::with_capacity(n);
+    let mut label = Vec::with_capacity(n);
+
+    for _ in 0..n {
+        let is_male = rng.bernoulli(0.505);
+        let race_idx = gen::draw_cat(&mut rng, &RACE_W);
+        let is_white = race_idx == 0;
+        let a = rng.normal_with(42.0, 16.0).clamp(16.0, 94.0).round();
+        let minor_or_nilf = a < 18.0 || rng.bernoulli(0.06);
+        let edu_mean = 16.0 + 1.2 * f64::from(is_white) + 0.4 * f64::from(is_male);
+        let s = rng.normal_with(edu_mean, 3.5).clamp(1.0, SCHL_MAX).round();
+        let h = if minor_or_nilf {
+            rng.normal_with(12.0, 8.0).clamp(0.0, 40.0).round()
+        } else {
+            rng.normal_with(if is_male { 41.0 } else { 36.0 }, 10.0).clamp(1.0, 99.0).round()
+        };
+        // Other income: zero-inflated log-normal (investment income etc.).
+        let other = if rng.bernoulli(0.12) { rng.log_normal(8.5, 1.4).min(400_000.0) } else { 0.0 };
+
+        let score = -1.28
+            + 0.026 * (a - 42.0)
+            + 0.23 * (s - 16.0)
+            + 0.028 * (h - 38.0)
+            + 0.50 * f64::from(is_male)
+            + 0.28 * f64::from(is_white)
+            + 0.6 * f64::from(other > 20_000.0)
+            - 2.5 * f64::from(minor_or_nilf);
+        // Sharpened concept (see adult.rs for rationale).
+        let y = gen::label_from_score(&mut rng, 2.5 * score);
+
+        agep.push(a);
+        cow.push(if minor_or_nilf { None } else { Some(COW[gen::draw_cat(&mut rng, &[0.62, 0.14, 0.13, 0.08, 0.03])]) });
+        schl.push(s);
+        occp.push(if minor_or_nilf { None } else { Some(OCCP[rng.below(OCCP.len())]) });
+        wkhp.push(h);
+        pincp_other.push(other);
+        race.push(Some(RACES[race_idx]));
+        sex.push(Some(if is_male { "male" } else { "female" }));
+        label.push(y);
+    }
+
+    let mut frame = DataFrame::builder()
+        .numeric("agep", ColumnRole::Feature, agep)
+        .categorical("cow", ColumnRole::Feature, &cow)
+        .numeric("schl", ColumnRole::Feature, schl)
+        .categorical("occp", ColumnRole::Feature, &occp)
+        .numeric("wkhp", ColumnRole::Feature, wkhp)
+        .numeric("other_income", ColumnRole::Feature, pincp_other)
+        .categorical("race", ColumnRole::Sensitive, &race)
+        .categorical("sex", ColumnRole::Sensitive, &sex)
+        .numeric("income_50k", ColumnRole::Label, label)
+        .build()?;
+
+    // Additional survey nonresponse, skewed towards disadvantaged groups
+    // (smaller disparity than adult — the paper finds folk's disparities
+    // present but modest).
+    let male_mask = gen::category_mask(&frame, "sex", "male")?;
+    let white_mask = gen::category_mask(&frame, "race", "white")?;
+    let mut boost = vec![0.0; n];
+    for i in 0..n {
+        boost[i] =
+            1.0 + 0.35 * f64::from(!male_mask[i]) + 0.30 * f64::from(!white_mask[i]);
+    }
+    gen::inject_missing_categorical(&mut frame, "cow", 0.012, &boost, &mut rng)?;
+    gen::inject_missing_numeric(&mut frame, "wkhp", 0.015, &boost, &mut rng)?;
+
+    // Mild directional label noise: privileged errors skew
+    // false-positive, disadvantaged errors false-negative (paper §III).
+    let fp_rate: Vec<f64> =
+        white_mask.iter().map(|&w| if w { 0.036 } else { 0.022 }).collect();
+    let fn_rate: Vec<f64> =
+        white_mask.iter().map(|&w| if w { 0.028 } else { 0.040 }).collect();
+    gen::inject_directional_label_noise(&mut frame, &fp_rate, &fn_rate, &mut rng)?;
+
+    gen::validate_generated(&frame, n)?;
+    Ok(frame)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structural_na_for_minors() {
+        let df = generate(6000, 1).unwrap();
+        let age = df.numeric("agep").unwrap();
+        let occ = df.categorical("occp").unwrap();
+        let minors: Vec<usize> = (0..6000).filter(|&i| age[i] < 18.0).collect();
+        assert!(!minors.is_empty(), "no minors generated");
+        // Every minor has missing occupation (the N/A mechanism).
+        for &i in &minors {
+            assert!(occ.code(i).is_none(), "minor {i} has an occupation");
+        }
+    }
+
+    #[test]
+    fn positive_rate_is_more_balanced_than_adult() {
+        let df = generate(8000, 2).unwrap();
+        let labels = df.labels().unwrap();
+        let rate = labels.iter().filter(|&&l| l == 1).count() as f64 / 8000.0;
+        assert!(rate > 0.25 && rate < 0.50, "positive rate {rate}");
+    }
+
+    #[test]
+    fn missingness_skews_disadvantaged_but_mildly() {
+        let df = generate(20_000, 3).unwrap();
+        let white = gen::category_mask(&df, "race", "white").unwrap();
+        let cow = df.categorical("cow").unwrap();
+        let age = df.numeric("agep").unwrap();
+        // Exclude structural N/A (minors) to isolate the nonresponse skew.
+        let (mut mw, mut nw, mut md, mut nd) = (0usize, 0usize, 0usize, 0usize);
+        for i in 0..20_000 {
+            if age[i] < 18.0 {
+                continue;
+            }
+            if white[i] {
+                nw += 1;
+                mw += usize::from(cow.code(i).is_none());
+            } else {
+                nd += 1;
+                md += usize::from(cow.code(i).is_none());
+            }
+        }
+        let rate_w = mw as f64 / nw as f64;
+        let rate_d = md as f64 / nd as f64;
+        assert!(rate_d > rate_w, "disadvantaged {rate_d} <= privileged {rate_w}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        // Compare CSV serialisations: NaN (missing) breaks PartialEq.
+        assert_eq!(
+            tabular::csv::to_csv_string(&generate(300, 7).unwrap()),
+            tabular::csv::to_csv_string(&generate(300, 7).unwrap())
+        );
+    }
+
+    #[test]
+    fn spec_matches_paper() {
+        let s = spec();
+        assert_eq!(s.name, "folk");
+        assert_eq!(s.full_size, 378_817);
+        assert!(s.has_intersectional);
+    }
+
+    #[test]
+    fn other_income_is_heavy_tailed() {
+        let df = generate(5000, 4).unwrap();
+        let oi = df.numeric("other_income").unwrap();
+        let zeros = oi.iter().filter(|&&x| x == 0.0).count();
+        assert!(zeros > 3500, "zero-inflation missing: {zeros}");
+        let max = oi.iter().cloned().fold(0.0, f64::max);
+        assert!(max > 50_000.0, "max {max}");
+    }
+}

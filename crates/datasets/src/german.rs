@@ -1,0 +1,249 @@
+//! The **german** (Statlog German Credit) dataset as a seeded generative
+//! model.
+//!
+//! Structural facts encoded:
+//! * 1,000 tuples in the original (the study's smallest dataset);
+//! * sensitive attributes **age** (privileged: older than 25) and **sex**
+//!   (privileged: male, derived from the `personal_status` attribute which
+//!   encodes marital-status × sex combinations — reproduced here);
+//! * the `foreign_worker` attribute is generated but **dropped** per the
+//!   paper (96% "foreign" is almost certainly an encoding error);
+//! * 70/30 good/bad credit split, `credit_amount` with a log-normal tail;
+//! * a small amount of missingness in `savings_status` and `employment`
+//!   (the CleanML variant of german the study extends carries missing
+//!   values — the pristine UCI export does not), skewed disadvantaged.
+
+use crate::gen;
+use crate::spec::{DatasetSpec, ErrorType, SensitiveAttribute};
+use fairness::{CmpOp, GroupPredicate};
+use tabular::{ColumnRole, DataFrame, Result, Rng64};
+
+/// The declarative definition — compare with the paper's Listing 1, which
+/// drops `age`, `personal_status`, `sex` and `foreign_worker` from the
+/// feature set and defines privileged groups `age > 25` and `sex == male`.
+pub fn spec() -> DatasetSpec {
+    DatasetSpec {
+        name: "german",
+        source: "finance",
+        full_size: 1_000,
+        label: "credit",
+        error_types: vec![ErrorType::MissingValues, ErrorType::Outliers, ErrorType::Mislabels],
+        drop_variables: vec!["personal_status", "foreign_worker"],
+        sensitive_attributes: vec![
+            SensitiveAttribute {
+                name: "age",
+                privileged: GroupPredicate::num("age", CmpOp::Gt, 25.0),
+                privileged_description: "older than 25",
+            },
+            SensitiveAttribute {
+                name: "sex",
+                privileged: GroupPredicate::cat("sex", CmpOp::Eq, "male"),
+                privileged_description: "male",
+            },
+        ],
+        has_intersectional: true,
+    }
+}
+
+const CHECKING: [&str; 4] = ["<0", "0<=X<200", ">=200", "no-account"];
+const CHECKING_W: [f64; 4] = [0.27, 0.27, 0.06, 0.40];
+const HISTORY: [&str; 4] = ["critical", "delayed", "existing-paid", "all-paid"];
+const SAVINGS: [&str; 5] = ["<100", "100<=X<500", "500<=X<1000", ">=1000", "unknown"];
+const EMPLOYMENT: [&str; 5] = ["unemployed", "<1", "1<=X<4", "4<=X<7", ">=7"];
+const PURPOSE: [&str; 5] = ["car", "furniture", "radio-tv", "education", "business"];
+const HOUSING: [&str; 3] = ["own", "rent", "free"];
+
+/// `personal_status` codes from the original data: each combines marital
+/// status and sex; the study derives `sex` from it.
+const PERSONAL_STATUS_MALE: [&str; 3] =
+    ["male-single", "male-married", "male-divorced"];
+const PERSONAL_STATUS_FEMALE: [&str; 2] = ["female-div/sep/mar", "female-single"];
+
+/// Generates `n` rows with the given seed.
+pub fn generate(n: usize, seed: u64) -> Result<DataFrame> {
+    let mut rng = Rng64::seed_from_u64(seed ^ 0x6E12);
+    let mut checking = Vec::with_capacity(n);
+    let mut duration = Vec::with_capacity(n);
+    let mut history = Vec::with_capacity(n);
+    let mut purpose = Vec::with_capacity(n);
+    let mut amount = Vec::with_capacity(n);
+    let mut savings = Vec::with_capacity(n);
+    let mut employment = Vec::with_capacity(n);
+    let mut installment = Vec::with_capacity(n);
+    let mut personal_status = Vec::with_capacity(n);
+    let mut sex = Vec::with_capacity(n);
+    let mut age = Vec::with_capacity(n);
+    let mut housing = Vec::with_capacity(n);
+    let mut foreign_worker = Vec::with_capacity(n);
+    let mut credit = Vec::with_capacity(n);
+
+    for _ in 0..n {
+        let is_male = rng.bernoulli(0.69);
+        let a = rng.log_normal(3.5, 0.30).clamp(19.0, 75.0).round();
+        let young = a <= 25.0;
+        let check_idx = gen::draw_cat(&mut rng, &CHECKING_W);
+        let dur = rng.normal_with(21.0, 12.0).clamp(4.0, 72.0).round();
+        let amt = rng.log_normal(7.9, 0.75).clamp(250.0, 18_500.0).round();
+        let sav_idx = gen::draw_cat(&mut rng, &[0.60, 0.10, 0.06, 0.06, 0.18]);
+        let emp_idx = gen::draw_cat(&mut rng, &[0.06, 0.17, 0.34, 0.17, 0.26]);
+        let hist_idx = gen::draw_cat(&mut rng, &[0.29, 0.09, 0.53, 0.09]);
+        let inst = 1.0 + rng.below(4) as f64;
+
+        // Good-credit score: checking account status is the strongest
+        // predictor in the real data.
+        let score = 0.60
+            + [-0.9, -0.3, 0.5, 0.9][check_idx]
+            + [0.55, -0.2, 0.15, -0.4][hist_idx]
+            - 0.022 * (dur - 21.0)
+            - 0.00008 * (amt - 2_700.0)
+            + [0.0, 0.15, 0.25, 0.45, 0.1][sav_idx]
+            + [-0.4, -0.15, 0.0, 0.15, 0.3][emp_idx]
+            + 0.012 * (a - 35.0)
+            + 0.12 * f64::from(is_male);
+        // Sharpened concept (see adult.rs for rationale).
+        let y = gen::label_from_score(&mut rng, 2.5 * score);
+
+        checking.push(Some(CHECKING[check_idx]));
+        duration.push(dur);
+        history.push(Some(HISTORY[hist_idx]));
+        purpose.push(Some(PURPOSE[rng.below(PURPOSE.len())]));
+        amount.push(amt);
+        savings.push(Some(SAVINGS[sav_idx]));
+        employment.push(Some(EMPLOYMENT[emp_idx]));
+        installment.push(inst);
+        personal_status.push(Some(if is_male {
+            PERSONAL_STATUS_MALE[rng.below(3)]
+        } else {
+            PERSONAL_STATUS_FEMALE[rng.below(2)]
+        }));
+        sex.push(Some(if is_male { "male" } else { "female" }));
+        age.push(a);
+        housing.push(Some(HOUSING[gen::draw_cat(&mut rng, &[0.71, 0.18, 0.11])]));
+        // The suspicious attribute: ~96% "yes" in the original encoding.
+        foreign_worker.push(Some(if rng.bernoulli(0.963) { "yes" } else { "no" }));
+        credit.push(y);
+        let _ = young;
+    }
+
+    let mut frame = DataFrame::builder()
+        .categorical("checking_status", ColumnRole::Feature, &checking)
+        .numeric("duration", ColumnRole::Feature, duration)
+        .categorical("credit_history", ColumnRole::Feature, &history)
+        .categorical("purpose", ColumnRole::Feature, &purpose)
+        .numeric("credit_amount", ColumnRole::Feature, amount)
+        .categorical("savings_status", ColumnRole::Feature, &savings)
+        .categorical("employment", ColumnRole::Feature, &employment)
+        .numeric("installment_rate", ColumnRole::Feature, installment)
+        .categorical("personal_status", ColumnRole::Dropped, &personal_status)
+        .categorical("sex", ColumnRole::Sensitive, &sex)
+        .numeric("age", ColumnRole::Sensitive, age)
+        .categorical("housing", ColumnRole::Feature, &housing)
+        .categorical("foreign_worker", ColumnRole::Dropped, &foreign_worker)
+        .numeric("credit", ColumnRole::Label, credit)
+        .build()?;
+
+    // Missingness (CleanML-variant): savings/employment occasionally
+    // unreported, more often by the young and by women.
+    let old_mask = gen::numeric_gt_mask(&frame, "age", 25.0)?;
+    let male_mask = gen::category_mask(&frame, "sex", "male")?;
+    let mut boost = vec![0.0; n];
+    for i in 0..n {
+        boost[i] = 1.0 + 0.8 * f64::from(!old_mask[i]) + 0.5 * f64::from(!male_mask[i]);
+    }
+    gen::inject_missing_categorical(&mut frame, "savings_status", 0.04, &boost, &mut rng)?;
+    gen::inject_missing_categorical(&mut frame, "employment", 0.025, &boost, &mut rng)?;
+
+    // Directional label noise: the 1,000-row dataset is known to be
+    // noisy; privileged errors skew false-positive, disadvantaged
+    // false-negative (paper §III).
+    let fp_rate: Vec<f64> = old_mask.iter().map(|&o| if o { 0.058 } else { 0.032 }).collect();
+    let fn_rate: Vec<f64> = old_mask.iter().map(|&o| if o { 0.044 } else { 0.062 }).collect();
+    gen::inject_directional_label_noise(&mut frame, &fp_rate, &fn_rate, &mut rng)?;
+
+    gen::validate_generated(&frame, n)?;
+    Ok(frame)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn good_bad_split_near_70_30() {
+        let df = generate(5000, 1).unwrap();
+        let labels = df.labels().unwrap();
+        let rate = labels.iter().filter(|&&l| l == 1).count() as f64 / 5000.0;
+        assert!((rate - 0.70).abs() < 0.08, "good-credit rate {rate}");
+    }
+
+    #[test]
+    fn sex_derivable_from_personal_status() {
+        let df = generate(1000, 2).unwrap();
+        let ps = df.categorical("personal_status").unwrap();
+        let sex = df.categorical("sex").unwrap();
+        for i in 0..1000 {
+            let from_ps = ps.label(i).unwrap().starts_with("male");
+            let is_male = sex.label(i) == Some("male");
+            assert_eq!(from_ps, is_male, "row {i}");
+        }
+    }
+
+    #[test]
+    fn dropped_columns_have_dropped_role() {
+        let df = generate(100, 3).unwrap();
+        use tabular::ColumnRole;
+        assert_eq!(df.schema().field("foreign_worker").unwrap().role, ColumnRole::Dropped);
+        assert_eq!(df.schema().field("personal_status").unwrap().role, ColumnRole::Dropped);
+        // foreign_worker is ~96% "yes" (the suspicious encoding).
+        let fw = df.categorical("foreign_worker").unwrap();
+        let yes = (0..100).filter(|&i| fw.label(i) == Some("yes")).count();
+        assert!(yes > 85, "yes={yes}");
+    }
+
+    #[test]
+    fn missingness_skews_young_and_female() {
+        let df = generate(20_000, 4).unwrap();
+        let age = df.numeric("age").unwrap();
+        let sav = df.categorical("savings_status").unwrap();
+        let (mut my, mut ny, mut mo, mut no) = (0usize, 0usize, 0usize, 0usize);
+        for i in 0..20_000 {
+            if age[i] <= 25.0 {
+                ny += 1;
+                my += usize::from(sav.code(i).is_none());
+            } else {
+                no += 1;
+                mo += usize::from(sav.code(i).is_none());
+            }
+        }
+        assert!(ny > 500, "too few young rows: {ny}");
+        assert!(
+            my as f64 / ny as f64 > mo as f64 / no as f64,
+            "young missing rate should exceed old"
+        );
+    }
+
+    #[test]
+    fn credit_amount_log_normal_tail() {
+        let df = generate(5000, 5).unwrap();
+        let amt = df.numeric("credit_amount").unwrap();
+        let mean = amt.iter().sum::<f64>() / amt.len() as f64;
+        let max = amt.iter().cloned().fold(0.0, f64::max);
+        assert!(max > mean * 3.0, "max {max} mean {mean}");
+    }
+
+    #[test]
+    fn spec_matches_listing_1() {
+        let s = spec();
+        assert_eq!(s.name, "german");
+        assert_eq!(s.full_size, 1000);
+        assert!(s.drop_variables.contains(&"foreign_worker"));
+        assert_eq!(s.sensitive_attributes[0].name, "age");
+        assert_eq!(s.sensitive_attributes[1].name, "sex");
+        assert!(s.has_intersectional);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_eq!(generate(200, 6).unwrap(), generate(200, 6).unwrap());
+    }
+}

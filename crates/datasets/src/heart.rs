@@ -1,0 +1,225 @@
+//! The **heart** (Kaggle cardiovascular-disease) dataset as a seeded
+//! generative model.
+//!
+//! Structural facts encoded:
+//! * sensitive attributes **sex** (privileged: male) and **age**
+//!   (privileged: older than 45 — in the medical-triage task older
+//!   patients are prioritised);
+//! * **no missing values at all** (the paper's footnote 8 — this dataset
+//!   is excluded from the missing-values experiments);
+//! * notorious measurement/data-entry outliers: systolic/diastolic blood
+//!   pressure misrecorded by factors of 10 (values like 16020 appear in
+//!   the real data), impossle heights (< 100 cm) and weights;
+//! * balanced label (~50% cardiovascular disease), with label noise from
+//!   diagnostic uncertainty.
+//!
+//! The positive class is *presence of heart disease* — the desirable
+//! outcome for the individual here is being prioritised for care, so the
+//! positive class corresponds to access to the resource (triage priority).
+
+use crate::gen;
+use crate::spec::{DatasetSpec, ErrorType, SensitiveAttribute};
+use fairness::{CmpOp, GroupPredicate};
+use tabular::{ColumnRole, DataFrame, Result, Rng64};
+
+/// The declarative definition.
+pub fn spec() -> DatasetSpec {
+    DatasetSpec {
+        name: "heart",
+        source: "healthcare",
+        full_size: 70_000,
+        label: "cardio",
+        // No missing values in this dataset (paper footnote 8).
+        error_types: vec![ErrorType::Outliers, ErrorType::Mislabels],
+        drop_variables: vec![],
+        sensitive_attributes: vec![
+            SensitiveAttribute {
+                name: "sex",
+                privileged: GroupPredicate::cat("sex", CmpOp::Eq, "male"),
+                privileged_description: "male",
+            },
+            SensitiveAttribute {
+                name: "age",
+                privileged: GroupPredicate::num("age", CmpOp::Gt, 45.0),
+                privileged_description: "older than 45",
+            },
+        ],
+        has_intersectional: true,
+    }
+}
+
+/// Generates `n` rows with the given seed.
+pub fn generate(n: usize, seed: u64) -> Result<DataFrame> {
+    let mut rng = Rng64::seed_from_u64(seed ^ 0x4EA7);
+    let mut age = Vec::with_capacity(n);
+    let mut sex = Vec::with_capacity(n);
+    let mut height = Vec::with_capacity(n);
+    let mut weight = Vec::with_capacity(n);
+    let mut ap_hi = Vec::with_capacity(n);
+    let mut ap_lo = Vec::with_capacity(n);
+    let mut cholesterol = Vec::with_capacity(n);
+    let mut gluc = Vec::with_capacity(n);
+    let mut smoke = Vec::with_capacity(n);
+    let mut alco = Vec::with_capacity(n);
+    let mut active = Vec::with_capacity(n);
+    let mut cardio = Vec::with_capacity(n);
+
+    for _ in 0..n {
+        let is_male = rng.bernoulli(0.35); // the real data is ~65% female
+        let a = rng.normal_with(53.0, 6.8).clamp(30.0, 65.0).round();
+        let h = rng.normal_with(if is_male { 170.0 } else { 161.0 }, 7.5).clamp(140.0, 207.0).round();
+        let w = rng.normal_with(if is_male { 78.0 } else { 72.0 }, 13.0).clamp(40.0, 180.0).round();
+        let bmi = w / (h / 100.0) / (h / 100.0);
+        let base_sys = 108.0 + 0.45 * (a - 40.0) + 1.2 * (bmi - 26.0);
+        let sys = rng.normal_with(base_sys, 12.0).clamp(80.0, 220.0).round();
+        let dia = rng.normal_with(sys * 0.62, 7.0).clamp(50.0, 140.0).round();
+        let chol = 1.0 + gen::draw_cat(&mut rng, &[0.75, 0.13, 0.12]) as f64;
+        let g = 1.0 + gen::draw_cat(&mut rng, &[0.85, 0.08, 0.07]) as f64;
+        let smk = f64::from(rng.bernoulli(if is_male { 0.22 } else { 0.02 }));
+        let alc = f64::from(rng.bernoulli(0.054));
+        let act = f64::from(rng.bernoulli(0.80));
+
+        let score = 0.18
+            + 0.055 * (a - 53.0)
+            + 0.045 * (sys - 126.0)
+            + 0.020 * (dia - 81.0)
+            + 0.42 * (chol - 1.0)
+            + 0.12 * (g - 1.0)
+            + 0.06 * (bmi - 26.0)
+            + 0.12 * smk
+            - 0.18 * act
+            + 0.05 * f64::from(is_male);
+        // Sharpened concept (see adult.rs for rationale).
+        let y = gen::label_from_score(&mut rng, 2.2 * score);
+
+        age.push(a);
+        sex.push(Some(if is_male { "male" } else { "female" }));
+        height.push(h);
+        weight.push(w);
+        ap_hi.push(sys);
+        ap_lo.push(dia);
+        cholesterol.push(chol);
+        gluc.push(g);
+        smoke.push(smk);
+        alco.push(alc);
+        active.push(act);
+        cardio.push(y);
+    }
+
+    let mut frame = DataFrame::builder()
+        .numeric("age", ColumnRole::Sensitive, age)
+        .categorical("sex", ColumnRole::Sensitive, &sex)
+        .numeric("height", ColumnRole::Feature, height)
+        .numeric("weight", ColumnRole::Feature, weight)
+        .numeric("ap_hi", ColumnRole::Feature, ap_hi)
+        .numeric("ap_lo", ColumnRole::Feature, ap_lo)
+        .numeric("cholesterol", ColumnRole::Feature, cholesterol)
+        .numeric("gluc", ColumnRole::Feature, gluc)
+        .numeric("smoke", ColumnRole::Feature, smoke)
+        .numeric("alco", ColumnRole::Feature, alco)
+        .numeric("active", ColumnRole::Feature, active)
+        .numeric("cardio", ColumnRole::Label, cardio)
+        .build()?;
+
+    // Blood-pressure data-entry corruption: decimal-point slips multiply
+    // (or divide) readings by 10 — the real dataset contains ap_hi values
+    // like 16020 and 1.
+    gen::inject_corruption(&mut frame, "ap_hi", 0.012, &mut rng, |v, r| {
+        if r.bernoulli(0.7) {
+            v * 10.0
+        } else {
+            (v / 10.0).max(1.0).round()
+        }
+    })?;
+    gen::inject_corruption(&mut frame, "ap_lo", 0.015, &mut rng, |v, r| {
+        if r.bernoulli(0.6) {
+            v * 10.0
+        } else {
+            (v / 10.0).max(0.0).round()
+        }
+    })?;
+    // Impossible heights (unit confusion: metres entered as cm).
+    gen::inject_corruption(&mut frame, "height", 0.002, &mut rng, |v, _| (v / 100.0).round().max(1.0))?;
+
+    // Diagnostic label noise; the paper's §III drill-down finds flagged
+    // male (privileged) errors skew false-positive (57.7% vs 52.2%) and
+    // female errors skew false-negative — both groups' FP shares stay
+    // above half, so FP noise dominates for both with a male excess.
+    let male_mask = gen::category_mask(&frame, "sex", "male")?;
+    let fp_rate: Vec<f64> = male_mask.iter().map(|&m| if m { 0.078 } else { 0.060 }).collect();
+    let fn_rate: Vec<f64> = male_mask.iter().map(|&m| if m { 0.060 } else { 0.062 }).collect();
+    gen::inject_directional_label_noise(&mut frame, &fp_rate, &fn_rate, &mut rng)?;
+
+    gen::validate_generated(&frame, n)?;
+    Ok(frame)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_missing_values_at_all() {
+        let df = generate(10_000, 1).unwrap();
+        assert_eq!(df.missing_cells(), 0);
+        // And the spec accordingly excludes missing-value experiments.
+        assert!(!spec().has_error_type(ErrorType::MissingValues));
+    }
+
+    #[test]
+    fn balanced_label() {
+        let df = generate(10_000, 2).unwrap();
+        let labels = df.labels().unwrap();
+        let rate = labels.iter().filter(|&&l| l == 1).count() as f64 / 10_000.0;
+        assert!((rate - 0.5).abs() < 0.08, "cardio rate {rate}");
+    }
+
+    #[test]
+    fn blood_pressure_corruption_present() {
+        let df = generate(30_000, 3).unwrap();
+        let ap = df.numeric("ap_hi").unwrap();
+        let absurd_high = ap.iter().filter(|&&x| x > 400.0).count();
+        let absurd_low = ap.iter().filter(|&&x| x < 40.0).count();
+        assert!(absurd_high > 50, "high corruptions {absurd_high}");
+        assert!(absurd_low > 10, "low corruptions {absurd_low}");
+    }
+
+    #[test]
+    fn majority_female() {
+        let df = generate(10_000, 4).unwrap();
+        let male = gen::category_mask(&df, "sex", "male").unwrap();
+        let frac = male.iter().filter(|&&b| b).count() as f64 / 10_000.0;
+        assert!((frac - 0.35).abs() < 0.03, "male fraction {frac}");
+    }
+
+    #[test]
+    fn blood_pressure_predicts_disease() {
+        let df = generate(10_000, 5).unwrap();
+        let labels = df.labels().unwrap();
+        let ap = df.numeric("ap_hi").unwrap();
+        // Compare mean ap_hi (uncorrupted range) for sick vs healthy.
+        let mean_for = |target: u8| {
+            let vals: Vec<f64> = (0..10_000)
+                .filter(|&i| labels[i] == target && ap[i] > 60.0 && ap[i] < 250.0)
+                .map(|i| ap[i])
+                .collect();
+            vals.iter().sum::<f64>() / vals.len() as f64
+        };
+        assert!(mean_for(1) > mean_for(0) + 3.0);
+    }
+
+    #[test]
+    fn spec_matches_paper() {
+        let s = spec();
+        assert_eq!(s.name, "heart");
+        assert_eq!(s.full_size, 70_000);
+        assert_eq!(s.source, "healthcare");
+        assert!(s.has_intersectional);
+        assert_eq!(s.sensitive_attributes[1].name, "age");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_eq!(generate(300, 6).unwrap(), generate(300, 6).unwrap());
+    }
+}

@@ -1,0 +1,104 @@
+//! # fairness — group fairness substrate
+//!
+//! Implements the paper's group machinery (Section II):
+//!
+//! * **group predicates** — declarative membership tests on sensitive
+//!   attributes (`("age", >, 25)`, `("sex", ==, "male")`), mirroring the
+//!   `privileged_groups` entries of the declarative dataset definitions;
+//! * **single-attribute groups** — a predicate partitions the data into a
+//!   privileged and a disadvantaged group;
+//! * **intersectional groups** — the conjunction of several predicates;
+//!   tuples privileged along one axis and disadvantaged along another are
+//!   *excluded* (the paper's intersectional definitions deliberately do not
+//!   partition the data);
+//! * **group-wise confusion matrices** and the fairness metrics computed
+//!   from them — predictive parity and equal opportunity (the two headline
+//!   metrics), plus demographic parity, false-positive-rate parity,
+//!   equalized odds and accuracy parity for follow-up analyses.
+//!
+//! ```
+//! use fairness::{group_confusions, CmpOp, FairnessMetric, GroupPredicate, GroupSpec};
+//! use tabular::{ColumnRole, DataFrame};
+//!
+//! let test = DataFrame::builder()
+//!     .categorical("sex", ColumnRole::Sensitive,
+//!         &[Some("male"), Some("male"), Some("female"), Some("female")])
+//!     .numeric("label", ColumnRole::Label, vec![1.0, 0.0, 1.0, 0.0])
+//!     .build()
+//!     .unwrap();
+//! let spec = GroupSpec::SingleAttribute(GroupPredicate::cat("sex", CmpOp::Eq, "male"));
+//! let groups = spec.evaluate(&test).unwrap();
+//!
+//! let y_true = [1, 0, 1, 0];
+//! let y_pred = [1, 0, 0, 0]; // misses the female positive
+//! let gc = group_confusions(&y_true, &y_pred, &groups);
+//! let eo = FairnessMetric::EqualOpportunity.signed_disparity(&gc).unwrap();
+//! assert_eq!(eo, 1.0); // male recall 1.0, female recall 0.0
+//! ```
+
+pub mod confusion;
+pub mod groups;
+pub mod metrics;
+
+pub use confusion::{group_confusions, GroupConfusions};
+pub use groups::{CmpOp, GroupPredicate, GroupSpec, Groups, PredicateValue};
+pub use metrics::FairnessMetric;
+
+/// Re-export: the confusion-matrix type the metrics consume.
+pub use mlcore_types::ConfusionMatrix;
+
+/// Internal shim so `fairness` does not depend on all of `mlcore`:
+/// the confusion matrix lives here in a tiny leaf module and `mlcore`'s
+/// version is structurally identical. We re-implement it to keep the
+/// crate graph acyclic (mlcore must not depend on fairness and vice versa).
+mod mlcore_types {
+    /// Counts of a binary confusion matrix (group-restricted).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+    pub struct ConfusionMatrix {
+        /// True negatives.
+        pub tn: u64,
+        /// False positives.
+        pub fp: u64,
+        /// False negatives.
+        pub fn_: u64,
+        /// True positives.
+        pub tp: u64,
+    }
+
+    impl ConfusionMatrix {
+        /// Total number of tallied examples.
+        pub fn total(&self) -> u64 {
+            self.tn + self.fp + self.fn_ + self.tp
+        }
+
+        /// Precision; `None` when no positive predictions exist.
+        pub fn precision(&self) -> Option<f64> {
+            let d = self.tp + self.fp;
+            (d > 0).then(|| self.tp as f64 / d as f64)
+        }
+
+        /// Recall; `None` when no actual positives exist.
+        pub fn recall(&self) -> Option<f64> {
+            let d = self.tp + self.fn_;
+            (d > 0).then(|| self.tp as f64 / d as f64)
+        }
+
+        /// False positive rate; `None` when no actual negatives exist.
+        pub fn false_positive_rate(&self) -> Option<f64> {
+            let d = self.fp + self.tn;
+            (d > 0).then(|| self.fp as f64 / d as f64)
+        }
+
+        /// Fraction predicted positive; `None` when empty.
+        pub fn selection_rate(&self) -> Option<f64> {
+            let n = self.total();
+            (n > 0).then(|| (self.tp + self.fp) as f64 / n as f64)
+        }
+
+        /// Accuracy; `None` when empty.
+        pub fn accuracy(&self) -> Option<f64> {
+            let n = self.total();
+            (n > 0).then(|| (self.tp + self.tn) as f64 / n as f64)
+        }
+    }
+}

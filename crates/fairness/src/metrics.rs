@@ -1,0 +1,203 @@
+//! Group fairness metrics for binary classification.
+//!
+//! Each metric is a *signed disparity* `metric(privileged) −
+//! metric(disadvantaged)`; 0 means the metric is satisfied. The study's
+//! impact classification uses the **absolute** disparity (a cleaning
+//! technique worsens fairness when it increases |disparity|), accessible
+//! via [`FairnessMetric::absolute_disparity`].
+
+use crate::confusion::GroupConfusions;
+
+/// The group fairness metrics available to analyses.
+///
+/// The paper's headline metrics are [`FairnessMetric::PredictiveParity`]
+/// (precision parity — the vendor's interest) and
+/// [`FairnessMetric::EqualOpportunity`] (recall parity — the applicant's
+/// interest); the rest are included for the commonly-reported set of group
+/// fairness metrics the raw confusion counts enable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FairnessMetric {
+    /// Precision difference: TPpriv/(TPpriv+FPpriv) − TPdis/(TPdis+FPdis).
+    PredictiveParity,
+    /// Recall difference: TPpriv/(TPpriv+FNpriv) − TPdis/(TPdis+FNdis).
+    EqualOpportunity,
+    /// Selection-rate difference (a.k.a. statistical parity difference).
+    DemographicParity,
+    /// False-positive-rate difference.
+    FprParity,
+    /// Mean of the absolute recall and FPR differences (equalized odds
+    /// reduces to 0 iff both TPR and FPR match across groups).
+    EqualizedOdds,
+    /// Accuracy difference.
+    AccuracyParity,
+}
+
+impl FairnessMetric {
+    /// All metrics.
+    pub fn all() -> [FairnessMetric; 6] {
+        [
+            FairnessMetric::PredictiveParity,
+            FairnessMetric::EqualOpportunity,
+            FairnessMetric::DemographicParity,
+            FairnessMetric::FprParity,
+            FairnessMetric::EqualizedOdds,
+            FairnessMetric::AccuracyParity,
+        ]
+    }
+
+    /// The two headline metrics of the paper's evaluation.
+    pub fn headline() -> [FairnessMetric; 2] {
+        [FairnessMetric::PredictiveParity, FairnessMetric::EqualOpportunity]
+    }
+
+    /// Short name used in tables and result keys.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FairnessMetric::PredictiveParity => "PP",
+            FairnessMetric::EqualOpportunity => "EO",
+            FairnessMetric::DemographicParity => "DP",
+            FairnessMetric::FprParity => "FPRP",
+            FairnessMetric::EqualizedOdds => "EOdds",
+            FairnessMetric::AccuracyParity => "AccP",
+        }
+    }
+
+    /// Parses a short metric name.
+    pub fn parse(name: &str) -> Option<FairnessMetric> {
+        match name {
+            "PP" | "predictive-parity" => Some(FairnessMetric::PredictiveParity),
+            "EO" | "equal-opportunity" => Some(FairnessMetric::EqualOpportunity),
+            "DP" | "demographic-parity" => Some(FairnessMetric::DemographicParity),
+            "FPRP" | "fpr-parity" => Some(FairnessMetric::FprParity),
+            "EOdds" | "equalized-odds" => Some(FairnessMetric::EqualizedOdds),
+            "AccP" | "accuracy-parity" => Some(FairnessMetric::AccuracyParity),
+            _ => None,
+        }
+    }
+
+    /// The signed disparity (privileged − disadvantaged).
+    ///
+    /// `None` when the metric is undefined for either group (e.g. precision
+    /// with no positive predictions in a group).
+    pub fn signed_disparity(&self, gc: &GroupConfusions) -> Option<f64> {
+        let p = &gc.privileged;
+        let d = &gc.disadvantaged;
+        match self {
+            FairnessMetric::PredictiveParity => Some(p.precision()? - d.precision()?),
+            FairnessMetric::EqualOpportunity => Some(p.recall()? - d.recall()?),
+            FairnessMetric::DemographicParity => Some(p.selection_rate()? - d.selection_rate()?),
+            FairnessMetric::FprParity => {
+                Some(p.false_positive_rate()? - d.false_positive_rate()?)
+            }
+            FairnessMetric::EqualizedOdds => {
+                let tpr = (p.recall()? - d.recall()?).abs();
+                let fpr = (p.false_positive_rate()? - d.false_positive_rate()?).abs();
+                Some((tpr + fpr) / 2.0)
+            }
+            FairnessMetric::AccuracyParity => Some(p.accuracy()? - d.accuracy()?),
+        }
+    }
+
+    /// The absolute disparity — the quantity whose growth/shrinkage the
+    /// impact classification tests.
+    pub fn absolute_disparity(&self, gc: &GroupConfusions) -> Option<f64> {
+        self.signed_disparity(gc).map(f64::abs)
+    }
+}
+
+impl std::fmt::Display for FairnessMetric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ConfusionMatrix;
+
+    fn gc(p: ConfusionMatrix, d: ConfusionMatrix) -> GroupConfusions {
+        GroupConfusions { privileged: p, disadvantaged: d }
+    }
+
+    #[test]
+    fn predictive_parity_is_precision_gap() {
+        // priv precision 0.8 (8/10), dis precision 0.5 (5/10).
+        let g = gc(
+            ConfusionMatrix { tn: 10, fp: 2, fn_: 3, tp: 8 },
+            ConfusionMatrix { tn: 10, fp: 5, fn_: 3, tp: 5 },
+        );
+        let pp = FairnessMetric::PredictiveParity.signed_disparity(&g).unwrap();
+        assert!((pp - 0.3).abs() < 1e-12);
+        assert!((FairnessMetric::PredictiveParity.absolute_disparity(&g).unwrap() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equal_opportunity_is_recall_gap() {
+        // priv recall 8/11, dis recall 5/8.
+        let g = gc(
+            ConfusionMatrix { tn: 10, fp: 2, fn_: 3, tp: 8 },
+            ConfusionMatrix { tn: 10, fp: 5, fn_: 3, tp: 5 },
+        );
+        let eo = FairnessMetric::EqualOpportunity.signed_disparity(&g).unwrap();
+        assert!((eo - (8.0 / 11.0 - 5.0 / 8.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_parity_is_zero_for_all_metrics() {
+        let cm = ConfusionMatrix { tn: 10, fp: 2, fn_: 3, tp: 8 };
+        let g = gc(cm, cm);
+        for metric in FairnessMetric::all() {
+            let s = metric.signed_disparity(&g).unwrap();
+            assert!(s.abs() < 1e-12, "{metric}: {s}");
+        }
+    }
+
+    #[test]
+    fn undefined_when_group_metric_undefined() {
+        // Disadvantaged group has no positive predictions: precision undefined.
+        let g = gc(
+            ConfusionMatrix { tn: 5, fp: 1, fn_: 1, tp: 3 },
+            ConfusionMatrix { tn: 5, fp: 0, fn_: 4, tp: 0 },
+        );
+        assert!(FairnessMetric::PredictiveParity.signed_disparity(&g).is_none());
+        // Recall is defined (4 actual positives).
+        assert!(FairnessMetric::EqualOpportunity.signed_disparity(&g).is_some());
+    }
+
+    #[test]
+    fn demographic_parity_uses_selection_rates() {
+        // priv selects 6/12, dis selects 3/12.
+        let g = gc(
+            ConfusionMatrix { tn: 4, fp: 2, fn_: 2, tp: 4 },
+            ConfusionMatrix { tn: 7, fp: 1, fn_: 2, tp: 2 },
+        );
+        let dp = FairnessMetric::DemographicParity.signed_disparity(&g).unwrap();
+        assert!((dp - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equalized_odds_combines_tpr_and_fpr() {
+        // TPR gap = |0.8 - 0.6| = 0.2; FPR gap = |0.1 - 0.3| = 0.2 -> 0.2.
+        let g = gc(
+            ConfusionMatrix { tn: 9, fp: 1, fn_: 2, tp: 8 },
+            ConfusionMatrix { tn: 7, fp: 3, fn_: 4, tp: 6 },
+        );
+        let eo = FairnessMetric::EqualizedOdds.signed_disparity(&g).unwrap();
+        assert!((eo - 0.2).abs() < 1e-12);
+        // EqualizedOdds is already non-negative.
+        assert_eq!(
+            FairnessMetric::EqualizedOdds.absolute_disparity(&g).unwrap(),
+            eo
+        );
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for metric in FairnessMetric::all() {
+            assert_eq!(FairnessMetric::parse(metric.name()), Some(metric));
+        }
+        assert_eq!(FairnessMetric::parse("nope"), None);
+        assert_eq!(FairnessMetric::headline().len(), 2);
+    }
+}

@@ -1,0 +1,299 @@
+//! Decision-tree and random-forest classifiers — the remainder of the
+//! CleanML model zoo (the paper's study uses log-reg / knn / xgboost; the
+//! underlying benchmark also evaluates decision trees and random forests,
+//! so they are provided for extension studies).
+//!
+//! The tree maximises Gini-impurity reduction with exact greedy splits;
+//! the forest bags bootstrap samples and sqrt-feature subsets per split.
+
+use crate::model::Classifier;
+use tabular::{DenseMatrix, Rng64};
+
+/// One node of a classification tree.
+#[derive(Debug, Clone)]
+enum Node {
+    Split { feature: usize, threshold: f64, left: usize, right: usize },
+    Leaf { probability: f64 },
+}
+
+/// Split-finding hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct DTreeParams {
+    /// Maximum depth (root = 0).
+    pub max_depth: usize,
+    /// Minimum samples to attempt a split.
+    pub min_samples_split: usize,
+    /// Features examined per split: `None` = all, `Some(m)` = a random
+    /// subset of `m` (used by the forest).
+    pub max_features: Option<usize>,
+}
+
+impl Default for DTreeParams {
+    fn default() -> Self {
+        DTreeParams { max_depth: 6, min_samples_split: 2, max_features: None }
+    }
+}
+
+/// A trained decision tree.
+#[derive(Debug, Clone)]
+pub struct DecisionTreeClassifier {
+    nodes: Vec<Node>,
+}
+
+/// Gini impurity of a (pos, total) split side.
+#[inline]
+fn gini(pos: f64, total: f64) -> f64 {
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let p = pos / total;
+    2.0 * p * (1.0 - p)
+}
+
+impl DecisionTreeClassifier {
+    /// Fits a tree on the given rows (`None` = all rows). `rng` drives the
+    /// per-split feature subsampling when `max_features` is set.
+    pub fn fit(x: &DenseMatrix, y: &[u8], params: DTreeParams, seed: u64) -> Self {
+        assert_eq!(x.n_rows(), y.len(), "feature/label length mismatch");
+        let rows: Vec<usize> = (0..x.n_rows()).collect();
+        let mut tree = DecisionTreeClassifier { nodes: Vec::new() };
+        let mut rng = Rng64::seed_from_u64(seed);
+        tree.build(x, y, &rows, 0, params, &mut rng);
+        tree
+    }
+
+    /// Fits on an explicit row subset (bootstrap sample for the forest).
+    fn fit_rows(
+        x: &DenseMatrix,
+        y: &[u8],
+        rows: &[usize],
+        params: DTreeParams,
+        rng: &mut Rng64,
+    ) -> Self {
+        let mut tree = DecisionTreeClassifier { nodes: Vec::new() };
+        tree.build(x, y, rows, 0, params, rng);
+        tree
+    }
+
+    fn build(
+        &mut self,
+        x: &DenseMatrix,
+        y: &[u8],
+        rows: &[usize],
+        depth: usize,
+        params: DTreeParams,
+        rng: &mut Rng64,
+    ) -> usize {
+        let total = rows.len() as f64;
+        let pos = rows.iter().filter(|&&i| y[i] == 1).count() as f64;
+        let make_leaf = |nodes: &mut Vec<Node>| {
+            nodes.push(Node::Leaf { probability: if total > 0.0 { pos / total } else { 0.5 } });
+            nodes.len() - 1
+        };
+        if depth >= params.max_depth
+            || rows.len() < params.min_samples_split
+            || pos == 0.0
+            || pos == total
+        {
+            return make_leaf(&mut self.nodes);
+        }
+        let parent_gini = gini(pos, total);
+        // Feature subset.
+        let d = x.n_cols();
+        let features: Vec<usize> = match params.max_features {
+            None => (0..d).collect(),
+            Some(m) => rng.sample_indices(d, m.min(d).max(1)),
+        };
+        let mut best: Option<(f64, usize, f64)> = None; // (gain, feature, threshold)
+        let mut sorted: Vec<(f64, u8)> = Vec::with_capacity(rows.len());
+        for &feature in &features {
+            sorted.clear();
+            sorted.extend(rows.iter().map(|&i| (x.get(i, feature), y[i])));
+            sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite feature"));
+            let mut left_pos = 0.0;
+            for w in 0..sorted.len() - 1 {
+                left_pos += f64::from(sorted[w].1);
+                if sorted[w].0 == sorted[w + 1].0 {
+                    continue;
+                }
+                let left_n = (w + 1) as f64;
+                let right_n = total - left_n;
+                let right_pos = pos - left_pos;
+                let weighted = (left_n * gini(left_pos, left_n)
+                    + right_n * gini(right_pos, right_n))
+                    / total;
+                let gain = parent_gini - weighted;
+                if gain > 1e-12 && best.is_none_or(|(g, _, _)| gain > g) {
+                    best = Some((gain, feature, 0.5 * (sorted[w].0 + sorted[w + 1].0)));
+                }
+            }
+        }
+        match best {
+            None => make_leaf(&mut self.nodes),
+            Some((_, feature, threshold)) => {
+                let (left_rows, right_rows): (Vec<usize>, Vec<usize>) =
+                    rows.iter().partition(|&&i| x.get(i, feature) <= threshold);
+                let idx = self.nodes.len();
+                self.nodes.push(Node::Leaf { probability: 0.0 }); // placeholder
+                let left = self.build(x, y, &left_rows, depth + 1, params, rng);
+                let right = self.build(x, y, &right_rows, depth + 1, params, rng);
+                self.nodes[idx] = Node::Split { feature, threshold, left, right };
+                idx
+            }
+        }
+    }
+
+    /// Positive-class probability for one encoded row.
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        let mut idx = 0;
+        loop {
+            match &self.nodes[idx] {
+                Node::Leaf { probability } => return *probability,
+                Node::Split { feature, threshold, left, right } => {
+                    idx = if row[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+impl Classifier for DecisionTreeClassifier {
+    fn predict_proba(&self, x: &DenseMatrix) -> Vec<f64> {
+        (0..x.n_rows()).map(|i| self.predict_row(x.row(i))).collect()
+    }
+}
+
+/// A bagged random forest.
+pub struct RandomForestClassifier {
+    trees: Vec<DecisionTreeClassifier>,
+}
+
+impl RandomForestClassifier {
+    /// Fits `n_trees` trees on bootstrap samples with sqrt-feature subsets.
+    pub fn fit(x: &DenseMatrix, y: &[u8], n_trees: usize, max_depth: usize, seed: u64) -> Self {
+        assert_eq!(x.n_rows(), y.len(), "feature/label length mismatch");
+        assert!(n_trees > 0, "need at least one tree");
+        let n = x.n_rows();
+        let mut rng = Rng64::seed_from_u64(seed);
+        let m = ((x.n_cols() as f64).sqrt().ceil() as usize).max(1);
+        let params = DTreeParams { max_depth, min_samples_split: 2, max_features: Some(m) };
+        let trees = (0..n_trees)
+            .map(|_| {
+                if n == 0 {
+                    DecisionTreeClassifier { nodes: vec![Node::Leaf { probability: 0.5 }] }
+                } else {
+                    let rows: Vec<usize> = (0..n).map(|_| rng.below(n)).collect();
+                    DecisionTreeClassifier::fit_rows(x, y, &rows, params, &mut rng)
+                }
+            })
+            .collect();
+        RandomForestClassifier { trees }
+    }
+
+    /// Number of trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+impl Classifier for RandomForestClassifier {
+    fn predict_proba(&self, x: &DenseMatrix) -> Vec<f64> {
+        (0..x.n_rows())
+            .map(|i| {
+                let row = x.row(i);
+                self.trees.iter().map(|t| t.predict_row(row)).sum::<f64>()
+                    / self.trees.len() as f64
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_data(n: usize) -> (DenseMatrix, Vec<u8>) {
+        let mut rng = Rng64::seed_from_u64(1);
+        let mut data = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let a = f64::from(rng.bernoulli(0.5));
+            let b = f64::from(rng.bernoulli(0.5));
+            data.push(a + rng.normal() * 0.05);
+            data.push(b + rng.normal() * 0.05);
+            y.push(u8::from((a > 0.5) != (b > 0.5)));
+        }
+        (DenseMatrix::from_vec(n, 2, data), y)
+    }
+
+    #[test]
+    fn tree_learns_xor() {
+        let (x, y) = xor_data(200);
+        let tree = DecisionTreeClassifier::fit(&x, &y, DTreeParams::default(), 3);
+        let preds = tree.predict(&x);
+        let correct = preds.iter().zip(&y).filter(|(p, t)| p == t).count();
+        assert!(correct >= 195, "correct={correct}/200");
+    }
+
+    #[test]
+    fn pure_node_stops_early() {
+        let x = DenseMatrix::from_vec(4, 1, vec![1.0, 2.0, 3.0, 4.0]);
+        let tree = DecisionTreeClassifier::fit(&x, &[1, 1, 1, 1], DTreeParams::default(), 0);
+        assert_eq!(tree.n_nodes(), 1);
+        assert_eq!(tree.predict_row(&[2.0]), 1.0);
+    }
+
+    #[test]
+    fn depth_limit_respected() {
+        let (x, y) = xor_data(100);
+        let stump = DecisionTreeClassifier::fit(
+            &x,
+            &y,
+            DTreeParams { max_depth: 1, ..Default::default() },
+            0,
+        );
+        // Depth 1 => at most 3 nodes (root + 2 leaves).
+        assert!(stump.n_nodes() <= 3);
+    }
+
+    #[test]
+    fn probabilities_are_leaf_fractions() {
+        let (x, y) = xor_data(100);
+        let tree = DecisionTreeClassifier::fit(&x, &y, DTreeParams::default(), 0);
+        for p in tree.predict_proba(&x) {
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn forest_learns_xor_and_is_deterministic() {
+        let (x, y) = xor_data(200);
+        let forest = RandomForestClassifier::fit(&x, &y, 25, 6, 7);
+        assert_eq!(forest.n_trees(), 25);
+        let preds = forest.predict(&x);
+        let correct = preds.iter().zip(&y).filter(|(p, t)| p == t).count();
+        assert!(correct >= 190, "correct={correct}/200");
+        let again = RandomForestClassifier::fit(&x, &y, 25, 6, 7);
+        assert_eq!(forest.predict_proba(&x), again.predict_proba(&x));
+    }
+
+    #[test]
+    fn forest_differs_across_seeds() {
+        let (x, y) = xor_data(100);
+        let a = RandomForestClassifier::fit(&x, &y, 5, 4, 1).predict_proba(&x);
+        let b = RandomForestClassifier::fit(&x, &y, 5, 4, 2).predict_proba(&x);
+        assert!(a.iter().zip(&b).any(|(p, q)| (p - q).abs() > 1e-12));
+    }
+
+    #[test]
+    fn empty_training_set_predicts_half() {
+        let x = DenseMatrix::zeros(0, 2);
+        let forest = RandomForestClassifier::fit(&x, &[], 3, 4, 0);
+        assert_eq!(forest.predict_proba(&DenseMatrix::zeros(2, 2)), vec![0.5, 0.5]);
+    }
+}

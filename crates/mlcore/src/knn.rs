@@ -1,0 +1,166 @@
+//! Brute-force k-nearest-neighbour classification.
+//!
+//! Distances are Euclidean in the encoded feature space (features are
+//! standardised / one-hot by [`tabular::FeatureEncoder`], so unweighted
+//! Euclidean distance is meaningful). Probability estimates are the
+//! fraction of positive neighbours, which is what scikit-learn reports.
+
+use crate::model::Classifier;
+use tabular::DenseMatrix;
+
+/// A trained (memorised) k-NN model.
+#[derive(Debug, Clone)]
+pub struct KnnClassifier {
+    train: DenseMatrix,
+    labels: Vec<u8>,
+    k: usize,
+}
+
+impl KnnClassifier {
+    /// Memorises the training data. `k` is clamped to the training size.
+    ///
+    /// Panics on a length mismatch or `k == 0`.
+    pub fn fit(x: &DenseMatrix, y: &[u8], k: usize) -> Self {
+        assert_eq!(x.n_rows(), y.len(), "feature/label length mismatch");
+        assert!(k > 0, "k must be positive");
+        KnnClassifier { train: x.clone(), labels: y.to_vec(), k }
+    }
+
+    /// The effective number of neighbours used at prediction time.
+    pub fn effective_k(&self) -> usize {
+        self.k.min(self.train.n_rows().max(1))
+    }
+
+    /// Indices of the `k` nearest training rows to `point`
+    /// (ties broken by lower index for determinism).
+    fn nearest(&self, point: &[f64]) -> Vec<usize> {
+        let n = self.train.n_rows();
+        let k = self.effective_k().min(n);
+        // Max-heap of (distance, index) over the current best k.
+        let mut heap: Vec<(f64, usize)> = Vec::with_capacity(k + 1);
+        for i in 0..n {
+            let d = self.train.row_distance_sq(i, point);
+            if heap.len() < k {
+                heap.push((d, i));
+                if heap.len() == k {
+                    heap.sort_by(|a, b| {
+                        b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1).reverse())
+                    });
+                }
+            } else if d < heap[0].0 || (d == heap[0].0 && i < heap[0].1) {
+                heap[0] = (d, i);
+                // Restore "largest first" by a single pass (k is small).
+                let mut worst = 0;
+                for (j, item) in heap.iter().enumerate() {
+                    if item.0 > heap[worst].0
+                        || (item.0 == heap[worst].0 && item.1 > heap[worst].1)
+                    {
+                        worst = j;
+                    }
+                }
+                heap.swap(0, worst);
+            }
+        }
+        heap.into_iter().map(|(_, i)| i).collect()
+    }
+}
+
+impl Classifier for KnnClassifier {
+    fn predict_proba(&self, x: &DenseMatrix) -> Vec<f64> {
+        let n = self.train.n_rows();
+        if n == 0 {
+            return vec![0.5; x.n_rows()];
+        }
+        (0..x.n_rows())
+            .map(|i| {
+                let neigh = self.nearest(x.row(i));
+                let pos = neigh.iter().filter(|&&j| self.labels[j] == 1).count();
+                pos as f64 / neigh.len() as f64
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clustered_data() -> (DenseMatrix, Vec<u8>) {
+        // Two tight clusters: negatives near (0,0), positives near (10,10).
+        let mut data = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..10 {
+            data.push(i as f64 * 0.1);
+            data.push(i as f64 * 0.05);
+            y.push(0);
+        }
+        for i in 0..10 {
+            data.push(10.0 + i as f64 * 0.1);
+            data.push(10.0 - i as f64 * 0.05);
+            y.push(1);
+        }
+        (DenseMatrix::from_vec(20, 2, data), y)
+    }
+
+    #[test]
+    fn classifies_clusters() {
+        let (x, y) = clustered_data();
+        let model = KnnClassifier::fit(&x, &y, 3);
+        let test = DenseMatrix::from_vec(2, 2, vec![0.2, 0.2, 9.8, 9.9]);
+        assert_eq!(model.predict(&test), vec![0, 1]);
+    }
+
+    #[test]
+    fn proba_is_neighbour_fraction() {
+        // 1 positive among 3 nearest -> p = 1/3.
+        let x = DenseMatrix::from_vec(4, 1, vec![0.0, 0.1, 0.2, 9.0]);
+        let y = vec![1, 0, 0, 1];
+        let model = KnnClassifier::fit(&x, &y, 3);
+        let test = DenseMatrix::from_vec(1, 1, vec![0.05]);
+        let p = model.predict_proba(&test)[0];
+        assert!((p - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_clamped_to_training_size() {
+        let x = DenseMatrix::from_vec(2, 1, vec![0.0, 1.0]);
+        let model = KnnClassifier::fit(&x, &[0, 1], 10);
+        assert_eq!(model.effective_k(), 2);
+        let p = model.predict_proba(&DenseMatrix::from_vec(1, 1, vec![0.5]))[0];
+        assert!((p - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_one_memorises_training_points() {
+        let (x, y) = clustered_data();
+        let model = KnnClassifier::fit(&x, &y, 1);
+        assert_eq!(model.predict(&x), y);
+    }
+
+    #[test]
+    fn deterministic_under_ties() {
+        // Two equidistant neighbours with different labels; k=1 must pick
+        // the lower index deterministically.
+        let x = DenseMatrix::from_vec(2, 1, vec![1.0, -1.0]);
+        let model = KnnClassifier::fit(&x, &[1, 0], 1);
+        let p1 = model.predict_proba(&DenseMatrix::from_vec(1, 1, vec![0.0]))[0];
+        let p2 = model.predict_proba(&DenseMatrix::from_vec(1, 1, vec![0.0]))[0];
+        assert_eq!(p1, p2);
+        assert_eq!(p1, 1.0); // index 0 has label 1
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let x = DenseMatrix::zeros(1, 1);
+        KnnClassifier::fit(&x, &[0], 0);
+    }
+
+    #[test]
+    fn empty_training_set_predicts_half() {
+        let x = DenseMatrix::zeros(0, 2);
+        let model = KnnClassifier::fit(&x, &[], 3);
+        let p = model.predict_proba(&DenseMatrix::zeros(2, 2));
+        assert_eq!(p, vec![0.5, 0.5]);
+    }
+}

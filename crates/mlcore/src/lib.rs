@@ -1,0 +1,32 @@
+//! # mlcore — machine-learning substrate
+//!
+//! From-scratch implementations of the three model families the study
+//! trains (Section V): **logistic regression** (L2-regularised, IRLS),
+//! **k-nearest neighbours** (brute force), and **gradient-boosted decision
+//! trees** (second-order boosting with logistic loss, the XGBoost
+//! formulation) — plus k-fold cross-validated grid search over each
+//! family's tuned hyperparameter (regularisation strength `C`, number of
+//! neighbours `k`, and maximum tree depth, respectively), and the
+//! classification metrics the benchmark reports.
+//!
+//! All models consume the dense matrices produced by
+//! [`tabular::FeatureEncoder`] and expose a common [`Classifier`] object
+//! interface so the experimentation framework can treat them uniformly.
+
+pub mod cv;
+pub mod dtree;
+pub mod gbdt;
+pub mod knn;
+pub mod linalg;
+pub mod logreg;
+pub mod metrics;
+pub mod model;
+pub mod tree;
+
+pub use cv::{tune_and_fit, TunedModel};
+pub use dtree::{DecisionTreeClassifier, RandomForestClassifier};
+pub use gbdt::GbdtClassifier;
+pub use knn::KnnClassifier;
+pub use logreg::LogRegClassifier;
+pub use metrics::{accuracy, confusion_matrix, f1_score, precision, recall, roc_auc, ConfusionMatrix};
+pub use model::{Classifier, ModelKind, ModelSpec};

@@ -1,0 +1,119 @@
+//! Small dense linear-algebra helpers for the IRLS solver.
+
+/// Solves the symmetric positive-definite system `A x = b` in place via
+/// Cholesky decomposition. `a` is a row-major `n × n` matrix.
+///
+/// Returns `None` if the matrix is not (numerically) positive definite;
+/// callers typically retry with a larger ridge term.
+pub fn cholesky_solve(a: &[f64], b: &[f64], n: usize) -> Option<Vec<f64>> {
+    assert_eq!(a.len(), n * n, "matrix size mismatch");
+    assert_eq!(b.len(), n, "rhs size mismatch");
+    // Decompose A = L Lᵀ.
+    let mut l = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[i * n + j];
+            for k in 0..j {
+                sum -= l[i * n + k] * l[j * n + k];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return None;
+                }
+                l[i * n + j] = sum.sqrt();
+            } else {
+                l[i * n + j] = sum / l[j * n + j];
+            }
+        }
+    }
+    // Forward substitution: L y = b.
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[i * n + k] * y[k];
+        }
+        y[i] = sum / l[i * n + i];
+    }
+    // Back substitution: Lᵀ x = y.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for k in (i + 1)..n {
+            sum -= l[k * n + i] * x[k];
+        }
+        x[i] = sum / l[i * n + i];
+    }
+    Some(x)
+}
+
+/// Numerically stable logistic sigmoid.
+#[inline]
+pub fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        let e = (-z).exp();
+        1.0 / (1.0 + e)
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let a = vec![1.0, 0.0, 0.0, 1.0];
+        let b = vec![3.0, -2.0];
+        let x = cholesky_solve(&a, &b, 2).unwrap();
+        assert_eq!(x, vec![3.0, -2.0]);
+    }
+
+    #[test]
+    fn solves_spd_system() {
+        // A = [[4, 2], [2, 3]], b = [10, 8] -> x = [1.75, 1.5]
+        let a = vec![4.0, 2.0, 2.0, 3.0];
+        let b = vec![10.0, 8.0];
+        let x = cholesky_solve(&a, &b, 2).unwrap();
+        assert!((x[0] - 1.75).abs() < 1e-12);
+        assert!((x[1] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_indefinite_matrix() {
+        // Not positive definite.
+        let a = vec![1.0, 2.0, 2.0, 1.0];
+        assert!(cholesky_solve(&a, &[1.0, 1.0], 2).is_none());
+    }
+
+    #[test]
+    fn solves_3x3() {
+        // A = Lᵀ L for L = [[2,0,0],[1,2,0],[0,1,2]] guarantees SPD.
+        let a = vec![4.0, 2.0, 0.0, 2.0, 5.0, 2.0, 0.0, 2.0, 5.0];
+        let x_true = [1.0, -1.0, 2.0];
+        let b = vec![
+            4.0 * 1.0 + 2.0 * -1.0,
+            2.0 * 1.0 + 5.0 * -1.0 + 2.0 * 2.0,
+            2.0 * -1.0 + 5.0 * 2.0,
+        ];
+        let x = cholesky_solve(&a, &b, 3).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn sigmoid_properties() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-15);
+        assert!(sigmoid(100.0) > 0.999_999);
+        assert!(sigmoid(-100.0) < 1e-6);
+        assert!(sigmoid(-800.0) >= 0.0); // no underflow panic
+        assert!(sigmoid(800.0) <= 1.0);
+        // Symmetry: s(-z) = 1 - s(z).
+        for &z in &[0.5, 1.7, 3.0] {
+            assert!((sigmoid(-z) + sigmoid(z) - 1.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! The common classifier interface and the declarative model specification
+//! the experimentation framework tunes over.
+
+use crate::dtree::{DTreeParams, DecisionTreeClassifier, RandomForestClassifier};
+use crate::gbdt::GbdtClassifier;
+use crate::knn::KnnClassifier;
+use crate::logreg::LogRegClassifier;
+use tabular::DenseMatrix;
+
+/// A trained binary classifier.
+pub trait Classifier: Send + Sync {
+    /// Probability of the positive class for every row of `x`.
+    fn predict_proba(&self, x: &DenseMatrix) -> Vec<f64>;
+
+    /// Hard 0/1 predictions at the 0.5 threshold.
+    fn predict(&self, x: &DenseMatrix) -> Vec<u8> {
+        self.predict_proba(x).iter().map(|&p| u8::from(p >= 0.5)).collect()
+    }
+}
+
+/// The three model families of the study (paper Section V).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// Logistic regression with a tuned inverse regularisation strength `C`.
+    LogReg,
+    /// k-nearest neighbours with a tuned number of neighbours.
+    Knn,
+    /// Gradient-boosted decision trees with a tuned maximum depth
+    /// (the study's "xgboost").
+    Gbdt,
+    /// Single decision tree with a tuned maximum depth (CleanML model zoo;
+    /// not part of the paper's three-model study).
+    DecisionTree,
+    /// Bagged random forest with a tuned maximum depth (CleanML model zoo;
+    /// not part of the paper's three-model study).
+    RandomForest,
+}
+
+impl ModelKind {
+    /// The paper's three model families, in the order the paper lists
+    /// them. Tables II-XIV are computed over exactly these.
+    pub fn all() -> [ModelKind; 3] {
+        [ModelKind::LogReg, ModelKind::Knn, ModelKind::Gbdt]
+    }
+
+    /// The full CleanML model zoo, including the two extension families.
+    pub fn extended() -> [ModelKind; 5] {
+        [
+            ModelKind::LogReg,
+            ModelKind::Knn,
+            ModelKind::Gbdt,
+            ModelKind::DecisionTree,
+            ModelKind::RandomForest,
+        ]
+    }
+
+    /// The paper's short name for the model.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelKind::LogReg => "log-reg",
+            ModelKind::Knn => "knn",
+            ModelKind::Gbdt => "xgboost",
+            ModelKind::DecisionTree => "decision-tree",
+            ModelKind::RandomForest => "random-forest",
+        }
+    }
+
+    /// Parses a paper-style model name.
+    pub fn parse(name: &str) -> Option<ModelKind> {
+        match name {
+            "log-reg" | "logreg" | "logistic-regression" => Some(ModelKind::LogReg),
+            "knn" | "nearest-neighbors" => Some(ModelKind::Knn),
+            "xgboost" | "gbdt" | "gradient-boosted-trees" => Some(ModelKind::Gbdt),
+            "decision-tree" | "dtree" => Some(ModelKind::DecisionTree),
+            "random-forest" | "forest" => Some(ModelKind::RandomForest),
+            _ => None,
+        }
+    }
+
+    /// The hyperparameter grid searched during 5-fold cross-validation.
+    /// One tuned hyperparameter per family, matching the paper's setup.
+    pub fn default_grid(&self) -> Vec<ModelSpec> {
+        match self {
+            ModelKind::LogReg => [0.01, 0.1, 1.0, 10.0]
+                .iter()
+                .map(|&c| ModelSpec::LogReg { c, max_iter: 50 })
+                .collect(),
+            ModelKind::Knn => [3, 5, 11, 21]
+                .iter()
+                .map(|&k| ModelSpec::Knn { k })
+                .collect(),
+            ModelKind::Gbdt => [2, 3, 4]
+                .iter()
+                .map(|&max_depth| ModelSpec::Gbdt {
+                    max_depth,
+                    n_rounds: 50,
+                    learning_rate: 0.3,
+                    reg_lambda: 1.0,
+                })
+                .collect(),
+            ModelKind::DecisionTree => [3, 6, 10]
+                .iter()
+                .map(|&max_depth| ModelSpec::DecisionTree { max_depth })
+                .collect(),
+            ModelKind::RandomForest => [4, 8, 12]
+                .iter()
+                .map(|&max_depth| ModelSpec::RandomForest { n_trees: 50, max_depth })
+                .collect(),
+        }
+    }
+}
+
+impl std::fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Fully specified (hyperparameters fixed) model configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ModelSpec {
+    /// Logistic regression.
+    LogReg {
+        /// Inverse regularisation strength (scikit-learn's `C`).
+        c: f64,
+        /// Maximum IRLS iterations.
+        max_iter: usize,
+    },
+    /// k-nearest neighbours.
+    Knn {
+        /// Number of neighbours.
+        k: usize,
+    },
+    /// Gradient-boosted trees.
+    Gbdt {
+        /// Maximum tree depth (the tuned hyperparameter).
+        max_depth: usize,
+        /// Number of boosting rounds.
+        n_rounds: usize,
+        /// Shrinkage.
+        learning_rate: f64,
+        /// L2 regularisation on leaf weights.
+        reg_lambda: f64,
+    },
+    /// Single decision tree (extension).
+    DecisionTree {
+        /// Maximum tree depth (the tuned hyperparameter).
+        max_depth: usize,
+    },
+    /// Bagged random forest (extension).
+    RandomForest {
+        /// Number of bagged trees.
+        n_trees: usize,
+        /// Maximum tree depth (the tuned hyperparameter).
+        max_depth: usize,
+    },
+}
+
+impl ModelSpec {
+    /// The family this spec belongs to.
+    pub fn kind(&self) -> ModelKind {
+        match self {
+            ModelSpec::LogReg { .. } => ModelKind::LogReg,
+            ModelSpec::Knn { .. } => ModelKind::Knn,
+            ModelSpec::Gbdt { .. } => ModelKind::Gbdt,
+            ModelSpec::DecisionTree { .. } => ModelKind::DecisionTree,
+            ModelSpec::RandomForest { .. } => ModelKind::RandomForest,
+        }
+    }
+
+    /// A compact human-readable description of the tuned parameter, used in
+    /// the JSON result records (mirrors CleanML's `best_params`).
+    pub fn params_string(&self) -> String {
+        match self {
+            ModelSpec::LogReg { c, .. } => format!("C={c}"),
+            ModelSpec::Knn { k } => format!("n_neighbors={k}"),
+            ModelSpec::Gbdt { max_depth, .. } => format!("max_depth={max_depth}"),
+            ModelSpec::DecisionTree { max_depth } => format!("max_depth={max_depth}"),
+            ModelSpec::RandomForest { max_depth, .. } => format!("max_depth={max_depth}"),
+        }
+    }
+
+    /// Trains the specified model.
+    ///
+    /// `seed` drives any stochastic component (GBDT feature/row subsampling
+    /// uses it; LogReg and k-NN are deterministic and ignore it).
+    pub fn fit(&self, x: &DenseMatrix, y: &[u8], seed: u64) -> Box<dyn Classifier> {
+        assert_eq!(x.n_rows(), y.len(), "feature/label length mismatch");
+        match *self {
+            ModelSpec::LogReg { c, max_iter } => {
+                Box::new(LogRegClassifier::fit(x, y, c, max_iter))
+            }
+            ModelSpec::Knn { k } => Box::new(KnnClassifier::fit(x, y, k)),
+            ModelSpec::Gbdt { max_depth, n_rounds, learning_rate, reg_lambda } => {
+                Box::new(GbdtClassifier::fit(
+                    x,
+                    y,
+                    max_depth,
+                    n_rounds,
+                    learning_rate,
+                    reg_lambda,
+                    seed,
+                ))
+            }
+            ModelSpec::DecisionTree { max_depth } => Box::new(DecisionTreeClassifier::fit(
+                x,
+                y,
+                DTreeParams { max_depth, ..Default::default() },
+                seed,
+            )),
+            ModelSpec::RandomForest { n_trees, max_depth } => {
+                Box::new(RandomForestClassifier::fit(x, y, n_trees, max_depth, seed))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for kind in ModelKind::extended() {
+            assert_eq!(ModelKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(ModelKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn grids_are_nonempty_and_consistent() {
+        for kind in ModelKind::extended() {
+            let grid = kind.default_grid();
+            assert!(!grid.is_empty());
+            assert!(grid.iter().all(|s| s.kind() == kind));
+        }
+    }
+
+    #[test]
+    fn params_strings_mention_tuned_param() {
+        assert!(ModelSpec::LogReg { c: 0.5, max_iter: 10 }.params_string().contains("C="));
+        assert!(ModelSpec::Knn { k: 7 }.params_string().contains("n_neighbors=7"));
+        let g = ModelSpec::Gbdt { max_depth: 3, n_rounds: 10, learning_rate: 0.3, reg_lambda: 1.0 };
+        assert!(g.params_string().contains("max_depth=3"));
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(ModelKind::Gbdt.to_string(), "xgboost");
+        assert_eq!(ModelKind::RandomForest.to_string(), "random-forest");
+    }
+
+    #[test]
+    fn paper_models_are_a_prefix_of_extended() {
+        assert_eq!(ModelKind::extended()[..3], ModelKind::all());
+    }
+
+    #[test]
+    fn extension_models_fit_and_predict() {
+        use tabular::DenseMatrix;
+        let x = DenseMatrix::from_vec(20, 1, (0..20).map(|i| f64::from(i)).collect());
+        let y: Vec<u8> = (0..20).map(|i| u8::from(i >= 10)).collect();
+        for kind in [ModelKind::DecisionTree, ModelKind::RandomForest] {
+            let spec = kind.default_grid()[1];
+            let model = spec.fit(&x, &y, 3);
+            let preds = model.predict(&x);
+            let correct = preds.iter().zip(&y).filter(|(p, t)| p == t).count();
+            assert!(correct >= 18, "{kind}: {correct}/20");
+        }
+    }
+}

@@ -1,0 +1,324 @@
+//! Minimal CSV serialisation for [`DataFrame`]s.
+//!
+//! Supports quoted fields, embedded commas/quotes, and empty-string-as-
+//! missing — enough to persist and reload the synthetic study datasets and
+//! to export results for external analysis. Not a general-purpose CSV
+//! implementation (no multi-line fields).
+
+use crate::column::{CatColumn, Column};
+use crate::error::TabularError;
+use crate::frame::DataFrame;
+use crate::schema::{ColumnKind, ColumnRole, FieldMeta, Schema};
+use crate::Result;
+use std::io::{BufRead, BufWriter, Write};
+
+fn needs_quoting(s: &str) -> bool {
+    s.contains(',') || s.contains('"') || s.contains('\n')
+}
+
+fn write_field(out: &mut String, s: &str) {
+    if needs_quoting(s) {
+        out.push('"');
+        for ch in s.chars() {
+            if ch == '"' {
+                out.push('"');
+            }
+            out.push(ch);
+        }
+        out.push('"');
+    } else {
+        out.push_str(s);
+    }
+}
+
+/// Serialises a frame to CSV text. Missing values serialise as empty fields.
+pub fn to_csv_string(frame: &DataFrame) -> String {
+    let mut out = String::new();
+    for (i, field) in frame.schema().fields().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_field(&mut out, &field.name);
+    }
+    out.push('\n');
+    let mut buf = String::new();
+    for row in 0..frame.n_rows() {
+        buf.clear();
+        for (i, field) in frame.schema().fields().iter().enumerate() {
+            if i > 0 {
+                buf.push(',');
+            }
+            match frame.column_at(i) {
+                Column::Numeric(v) => {
+                    if !v[row].is_nan() {
+                        buf.push_str(&format!("{}", v[row]));
+                    }
+                }
+                Column::Categorical(c) => {
+                    if let Some(label) = c.label(row) {
+                        write_field(&mut buf, label);
+                    }
+                }
+            }
+            let _ = field;
+        }
+        out.push_str(&buf);
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes a frame to a writer as CSV.
+pub fn write_csv<W: Write>(frame: &DataFrame, writer: W) -> std::io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    w.write_all(to_csv_string(frame).as_bytes())?;
+    w.flush()
+}
+
+/// Splits one CSV line into fields, honouring double quotes.
+fn split_line(line: &str) -> Result<Vec<String>> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(ch) = chars.next() {
+        if in_quotes {
+            if ch == '"' {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cur.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                cur.push(ch);
+            }
+        } else {
+            match ch {
+                '"' => {
+                    if cur.is_empty() {
+                        in_quotes = true;
+                    } else {
+                        return Err(TabularError::Parse(format!("stray quote in line: {line}")));
+                    }
+                }
+                ',' => {
+                    fields.push(std::mem::take(&mut cur));
+                }
+                _ => cur.push(ch),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(TabularError::Parse(format!("unterminated quote in line: {line}")));
+    }
+    fields.push(cur);
+    Ok(fields)
+}
+
+/// Parses CSV text into a frame using an explicit schema.
+///
+/// The header must match the schema's column names (in order). Empty
+/// fields become missing values. Numeric fields must parse as `f64`.
+pub fn from_csv_str(text: &str, schema: Schema) -> Result<DataFrame> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or_else(|| TabularError::Parse("empty CSV".to_string()))?;
+    let header_fields = split_line(header)?;
+    if header_fields.len() != schema.len() {
+        return Err(TabularError::Parse(format!(
+            "header has {} columns, schema has {}",
+            header_fields.len(),
+            schema.len()
+        )));
+    }
+    for (h, f) in header_fields.iter().zip(schema.fields()) {
+        if h != &f.name {
+            return Err(TabularError::Parse(format!(
+                "header column '{h}' does not match schema column '{}'",
+                f.name
+            )));
+        }
+    }
+    let mut columns: Vec<Column> = schema
+        .fields()
+        .iter()
+        .map(|f| match f.kind {
+            ColumnKind::Numeric => Column::Numeric(Vec::new()),
+            ColumnKind::Categorical => Column::Categorical(CatColumn::with_categories(Vec::new())),
+        })
+        .collect();
+    for (line_no, line) in lines.enumerate() {
+        // An empty line is a blank separator for multi-column schemas, but
+        // for a single-column schema it is a legitimate row holding one
+        // missing value.
+        if line.is_empty() && schema.len() != 1 {
+            continue;
+        }
+        let fields = split_line(line)?;
+        if fields.len() != schema.len() {
+            return Err(TabularError::Parse(format!(
+                "row {} has {} fields, expected {}",
+                line_no + 2,
+                fields.len(),
+                schema.len()
+            )));
+        }
+        for (value, col) in fields.iter().zip(columns.iter_mut()) {
+            match col {
+                Column::Numeric(v) => {
+                    if value.is_empty() {
+                        v.push(f64::NAN);
+                    } else {
+                        let parsed = value.parse::<f64>().map_err(|_| {
+                            TabularError::Parse(format!("bad numeric value '{value}'"))
+                        })?;
+                        v.push(parsed);
+                    }
+                }
+                Column::Categorical(c) => {
+                    if value.is_empty() {
+                        c.push_missing();
+                    } else {
+                        c.push_label(value);
+                    }
+                }
+            }
+        }
+    }
+    DataFrame::new(schema, columns)
+}
+
+/// Reads a frame from any buffered reader.
+pub fn read_csv<R: BufRead>(mut reader: R, schema: Schema) -> Result<DataFrame> {
+    let mut text = String::new();
+    reader
+        .read_to_string(&mut text)
+        .map_err(|e| TabularError::Parse(format!("io error: {e}")))?;
+    from_csv_str(&text, schema)
+}
+
+/// Infers a schema from CSV text: columns whose non-empty values all parse
+/// as `f64` become numeric, everything else categorical; all roles are
+/// [`ColumnRole::Feature`].
+pub fn infer_schema(text: &str) -> Result<Schema> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or_else(|| TabularError::Parse("empty CSV".to_string()))?;
+    let names = split_line(header)?;
+    let mut numeric = vec![true; names.len()];
+    let mut any_value = vec![false; names.len()];
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let fields = split_line(line)?;
+        for (i, value) in fields.iter().enumerate().take(names.len()) {
+            if value.is_empty() {
+                continue;
+            }
+            any_value[i] = true;
+            if value.parse::<f64>().is_err() {
+                numeric[i] = false;
+            }
+        }
+    }
+    let fields = names
+        .into_iter()
+        .enumerate()
+        .map(|(i, name)| {
+            let kind = if numeric[i] && any_value[i] {
+                ColumnKind::Numeric
+            } else {
+                ColumnKind::Categorical
+            };
+            FieldMeta::new(name, kind, ColumnRole::Feature)
+        })
+        .collect();
+    Schema::new(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_frame() -> DataFrame {
+        DataFrame::builder()
+            .numeric("age", ColumnRole::Feature, vec![25.0, f64::NAN, 31.5])
+            .categorical("job", ColumnRole::Feature, &[Some("a,b"), None, Some("say \"hi\"")])
+            .numeric("y", ColumnRole::Label, vec![1.0, 0.0, 1.0])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_frame() {
+        let df = demo_frame();
+        let text = to_csv_string(&df);
+        let back = from_csv_str(&text, df.schema().clone()).unwrap();
+        assert_eq!(back.n_rows(), 3);
+        assert_eq!(back.numeric("age").unwrap()[0], 25.0);
+        assert!(back.numeric("age").unwrap()[1].is_nan());
+        assert_eq!(back.categorical("job").unwrap().label(0), Some("a,b"));
+        assert_eq!(back.categorical("job").unwrap().label(1), None);
+        assert_eq!(back.categorical("job").unwrap().label(2), Some("say \"hi\""));
+        assert_eq!(back.labels().unwrap(), vec![1, 0, 1]);
+    }
+
+    #[test]
+    fn quoting_rules() {
+        let mut out = String::new();
+        write_field(&mut out, "plain");
+        assert_eq!(out, "plain");
+        out.clear();
+        write_field(&mut out, "a,b");
+        assert_eq!(out, "\"a,b\"");
+        out.clear();
+        write_field(&mut out, "q\"q");
+        assert_eq!(out, "\"q\"\"q\"");
+    }
+
+    #[test]
+    fn split_line_handles_quotes() {
+        assert_eq!(split_line("a,b,c").unwrap(), vec!["a", "b", "c"]);
+        assert_eq!(split_line("\"a,b\",c").unwrap(), vec!["a,b", "c"]);
+        assert_eq!(split_line("\"x\"\"y\"").unwrap(), vec!["x\"y"]);
+        assert_eq!(split_line("a,,c").unwrap(), vec!["a", "", "c"]);
+        assert!(split_line("\"open").is_err());
+    }
+
+    #[test]
+    fn header_mismatch_rejected() {
+        let df = demo_frame();
+        let text = to_csv_string(&df);
+        let wrong = Schema::new(vec![
+            FieldMeta::new("xx", ColumnKind::Numeric, ColumnRole::Feature),
+            FieldMeta::new("job", ColumnKind::Categorical, ColumnRole::Feature),
+            FieldMeta::new("y", ColumnKind::Numeric, ColumnRole::Label),
+        ])
+        .unwrap();
+        assert!(from_csv_str(&text, wrong).is_err());
+    }
+
+    #[test]
+    fn bad_numeric_value_rejected() {
+        let schema = Schema::new(vec![FieldMeta::new("x", ColumnKind::Numeric, ColumnRole::Feature)])
+            .unwrap();
+        assert!(from_csv_str("x\nhello\n", schema).is_err());
+    }
+
+    #[test]
+    fn infer_schema_detects_kinds() {
+        let text = "a,b,c\n1.5,x,\n2,y,3\n";
+        let schema = infer_schema(text).unwrap();
+        assert_eq!(schema.field("a").unwrap().kind, ColumnKind::Numeric);
+        assert_eq!(schema.field("b").unwrap().kind, ColumnKind::Categorical);
+        assert_eq!(schema.field("c").unwrap().kind, ColumnKind::Numeric);
+        let df = from_csv_str(text, schema).unwrap();
+        assert_eq!(df.n_rows(), 2);
+    }
+
+    #[test]
+    fn empty_csv_is_an_error() {
+        assert!(from_csv_str("", Schema::default()).is_err());
+        assert!(infer_schema("").is_err());
+    }
+}

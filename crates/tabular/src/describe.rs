@@ -1,0 +1,178 @@
+//! Whole-frame summaries: per-column statistics in one call, rendered as
+//! a pandas-`describe()`-style text table. Used by examples and the data
+//! inspection binaries.
+
+use crate::column::Column;
+use crate::frame::DataFrame;
+use crate::stats::ColumnStats;
+
+/// Summary of one column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnSummary {
+    /// Numeric column statistics (None when all values are missing).
+    Numeric {
+        /// Column name.
+        name: String,
+        /// Statistics over present values.
+        stats: Option<ColumnStats>,
+    },
+    /// Categorical column summary.
+    Categorical {
+        /// Column name.
+        name: String,
+        /// Number of distinct categories present.
+        n_categories: usize,
+        /// Most frequent label, if any value is present.
+        mode: Option<String>,
+        /// Missing count.
+        missing: usize,
+    },
+}
+
+impl ColumnSummary {
+    /// The column's name.
+    pub fn name(&self) -> &str {
+        match self {
+            ColumnSummary::Numeric { name, .. } => name,
+            ColumnSummary::Categorical { name, .. } => name,
+        }
+    }
+
+    /// The column's missing-value count.
+    pub fn missing(&self) -> usize {
+        match self {
+            ColumnSummary::Numeric { stats, .. } => stats.as_ref().map_or(0, |s| s.missing),
+            ColumnSummary::Categorical { missing, .. } => *missing,
+        }
+    }
+}
+
+/// Summarises every column of a frame.
+pub fn describe(frame: &DataFrame) -> Vec<ColumnSummary> {
+    frame
+        .schema()
+        .fields()
+        .iter()
+        .enumerate()
+        .map(|(idx, field)| match frame.column_at(idx) {
+            Column::Numeric(data) => {
+                let mut stats = ColumnStats::compute(data);
+                // For all-missing columns, record the missing count anyway.
+                if stats.is_none() && !data.is_empty() {
+                    stats = None;
+                }
+                ColumnSummary::Numeric { name: field.name.clone(), stats }
+            }
+            Column::Categorical(cat) => {
+                let mut used = vec![false; cat.categories().len()];
+                for code in cat.codes().iter().flatten() {
+                    used[*code as usize] = true;
+                }
+                ColumnSummary::Categorical {
+                    name: field.name.clone(),
+                    n_categories: used.iter().filter(|&&u| u).count(),
+                    mode: cat
+                        .mode_code()
+                        .map(|c| cat.categories()[c as usize].clone()),
+                    missing: cat.missing_count(),
+                }
+            }
+        })
+        .collect()
+}
+
+/// Renders the summaries as an aligned text table.
+pub fn render_describe(frame: &DataFrame) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<22} {:>8} {:>10} {:>10} {:>10} {:>10} {:>8}",
+        "column", "missing", "mean/mode", "std", "min", "max", "distinct"
+    );
+    for summary in describe(frame) {
+        match summary {
+            ColumnSummary::Numeric { name, stats } => match stats {
+                Some(s) => {
+                    let _ = writeln!(
+                        out,
+                        "{:<22} {:>8} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>8}",
+                        name, s.missing, s.mean, s.std_dev, s.min, s.max, "-"
+                    );
+                }
+                None => {
+                    let _ = writeln!(
+                        out,
+                        "{:<22} {:>8} {:>10} {:>10} {:>10} {:>10} {:>8}",
+                        name, frame.n_rows(), "-", "-", "-", "-", "-"
+                    );
+                }
+            },
+            ColumnSummary::Categorical { name, n_categories, mode, missing } => {
+                let _ = writeln!(
+                    out,
+                    "{:<22} {:>8} {:>10} {:>10} {:>10} {:>10} {:>8}",
+                    name,
+                    missing,
+                    mode.as_deref().unwrap_or("-"),
+                    "-",
+                    "-",
+                    "-",
+                    n_categories
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnRole;
+
+    fn demo() -> DataFrame {
+        DataFrame::builder()
+            .numeric("x", ColumnRole::Feature, vec![1.0, 2.0, f64::NAN, 4.0])
+            .categorical("c", ColumnRole::Feature, &[Some("a"), Some("a"), Some("b"), None])
+            .numeric("void", ColumnRole::Feature, vec![f64::NAN; 4])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn describe_covers_all_columns() {
+        let summaries = describe(&demo());
+        assert_eq!(summaries.len(), 3);
+        assert_eq!(summaries[0].name(), "x");
+        assert_eq!(summaries[0].missing(), 1);
+        match &summaries[0] {
+            ColumnSummary::Numeric { stats: Some(s), .. } => {
+                assert!((s.mean - 7.0 / 3.0).abs() < 1e-12);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match &summaries[1] {
+            ColumnSummary::Categorical { n_categories, mode, missing, .. } => {
+                assert_eq!(*n_categories, 2);
+                assert_eq!(mode.as_deref(), Some("a"));
+                assert_eq!(*missing, 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match &summaries[2] {
+            ColumnSummary::Numeric { stats, .. } => assert!(stats.is_none()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn render_is_aligned_and_complete() {
+        let text = render_describe(&demo());
+        assert!(text.contains("column"));
+        for name in ["x", "c", "void"] {
+            assert!(text.contains(name), "{name} missing from render");
+        }
+        assert_eq!(text.lines().count(), 4);
+    }
+}

@@ -1,0 +1,285 @@
+//! Feature encoding: turns the feature columns of a [`DataFrame`] into a
+//! dense matrix for the `mlcore` models.
+//!
+//! Numeric features are z-standardised (fit on the training frame);
+//! categorical features are one-hot encoded over the categories seen at fit
+//! time. Missing values are handled defensively — numeric missing maps to
+//! the fitted mean (i.e. 0 after standardisation), categorical missing maps
+//! to the all-zeros row — and an optional *missing indicator* column is
+//! appended per source column. The indicator is what lets a model "learn
+//! extra parameters" for missingness, the mechanism the paper credits for
+//! dummy imputation's fairness wins (§VI).
+
+use crate::error::TabularError;
+use crate::frame::DataFrame;
+use crate::matrix::DenseMatrix;
+use crate::schema::{ColumnKind, ColumnRole};
+use crate::stats::ColumnStats;
+use crate::Result;
+
+/// Per-column fitted state.
+#[derive(Debug, Clone)]
+enum FittedColumn {
+    Numeric {
+        name: String,
+        mean: f64,
+        std_dev: f64,
+    },
+    Categorical {
+        name: String,
+        /// Categories seen at fit time; unseen categories at transform time
+        /// encode as all-zeros (like scikit-learn's `handle_unknown=ignore`).
+        categories: Vec<String>,
+    },
+}
+
+/// Fitted feature encoder.
+///
+/// Fit on the training frame, then applied unchanged to the test frame —
+/// never re-fit on test data (that would leak).
+#[derive(Debug, Clone)]
+pub struct FeatureEncoder {
+    columns: Vec<FittedColumn>,
+    with_missing_indicators: bool,
+    out_cols: usize,
+}
+
+impl FeatureEncoder {
+    /// Fits an encoder on the `Feature`-role columns of `frame`.
+    ///
+    /// `with_missing_indicators` appends one 0/1 indicator column per source
+    /// column, set when the source value is missing.
+    pub fn fit(frame: &DataFrame, with_missing_indicators: bool) -> Result<Self> {
+        let mut columns = Vec::new();
+        let mut out_cols = 0usize;
+        for field in frame.schema().fields() {
+            if field.role != ColumnRole::Feature {
+                continue;
+            }
+            match field.kind {
+                ColumnKind::Numeric => {
+                    let data = frame.numeric(&field.name)?;
+                    let stats = ColumnStats::compute(data);
+                    let (mean, std_dev) = match stats {
+                        Some(s) => (s.mean, if s.std_dev > 1e-12 { s.std_dev } else { 1.0 }),
+                        None => (0.0, 1.0),
+                    };
+                    columns.push(FittedColumn::Numeric { name: field.name.clone(), mean, std_dev });
+                    out_cols += 1;
+                }
+                ColumnKind::Categorical => {
+                    let cat = frame.categorical(&field.name)?;
+                    // Only categories actually present in the training data.
+                    let mut used = vec![false; cat.categories().len()];
+                    for code in cat.codes().iter().flatten() {
+                        used[*code as usize] = true;
+                    }
+                    let categories: Vec<String> = cat
+                        .categories()
+                        .iter()
+                        .zip(&used)
+                        .filter(|&(_, &u)| u)
+                        .map(|(c, _)| c.clone())
+                        .collect();
+                    out_cols += categories.len();
+                    columns.push(FittedColumn::Categorical { name: field.name.clone(), categories });
+                }
+            }
+        }
+        if with_missing_indicators {
+            out_cols += columns.len();
+        }
+        if columns.is_empty() {
+            return Err(TabularError::InvalidArgument(
+                "frame has no feature columns to encode".to_string(),
+            ));
+        }
+        Ok(FeatureEncoder { columns, with_missing_indicators, out_cols })
+    }
+
+    /// Number of output matrix columns.
+    pub fn n_output_cols(&self) -> usize {
+        self.out_cols
+    }
+
+    /// Encodes a frame into a dense matrix.
+    ///
+    /// The frame must contain every column seen at fit time (extra columns
+    /// are ignored).
+    pub fn transform(&self, frame: &DataFrame) -> Result<DenseMatrix> {
+        let n = frame.n_rows();
+        let mut out = DenseMatrix::zeros(n, self.out_cols);
+        let mut j = 0usize;
+        let indicator_base = self.out_cols - if self.with_missing_indicators { self.columns.len() } else { 0 };
+        for (col_idx, fitted) in self.columns.iter().enumerate() {
+            match fitted {
+                FittedColumn::Numeric { name, mean, std_dev } => {
+                    let data = frame.numeric(name)?;
+                    if data.len() != n {
+                        return Err(TabularError::LengthMismatch { expected: n, actual: data.len() });
+                    }
+                    for (i, &x) in data.iter().enumerate() {
+                        if x.is_nan() {
+                            // mean-encode -> 0 after standardisation
+                            if self.with_missing_indicators {
+                                out.set(i, indicator_base + col_idx, 1.0);
+                            }
+                        } else {
+                            out.set(i, j, (x - mean) / std_dev);
+                        }
+                    }
+                    j += 1;
+                }
+                FittedColumn::Categorical { name, categories } => {
+                    let cat = frame.categorical(name)?;
+                    if cat.len() != n {
+                        return Err(TabularError::LengthMismatch { expected: n, actual: cat.len() });
+                    }
+                    for i in 0..n {
+                        match cat.label(i) {
+                            Some(label) => {
+                                if let Some(k) = categories.iter().position(|c| c == label) {
+                                    out.set(i, j + k, 1.0);
+                                }
+                                // Unseen category: all-zeros (ignored).
+                            }
+                            None => {
+                                if self.with_missing_indicators {
+                                    out.set(i, indicator_base + col_idx, 1.0);
+                                }
+                            }
+                        }
+                    }
+                    j += categories.len();
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Fit and transform in one step (training-set convenience).
+    pub fn fit_transform(
+        frame: &DataFrame,
+        with_missing_indicators: bool,
+    ) -> Result<(FeatureEncoder, DenseMatrix)> {
+        let enc = FeatureEncoder::fit(frame, with_missing_indicators)?;
+        let m = enc.transform(frame)?;
+        Ok((enc, m))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnRole;
+
+    fn train_frame() -> DataFrame {
+        DataFrame::builder()
+            .numeric("x", ColumnRole::Feature, vec![1.0, 2.0, 3.0, 4.0])
+            .categorical(
+                "c",
+                ColumnRole::Feature,
+                &[Some("a"), Some("b"), Some("a"), Some("b")],
+            )
+            .numeric("y", ColumnRole::Label, vec![0.0, 1.0, 0.0, 1.0])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn standardises_numeric_features() {
+        let df = train_frame();
+        let (enc, m) = FeatureEncoder::fit_transform(&df, false).unwrap();
+        assert_eq!(enc.n_output_cols(), 3); // x + one-hot(a, b)
+        // Column 0 is standardised x: mean 0, unit-ish scale.
+        let mean: f64 = (0..4).map(|i| m.get(i, 0)).sum::<f64>() / 4.0;
+        assert!(mean.abs() < 1e-12);
+        // Label column must not be encoded.
+        assert_eq!(m.n_cols(), 3);
+    }
+
+    #[test]
+    fn one_hot_encoding() {
+        let df = train_frame();
+        let (_, m) = FeatureEncoder::fit_transform(&df, false).unwrap();
+        // Row 0 has category "a" -> [.., 1, 0]; row 1 "b" -> [.., 0, 1].
+        assert_eq!(m.get(0, 1), 1.0);
+        assert_eq!(m.get(0, 2), 0.0);
+        assert_eq!(m.get(1, 1), 0.0);
+        assert_eq!(m.get(1, 2), 1.0);
+    }
+
+    #[test]
+    fn missing_indicators_fire_on_missing() {
+        let df = DataFrame::builder()
+            .numeric("x", ColumnRole::Feature, vec![1.0, f64::NAN])
+            .categorical("c", ColumnRole::Feature, &[Some("a"), None])
+            .build()
+            .unwrap();
+        let (enc, m) = FeatureEncoder::fit_transform(&df, true).unwrap();
+        // x + onehot(a) + 2 indicators.
+        assert_eq!(enc.n_output_cols(), 4);
+        assert_eq!(m.get(0, 2), 0.0); // indicator for x, row 0
+        assert_eq!(m.get(1, 2), 1.0); // x missing in row 1
+        assert_eq!(m.get(1, 3), 1.0); // c missing in row 1
+        // Missing numeric encodes as the mean -> standardised 0.
+        assert_eq!(m.get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn unseen_category_encodes_as_zeros() {
+        let train = train_frame();
+        let enc = FeatureEncoder::fit(&train, false).unwrap();
+        let test = DataFrame::builder()
+            .numeric("x", ColumnRole::Feature, vec![2.5])
+            .categorical("c", ColumnRole::Feature, &[Some("zzz")])
+            .numeric("y", ColumnRole::Label, vec![0.0])
+            .build()
+            .unwrap();
+        let m = enc.transform(&test).unwrap();
+        assert_eq!(m.get(0, 1), 0.0);
+        assert_eq!(m.get(0, 2), 0.0);
+    }
+
+    #[test]
+    fn constant_column_does_not_divide_by_zero() {
+        let df = DataFrame::builder()
+            .numeric("x", ColumnRole::Feature, vec![5.0, 5.0, 5.0])
+            .build()
+            .unwrap();
+        let (_, m) = FeatureEncoder::fit_transform(&df, false).unwrap();
+        for i in 0..3 {
+            assert_eq!(m.get(i, 0), 0.0);
+            assert!(m.get(i, 0).is_finite());
+        }
+    }
+
+    #[test]
+    fn no_feature_columns_is_an_error() {
+        let df = DataFrame::builder()
+            .numeric("y", ColumnRole::Label, vec![0.0])
+            .build()
+            .unwrap();
+        assert!(FeatureEncoder::fit(&df, false).is_err());
+    }
+
+    #[test]
+    fn transform_checks_row_count_consistency() {
+        let train = train_frame();
+        let enc = FeatureEncoder::fit(&train, false).unwrap();
+        let m = enc.transform(&train).unwrap();
+        assert_eq!(m.n_rows(), 4);
+    }
+
+    #[test]
+    fn categories_unused_at_fit_are_dropped() {
+        // Dictionary contains "c" but no row uses it after take().
+        let df = DataFrame::builder()
+            .categorical("c", ColumnRole::Feature, &[Some("a"), Some("b"), Some("c")])
+            .build()
+            .unwrap();
+        let sub = df.take(&[0, 1]).unwrap();
+        let enc = FeatureEncoder::fit(&sub, false).unwrap();
+        assert_eq!(enc.n_output_cols(), 2);
+    }
+}

@@ -1,0 +1,104 @@
+//! Error type shared by all tabular operations.
+
+use std::fmt;
+
+/// Errors raised by tabular operations.
+///
+/// The variants are deliberately coarse: callers in the experimentation
+/// framework either propagate them (configuration mistakes) or treat them
+/// as fatal (index bugs), so fine-grained matching is not needed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TabularError {
+    /// A column name was not found in the schema.
+    UnknownColumn(String),
+    /// A column existed but had the wrong kind (numeric vs categorical).
+    KindMismatch {
+        /// Column name.
+        column: String,
+        /// What the caller expected ("numeric" / "categorical").
+        expected: &'static str,
+    },
+    /// Two columns (or a column and the frame) had different lengths.
+    LengthMismatch {
+        /// Expected length (usually the frame's row count).
+        expected: usize,
+        /// Actual length encountered.
+        actual: usize,
+    },
+    /// A row index was out of bounds.
+    RowOutOfBounds {
+        /// Offending index.
+        index: usize,
+        /// Number of rows in the frame.
+        rows: usize,
+    },
+    /// A categorical code was out of range for its dictionary.
+    BadCategoryCode {
+        /// Column name.
+        column: String,
+        /// Offending code.
+        code: u32,
+    },
+    /// Malformed input while parsing (CSV, category labels, ...).
+    Parse(String),
+    /// Invalid argument (empty split fraction, zero folds, ...).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for TabularError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TabularError::UnknownColumn(name) => write!(f, "unknown column '{name}'"),
+            TabularError::KindMismatch { column, expected } => {
+                write!(f, "column '{column}' is not {expected}")
+            }
+            TabularError::LengthMismatch { expected, actual } => {
+                write!(f, "length mismatch: expected {expected}, got {actual}")
+            }
+            TabularError::RowOutOfBounds { index, rows } => {
+                write!(f, "row index {index} out of bounds for frame with {rows} rows")
+            }
+            TabularError::BadCategoryCode { column, code } => {
+                write!(f, "category code {code} out of range for column '{column}'")
+            }
+            TabularError::Parse(msg) => write!(f, "parse error: {msg}"),
+            TabularError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TabularError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let cases: Vec<(TabularError, &str)> = vec![
+            (TabularError::UnknownColumn("age".into()), "age"),
+            (
+                TabularError::KindMismatch { column: "sex".into(), expected: "numeric" },
+                "numeric",
+            ),
+            (TabularError::LengthMismatch { expected: 3, actual: 5 }, "expected 3"),
+            (TabularError::RowOutOfBounds { index: 9, rows: 4 }, "index 9"),
+            (
+                TabularError::BadCategoryCode { column: "race".into(), code: 7 },
+                "code 7",
+            ),
+            (TabularError::Parse("bad row".into()), "bad row"),
+            (TabularError::InvalidArgument("k must be > 1".into()), "k must be > 1"),
+        ];
+        for (err, needle) in cases {
+            let text = err.to_string();
+            assert!(text.contains(needle), "{text} should contain {needle}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TabularError>();
+    }
+}

@@ -1,0 +1,307 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! The whole study depends on reproducible randomised decisions (splits,
+//! sampling, model seeds). Rather than depending on a specific version of
+//! an external RNG crate — whose stream may change between releases — we
+//! implement a small, well-known generator (xoshiro256**, seeded via
+//! SplitMix64) whose output is fixed forever by this crate.
+
+/// A seedable, fast, deterministic PRNG (xoshiro256**).
+///
+/// Not cryptographically secure; statistical quality is more than adequate
+/// for sampling, shuffling and synthetic data generation.
+#[derive(Debug, Clone)]
+pub struct Rng64 {
+    s: [u64; 4],
+    /// Cached second value of the Box–Muller transform.
+    gauss_cache: Option<f64>,
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+impl Rng64 {
+    /// Creates a generator from a 64-bit seed.
+    ///
+    /// Different seeds yield statistically independent streams; the same
+    /// seed always yields the same stream.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng64 { s, gauss_cache: None }
+    }
+
+    /// Derives an independent child generator; used to hand out
+    /// per-configuration seeds without correlating their streams.
+    pub fn fork(&mut self) -> Self {
+        Rng64::seed_from_u64(self.next_u64())
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, n)`. Panics if `n == 0`.
+    ///
+    /// Uses Lemire's multiply-shift rejection method to avoid modulo bias.
+    #[inline]
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0) is undefined");
+        let n = n as u64;
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(n as u128);
+            let lo = m as u64;
+            if lo >= n {
+                return (m >> 64) as usize;
+            }
+            // Rejection zone: recompute threshold only on the slow path.
+            let t = n.wrapping_neg() % n;
+            if lo >= t {
+                return (m >> 64) as usize;
+            }
+        }
+    }
+
+    /// Uniform integer in `[lo, hi)`. Panics if the range is empty.
+    #[inline]
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        lo + self.below(hi - lo)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Standard normal draw (Box–Muller with caching).
+    pub fn normal(&mut self) -> f64 {
+        if let Some(z) = self.gauss_cache.take() {
+            return z;
+        }
+        // Draw u1 in (0, 1] to avoid ln(0).
+        let u1 = 1.0 - self.next_f64();
+        let u2 = self.next_f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.gauss_cache = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Normal draw with the given mean and standard deviation.
+    #[inline]
+    pub fn normal_with(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.normal()
+    }
+
+    /// Draw from a log-normal distribution with the given parameters of the
+    /// underlying normal. Produces the heavy right tails typical of income
+    /// and balance columns (and hence natural outliers).
+    #[inline]
+    pub fn log_normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        (mu + sigma * self.normal()).exp()
+    }
+
+    /// Draw from an exponential distribution with rate `lambda`.
+    #[inline]
+    pub fn exponential(&mut self, lambda: f64) -> f64 {
+        let u = 1.0 - self.next_f64();
+        -u.ln() / lambda
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.below(i + 1);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Samples an index according to (unnormalised, non-negative) weights.
+    /// Panics if all weights are zero or the slice is empty.
+    pub fn choose_weighted(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "choose_weighted requires a positive total weight");
+        let mut target = self.next_f64() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            target -= w;
+            if target < 0.0 {
+                return i;
+            }
+        }
+        weights.len() - 1
+    }
+
+    /// Samples `m` distinct indices from `[0, n)` (Floyd's algorithm order
+    /// is not preserved; result is sorted for determinism downstream).
+    pub fn sample_indices(&mut self, n: usize, m: usize) -> Vec<usize> {
+        assert!(m <= n, "cannot sample {m} from {n}");
+        // For dense samples a shuffle-prefix is cheaper and simpler.
+        if m * 3 >= n {
+            let mut all: Vec<usize> = (0..n).collect();
+            self.shuffle(&mut all);
+            all.truncate(m);
+            all.sort_unstable();
+            return all;
+        }
+        let mut chosen = std::collections::BTreeSet::new();
+        while chosen.len() < m {
+            chosen.insert(self.below(n));
+        }
+        chosen.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng64::seed_from_u64(42);
+        let mut b = Rng64::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng64::seed_from_u64(1);
+        let mut b = Rng64::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 3);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = Rng64::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_is_uniform_enough() {
+        let mut rng = Rng64::seed_from_u64(3);
+        let mut counts = [0usize; 10];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[rng.below(10)] += 1;
+        }
+        for &c in &counts {
+            let expected = n as f64 / 10.0;
+            assert!((c as f64 - expected).abs() < expected * 0.1, "count {c}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "below(0)")]
+    fn below_zero_panics() {
+        Rng64::seed_from_u64(0).below(0);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = Rng64::seed_from_u64(11);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = Rng64::seed_from_u64(5);
+        let mut v: Vec<usize> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_sorted() {
+        let mut rng = Rng64::seed_from_u64(9);
+        for &(n, m) in &[(100usize, 5usize), (100, 90), (10, 10), (1, 1), (50, 0)] {
+            let s = rng.sample_indices(n, m);
+            assert_eq!(s.len(), m);
+            for w in s.windows(2) {
+                assert!(w[0] < w[1]);
+            }
+            assert!(s.iter().all(|&i| i < n));
+        }
+    }
+
+    #[test]
+    fn choose_weighted_respects_weights() {
+        let mut rng = Rng64::seed_from_u64(13);
+        let weights = [1.0, 0.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..40_000 {
+            counts[rng.choose_weighted(&weights)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn fork_produces_independent_streams() {
+        let mut parent = Rng64::seed_from_u64(21);
+        let mut c1 = parent.fork();
+        let mut c2 = parent.fork();
+        let same = (0..64).filter(|_| c1.next_u64() == c2.next_u64()).count();
+        assert!(same < 3);
+    }
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let mut rng = Rng64::seed_from_u64(17);
+        let n = 100_000;
+        let mean = (0..n).map(|_| rng.exponential(2.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn bernoulli_rate() {
+        let mut rng = Rng64::seed_from_u64(19);
+        let hits = (0..100_000).filter(|_| rng.bernoulli(0.3)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.3).abs() < 0.01, "rate {rate}");
+    }
+}

@@ -1,0 +1,189 @@
+//! Column summary statistics, all computed over *present* values only
+//! (missing entries are skipped, mirroring pandas' default behaviour that
+//! the original study relies on for imputation and outlier thresholds).
+
+/// Summary statistics of a numeric column (missing values excluded).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Count of present (non-missing) values.
+    pub count: usize,
+    /// Count of missing values.
+    pub missing: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n-1 denominator; 0 when count < 2).
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl ColumnStats {
+    /// Computes statistics for `data`, treating `NaN` as missing.
+    ///
+    /// Returns `None` if there is no present value at all.
+    pub fn compute(data: &[f64]) -> Option<ColumnStats> {
+        let mut present: Vec<f64> = data.iter().copied().filter(|x| !x.is_nan()).collect();
+        if present.is_empty() {
+            return None;
+        }
+        let missing = data.len() - present.len();
+        present.sort_by(|a, b| a.partial_cmp(b).expect("no NaN after filter"));
+        let count = present.len();
+        let mean = present.iter().sum::<f64>() / count as f64;
+        let std_dev = if count < 2 {
+            0.0
+        } else {
+            let ss = present.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>();
+            (ss / (count - 1) as f64).sqrt()
+        };
+        Some(ColumnStats {
+            count,
+            missing,
+            mean,
+            std_dev,
+            min: present[0],
+            p25: percentile_sorted(&present, 0.25),
+            median: percentile_sorted(&present, 0.50),
+            p75: percentile_sorted(&present, 0.75),
+            max: present[count - 1],
+        })
+    }
+
+    /// Interquartile range (`p75 - p25`).
+    pub fn iqr(&self) -> f64 {
+        self.p75 - self.p25
+    }
+
+    /// Mode of the present values: the most frequent value after rounding
+    /// to 9 significant digits (ties broken by the smaller value). Used by
+    /// the `impute_mode` repair on numeric columns.
+    pub fn mode(data: &[f64]) -> Option<f64> {
+        let mut present: Vec<f64> = data.iter().copied().filter(|x| !x.is_nan()).collect();
+        if present.is_empty() {
+            return None;
+        }
+        present.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let mut best = present[0];
+        let mut best_count = 0usize;
+        let mut i = 0;
+        while i < present.len() {
+            let mut j = i + 1;
+            while j < present.len() && present[j] == present[i] {
+                j += 1;
+            }
+            if j - i > best_count {
+                best_count = j - i;
+                best = present[i];
+            }
+            i = j;
+        }
+        Some(best)
+    }
+}
+
+/// Linear-interpolation percentile of an ascending-sorted slice
+/// (the same "linear" method numpy/pandas default to).
+///
+/// `q` must be in `[0, 1]`. Panics on an empty slice.
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "q must be in [0,1]");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Percentile of an unsorted slice with `NaN` treated as missing.
+/// Returns `None` when no value is present.
+pub fn percentile(data: &[f64], q: f64) -> Option<f64> {
+    let mut present: Vec<f64> = data.iter().copied().filter(|x| !x.is_nan()).collect();
+    if present.is_empty() {
+        return None;
+    }
+    present.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    Some(percentile_sorted(&present, q))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_stats() {
+        let s = ColumnStats::compute(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.missing, 0);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert!((s.std_dev - (2.5f64).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.p25, 2.0);
+        assert_eq!(s.p75, 4.0);
+        assert_eq!(s.iqr(), 2.0);
+    }
+
+    #[test]
+    fn missing_skipped() {
+        let s = ColumnStats::compute(&[f64::NAN, 2.0, f64::NAN, 4.0]).unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.missing, 2);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_missing_is_none() {
+        assert!(ColumnStats::compute(&[f64::NAN, f64::NAN]).is_none());
+        assert!(ColumnStats::compute(&[]).is_none());
+    }
+
+    #[test]
+    fn single_value() {
+        let s = ColumnStats::compute(&[7.0]).unwrap();
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.median, 7.0);
+        assert_eq!(s.p25, 7.0);
+    }
+
+    #[test]
+    fn percentile_interpolates_like_numpy() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        // numpy.percentile([1,2,3,4], 25) == 1.75
+        assert!((percentile(&data, 0.25).unwrap() - 1.75).abs() < 1e-12);
+        assert!((percentile(&data, 0.5).unwrap() - 2.5).abs() < 1e-12);
+        assert!((percentile(&data, 1.0).unwrap() - 4.0).abs() < 1e-12);
+        assert!((percentile(&data, 0.0).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mode_most_frequent_then_smallest() {
+        assert_eq!(ColumnStats::mode(&[1.0, 2.0, 2.0, 3.0]), Some(2.0));
+        // Tie between 1 and 2 -> smaller wins.
+        assert_eq!(ColumnStats::mode(&[2.0, 1.0, 2.0, 1.0]), Some(1.0));
+        assert_eq!(ColumnStats::mode(&[f64::NAN]), None);
+        assert_eq!(ColumnStats::mode(&[f64::NAN, 5.0]), Some(5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_sorted_empty_panics() {
+        percentile_sorted(&[], 0.5);
+    }
+}

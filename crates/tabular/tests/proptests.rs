@@ -1,0 +1,155 @@
+//! Property-based tests for the tabular substrate.
+
+use proptest::prelude::*;
+use tabular::stats::{percentile, percentile_sorted};
+use tabular::{split, ColumnRole, ColumnStats, DataFrame, FeatureEncoder, Rng64};
+
+fn arb_numeric_column() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(
+        prop_oneof![
+            8 => -1e6..1e6f64,
+            1 => Just(f64::NAN),
+        ],
+        1..200,
+    )
+}
+
+proptest! {
+    #[test]
+    fn stats_mean_between_min_and_max(data in arb_numeric_column()) {
+        if let Some(stats) = ColumnStats::compute(&data) {
+            prop_assert!(stats.min <= stats.mean + 1e-9);
+            prop_assert!(stats.mean <= stats.max + 1e-9);
+            prop_assert!(stats.p25 <= stats.median + 1e-9);
+            prop_assert!(stats.median <= stats.p75 + 1e-9);
+            prop_assert!(stats.std_dev >= 0.0);
+            prop_assert_eq!(stats.count + stats.missing, data.len());
+        } else {
+            prop_assert!(data.iter().all(|x| x.is_nan()));
+        }
+    }
+
+    #[test]
+    fn percentile_is_monotone_in_q(mut data in prop::collection::vec(-1e3..1e3f64, 2..100)) {
+        data.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0];
+        let values: Vec<f64> = qs.iter().map(|&q| percentile_sorted(&data, q)).collect();
+        for w in values.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-12);
+        }
+        prop_assert_eq!(values[0], data[0]);
+        prop_assert_eq!(values[6], *data.last().unwrap());
+    }
+
+    #[test]
+    fn percentile_of_unsorted_matches_sorted(data in prop::collection::vec(-1e3..1e3f64, 1..100), q in 0.0..=1.0f64) {
+        let mut sorted = data.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(percentile(&data, q).unwrap(), percentile_sorted(&sorted, q));
+    }
+
+    #[test]
+    fn train_test_split_partitions(n in 2usize..500, frac in 0.05..0.95f64, seed in any::<u64>()) {
+        let (train, test) = split::train_test_split(n, frac, seed).unwrap();
+        prop_assert_eq!(train.len() + test.len(), n);
+        let mut all: Vec<usize> = train.iter().chain(test.iter()).copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        prop_assert_eq!(all.len(), n);
+        prop_assert!(!train.is_empty());
+    }
+
+    #[test]
+    fn kfold_covers_each_row_exactly_once(n in 5usize..300, k in 2usize..5, seed in any::<u64>()) {
+        prop_assume!(n >= k);
+        let folds = split::kfold(n, k, seed).unwrap();
+        let mut seen = vec![0usize; n];
+        for (train, val) in &folds {
+            prop_assert_eq!(train.len() + val.len(), n);
+            for &i in val {
+                seen[i] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn rng_below_is_in_range(seed in any::<u64>(), n in 1usize..10_000) {
+        let mut rng = Rng64::seed_from_u64(seed);
+        for _ in 0..50 {
+            prop_assert!(rng.below(n) < n);
+        }
+    }
+
+    #[test]
+    fn rng_sample_indices_distinct_sorted(seed in any::<u64>(), n in 1usize..300, frac in 0.0..=1.0f64) {
+        let m = ((n as f64) * frac) as usize;
+        let mut rng = Rng64::seed_from_u64(seed);
+        let s = rng.sample_indices(n, m);
+        prop_assert_eq!(s.len(), m);
+        for w in s.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn take_preserves_values(values in prop::collection::vec(-1e3..1e3f64, 1..50), seed in any::<u64>()) {
+        let n = values.len();
+        let df = DataFrame::builder()
+            .numeric("x", ColumnRole::Feature, values.clone())
+            .build()
+            .unwrap();
+        let mut rng = Rng64::seed_from_u64(seed);
+        let indices: Vec<usize> = (0..n).map(|_| rng.below(n)).collect();
+        let taken = df.take(&indices).unwrap();
+        let col = taken.numeric("x").unwrap();
+        for (slot, &src) in col.iter().zip(&indices) {
+            prop_assert_eq!(*slot, values[src]);
+        }
+    }
+
+    #[test]
+    fn filter_then_count_matches_mask(values in prop::collection::vec(-10.0..10.0f64, 1..60), seed in any::<u64>()) {
+        let n = values.len();
+        let df = DataFrame::builder()
+            .numeric("x", ColumnRole::Feature, values)
+            .build()
+            .unwrap();
+        let mut rng = Rng64::seed_from_u64(seed);
+        let mask: Vec<bool> = (0..n).map(|_| rng.bernoulli(0.5)).collect();
+        let kept = df.filter(&mask).unwrap();
+        prop_assert_eq!(kept.n_rows(), mask.iter().filter(|&&b| b).count());
+    }
+
+    #[test]
+    fn encoder_output_is_finite(
+        data in prop::collection::vec(prop_oneof![9 => -1e5..1e5f64, 1 => Just(f64::NAN)], 2..80),
+    ) {
+        let labels: Vec<f64> = (0..data.len()).map(|i| f64::from(i % 2 == 0)).collect();
+        let df = DataFrame::builder()
+            .numeric("x", ColumnRole::Feature, data)
+            .numeric("y", ColumnRole::Label, labels)
+            .build()
+            .unwrap();
+        let (_, m) = FeatureEncoder::fit_transform(&df, true).unwrap();
+        for v in m.as_slice() {
+            prop_assert!(v.is_finite(), "encoder produced {v}");
+        }
+    }
+
+    #[test]
+    fn csv_round_trip(values in prop::collection::vec(prop_oneof![4 => -1e6..1e6f64, 1 => Just(f64::NAN)], 1..40)) {
+        let df = DataFrame::builder()
+            .numeric("x", ColumnRole::Feature, values.clone())
+            .build()
+            .unwrap();
+        let text = tabular::csv::to_csv_string(&df);
+        let back = tabular::csv::from_csv_str(&text, df.schema().clone()).unwrap();
+        let col = back.numeric("x").unwrap();
+        prop_assert_eq!(col.len(), values.len());
+        for (a, b) in col.iter().zip(&values) {
+            prop_assert!(a == b || (a.is_nan() && b.is_nan()),
+                "round trip mismatch: {a} vs {b}");
+        }
+    }
+}

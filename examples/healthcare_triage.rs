@@ -1,0 +1,85 @@
+//! Healthcare triage — outlier cleaning on the heart dataset.
+//!
+//! The cardiovascular dataset carries notorious measurement outliers
+//! (blood-pressure readings misrecorded by factors of ten). A hospital's
+//! ML triage pipeline auto-repairs them. This example measures what each
+//! outlier detector × repair combination does to triage accuracy and to
+//! the equal-opportunity gap between male/female and older/younger
+//! patients — including the intersectional view.
+//!
+//! Run with: `cargo run --release --example healthcare_triage`
+
+use demodq_repro::cleaning::detect::DetectorKind;
+use demodq_repro::datasets::DatasetId;
+use demodq_repro::demodq::config::{RepairSpec, StudyScale};
+use demodq_repro::demodq::pipeline::run_configuration_once;
+use demodq_repro::fairness::FairnessMetric;
+use demodq_repro::mlcore::ModelKind;
+
+fn main() {
+    let pool = DatasetId::Heart.generate(3_000, 11).expect("generate heart");
+    println!("heart: {} rows; label = presence of cardiovascular disease", pool.n_rows());
+
+    // How many tuples does each outlier detector flag?
+    for detector in DetectorKind::outlier_detectors() {
+        let fitted = detector.fit(&pool, 3).expect("fit");
+        let report = fitted.detect(&pool).expect("detect");
+        println!(
+            "  {:<14} flags {:>5.1}% of tuples",
+            detector.name(),
+            100.0 * report.flagged_fraction()
+        );
+    }
+
+    let spec = DatasetId::Heart.spec();
+    let mut groups = spec.single_attribute_specs();
+    groups.push(spec.intersectional_spec().expect("heart is intersectional"));
+    let scale = StudyScale {
+        pool_size: 3_000,
+        sample_size: 1_500,
+        n_splits: 1,
+        n_model_seeds: 1,
+        test_fraction: 0.25,
+        cv_folds: 5,
+    };
+
+    println!(
+        "\n{:<28} {:>9} {:>9} {:>11} {:>11} {:>13}",
+        "technique (xgboost)", "acc dirty", "acc clean", "EO sex d/c", "EO age d/c", "EO sex*age d/c"
+    );
+    for variant in RepairSpec::variants_for(demodq_repro::datasets::ErrorType::Outliers) {
+        let pair = run_configuration_once(
+            &pool,
+            ModelKind::Gbdt,
+            &variant,
+            &groups,
+            &scale,
+            5,
+            6,
+        )
+        .expect("pipeline run");
+        let eo = FairnessMetric::EqualOpportunity;
+        let gap = |arm: &demodq_repro::demodq::pipeline::ArmEvaluation, g: &str| {
+            arm.confusions_for(g)
+                .and_then(|gc| eo.absolute_disparity(gc))
+                .map_or("  n/a".to_string(), |v| format!("{v:.3}"))
+        };
+        println!(
+            "{:<28} {:>9.3} {:>9.3} {:>5}/{:<5} {:>5}/{:<5} {:>6}/{:<6}",
+            variant.name(),
+            pair.dirty.test_accuracy,
+            pair.repaired.test_accuracy,
+            gap(&pair.dirty, "sex"),
+            gap(&pair.repaired, "sex"),
+            gap(&pair.dirty, "age"),
+            gap(&pair.repaired, "age"),
+            gap(&pair.dirty, "sex*age"),
+            gap(&pair.repaired, "sex*age"),
+        );
+    }
+    println!(
+        "\nPaper finding to compare against: outlier auto-cleaning worsens accuracy in\n\
+         nearly half of all configurations and rarely improves fairness — choose (or\n\
+         skip!) the repair deliberately."
+    );
+}

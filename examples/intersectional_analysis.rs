@@ -1,0 +1,58 @@
+//! Intersectionality in error detection — the paper's Figures 1 vs 2 on
+//! the adult dataset, side by side.
+//!
+//! Crenshaw's insight, operationalised: the intersectionally disadvantaged
+//! (here black women) can carry burdens that neither the sex-only nor the
+//! race-only analysis reveals. This example runs all five detectors on
+//! adult and prints the flagged fraction per single-attribute group *and*
+//! per intersectional group, with G² significance for each disparity.
+//!
+//! Run with: `cargo run --release --example intersectional_analysis`
+
+use demodq_repro::datasets::DatasetId;
+use demodq_repro::demodq::rq1::analyze_dataset;
+
+fn main() {
+    let n = 12_000;
+    eprintln!("analysing {n} adult rows...");
+    let rows = analyze_dataset(DatasetId::Adult, n, 7).expect("analysis failed");
+
+    println!(
+        "{:<15} {:<10} {:>8} {:>8} {:>9} {:>12}",
+        "detector", "group", "priv%", "dis%", "G2", "significant"
+    );
+    for row in &rows {
+        println!(
+            "{:<15} {:<10} {:>7.2}% {:>7.2}% {:>9.2} {:>12}",
+            row.detector,
+            row.group,
+            100.0 * row.privileged_fraction(),
+            100.0 * row.disadvantaged_fraction(),
+            row.g_test.map_or(0.0, |t| t.g2),
+            if row.significant(0.05) { "yes" } else { "no" },
+        );
+    }
+
+    // Contrast: does the intersectional lens reveal a larger gap than
+    // either single axis?
+    println!("\nMissing-value burden, three lenses:");
+    for group in ["sex", "race", "sex*race"] {
+        if let Some(row) = rows
+            .iter()
+            .find(|r| r.detector == "missing_values" && r.group == group)
+        {
+            println!(
+                "  {:<9} privileged {:>5.2}%  disadvantaged {:>5.2}%  gap {:>5.2} pp",
+                group,
+                100.0 * row.privileged_fraction(),
+                100.0 * row.disadvantaged_fraction(),
+                100.0 * (row.disadvantaged_fraction() - row.privileged_fraction())
+            );
+        }
+    }
+    println!(
+        "\nThe white-male vs black-female comparison (sex*race) compounds both axes —\n\
+         the gap exceeds either single-attribute gap, which is exactly why the paper\n\
+         evaluates every cleaning technique under both group definitions."
+    );
+}

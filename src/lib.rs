@@ -1,0 +1,11 @@
+//! Umbrella crate for the demodq reproduction: re-exports the public API of
+//! every workspace crate so examples and integration tests can use a single
+//! dependency.
+
+pub use cleaning;
+pub use datasets;
+pub use demodq;
+pub use fairness;
+pub use mlcore;
+pub use statskit;
+pub use tabular;

@@ -1,0 +1,121 @@
+//! Integration tests for the extension surface: the CleanML error types
+//! beyond the paper's three (duplicates, inconsistencies), denial-
+//! constraint rules, the extended model zoo, data valuation, and the
+//! fairness-aware selection stack — all driven end-to-end on generated
+//! data.
+
+use demodq_repro::cleaning::{
+    valuation, DuplicateDetector, InconsistencyDetector, RuleSet,
+};
+use demodq_repro::datasets::{DatasetId, ErrorType};
+use demodq_repro::demodq::config::StudyScale;
+use demodq_repro::demodq::fair_tuning::tune_and_fit_fair;
+use demodq_repro::demodq::runner::run_error_type_study;
+use demodq_repro::demodq::selector::{recommend, SelectionPolicy, SelectorChoice};
+use demodq_repro::fairness::FairnessMetric;
+use demodq_repro::mlcore::{tune_and_fit, ModelKind};
+use demodq_repro::tabular::FeatureEncoder;
+
+#[test]
+fn rules_engine_cleans_heart_bp_corruption() {
+    let df = DatasetId::Heart.generate(3_000, 3).unwrap();
+    let rules = RuleSet::heart_defaults();
+    let report = rules.detect(&df).unwrap();
+    // The generator's ten-fold BP misrecordings violate the constraints.
+    assert!(
+        report.flagged_fraction() > 0.01,
+        "expected >1% violations, got {}",
+        report.flagged_fraction()
+    );
+    let repaired = rules.repair(&df).unwrap();
+    assert_eq!(rules.detect(&repaired).unwrap().flagged_rows(), 0);
+    // SetMissing repairs introduce missing values for imputation to handle.
+    assert!(repaired.missing_cells() > 0);
+}
+
+#[test]
+fn duplicates_and_inconsistencies_on_generated_data() {
+    // Build a frame with injected duplicates and spelling variants on top
+    // of german.
+    let base = DatasetId::German.generate(300, 7).unwrap();
+    let mut with_dups_rows: Vec<usize> = (0..300).collect();
+    with_dups_rows.extend([5, 10, 15]); // three exact duplicates
+    let df = base.take(&with_dups_rows).unwrap();
+    let dup_report = DuplicateDetector::default().detect(&df).unwrap();
+    assert!(dup_report.flagged_rows() >= 3, "flags {}", dup_report.flagged_rows());
+    let deduped = DuplicateDetector::default().repair(&df, &dup_report).unwrap();
+    assert!(deduped.n_rows() <= 300);
+
+    // german's generated categories are consistent; the detector agrees.
+    let inc_report = InconsistencyDetector.detect(&base).unwrap();
+    assert_eq!(inc_report.flagged_rows(), 0);
+}
+
+#[test]
+fn extended_models_run_through_cv_tuning() {
+    let df = DatasetId::Heart.generate(400, 9).unwrap();
+    let (encoder, x) = FeatureEncoder::fit_transform(&df, true).unwrap();
+    let y = df.labels().unwrap();
+    for kind in [ModelKind::DecisionTree, ModelKind::RandomForest] {
+        let tuned = tune_and_fit(kind, &x, &y, 3, 5);
+        assert!(tuned.val_accuracy > 0.5, "{kind}: {}", tuned.val_accuracy);
+        assert!(tuned.best_spec.params_string().contains("max_depth"));
+    }
+    let _ = encoder;
+}
+
+#[test]
+fn valuation_and_selector_compose_with_the_study() {
+    // Valuation on a real dataset slice.
+    let df = DatasetId::German.generate(250, 11).unwrap().drop_incomplete_rows().unwrap();
+    let (_, x) = FeatureEncoder::fit_transform(&df, true).unwrap();
+    let y = df.labels().unwrap();
+    let values = valuation::knn_shapley(&x, &y, &x, &y, 5);
+    assert_eq!(values.len(), df.n_rows());
+    assert!(values.iter().all(|v| v.is_finite()));
+    // At least some points should be helpful on self-evaluation.
+    assert!(values.iter().sum::<f64>() > 0.0);
+
+    // Selector over a real smoke study: every recommendation passes the
+    // guardrail by construction.
+    let results = run_error_type_study(
+        ErrorType::Mislabels,
+        &[DatasetId::German],
+        &ModelKind::all(),
+        &StudyScale::smoke(),
+        13,
+    )
+    .unwrap();
+    let recs = recommend(
+        &results,
+        FairnessMetric::EqualOpportunity,
+        false,
+        0.05,
+        SelectionPolicy::FairnessFirst,
+    );
+    assert_eq!(recs.len(), 2); // age, sex
+    for rec in &recs {
+        if let SelectorChoice::Clean { fairness, .. } = &rec.choice {
+            assert_ne!(*fairness, demodq_repro::demodq::impact::Impact::Worse);
+        }
+    }
+}
+
+#[test]
+fn fair_tuning_integrates_with_generated_data() {
+    let df = DatasetId::Heart.generate(500, 21).unwrap();
+    let spec = DatasetId::Heart.spec();
+    let groups = spec.single_attribute_specs()[0].clone();
+    let tuned = tune_and_fit_fair(
+        ModelKind::DecisionTree,
+        &df,
+        &groups,
+        FairnessMetric::EqualOpportunity,
+        0.2,
+        3,
+        17,
+    )
+    .unwrap();
+    assert!(tuned.val_accuracy > 0.5);
+    assert!((0.0..=1.0).contains(&tuned.val_disparity));
+}

@@ -1,0 +1,180 @@
+//! Failure-injection tests: degenerate and adversarial inputs must produce
+//! clean `Err`s (or well-defined no-ops), never panics or silent garbage.
+
+use demodq_repro::cleaning::detect::DetectorKind;
+use demodq_repro::cleaning::repair::{CatImpute, MissingRepair, NumImpute};
+use demodq_repro::datasets::DatasetId;
+use demodq_repro::demodq::config::{RepairSpec, StudyScale};
+use demodq_repro::demodq::pipeline::{prepare_arms, run_configuration_once, sample_split};
+use demodq_repro::fairness::{CmpOp, GroupPredicate, GroupSpec};
+use demodq_repro::mlcore::ModelKind;
+use demodq_repro::tabular::{ColumnRole, DataFrame};
+
+/// A frame whose every row has a missing value: the dirty baseline
+/// (drop incomplete rows) has nothing left to train on and must error.
+#[test]
+fn all_rows_incomplete_is_a_clean_error() {
+    let n = 60;
+    let frame = DataFrame::builder()
+        .numeric("x", ColumnRole::Feature, vec![f64::NAN; n])
+        .numeric("z", ColumnRole::Feature, (0..n).map(|i| i as f64).collect())
+        .numeric("label", ColumnRole::Label, (0..n).map(|i| f64::from(i % 2 == 0)).collect())
+        .build()
+        .unwrap();
+    let (train, test) = {
+        let (a, b) = demodq_repro::tabular::split::train_test_split(n, 0.25, 1).unwrap();
+        (frame.take(&a).unwrap(), frame.take(&b).unwrap())
+    };
+    let repair = RepairSpec::Missing(MissingRepair { num: NumImpute::Mean, cat: CatImpute::Dummy });
+    let result = prepare_arms(&train, &test, &repair, 1);
+    assert!(result.is_err(), "expected an error, got a silent success");
+}
+
+/// Single-class labels: the pipeline must run (models degenerate to the
+/// majority class) and fairness metrics must report undefined rather than
+/// panicking.
+#[test]
+fn single_class_labels_do_not_panic() {
+    let n = 200;
+    let frame = DataFrame::builder()
+        .numeric("x", ColumnRole::Feature, (0..n).map(|i| i as f64 / 10.0).collect())
+        .categorical(
+            "sex",
+            ColumnRole::Sensitive,
+            &(0..n).map(|i| Some(if i % 2 == 0 { "male" } else { "female" })).collect::<Vec<_>>(),
+        )
+        .numeric("label", ColumnRole::Label, vec![1.0; n])
+        .build()
+        .unwrap();
+    let groups = vec![GroupSpec::SingleAttribute(GroupPredicate::cat("sex", CmpOp::Eq, "male"))];
+    let scale = StudyScale {
+        pool_size: n,
+        sample_size: n,
+        n_splits: 1,
+        n_model_seeds: 1,
+        test_fraction: 0.25,
+        cv_folds: 3,
+    };
+    let pair = run_configuration_once(
+        &frame,
+        ModelKind::LogReg,
+        &RepairSpec::Mislabels,
+        &groups,
+        &scale,
+        1,
+        2,
+    )
+    .expect("single-class data should run");
+    // Trivially perfect accuracy, and recall defined (all positives).
+    assert_eq!(pair.dirty.test_accuracy, 1.0);
+}
+
+/// Constant features: detectors find nothing, models fall back to the
+/// base rate, nothing crashes.
+#[test]
+fn constant_features_are_harmless() {
+    let n = 120;
+    let frame = DataFrame::builder()
+        .numeric("x", ColumnRole::Feature, vec![3.0; n])
+        .numeric("label", ColumnRole::Label, (0..n).map(|i| f64::from(i % 3 == 0)).collect())
+        .build()
+        .unwrap();
+    for detector in [
+        DetectorKind::OutliersSd { n_std: 3.0 },
+        DetectorKind::OutliersIqr { k: 1.5 },
+        DetectorKind::OutliersIf { contamination: 0.01, n_trees: 10 },
+    ] {
+        let fitted = detector.fit(&frame, 1).unwrap();
+        let report = fitted.detect(&frame).unwrap();
+        assert_eq!(report.flagged_rows(), 0, "{detector}");
+    }
+}
+
+/// A group predicate referencing a non-existent attribute must surface as
+/// an error from the pipeline, not a panic.
+#[test]
+fn unknown_sensitive_attribute_errors() {
+    let pool = DatasetId::German.generate(400, 1).unwrap();
+    let groups = vec![GroupSpec::SingleAttribute(GroupPredicate::cat(
+        "not_a_column",
+        CmpOp::Eq,
+        "male",
+    ))];
+    let result = run_configuration_once(
+        &pool,
+        ModelKind::LogReg,
+        &RepairSpec::Mislabels,
+        &groups,
+        &StudyScale::smoke(),
+        1,
+        2,
+    );
+    assert!(result.is_err());
+}
+
+/// Sampling more rows than the pool holds degrades gracefully to the full
+/// pool.
+#[test]
+fn oversampling_clamps_to_pool() {
+    let pool = DatasetId::German.generate(200, 3).unwrap();
+    let scale = StudyScale {
+        pool_size: 200,
+        sample_size: 10_000,
+        n_splits: 1,
+        n_model_seeds: 1,
+        test_fraction: 0.25,
+        cv_folds: 3,
+    };
+    let (train, test) = sample_split(&pool, &scale, 5).unwrap();
+    assert_eq!(train.n_rows() + test.n_rows(), 200);
+}
+
+/// Tiny frames: everything under ~10 rows must be rejected by the
+/// components that need data, with errors rather than panics.
+#[test]
+fn tiny_frames_are_rejected_cleanly() {
+    let frame = DataFrame::builder()
+        .numeric("x", ColumnRole::Feature, vec![1.0, 2.0, f64::NAN])
+        .numeric("label", ColumnRole::Label, vec![0.0, 1.0, 0.0])
+        .build()
+        .unwrap();
+    assert!(DetectorKind::Mislabels.fit(&frame, 1).is_err());
+    let repair = RepairSpec::Missing(MissingRepair { num: NumImpute::Mean, cat: CatImpute::Dummy });
+    assert!(prepare_arms(&frame, &frame, &repair, 1).is_err());
+}
+
+/// Adversarial numeric content: huge magnitudes and denormals flow
+/// through detection, repair and training without producing NaN scores.
+#[test]
+fn extreme_magnitudes_stay_finite() {
+    let n = 80;
+    let mut xs: Vec<f64> = (0..n).map(|i| (i as f64 - 40.0) * 1e12).collect();
+    xs[0] = 1e-300;
+    xs[1] = -1e15;
+    let frame = DataFrame::builder()
+        .numeric("x", ColumnRole::Feature, xs)
+        .numeric("label", ColumnRole::Label, (0..n).map(|i| f64::from(i % 2 == 0)).collect())
+        .build()
+        .unwrap();
+    let groups: Vec<GroupSpec> = vec![];
+    let scale = StudyScale {
+        pool_size: n,
+        sample_size: n,
+        n_splits: 1,
+        n_model_seeds: 1,
+        test_fraction: 0.25,
+        cv_folds: 3,
+    };
+    for detector in DetectorKind::outlier_detectors() {
+        let repair = RepairSpec::Outliers {
+            detector,
+            repair: demodq_repro::cleaning::repair::OutlierRepair {
+                strategy: NumImpute::Median,
+            },
+        };
+        let pair = run_configuration_once(&frame, ModelKind::LogReg, &repair, &groups, &scale, 1, 2)
+            .expect("extreme magnitudes should not break the pipeline");
+        assert!(pair.dirty.test_accuracy.is_finite());
+        assert!(pair.repaired.test_accuracy.is_finite());
+    }
+}
