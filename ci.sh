@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# The full local CI gate. Run before pushing.
+#
+#   ./ci.sh          # build + tests + lint (tier-1 is the first two steps)
+#   ./ci.sh quick    # tier-1 only: release build + root-package tests
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q (tier-1: root package, incl. serve integration)"
+cargo test -q
+
+if [ "${1:-}" = "quick" ]; then
+    exit 0
+fi
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI green."

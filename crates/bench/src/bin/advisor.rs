@@ -28,7 +28,7 @@ fn main() {
         .expect("study failed");
         let recs = recommend_dual_metric(&results, false, 0.05, SelectionPolicy::AccuracyFirst);
         println!("\n=== {error} ===");
-        println!("{:<10} {:<10} {}", "dataset", "group", "recommendation (guarded on PP and EO)");
+        println!("{:<10} {:<10} recommendation (guarded on PP and EO)", "dataset", "group");
         for rec in &recs {
             match &rec.choice {
                 SelectorChoice::Clean { config, fairness, accuracy } => println!(

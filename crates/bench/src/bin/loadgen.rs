@@ -1,0 +1,317 @@
+//! Load generator for `demodq-serve`: hammers `POST /v1/predict` with
+//! keep-alive connections and reports throughput and latency percentiles
+//! as JSON on stdout, cross-checked against the server's own `/metrics`.
+//!
+//! ```sh
+//! demodq-serve --quiet &
+//! cargo run --release -p demodq-bench --bin loadgen -- \
+//!     --addr 127.0.0.1:8080 --dataset german --model log-reg \
+//!     --connections 8 --duration 5 --min-rps 1000
+//! ```
+//!
+//! Exit status is nonzero when any 5xx was observed or `--min-rps` was
+//! not reached, so the bin doubles as an acceptance check.
+
+use datasets::DatasetId;
+use demodq_serve::codec::rows_from_frame;
+use serde_json::{json, Value};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Args {
+    addr: String,
+    dataset: String,
+    model: String,
+    batch: usize,
+    connections: usize,
+    duration: Duration,
+    min_rps: f64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen [--addr HOST:PORT] [--dataset NAME] [--model NAME] \
+         [--batch N] [--connections N] [--duration SECONDS] [--min-rps N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: "127.0.0.1:8080".to_string(),
+        dataset: "german".to_string(),
+        model: "log-reg".to_string(),
+        batch: 8,
+        connections: 8,
+        duration: Duration::from_secs(5),
+        min_rps: 0.0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--addr" => args.addr = value(),
+            "--dataset" => args.dataset = value(),
+            "--model" => args.model = value(),
+            "--batch" => args.batch = value().parse().unwrap_or_else(|_| usage()),
+            "--connections" => args.connections = value().parse().unwrap_or_else(|_| usage()),
+            "--duration" => {
+                args.duration =
+                    Duration::from_secs_f64(value().parse().unwrap_or_else(|_| usage()));
+            }
+            "--min-rps" => args.min_rps = value().parse().unwrap_or_else(|_| usage()),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage();
+            }
+        }
+    }
+    args
+}
+
+/// Per-worker tallies, merged after the run.
+#[derive(Default)]
+struct WorkerStats {
+    latencies_us: Vec<u64>,
+    status_2xx: u64,
+    status_4xx: u64,
+    status_5xx: u64,
+    io_errors: u64,
+}
+
+fn main() {
+    let args = parse_args();
+    let dataset = DatasetId::parse(&args.dataset).unwrap_or_else(|| {
+        eprintln!("unknown dataset {:?}", args.dataset);
+        usage()
+    });
+
+    // One fixed request body for every worker: rows drawn from the
+    // dataset's generator so they always match the served schema.
+    let frame = dataset.generate(args.batch.max(1), 4242).expect("generate request rows");
+    let body = serde_json::to_string(&json!({
+        "dataset": args.dataset,
+        "model": args.model,
+        "rows": Value::Array(rows_from_frame(&frame)),
+    }))
+    .expect("encode request body");
+    let request = format!(
+        "POST /v1/predict HTTP/1.1\r\nHost: loadgen\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+
+    // Fail fast (and with a clear message) if the server is down or the
+    // model is missing, before spawning the fleet.
+    match one_request(&args.addr, &request) {
+        Ok(reply) if reply.status == 200 => {}
+        Ok(reply) => {
+            eprintln!("probe request failed with {}: {}", reply.status, reply.body);
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("cannot reach {}: {e}", args.addr);
+            std::process::exit(1);
+        }
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let started = Instant::now();
+    let workers: Vec<_> = (0..args.connections.max(1))
+        .map(|_| {
+            let addr = args.addr.clone();
+            let request = request.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || run_worker(&addr, &request, &stop))
+        })
+        .collect();
+    std::thread::sleep(args.duration);
+    stop.store(true, Ordering::SeqCst);
+    let mut total = WorkerStats::default();
+    for worker in workers {
+        let stats = worker.join().expect("worker thread");
+        total.latencies_us.extend(stats.latencies_us);
+        total.status_2xx += stats.status_2xx;
+        total.status_4xx += stats.status_4xx;
+        total.status_5xx += stats.status_5xx;
+        total.io_errors += stats.io_errors;
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+
+    total.latencies_us.sort_unstable();
+    let n = total.latencies_us.len();
+    let requests = total.status_2xx + total.status_4xx + total.status_5xx;
+    let rps = requests as f64 / elapsed;
+    let percentile = |p: f64| -> f64 {
+        if n == 0 {
+            return f64::NAN;
+        }
+        let idx = ((p * n as f64).ceil() as usize).clamp(1, n) - 1;
+        total.latencies_us[idx] as f64 / 1000.0
+    };
+    let mean_ms = if n == 0 {
+        f64::NAN
+    } else {
+        total.latencies_us.iter().sum::<u64>() as f64 / n as f64 / 1000.0
+    };
+
+    let report = json!({
+        "target": args.addr,
+        "endpoint": "/v1/predict",
+        "dataset": args.dataset,
+        "model": args.model,
+        "batch_rows": args.batch,
+        "connections": args.connections,
+        "duration_seconds": elapsed,
+        "requests": requests,
+        "requests_per_second": rps,
+        "rows_per_second": rps * args.batch as f64,
+        "status": {
+            "2xx": total.status_2xx,
+            "4xx": total.status_4xx,
+            "5xx": total.status_5xx,
+            "io_errors": total.io_errors,
+        },
+        "latency_ms": {
+            "mean": mean_ms,
+            "p50": percentile(0.50),
+            "p90": percentile(0.90),
+            "p99": percentile(0.99),
+            "max": percentile(1.0),
+        },
+        "server_metrics": scrape_metrics(&args.addr),
+    });
+    println!("{}", serde_json::to_string_pretty(&report).expect("encode report"));
+
+    if total.status_5xx > 0 {
+        eprintln!("FAIL: {} server errors", total.status_5xx);
+        std::process::exit(1);
+    }
+    if args.min_rps > 0.0 && rps < args.min_rps {
+        eprintln!("FAIL: {rps:.0} req/s below required {:.0}", args.min_rps);
+        std::process::exit(1);
+    }
+}
+
+/// One keep-alive connection looping until `stop`; reconnects on error.
+fn run_worker(addr: &str, request: &str, stop: &AtomicBool) -> WorkerStats {
+    let mut stats = WorkerStats::default();
+    let mut connection: Option<BufReader<TcpStream>> = None;
+    while !stop.load(Ordering::SeqCst) {
+        let mut reader = match connection.take() {
+            Some(reader) => reader,
+            None => match connect(addr) {
+                Ok(reader) => reader,
+                Err(_) => {
+                    stats.io_errors += 1;
+                    std::thread::sleep(Duration::from_millis(10));
+                    continue;
+                }
+            },
+        };
+        let sent = Instant::now();
+        let outcome = reader
+            .get_mut()
+            .write_all(request.as_bytes())
+            .and_then(|()| read_response(&mut reader));
+        match outcome {
+            Ok(reply) => {
+                stats.latencies_us.push(sent.elapsed().as_micros() as u64);
+                match reply.status {
+                    200..=299 => stats.status_2xx += 1,
+                    500..=599 => stats.status_5xx += 1,
+                    _ => stats.status_4xx += 1,
+                }
+                if !reply.close {
+                    connection = Some(reader); // keep-alive: reuse
+                }
+            }
+            Err(_) => stats.io_errors += 1, // drop; next loop reconnects
+        }
+    }
+    stats
+}
+
+fn connect(addr: &str) -> std::io::Result<BufReader<TcpStream>> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+    stream.set_nodelay(true)?;
+    Ok(BufReader::new(stream))
+}
+
+/// One parsed HTTP/1.1 response (`Content-Length` framing only).
+struct HttpReply {
+    status: u16,
+    body: String,
+    /// Server sent `Connection: close`; the socket must not be reused.
+    close: bool,
+}
+
+fn read_response(reader: &mut BufReader<TcpStream>) -> std::io::Result<HttpReply> {
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|code| code.parse().ok())
+        .ok_or_else(|| std::io::Error::other(format!("bad status line {line:?}")))?;
+    let mut content_length = 0usize;
+    let mut close = false;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header)?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        let Some((name, value)) = header.split_once(':') else { continue };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length =
+                value.parse().map_err(|_| std::io::Error::other("bad content-length"))?;
+        } else if name.eq_ignore_ascii_case("connection") {
+            close = value.eq_ignore_ascii_case("close");
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(HttpReply { status, body: String::from_utf8_lossy(&body).into_owned(), close })
+}
+
+/// Issues one request on a throwaway connection.
+fn one_request(addr: &str, request: &str) -> std::io::Result<HttpReply> {
+    let mut reader = connect(addr)?;
+    reader.get_mut().write_all(request.as_bytes())?;
+    read_response(&mut reader)
+}
+
+/// Pulls the counters the report cross-checks from `GET /metrics`.
+fn scrape_metrics(addr: &str) -> Value {
+    let request = "GET /metrics HTTP/1.1\r\nHost: loadgen\r\nConnection: close\r\n\r\n";
+    let Ok(reply) = one_request(addr, request) else {
+        return Value::Null;
+    };
+    if reply.status != 200 {
+        return Value::Null;
+    }
+    let text = reply.body;
+    let counter = |name: &str| -> Value {
+        let total: f64 = text
+            .lines()
+            .filter(|line| line.starts_with(name) && !line.starts_with('#'))
+            .filter_map(|line| line.rsplit(' ').next()?.parse::<f64>().ok())
+            .sum();
+        json!(total)
+    };
+    let predict_total = counter("demodq_requests_total{endpoint=\"/v1/predict\"}");
+    json!({
+        "predict_requests_total": predict_total,
+        "errors_total": counter("demodq_errors_total"),
+        "rejected_total": counter("demodq_rejected_total"),
+    })
+}

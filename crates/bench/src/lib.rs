@@ -129,6 +129,28 @@ pub fn render_paper_reference(table: &str) -> String {
     out
 }
 
+/// Runs the studies for all three error types over all five datasets and
+/// all three models — the shared workhorse of the deep-dive binaries.
+pub fn run_all_studies(
+    scale: &StudyScale,
+    seed: u64,
+) -> tabular::Result<Vec<demodq::runner::StudyResults>> {
+    use datasets::{DatasetId, ErrorType};
+    use mlcore::ModelKind;
+    let mut out = Vec::new();
+    for error in ErrorType::all() {
+        eprintln!("running {error} study...");
+        out.push(demodq::runner::run_error_type_study(
+            error,
+            &DatasetId::all(),
+            &ModelKind::all(),
+            scale,
+            seed,
+        )?);
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,26 +198,4 @@ mod tests {
         assert!(rq1_pool_size(&StudyScale::smoke()) >= 4_000);
         assert!(rq1_pool_size(&StudyScale::full()) >= StudyScale::full().pool_size);
     }
-}
-
-/// Runs the studies for all three error types over all five datasets and
-/// all three models — the shared workhorse of the deep-dive binaries.
-pub fn run_all_studies(
-    scale: &StudyScale,
-    seed: u64,
-) -> tabular::Result<Vec<demodq::runner::StudyResults>> {
-    use datasets::{DatasetId, ErrorType};
-    use mlcore::ModelKind;
-    let mut out = Vec::new();
-    for error in ErrorType::all() {
-        eprintln!("running {error} study...");
-        out.push(demodq::runner::run_error_type_study(
-            error,
-            &DatasetId::all(),
-            &ModelKind::all(),
-            scale,
-            seed,
-        )?);
-    }
-    Ok(out)
 }

@@ -129,8 +129,8 @@ impl InconsistencyDetector {
                 (mapping, col.len())
             };
             let col = out.column_mut(column)?.as_categorical_mut()?;
-            for i in 0..n {
-                if flags[i] {
+            for (i, &flagged) in flags.iter().enumerate().take(n) {
+                if flagged {
                     if let Some(code) = col.code(i) {
                         col.set_code(i, Some(mapping[code as usize]));
                     }

@@ -24,7 +24,7 @@ fn arb_frame() -> impl Strategy<Value = DataFrame> {
         any::<u64>(),
     )
         .prop_map(|(data, seed)| {
-            let labels: Vec<bool> = (0..data.len()).map(|i| (i as u64 ^ seed) % 2 == 0).collect();
+            let labels: Vec<bool> = (0..data.len()).map(|i| (i as u64 ^ seed).is_multiple_of(2)).collect();
             frame_from(data, labels)
         })
 }

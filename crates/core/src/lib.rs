@@ -42,10 +42,12 @@ pub mod report;
 pub mod results;
 pub mod rq1;
 pub mod runner;
+pub mod serving;
 pub mod tables;
 
 pub use config::{ExperimentConfig, RepairSpec, StudyScale};
 pub use impact::{classify_pair, Impact};
 pub use pipeline::{evaluate_arm, run_configuration_once, ArmEvaluation, RunPair};
 pub use runner::{run_error_type_study, ConfigScores, GroupMetricScores, StudyResults};
+pub use serving::{train_serving_model, ServingModel};
 pub use tables::ImpactTable;

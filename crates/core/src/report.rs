@@ -206,8 +206,8 @@ pub fn render_dataset_table(specs: &[DatasetSpec]) -> String {
     let _ = writeln!(out, "Datasets for the experimental study (paper Table I):");
     let _ = writeln!(
         out,
-        "{:<8} {:<12} {:>16}   {}",
-        "name", "source", "number of tuples", "sensitive attributes"
+        "{:<8} {:<12} {:>16}   sensitive attributes",
+        "name", "source", "number of tuples"
     );
     for spec in specs {
         let attrs: Vec<&str> = spec.sensitive_attributes.iter().map(|a| a.name).collect();

@@ -17,7 +17,7 @@ use serde_json::{json, Map, Value};
 /// Sanitises a repair name for use as a key prefix (CleanML uses
 /// underscores, not slashes).
 fn key_prefix(name: &str) -> String {
-    name.replace('/', "_").replace('-', "_")
+    name.replace(['/', '-'], "_")
 }
 
 /// Turns a group label (`sex` or `sex*age`) and side into CleanML key

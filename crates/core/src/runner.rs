@@ -73,10 +73,9 @@ impl StudyResults {
             .iter()
             .map(|c| c.repaired_accuracy.len())
             .sum();
-        let mut dirty_keys: std::collections::BTreeSet<(String, &'static str)> =
-            Default::default();
+        let mut dirty_keys: std::collections::BTreeSet<(&str, &str)> = Default::default();
         for c in &self.configs {
-            dirty_keys.insert((c.config.dataset.name().to_string(), c.config.model.name()));
+            dirty_keys.insert((c.config.dataset.name(), c.config.model.name()));
         }
         repaired + dirty_keys.len() * self.scale.scores_per_config()
     }
@@ -110,7 +109,7 @@ fn prepare_all_variants(
     error: ErrorType,
     variants: &[RepairSpec],
     seed: u64,
-) -> Result<(DataFrame, DataFrame, Vec<(DataFrame, DataFrame)>)> {
+) -> Result<PreparedVariants> {
     let baseline = MissingRepair { num: NumImpute::Mean, cat: CatImpute::Dummy };
     match error {
         ErrorType::MissingValues => {
@@ -219,13 +218,18 @@ fn disparities(
     out
 }
 
+/// The dirty (train, test) pair plus one repaired pair per variant.
+type PreparedVariants = (DataFrame, DataFrame, Vec<(DataFrame, DataFrame)>);
+
+/// One model-seed's scores: dirty accuracy, dirty disparities, and per
+/// variant (repaired accuracy, repaired disparities).
+type SeedScores = (f64, Vec<f64>, Vec<(f64, Vec<f64>)>);
+
 /// Output of one (dataset, model, split) task.
 struct TaskOutput {
     dataset_idx: usize,
     model_idx: usize,
-    /// Per model-seed: dirty accuracy, dirty disparities, and per variant
-    /// (repaired accuracy, repaired disparities).
-    runs: Vec<(f64, Vec<f64>, Vec<(f64, Vec<f64>)>)>,
+    runs: Vec<SeedScores>,
 }
 
 /// Runs the full study for one error type over the given datasets and

@@ -1,0 +1,122 @@
+//! Serving-time model training.
+//!
+//! The study pipeline ([`crate::pipeline`]) trains thousands of throwaway
+//! models to score cleaning configurations; a *serving* model is the
+//! opposite: one tuned classifier per (dataset, model kind), trained once
+//! and then applied to unlabeled rows arriving after training. The
+//! training-time [`FeatureEncoder`] travels with the classifier so
+//! serving-time rows are standardised and one-hot encoded exactly like the
+//! training data — never re-fit on incoming data.
+
+use crate::config::StudyScale;
+use crate::pipeline::sample_split;
+use datasets::{DatasetId, DatasetSpec};
+use fairness::GroupSpec;
+use mlcore::{accuracy, tune_and_fit, Classifier, ModelKind};
+use tabular::{DataFrame, FeatureEncoder, Result};
+
+/// A tuned classifier packaged with everything needed to serve it: the
+/// fitted feature encoder, the training frame (for fitting detectors with
+/// train-time statistics), and the dataset's fairness group specs.
+pub struct ServingModel {
+    /// The dataset the model was trained on.
+    pub dataset: DatasetId,
+    /// The model family.
+    pub model: ModelKind,
+    /// Feature encoder fitted on the training split (with missing
+    /// indicators, so serving rows may have missing values).
+    pub encoder: FeatureEncoder,
+    /// The tuned, refit classifier.
+    pub classifier: Box<dyn Classifier>,
+    /// Winning hyperparameters (CleanML `best_params` formatting).
+    pub best_params: String,
+    /// Mean validation accuracy of the winning hyperparameters.
+    pub val_accuracy: f64,
+    /// Accuracy on the held-out test split.
+    pub test_accuracy: f64,
+    /// The training split; detectors for incoming batches are fitted on
+    /// this so detection thresholds reflect train-time statistics.
+    pub train: DataFrame,
+    /// Single-attribute (and, where defined, intersectional) fairness
+    /// group specs of the dataset.
+    pub groups: Vec<GroupSpec>,
+}
+
+impl ServingModel {
+    /// The dataset's declarative spec.
+    pub fn spec(&self) -> DatasetSpec {
+        self.dataset.spec()
+    }
+
+    /// Predicts 0/1 labels for the rows of `frame`.
+    ///
+    /// The frame needs only the encoder's feature columns — no label, no
+    /// sensitive attributes; missing values are allowed.
+    pub fn predict_frame(&self, frame: &DataFrame) -> Result<Vec<u8>> {
+        Ok(self.classifier.predict(&self.encoder.transform(frame)?))
+    }
+
+    /// Predicts positive-class probabilities for the rows of `frame`.
+    pub fn predict_proba_frame(&self, frame: &DataFrame) -> Result<Vec<f64>> {
+        Ok(self.classifier.predict_proba(&self.encoder.transform(frame)?))
+    }
+}
+
+/// Trains one serving model: generate the dataset pool, take one
+/// train/test split at `scale`, tune hyperparameters by cross-validation
+/// on the training split, refit, and score on the held-out test split.
+pub fn train_serving_model(
+    dataset: DatasetId,
+    model: ModelKind,
+    scale: &StudyScale,
+    seed: u64,
+) -> Result<ServingModel> {
+    let pool = dataset.generate(scale.pool_size, seed)?;
+    let (train, test) = sample_split(&pool, scale, seed ^ 0x5EED_CAFE)?;
+    let encoder = FeatureEncoder::fit(&train, true)?;
+    let x_train = encoder.transform(&train)?;
+    let y_train = train.labels()?;
+    let tuned = tune_and_fit(model, &x_train, &y_train, scale.cv_folds, seed);
+    let preds = tuned.model.predict(&encoder.transform(&test)?);
+    let test_accuracy = accuracy(&test.labels()?, &preds);
+    let spec = dataset.spec();
+    let mut groups = spec.single_attribute_specs();
+    if let Some(inter) = spec.intersectional_spec() {
+        groups.push(inter);
+    }
+    Ok(ServingModel {
+        dataset,
+        model,
+        encoder,
+        classifier: tuned.model,
+        best_params: tuned.best_spec.params_string(),
+        val_accuracy: tuned.val_accuracy,
+        test_accuracy,
+        train,
+        groups,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trains_and_predicts_unlabeled_rows() {
+        let scale = StudyScale::smoke();
+        let served =
+            train_serving_model(DatasetId::German, ModelKind::LogReg, &scale, 7).unwrap();
+        assert_eq!(served.dataset, DatasetId::German);
+        assert!(served.test_accuracy > 0.5, "accuracy {}", served.test_accuracy);
+        assert!(!served.best_params.is_empty());
+        assert!(!served.groups.is_empty());
+
+        // Serve rows that carry only the feature columns.
+        let batch = DatasetId::German.generate(40, 99).unwrap();
+        let preds = served.predict_frame(&batch).unwrap();
+        assert_eq!(preds.len(), 40);
+        assert!(preds.iter().all(|&p| p <= 1));
+        let probas = served.predict_proba_frame(&batch).unwrap();
+        assert!(probas.iter().all(|p| (0.0..=1.0).contains(p)));
+    }
+}

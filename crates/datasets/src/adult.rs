@@ -180,10 +180,10 @@ mod tests {
         let male = gen::category_mask(&df, "sex", "male").unwrap();
         let rate = |mask: &dyn Fn(usize) -> bool| {
             let (mut pos, mut tot) = (0usize, 0usize);
-            for i in 0..8000 {
+            for (i, &label) in labels.iter().enumerate() {
                 if mask(i) {
                     tot += 1;
-                    pos += labels[i] as usize;
+                    pos += label as usize;
                 }
             }
             pos as f64 / tot as f64
@@ -201,8 +201,8 @@ mod tests {
         let male = gen::category_mask(&df, "sex", "male").unwrap();
         let wc = df.categorical("workclass").unwrap();
         let (mut miss_m, mut n_m, mut miss_f, mut n_f) = (0usize, 0usize, 0usize, 0usize);
-        for i in 0..8000 {
-            if male[i] {
+        for (i, &is_male) in male.iter().enumerate() {
+            if is_male {
                 n_m += 1;
                 miss_m += usize::from(wc.code(i).is_none());
             } else {

@@ -54,8 +54,8 @@ pub fn inject_missing_categorical(
         return Err(TabularError::LengthMismatch { expected: n, actual: boost.len() });
     }
     let col = frame.column_mut(column)?.as_categorical_mut()?;
-    for i in 0..n {
-        if rng.bernoulli((base_rate * boost[i]).clamp(0.0, 1.0)) {
+    for (i, &factor) in boost.iter().enumerate() {
+        if rng.bernoulli((base_rate * factor).clamp(0.0, 1.0)) {
             col.set_code(i, None);
         }
     }

@@ -206,8 +206,8 @@ mod tests {
         let age = df.numeric("age").unwrap();
         let sav = df.categorical("savings_status").unwrap();
         let (mut my, mut ny, mut mo, mut no) = (0usize, 0usize, 0usize, 0usize);
-        for i in 0..20_000 {
-            if age[i] <= 25.0 {
+        for (i, &years) in age.iter().enumerate() {
+            if years <= 25.0 {
                 ny += 1;
                 my += usize::from(sav.code(i).is_none());
             } else {

@@ -94,9 +94,9 @@ mod tests {
         let a = vec![4.0, 2.0, 0.0, 2.0, 5.0, 2.0, 0.0, 2.0, 5.0];
         let x_true = [1.0, -1.0, 2.0];
         let b = vec![
-            4.0 * 1.0 + 2.0 * -1.0,
-            2.0 * 1.0 + 5.0 * -1.0 + 2.0 * 2.0,
-            2.0 * -1.0 + 5.0 * 2.0,
+            4.0 * 1.0 + -2.0,
+            2.0 * 1.0 + -5.0 + 2.0 * 2.0,
+            -2.0 + 5.0 * 2.0,
         ];
         let x = cholesky_solve(&a, &b, 3).unwrap();
         for (xi, ti) in x.iter().zip(&x_true) {

@@ -35,11 +35,11 @@ impl LogRegClassifier {
             // Current probabilities.
             let mut grad = vec![0.0; d + 1];
             let mut hess = vec![0.0; (d + 1) * (d + 1)];
-            for i in 0..n {
+            for (i, &yi) in y.iter().enumerate() {
                 let row = x.row(i);
                 let z = row.iter().zip(&w[..d]).map(|(a, b)| a * b).sum::<f64>() + w[d];
                 let p = sigmoid(z);
-                let err = p - f64::from(y[i]);
+                let err = p - f64::from(yi);
                 let wgt = (p * (1.0 - p)).max(1e-9);
                 for (gj, &xj) in grad[..d].iter_mut().zip(row) {
                     *gj += err * xj;

@@ -258,7 +258,7 @@ mod tests {
     #[test]
     fn extension_models_fit_and_predict() {
         use tabular::DenseMatrix;
-        let x = DenseMatrix::from_vec(20, 1, (0..20).map(|i| f64::from(i)).collect());
+        let x = DenseMatrix::from_vec(20, 1, (0..20).map(f64::from).collect());
         let y: Vec<u8> = (0..20).map(|i| u8::from(i >= 10)).collect();
         for kind in [ModelKind::DecisionTree, ModelKind::RandomForest] {
             let spec = kind.default_grid()[1];

@@ -1,0 +1,206 @@
+//! JSON rows ⇄ [`DataFrame`] conversion against a reference schema.
+//!
+//! Incoming rows are JSON objects keyed by column name. The reference
+//! schema (the serving model's training frame) decides each column's kind
+//! and role, so a submitted batch becomes a frame the training-time
+//! encoder, detectors, and group specs can all consume directly.
+
+use serde_json::Value;
+use tabular::{Cell, ColumnKind, ColumnRole, DataFrame, Schema};
+
+/// A client-input problem that should surface as a 400, not a panic.
+pub type CodecError = String;
+
+/// Builds a frame from JSON `rows` following `reference`.
+///
+/// Rules:
+/// * every row must be a JSON object; unknown keys are rejected (typos
+///   would otherwise silently read as missing values);
+/// * numeric columns accept numbers and booleans; categorical columns
+///   accept strings; `null` or an absent key means missing;
+/// * when `require_label` is set, the label column must be present and
+///   non-null in every row (the audit endpoint needs ground truth).
+pub fn frame_from_rows(
+    reference: &Schema,
+    rows: &[Value],
+    require_label: bool,
+) -> Result<DataFrame, CodecError> {
+    if rows.is_empty() {
+        return Err("rows must be a non-empty array".to_string());
+    }
+    for (i, row) in rows.iter().enumerate() {
+        let object = row
+            .as_object()
+            .ok_or_else(|| format!("row {i} is not a JSON object"))?;
+        if let Some(unknown) =
+            object.keys().find(|k| reference.index_of(k).is_err())
+        {
+            return Err(format!(
+                "row {i} has unknown column {unknown:?}; expected columns: {}",
+                reference
+                    .fields()
+                    .iter()
+                    .map(|f| f.name.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+        }
+    }
+
+    let mut builder = DataFrame::builder();
+    for field in reference.fields() {
+        let is_label = field.role == ColumnRole::Label;
+        match field.kind {
+            ColumnKind::Numeric => {
+                let mut data = Vec::with_capacity(rows.len());
+                for (i, row) in rows.iter().enumerate() {
+                    let value = row.get(&field.name).unwrap_or(&Value::Null);
+                    let parsed = match value {
+                        Value::Null => f64::NAN,
+                        Value::Number(_) => value.as_f64().unwrap_or(f64::NAN),
+                        Value::Bool(b) => f64::from(u8::from(*b)),
+                        _ => {
+                            return Err(format!(
+                                "row {i} column {:?} expects a number, got {value}",
+                                field.name
+                            ))
+                        }
+                    };
+                    if is_label && require_label && parsed.is_nan() {
+                        return Err(format!(
+                            "row {i} is missing the required label column {:?}",
+                            field.name
+                        ));
+                    }
+                    data.push(parsed);
+                }
+                builder = builder.numeric(field.name.clone(), field.role, data);
+            }
+            ColumnKind::Categorical => {
+                let mut labels: Vec<Option<String>> = Vec::with_capacity(rows.len());
+                for (i, row) in rows.iter().enumerate() {
+                    let value = row.get(&field.name).unwrap_or(&Value::Null);
+                    let parsed = match value {
+                        Value::Null => None,
+                        Value::String(s) => Some(s.clone()),
+                        _ => {
+                            return Err(format!(
+                                "row {i} column {:?} expects a string, got {value}",
+                                field.name
+                            ))
+                        }
+                    };
+                    if is_label && require_label && parsed.is_none() {
+                        return Err(format!(
+                            "row {i} is missing the required label column {:?}",
+                            field.name
+                        ));
+                    }
+                    labels.push(parsed);
+                }
+                builder = builder.categorical(field.name.clone(), field.role, &labels);
+            }
+        }
+    }
+    builder.build().map_err(|e| format!("could not assemble frame: {e}"))
+}
+
+/// One cell as a JSON value (`null` = missing).
+pub fn cell_to_json(frame: &DataFrame, row: usize, column: &str) -> Value {
+    match frame.cell(row, column) {
+        Ok(Cell::Num(x)) => serde_json::json!(x),
+        Ok(Cell::Str(s)) => serde_json::json!(s),
+        _ => Value::Null,
+    }
+}
+
+/// Renders the frame's rows as JSON objects (used by the load generator
+/// and the quickstart example to build request bodies).
+pub fn rows_from_frame(frame: &DataFrame) -> Vec<Value> {
+    let names: Vec<&str> =
+        frame.schema().fields().iter().map(|f| f.name.as_str()).collect();
+    (0..frame.n_rows())
+        .map(|i| {
+            let mut object = serde_json::Map::new();
+            for name in &names {
+                object.insert((*name).to_string(), cell_to_json(frame, i, name));
+            }
+            Value::Object(object)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn reference() -> DataFrame {
+        DataFrame::builder()
+            .numeric("age", ColumnRole::Feature, vec![30.0, 40.0])
+            .categorical("job", ColumnRole::Feature, &[Some("a"), Some("b")])
+            .categorical("sex", ColumnRole::Sensitive, &[Some("male"), Some("female")])
+            .numeric("credit", ColumnRole::Label, vec![1.0, 0.0])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn round_trips_rows_through_a_frame() {
+        let reference = reference();
+        let rows = rows_from_frame(&reference);
+        assert_eq!(rows.len(), 2);
+        let rebuilt = frame_from_rows(reference.schema(), &rows, true).unwrap();
+        assert_eq!(rebuilt.n_rows(), 2);
+        assert_eq!(rebuilt.labels().unwrap(), vec![1, 0]);
+        assert_eq!(rebuilt.numeric("age").unwrap(), &[30.0, 40.0]);
+    }
+
+    #[test]
+    fn absent_and_null_values_become_missing() {
+        let reference = reference();
+        let rows = vec![json!({"job": null, "sex": "male"})];
+        let frame = frame_from_rows(reference.schema(), &rows, false).unwrap();
+        assert!(frame.numeric("age").unwrap()[0].is_nan());
+        assert!(frame.categorical("job").unwrap().label(0).is_none());
+    }
+
+    #[test]
+    fn unknown_column_is_rejected() {
+        let reference = reference();
+        let rows = vec![json!({"aeg": 30.0})];
+        let err = frame_from_rows(reference.schema(), &rows, false).unwrap_err();
+        assert!(err.contains("unknown column \"aeg\""), "{err}");
+    }
+
+    #[test]
+    fn type_mismatch_is_rejected() {
+        let reference = reference();
+        let err = frame_from_rows(reference.schema(), &[json!({"age": "old"})], false)
+            .unwrap_err();
+        assert!(err.contains("expects a number"), "{err}");
+        let err = frame_from_rows(reference.schema(), &[json!({"job": 3})], false)
+            .unwrap_err();
+        assert!(err.contains("expects a string"), "{err}");
+    }
+
+    #[test]
+    fn audit_requires_labels() {
+        let reference = reference();
+        let rows = vec![json!({"age": 30.0})];
+        let err = frame_from_rows(reference.schema(), &rows, true).unwrap_err();
+        assert!(err.contains("missing the required label"), "{err}");
+        assert!(frame_from_rows(reference.schema(), &rows, false).is_ok());
+    }
+
+    #[test]
+    fn non_object_rows_and_empty_batches_are_rejected() {
+        let reference = reference();
+        assert!(frame_from_rows(reference.schema(), &[], false)
+            .unwrap_err()
+            .contains("non-empty"));
+        assert!(frame_from_rows(reference.schema(), &[json!([1, 2])], false)
+            .unwrap_err()
+            .contains("not a JSON object"));
+    }
+}

@@ -1,0 +1,368 @@
+//! Minimal HTTP/1.1 request parsing and response writing over `std::io`.
+//!
+//! Only what the service needs: request line + headers + `Content-Length`
+//! bodies, keep-alive, and hard limits that map to 400/413 instead of
+//! unbounded buffering. No chunked transfer encoding — requests using it
+//! are rejected with 411 (length required).
+
+use std::io::{BufRead, Write};
+
+/// Upper bound on the request line + headers block.
+pub const MAX_HEADER_BYTES: usize = 16 * 1024;
+/// Upper bound on the number of header lines.
+pub const MAX_HEADERS: usize = 64;
+/// Upper bound on a request body.
+pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// A parse failure, tagged with the HTTP status it maps to.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Malformed request line / headers / body framing (400).
+    BadRequest(String),
+    /// Headers or body exceeded a hard limit (413).
+    PayloadTooLarge(String),
+    /// Body sent without `Content-Length` (411).
+    LengthRequired,
+    /// Socket error or timeout; the connection is dropped.
+    Io(std::io::Error),
+}
+
+impl HttpError {
+    /// The response status for this error (io errors get no response).
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::BadRequest(_) => 400,
+            HttpError::PayloadTooLarge(_) => 413,
+            HttpError::LengthRequired => 411,
+            HttpError::Io(_) => 500,
+        }
+    }
+
+    /// Human-readable reason for the error payload.
+    pub fn message(&self) -> String {
+        match self {
+            HttpError::BadRequest(m) => format!("bad request: {m}"),
+            HttpError::PayloadTooLarge(m) => format!("payload too large: {m}"),
+            HttpError::LengthRequired => "content-length required".to_string(),
+            HttpError::Io(e) => format!("io error: {e}"),
+        }
+    }
+}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// A parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Path without query string.
+    pub path: String,
+    /// Lower-cased header names with trimmed values.
+    pub headers: Vec<(String, String)>,
+    /// Raw body bytes (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header value by lower-case name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to keep the connection open.
+    pub fn keep_alive(&self) -> bool {
+        match self.header("connection") {
+            Some(v) => !v.eq_ignore_ascii_case("close"),
+            None => true, // HTTP/1.1 default
+        }
+    }
+}
+
+/// Reads one request from the stream.
+///
+/// `Ok(None)` means the peer closed the connection cleanly between
+/// requests.
+pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, HttpError> {
+    let mut line = Vec::new();
+    let mut header_bytes = 0usize;
+
+    // Request line; EOF here is a clean close.
+    if read_line_limited(reader, &mut line, &mut header_bytes)? == 0 {
+        return Ok(None);
+    }
+    let request_line = String::from_utf8(line.clone())
+        .map_err(|_| HttpError::BadRequest("request line is not UTF-8".to_string()))?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("empty request line".to_string()))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("missing request target".to_string()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("missing HTTP version".to_string()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::BadRequest(format!("unsupported version {version}")));
+    }
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    // Headers.
+    let mut headers = Vec::new();
+    loop {
+        let n = read_line_limited(reader, &mut line, &mut header_bytes)?;
+        if n == 0 {
+            return Err(HttpError::BadRequest("connection closed mid-headers".to_string()));
+        }
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::PayloadTooLarge(format!("more than {MAX_HEADERS} headers")));
+        }
+        let text = String::from_utf8(line.clone())
+            .map_err(|_| HttpError::BadRequest("header is not UTF-8".to_string()))?;
+        let (name, value) = text
+            .split_once(':')
+            .ok_or_else(|| HttpError::BadRequest(format!("malformed header line {text:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let request = Request { method, path, headers, body: Vec::new() };
+
+    // Body framing.
+    if request.header("transfer-encoding").is_some() {
+        return Err(HttpError::LengthRequired);
+    }
+    let content_length = match request.header("content-length") {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::BadRequest(format!("bad content-length {v:?}")))?,
+        None => 0,
+    };
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::PayloadTooLarge(format!(
+            "body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
+        )));
+    }
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        std::io::Read::read_exact(reader, &mut body)?;
+    }
+    Ok(Some(Request { body, ..request }))
+}
+
+/// Reads one CRLF- (or LF-) terminated line into `line` (terminator
+/// stripped), charging its length against the shared header budget.
+/// Returns the number of raw bytes consumed (0 at EOF).
+fn read_line_limited<R: BufRead>(
+    reader: &mut R,
+    line: &mut Vec<u8>,
+    header_bytes: &mut usize,
+) -> Result<usize, HttpError> {
+    line.clear();
+    let mut consumed = 0usize;
+    loop {
+        let available = reader.fill_buf()?;
+        if available.is_empty() {
+            return Ok(consumed);
+        }
+        let newline = available.iter().position(|&b| b == b'\n');
+        let take = newline.map_or(available.len(), |i| i + 1);
+        *header_bytes += take;
+        if *header_bytes > MAX_HEADER_BYTES {
+            return Err(HttpError::PayloadTooLarge(format!(
+                "headers exceed the {MAX_HEADER_BYTES}-byte limit"
+            )));
+        }
+        line.extend_from_slice(&available[..newline.map_or(take, |i| i)]);
+        reader.consume(take);
+        consumed += take;
+        if newline.is_some() {
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            return Ok(consumed);
+        }
+    }
+}
+
+/// An outgoing response.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, value: &serde_json::Value) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: serde_json::to_vec(value).unwrap_or_default(),
+        }
+    }
+
+    /// A JSON error payload `{"error": message}`.
+    pub fn error(status: u16, message: &str) -> Response {
+        Response::json(status, &serde_json::json!({ "error": message }))
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response { status, content_type: "text/plain; charset=utf-8", body: body.into() }
+    }
+
+    /// Serialises the response to the wire.
+    pub fn write_to<W: Write>(&self, writer: &mut W, keep_alive: bool) -> std::io::Result<()> {
+        let reason = reason_phrase(self.status);
+        let connection = if keep_alive { "keep-alive" } else { "close" };
+        write!(
+            writer,
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+            self.status,
+            reason,
+            self.content_type,
+            self.body.len(),
+            connection,
+        )?;
+        writer.write_all(&self.body)?;
+        writer.flush()
+    }
+}
+
+/// Standard reason phrase for the statuses the service emits.
+fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(bytes: &[u8]) -> Result<Option<Request>, HttpError> {
+        read_request(&mut BufReader::new(bytes))
+    }
+
+    #[test]
+    fn parses_get_with_headers_and_query() {
+        let req = parse(b"GET /healthz?verbose=1 HTTP/1.1\r\nHost: x\r\nX-Trace: 7\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert_eq!(req.header("x-trace"), Some("7"));
+        assert!(req.keep_alive());
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_body_by_content_length() {
+        let req = parse(b"POST /v1/predict HTTP/1.1\r\nContent-Length: 4\r\n\r\n{\"a\"")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.body, b"{\"a\"");
+    }
+
+    #[test]
+    fn connection_close_disables_keep_alive() {
+        let req =
+            parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap().unwrap();
+        assert!(!req.keep_alive());
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        assert!(parse(b"").unwrap().is_none());
+    }
+
+    #[test]
+    fn garbage_request_line_is_bad_request() {
+        let err = parse(b"NONSENSE\r\n\r\n").unwrap_err();
+        assert_eq!(err.status(), 400);
+    }
+
+    #[test]
+    fn http2_preface_is_rejected() {
+        let err = parse(b"PRI * HTTP/2.0\r\n\r\n").unwrap_err();
+        assert_eq!(err.status(), 400);
+    }
+
+    #[test]
+    fn oversized_headers_are_413() {
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        raw.extend_from_slice(format!("X-Big: {}\r\n\r\n", "a".repeat(MAX_HEADER_BYTES)).as_bytes());
+        let err = parse(&raw).unwrap_err();
+        assert_eq!(err.status(), 413);
+    }
+
+    #[test]
+    fn too_many_headers_are_413() {
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        for i in 0..(MAX_HEADERS + 1) {
+            raw.extend_from_slice(format!("X-H{i}: v\r\n").as_bytes());
+        }
+        raw.extend_from_slice(b"\r\n");
+        let err = parse(&raw).unwrap_err();
+        assert_eq!(err.status(), 413);
+    }
+
+    #[test]
+    fn oversized_body_is_413_before_reading_it() {
+        let raw =
+            format!("POST /v1/predict HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
+        let err = parse(raw.as_bytes()).unwrap_err();
+        assert_eq!(err.status(), 413);
+    }
+
+    #[test]
+    fn chunked_encoding_is_411() {
+        let err = parse(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n").unwrap_err();
+        assert_eq!(err.status(), 411);
+    }
+
+    #[test]
+    fn truncated_headers_are_400() {
+        let err = parse(b"GET / HTTP/1.1\r\nHost: x\r\n").unwrap_err();
+        assert_eq!(err.status(), 400);
+    }
+
+    #[test]
+    fn response_serialisation_includes_framing() {
+        let mut out = Vec::new();
+        Response::error(404, "not found").write_to(&mut out, true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 404 Not Found\r\n"));
+        assert!(text.contains("content-type: application/json"));
+        assert!(text.contains("connection: keep-alive"));
+        assert!(text.ends_with("{\"error\":\"not found\"}"));
+    }
+
+    #[test]
+    fn lf_only_line_endings_are_accepted() {
+        let req = parse(b"GET /metrics HTTP/1.1\nHost: x\n\n").unwrap().unwrap();
+        assert_eq!(req.path, "/metrics");
+    }
+}

@@ -1,0 +1,167 @@
+//! The `demodq-serve` binary: train the registry, serve until SIGTERM or
+//! ctrl-c, then drain gracefully.
+
+use demodq::StudyScale;
+use demodq_serve::{App, Registry, Server, ServerConfig};
+use datasets::DatasetId;
+use mlcore::ModelKind;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_signum: i32) {
+    // Only async-signal-safe work here: flip the flag, let main drain.
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+fn install_signal_handlers() {
+    // SIG_ERR would leave the default handler in place; the server still
+    // works, it just dies non-gracefully, so ignore the return value.
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal as *const () as usize);
+        signal(SIGTERM, on_signal as *const () as usize);
+    }
+}
+
+struct Args {
+    addr: String,
+    scale_name: String,
+    seed: u64,
+    workers: Option<usize>,
+    datasets: Vec<DatasetId>,
+    models: Vec<ModelKind>,
+    quiet: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: demodq-serve [--addr HOST:PORT] [--scale smoke|default|full] \
+         [--seed N] [--workers N] [--datasets a,b] [--models a,b] [--quiet]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: "127.0.0.1:8080".to_string(),
+        scale_name: "smoke".to_string(),
+        seed: 7,
+        workers: None,
+        datasets: DatasetId::all().to_vec(),
+        models: ModelKind::all().to_vec(),
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr"),
+            "--scale" => args.scale_name = value("--scale"),
+            "--seed" => {
+                args.seed = value("--seed").parse().unwrap_or_else(|_| usage());
+            }
+            "--workers" => {
+                args.workers = Some(value("--workers").parse().unwrap_or_else(|_| usage()));
+            }
+            "--datasets" => {
+                args.datasets = value("--datasets")
+                    .split(',')
+                    .map(|name| {
+                        DatasetId::parse(name.trim()).unwrap_or_else(|| {
+                            eprintln!("unknown dataset {name:?}");
+                            usage()
+                        })
+                    })
+                    .collect();
+            }
+            "--models" => {
+                args.models = value("--models")
+                    .split(',')
+                    .map(|name| {
+                        ModelKind::parse(name.trim()).unwrap_or_else(|| {
+                            eprintln!("unknown model {name:?}");
+                            usage()
+                        })
+                    })
+                    .collect();
+            }
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage();
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let scale = StudyScale::parse(&args.scale_name).unwrap_or_else(|| {
+        eprintln!("unknown scale {:?} (smoke|default|full)", args.scale_name);
+        usage()
+    });
+    install_signal_handlers();
+
+    eprintln!(
+        "training {} models ({} datasets x {} model kinds) at scale {:?}...",
+        args.datasets.len() * args.models.len(),
+        args.datasets.len(),
+        args.models.len(),
+        args.scale_name,
+    );
+    let started = std::time::Instant::now();
+    let registry =
+        Registry::train(&args.datasets, &args.models, &scale, &args.scale_name, args.seed)
+            .unwrap_or_else(|e| {
+                eprintln!("training failed: {e}");
+                std::process::exit(1);
+            });
+    for model in registry.entries() {
+        eprintln!(
+            "  {}/{}: val {:.3}, test {:.3} ({})",
+            model.dataset.name(),
+            model.model.name(),
+            model.val_accuracy,
+            model.test_accuracy,
+            model.best_params,
+        );
+    }
+    eprintln!("registry ready in {:.1}s", started.elapsed().as_secs_f64());
+
+    let mut config =
+        ServerConfig { addr: args.addr, log_requests: !args.quiet, ..Default::default() };
+    if let Some(workers) = args.workers {
+        config.workers = workers;
+        config.queue_capacity = workers;
+    }
+    let app = Arc::new(App::new(registry));
+    let server = Server::spawn(Arc::clone(&app), config).unwrap_or_else(|e| {
+        eprintln!("bind failed: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("listening on http://{}", server.local_addr());
+
+    while !SHUTDOWN.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    eprintln!(
+        "shutdown signal received; draining ({} requests served)",
+        app.metrics().total_requests()
+    );
+    server.shutdown();
+    eprintln!("bye");
+}

@@ -1,0 +1,121 @@
+//! The read-only model registry: one [`ServingModel`] per requested
+//! (dataset, model-kind) pair, trained at startup and shared behind `Arc`
+//! by every worker thread.
+
+use demodq::serving::{train_serving_model, ServingModel};
+use demodq::StudyScale;
+use datasets::DatasetId;
+use mlcore::ModelKind;
+use std::collections::BTreeMap;
+
+/// The registry. Immutable after construction, so workers need no locks.
+pub struct Registry {
+    models: BTreeMap<(&'static str, &'static str), ServingModel>,
+    scale_name: String,
+    seed: u64,
+}
+
+impl Registry {
+    /// Trains one model per (dataset, model) pair, in parallel across std
+    /// threads (each training job is independent).
+    pub fn train(
+        datasets: &[DatasetId],
+        models: &[ModelKind],
+        scale: &StudyScale,
+        scale_name: &str,
+        seed: u64,
+    ) -> tabular::Result<Registry> {
+        let pairs: Vec<(DatasetId, ModelKind)> = datasets
+            .iter()
+            .flat_map(|&d| models.iter().map(move |&m| (d, m)))
+            .collect();
+        let mut trained = Vec::with_capacity(pairs.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = pairs
+                .iter()
+                .map(|&(dataset, model)| {
+                    scope.spawn(move || train_serving_model(dataset, model, scale, seed))
+                })
+                .collect();
+            for handle in handles {
+                trained.push(handle.join().expect("training thread panicked"));
+            }
+        });
+        let mut registry = BTreeMap::new();
+        for result in trained {
+            let served = result?;
+            registry.insert((served.dataset.name(), served.model.name()), served);
+        }
+        Ok(Registry { models: registry, scale_name: scale_name.to_string(), seed })
+    }
+
+    /// Looks up a model by dataset and model names (paper naming).
+    pub fn get(&self, dataset: &str, model: &str) -> Option<&ServingModel> {
+        self.models.get(&(
+            DatasetId::parse(dataset)?.name(),
+            ModelKind::parse(model)?.name(),
+        ))
+    }
+
+    /// Any model of the dataset (for endpoints that only need the
+    /// training frame, like `/v1/clean`).
+    pub fn any_for_dataset(&self, dataset: &str) -> Option<&ServingModel> {
+        let name = DatasetId::parse(dataset)?.name();
+        self.models
+            .iter()
+            .find(|((d, _), _)| *d == name)
+            .map(|(_, served)| served)
+    }
+
+    /// All (dataset, model) entries in deterministic order.
+    pub fn entries(&self) -> impl Iterator<Item = &ServingModel> {
+        self.models.values()
+    }
+
+    /// Number of trained models.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// True when no models are registered.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// The scale preset the registry was trained at.
+    pub fn scale_name(&self) -> &str {
+        &self.scale_name
+    }
+
+    /// The training seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trains_and_resolves_aliases() {
+        let registry = Registry::train(
+            &[DatasetId::German],
+            &[ModelKind::LogReg],
+            &StudyScale::smoke(),
+            "smoke",
+            11,
+        )
+        .unwrap();
+        assert_eq!(registry.len(), 1);
+        assert!(!registry.is_empty());
+        // Model aliases resolve through ModelKind::parse.
+        assert!(registry.get("german", "log-reg").is_some());
+        assert!(registry.get("german", "logreg").is_some());
+        assert!(registry.get("german", "knn").is_none());
+        assert!(registry.get("nope", "log-reg").is_none());
+        assert!(registry.any_for_dataset("german").is_some());
+        assert_eq!(registry.scale_name(), "smoke");
+        assert_eq!(registry.seed(), 11);
+    }
+}

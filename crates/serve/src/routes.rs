@@ -1,0 +1,390 @@
+//! Endpoint handlers: routing, JSON body handling, and the three model
+//! endpoints (`/v1/predict`, `/v1/clean`, `/v1/audit`).
+
+use crate::codec::{cell_to_json, frame_from_rows};
+use crate::http::{Request, Response};
+use crate::metrics::Metrics;
+use crate::registry::Registry;
+use cleaning::detect::DetectorKind;
+use cleaning::repair::{LabelRepair, MissingRepair, OutlierRepair};
+use demodq::serving::ServingModel;
+use fairness::{group_confusions, ConfusionMatrix, FairnessMetric, GroupConfusions};
+use serde_json::{json, Value};
+use std::time::Instant;
+
+/// Shared application state: the registry, the metrics, and the clock.
+pub struct App {
+    registry: Registry,
+    metrics: Metrics,
+    started: Instant,
+}
+
+/// Handler-internal error: already a rendered response.
+type Handled = Result<Response, Response>;
+
+impl App {
+    /// Wraps a trained registry.
+    pub fn new(registry: Registry) -> App {
+        App { registry, metrics: Metrics::new(), started: Instant::now() }
+    }
+
+    /// The metrics registry (shared with the server loop).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The model registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Handles one parsed request: routes it, converts a handler panic
+    /// into a 500, and records the outcome in [`App::metrics`]. Used by
+    /// the socket loop and callable directly for in-process serving.
+    pub fn handle(&self, request: &Request) -> Response {
+        let started = Instant::now();
+        // A handler panic must cost one 500, not the calling thread.
+        let response =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.route(request)))
+                .unwrap_or_else(|_| Response::error(500, "internal error"));
+        self.metrics.observe(&request.path, response.status, started.elapsed());
+        response
+    }
+
+    /// Routes one parsed request to its handler.
+    fn route(&self, request: &Request) -> Response {
+        let result = match (request.method.as_str(), request.path.as_str()) {
+            ("GET", "/healthz") => Ok(self.healthz()),
+            ("GET", "/metrics") => Ok(Response::text(200, self.metrics.render())),
+            ("POST", "/v1/predict") => self.json_body(request).and_then(|b| self.predict(&b)),
+            ("POST", "/v1/clean") => self.json_body(request).and_then(|b| self.clean(&b)),
+            ("POST", "/v1/audit") => self.json_body(request).and_then(|b| self.audit(&b)),
+            (_, "/healthz" | "/metrics" | "/v1/predict" | "/v1/clean" | "/v1/audit") => {
+                Err(Response::error(405, "method not allowed"))
+            }
+            _ => Err(Response::error(404, "no such endpoint")),
+        };
+        result.unwrap_or_else(|error| error)
+    }
+
+    fn healthz(&self) -> Response {
+        let models: Vec<Value> = self
+            .registry
+            .entries()
+            .map(|m| {
+                json!({
+                    "dataset": m.dataset.name(),
+                    "model": m.model.name(),
+                    "best_params": m.best_params,
+                    "val_accuracy": m.val_accuracy,
+                    "test_accuracy": m.test_accuracy,
+                })
+            })
+            .collect();
+        Response::json(
+            200,
+            &json!({
+                "status": "ok",
+                "scale": self.registry.scale_name(),
+                "seed": self.registry.seed(),
+                "uptime_seconds": self.started.elapsed().as_secs(),
+                "models": Value::Array(models),
+            }),
+        )
+    }
+
+    fn json_body(&self, request: &Request) -> Result<Value, Response> {
+        serde_json::from_slice(&request.body)
+            .map_err(|e| Response::error(400, &format!("invalid JSON body: {e}")))
+    }
+
+    fn predict(&self, body: &Value) -> Handled {
+        let served = self.lookup_model(body)?;
+        let (rows, single) = request_rows(body)?;
+        let frame = frame_from_rows(served.train.schema(), &rows, false)
+            .map_err(|e| Response::error(400, &e))?;
+        let predictions =
+            served.predict_frame(&frame).map_err(|e| Response::error(400, &e.to_string()))?;
+        let probabilities = served
+            .predict_proba_frame(&frame)
+            .map_err(|e| Response::error(400, &e.to_string()))?;
+        let mut reply = json!({
+            "dataset": served.dataset.name(),
+            "model": served.model.name(),
+            "n_rows": predictions.len(),
+            "predictions": Value::Array(predictions.iter().map(|&p| json!(p)).collect()),
+            "probabilities": Value::Array(probabilities.iter().map(|&p| json!(p)).collect()),
+        });
+        if single {
+            if let Some(map) = reply.as_object() {
+                let mut map = map.clone();
+                map.insert("prediction".to_string(), json!(predictions[0]));
+                map.insert("probability".to_string(), json!(probabilities[0]));
+                reply = Value::Object(map);
+            }
+        }
+        Ok(Response::json(200, &reply))
+    }
+
+    fn clean(&self, body: &Value) -> Handled {
+        let dataset = require_str(body, "dataset")?;
+        let served = self
+            .registry
+            .any_for_dataset(dataset)
+            .ok_or_else(|| Response::error(404, &format!("no models for dataset {dataset:?}")))?;
+        let detector = parse_detector(require_str(body, "detector")?)?;
+        let (rows, _) = request_rows(body)?;
+        // Mislabel detection inspects the submitted labels; everything else
+        // runs fully unlabeled.
+        let needs_labels = matches!(detector, DetectorKind::Mislabels);
+        let frame = frame_from_rows(served.train.schema(), &rows, needs_labels)
+            .map_err(|e| Response::error(400, &e))?;
+        // Fit on the training split ("fit on train, detect anywhere") so
+        // thresholds reflect train-time statistics — except mislabels,
+        // whose label model must see the submitted labels themselves.
+        let fit_frame = if needs_labels { &frame } else { &served.train };
+        let fitted = detector
+            .fit(fit_frame, served.dataset as u64 ^ 0xC1EA)
+            .map_err(|e| Response::error(400, &format!("detector fit failed: {e}")))?;
+        let report =
+            fitted.detect(&frame).map_err(|e| Response::error(400, &format!("detection failed: {e}")))?;
+
+        let flagged_cells: Vec<Value> = report
+            .cell_flags
+            .iter()
+            .flat_map(|(column, flags)| {
+                flags
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &flagged)| flagged)
+                    .map(|(row, _)| json!({ "row": row, "column": column }))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+
+        let (repair_name, repaired) = self.apply_repair(body, served, detector, &frame, &report)?;
+        let mut repairs = Vec::new();
+        for field in frame.schema().fields() {
+            for row in 0..frame.n_rows() {
+                let original = cell_to_json(&frame, row, &field.name);
+                let new = cell_to_json(&repaired, row, &field.name);
+                if original != new {
+                    repairs.push(json!({
+                        "row": row,
+                        "column": field.name,
+                        "original": original,
+                        "repaired": new,
+                    }));
+                }
+            }
+        }
+
+        Ok(Response::json(
+            200,
+            &json!({
+                "dataset": served.dataset.name(),
+                "detector": report.detector,
+                "repair": repair_name,
+                "n_rows": frame.n_rows(),
+                "flagged_rows": report.flagged_rows(),
+                "flagged_cells": Value::Array(flagged_cells),
+                "repairs": Value::Array(repairs),
+            }),
+        ))
+    }
+
+    /// Repairs `frame` with the requested (or detector-default) repair.
+    fn apply_repair(
+        &self,
+        body: &Value,
+        served: &ServingModel,
+        detector: DetectorKind,
+        frame: &tabular::DataFrame,
+        report: &cleaning::DetectionReport,
+    ) -> Result<(String, tabular::DataFrame), Response> {
+        let requested = body.get("repair").and_then(Value::as_str);
+        match detector {
+            DetectorKind::MissingValues => {
+                let repair = match requested {
+                    None => MissingRepair::all()
+                        .into_iter()
+                        .find(|r| r.name() == "impute_mean_dummy")
+                        .expect("baseline imputer exists"),
+                    Some(name) => MissingRepair::all()
+                        .into_iter()
+                        .find(|r| r.name() == name)
+                        .ok_or_else(|| unknown_repair(name, MissingRepair::all().iter().map(|r| r.name())))?,
+                };
+                let fitted = repair
+                    .fit(&served.train)
+                    .map_err(|e| Response::error(400, &format!("repair fit failed: {e}")))?;
+                let repaired = fitted
+                    .apply(frame)
+                    .map_err(|e| Response::error(400, &format!("repair failed: {e}")))?;
+                Ok((repair.name(), repaired))
+            }
+            DetectorKind::Mislabels => {
+                let repair = LabelRepair;
+                if let Some(name) = requested {
+                    if name != repair.name() {
+                        return Err(unknown_repair(name, std::iter::once(repair.name().to_string())));
+                    }
+                }
+                let repaired = repair
+                    .apply(frame, report)
+                    .map_err(|e| Response::error(400, &format!("repair failed: {e}")))?;
+                Ok((repair.name().to_string(), repaired))
+            }
+            _ => {
+                let repair = match requested {
+                    None => OutlierRepair::all()[0],
+                    Some(name) => OutlierRepair::all()
+                        .iter()
+                        .find(|r| r.name() == name)
+                        .cloned()
+                        .ok_or_else(|| unknown_repair(name, OutlierRepair::all().iter().map(|r| r.name())))?,
+                };
+                // The replacement statistics come from the *training*
+                // split's unflagged values.
+                let train_report = detector
+                    .fit(&served.train, served.dataset as u64 ^ 0xC1EA)
+                    .and_then(|d| d.detect(&served.train))
+                    .map_err(|e| Response::error(400, &format!("train detection failed: {e}")))?;
+                let fitted = repair
+                    .fit(&served.train, &train_report)
+                    .map_err(|e| Response::error(400, &format!("repair fit failed: {e}")))?;
+                let repaired = fitted
+                    .apply(frame, report)
+                    .map_err(|e| Response::error(400, &format!("repair failed: {e}")))?;
+                Ok((repair.name(), repaired))
+            }
+        }
+    }
+
+    fn audit(&self, body: &Value) -> Handled {
+        let served = self.lookup_model(body)?;
+        let (rows, _) = request_rows(body)?;
+        let frame = frame_from_rows(served.train.schema(), &rows, true)
+            .map_err(|e| Response::error(400, &e))?;
+        let y_true = frame.labels().map_err(|e| Response::error(400, &e.to_string()))?;
+        let y_pred =
+            served.predict_frame(&frame).map_err(|e| Response::error(400, &e.to_string()))?;
+        let accuracy = mlcore::accuracy(&y_true, &y_pred);
+
+        let mut groups = Vec::with_capacity(served.groups.len());
+        for spec in &served.groups {
+            let masks = spec
+                .evaluate(&frame)
+                .map_err(|e| Response::error(400, &format!("group evaluation failed: {e}")))?;
+            let confusions = group_confusions(&y_true, &y_pred, &masks);
+            groups.push(json!({
+                "group": spec.label(),
+                "privileged": confusion_json(&confusions.privileged),
+                "disadvantaged": confusion_json(&confusions.disadvantaged),
+                "disparities": disparities_json(&confusions),
+            }));
+        }
+
+        Ok(Response::json(
+            200,
+            &json!({
+                "dataset": served.dataset.name(),
+                "model": served.model.name(),
+                "n_rows": y_true.len(),
+                "accuracy": accuracy,
+                "groups": Value::Array(groups),
+            }),
+        ))
+    }
+
+    fn lookup_model(&self, body: &Value) -> Result<&ServingModel, Response> {
+        let dataset = require_str(body, "dataset")?;
+        let model = require_str(body, "model")?;
+        self.registry.get(dataset, model).ok_or_else(|| {
+            Response::error(
+                404,
+                &format!("no model for dataset {dataset:?} and model {model:?}"),
+            )
+        })
+    }
+}
+
+/// Extracts `rows` (array) or `row` (single object); the bool is true for
+/// the single-row form.
+fn request_rows(body: &Value) -> Result<(Vec<Value>, bool), Response> {
+    if let Some(rows) = body.get("rows") {
+        let rows = rows
+            .as_array()
+            .ok_or_else(|| Response::error(400, "\"rows\" must be an array of objects"))?;
+        return Ok((rows.clone(), false));
+    }
+    if let Some(row) = body.get("row") {
+        return Ok((vec![row.clone()], true));
+    }
+    Err(Response::error(400, "body must contain \"rows\" (array) or \"row\" (object)"))
+}
+
+fn require_str<'a>(body: &'a Value, key: &str) -> Result<&'a str, Response> {
+    body.get(key)
+        .and_then(Value::as_str)
+        .ok_or_else(|| Response::error(400, &format!("missing required string field {key:?}")))
+}
+
+/// Parses a paper-style detector name with the paper's default parameters.
+fn parse_detector(name: &str) -> Result<DetectorKind, Response> {
+    DetectorKind::all()
+        .into_iter()
+        .find(|d| d.name() == name)
+        .ok_or_else(|| {
+            let known: Vec<&str> = DetectorKind::all().iter().map(|d| d.name()).collect();
+            Response::error(
+                400,
+                &format!("unknown detector {name:?}; expected one of: {}", known.join(", ")),
+            )
+        })
+}
+
+fn unknown_repair(name: &str, known: impl Iterator<Item = String>) -> Response {
+    Response::error(
+        400,
+        &format!(
+            "unknown repair {name:?}; expected one of: {}",
+            known.collect::<Vec<_>>().join(", ")
+        ),
+    )
+}
+
+fn confusion_json(cm: &ConfusionMatrix) -> Value {
+    json!({
+        "tp": cm.tp,
+        "fp": cm.fp,
+        "tn": cm.tn,
+        "fn": cm.fn_,
+        "n": cm.total(),
+        "precision": option_json(cm.precision()),
+        "recall": option_json(cm.recall()),
+    })
+}
+
+fn disparities_json(gc: &GroupConfusions) -> Value {
+    let mut out = serde_json::Map::new();
+    for metric in [FairnessMetric::PredictiveParity, FairnessMetric::EqualOpportunity] {
+        let key = match metric {
+            FairnessMetric::PredictiveParity => "predictive_parity",
+            _ => "equal_opportunity",
+        };
+        out.insert(
+            key.to_string(),
+            json!({
+                "signed": option_json(metric.signed_disparity(gc)),
+                "absolute": option_json(metric.absolute_disparity(gc)),
+            }),
+        );
+    }
+    Value::Object(out)
+}
+
+/// `None` (undefined metric, e.g. empty group) renders as JSON null.
+fn option_json(x: Option<f64>) -> Value {
+    x.map_or(Value::Null, |v| json!(v))
+}

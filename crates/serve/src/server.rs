@@ -1,0 +1,249 @@
+//! The multithreaded server loop.
+//!
+//! A nonblocking accept thread feeds accepted connections into a bounded
+//! queue drained by a fixed pool of worker threads (keep-alive, one
+//! connection per worker at a time). When the queue is full the accept
+//! thread answers 503 immediately instead of queueing unbounded work.
+//! Shutdown is graceful: the accept thread stops accepting, the queue is
+//! closed, and workers finish their in-flight request before exiting.
+
+use crate::http::{read_request, HttpError, Request, Response};
+use crate::routes::App;
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:8080` (port 0 picks an ephemeral
+    /// port, reported by [`Server::local_addr`]).
+    pub addr: String,
+    /// Worker threads handling connections. Each keep-alive connection
+    /// pins its worker for the connection's lifetime, so this bounds the
+    /// number of concurrent connections, not CPU use — blocking workers
+    /// are cheap, so the default oversubscribes the cores.
+    pub workers: usize,
+    /// Accepted connections waiting for a worker before 503.
+    pub queue_capacity: usize,
+    /// Per-connection socket read timeout (also bounds how long an idle
+    /// keep-alive connection can delay shutdown).
+    pub read_timeout: Duration,
+    /// Per-connection socket write timeout.
+    pub write_timeout: Duration,
+    /// Emit one structured log line per request to stderr.
+    pub log_requests: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism().map_or(4, usize::from);
+        let workers = (cores * 4).max(16);
+        ServerConfig {
+            addr: "127.0.0.1:8080".to_string(),
+            workers,
+            queue_capacity: workers,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            log_requests: true,
+        }
+    }
+}
+
+/// A running server; dropping it (or calling [`Server::shutdown`]) drains
+/// in-flight requests and stops.
+pub struct Server {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_handle: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds and starts serving `app` on background threads.
+    pub fn spawn(app: Arc<App>, config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_handle = std::thread::Builder::new()
+            .name("demodq-accept".to_string())
+            .spawn(move || accept_loop(listener, app, config, accept_shutdown))?;
+        Ok(Server { local_addr, shutdown, accept_handle: Some(accept_handle) })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A flag that triggers shutdown when set (for signal handlers).
+    pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// Stops accepting, drains in-flight requests, and joins all threads.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    app: Arc<App>,
+    config: ServerConfig,
+    shutdown: Arc<AtomicBool>,
+) {
+    let (sender, receiver) = sync_channel::<TcpStream>(config.queue_capacity.max(1));
+    let receiver = Arc::new(Mutex::new(receiver));
+    let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
+        .map(|i| {
+            let app = Arc::clone(&app);
+            let receiver = Arc::clone(&receiver);
+            let shutdown = Arc::clone(&shutdown);
+            let log_requests = config.log_requests;
+            std::thread::Builder::new()
+                .name(format!("demodq-worker-{i}"))
+                .spawn(move || worker_loop(&app, &receiver, &shutdown, log_requests))
+                .expect("spawn worker thread")
+        })
+        .collect();
+
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_read_timeout(Some(config.read_timeout));
+                let _ = stream.set_write_timeout(Some(config.write_timeout));
+                let _ = stream.set_nodelay(true);
+                match sender.try_send(stream) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(stream)) => {
+                        // Shed load instead of queueing unbounded work.
+                        app.metrics().observe_queue_full();
+                        let mut writer = BufWriter::new(stream);
+                        let _ = Response::error(503, "server is at capacity")
+                            .write_to(&mut writer, false);
+                    }
+                    Err(TrySendError::Disconnected(_)) => break,
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+
+    // Close the queue; workers drain what was already accepted and exit.
+    drop(sender);
+    for worker in workers {
+        let _ = worker.join();
+    }
+}
+
+/// Receives connections off the shared queue until it closes.
+fn worker_loop(
+    app: &App,
+    receiver: &Mutex<Receiver<TcpStream>>,
+    shutdown: &AtomicBool,
+    log_requests: bool,
+) {
+    loop {
+        let stream = {
+            let guard = receiver.lock().expect("queue lock poisoned");
+            guard.recv()
+        };
+        match stream {
+            Ok(stream) => handle_connection(app, stream, shutdown, log_requests),
+            Err(_) => return, // queue closed: shutdown
+        }
+    }
+}
+
+/// Serves one (possibly keep-alive) connection.
+fn handle_connection(
+    app: &App,
+    stream: TcpStream,
+    shutdown: &AtomicBool,
+    log_requests: bool,
+) {
+    let peer = stream.peer_addr().map(|a| a.to_string()).unwrap_or_default();
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+
+    loop {
+        // During drain, finish the in-flight request but accept no more.
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let started = Instant::now();
+        match read_request(&mut reader) {
+            Ok(None) => return, // clean close between requests
+            Ok(Some(request)) => {
+                // handle() routes, catches handler panics, and records
+                // metrics; this loop only owns the socket lifecycle.
+                let response = app.handle(&request);
+                let keep_alive = request.keep_alive() && !shutdown.load(Ordering::SeqCst);
+                if log_requests {
+                    log_request(&peer, &request, &response, started.elapsed());
+                }
+                if response.write_to(&mut writer, keep_alive).is_err() || !keep_alive {
+                    return;
+                }
+            }
+            Err(HttpError::Io(_)) => return, // timeout or reset: just close
+            Err(error) => {
+                let response = Response::error(error.status(), &error.message());
+                app.metrics().observe("other", response.status, started.elapsed());
+                if log_requests {
+                    log_line(&peer, "-", "-", response.status, started.elapsed(), 0);
+                }
+                let _ = response.write_to(&mut writer, false);
+                return;
+            }
+        }
+    }
+}
+
+fn log_request(peer: &str, request: &Request, response: &Response, elapsed: Duration) {
+    log_line(peer, &request.method, &request.path, response.status, elapsed, request.body.len());
+}
+
+/// One structured JSON log line per request, on stderr.
+fn log_line(peer: &str, method: &str, path: &str, status: u16, elapsed: Duration, body_bytes: usize) {
+    let ts_ms = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0);
+    eprintln!(
+        "{}",
+        serde_json::json!({
+            "ts_ms": ts_ms,
+            "peer": peer,
+            "method": method,
+            "path": path,
+            "status": status,
+            "duration_us": elapsed.as_micros() as u64,
+            "body_bytes": body_bytes,
+        })
+    );
+}

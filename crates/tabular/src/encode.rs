@@ -102,10 +102,27 @@ impl FeatureEncoder {
         self.out_cols
     }
 
+    /// Names of the source feature columns, in encoding order.
+    ///
+    /// [`FeatureEncoder::transform`] reads only these columns, so a
+    /// serving-time frame needs neither label nor sensitive columns: build
+    /// a frame holding just these (missing values allowed) and encode
+    /// unlabeled rows directly with the training-time encoder.
+    pub fn feature_columns(&self) -> Vec<&str> {
+        self.columns
+            .iter()
+            .map(|c| match c {
+                FittedColumn::Numeric { name, .. } => name.as_str(),
+                FittedColumn::Categorical { name, .. } => name.as_str(),
+            })
+            .collect()
+    }
+
     /// Encodes a frame into a dense matrix.
     ///
     /// The frame must contain every column seen at fit time (extra columns
-    /// are ignored).
+    /// are ignored). The frame may be unlabeled: label and sensitive
+    /// columns are never read.
     pub fn transform(&self, frame: &DataFrame) -> Result<DenseMatrix> {
         let n = frame.n_rows();
         let mut out = DenseMatrix::zeros(n, self.out_cols);
@@ -239,6 +256,25 @@ mod tests {
         let m = enc.transform(&test).unwrap();
         assert_eq!(m.get(0, 1), 0.0);
         assert_eq!(m.get(0, 2), 0.0);
+    }
+
+    #[test]
+    fn transforms_unlabeled_serving_rows() {
+        let enc = FeatureEncoder::fit(&train_frame(), false).unwrap();
+        assert_eq!(enc.feature_columns(), vec!["x", "c"]);
+        // A serving-time frame: feature columns only, no label, one value
+        // missing.
+        let unlabeled = DataFrame::builder()
+            .numeric("x", ColumnRole::Feature, vec![2.0, f64::NAN])
+            .categorical("c", ColumnRole::Feature, &[Some("b"), Some("a")])
+            .build()
+            .unwrap();
+        let m = enc.transform(&unlabeled).unwrap();
+        assert_eq!(m.n_rows(), 2);
+        assert_eq!(m.n_cols(), enc.n_output_cols());
+        assert_eq!(m.get(0, 2), 1.0); // "b" one-hot
+        assert_eq!(m.get(1, 1), 1.0); // "a" one-hot
+        assert_eq!(m.get(1, 0), 0.0); // missing x -> mean -> standardised 0
     }
 
     #[test]

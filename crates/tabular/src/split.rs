@@ -164,7 +164,7 @@ mod tests {
     fn kfold_covers_every_row_once() {
         let folds = kfold(23, 5, 11).unwrap();
         assert_eq!(folds.len(), 5);
-        let mut seen = vec![0usize; 23];
+        let mut seen = [0usize; 23];
         for (train, val) in &folds {
             assert_eq!(train.len() + val.len(), 23);
             for &i in val {

@@ -63,9 +63,9 @@ fn main() {
         ranking[..ranking.len() / 10].iter().copied().collect();
     let mut y_repaired = y_train.clone();
     let mut flipped = 0;
-    for i in 0..y_repaired.len() {
+    for (i, label) in y_repaired.iter_mut().enumerate() {
         if flags.row_flags[i] && top_decile.contains(&i) {
-            y_repaired[i] = 1 - y_repaired[i];
+            *label = 1 - *label;
             flipped += 1;
         }
     }

@@ -1,0 +1,116 @@
+//! Serving quickstart: train a registry, handle requests in-process.
+//!
+//! The HTTP server (`demodq-serve` binary) is a thin socket loop around
+//! the same [`App`] used here, so everything below — predict, clean,
+//! audit, metrics — behaves identically over the wire. This example
+//! skips the sockets and drives the handler directly, which is also how
+//! the integration tests exercise edge cases cheaply.
+//!
+//! Run with: `cargo run --release --example serve_quickstart`
+
+use demodq_repro::datasets::DatasetId;
+use demodq_repro::demodq::config::StudyScale;
+use demodq_repro::demodq_serve::codec::rows_from_frame;
+use demodq_repro::demodq_serve::{App, Registry, Request};
+use demodq_repro::mlcore::ModelKind;
+use demodq_repro::serde_json::{self, json, Value};
+
+/// Builds the `Request` a client would send as `POST <path>` with a JSON
+/// body.
+fn post(path: &str, body: &Value) -> Request {
+    Request {
+        method: "POST".to_string(),
+        path: path.to_string(),
+        headers: Vec::new(),
+        body: serde_json::to_vec(body).expect("encode body"),
+    }
+}
+
+fn main() {
+    // 1. Train the registry: one tuned model per (dataset, model kind).
+    //    Smoke scale keeps this to a few seconds; the binary defaults to
+    //    the same and accepts --scale default|full for real deployments.
+    let registry = Registry::train(
+        &[DatasetId::German],
+        &[ModelKind::LogReg],
+        &StudyScale::smoke(),
+        "smoke",
+        7,
+    )
+    .expect("train registry");
+    let app = App::new(registry);
+
+    for model in app.registry().entries() {
+        println!(
+            "trained {}/{}: validation accuracy {:.3}, test accuracy {:.3}",
+            model.dataset.name(),
+            model.model.name(),
+            model.val_accuracy,
+            model.test_accuracy,
+        );
+    }
+
+    // 2. Score a batch. Rows are plain JSON objects keyed by the dataset's
+    //    column names; here they come from the generator, but any source
+    //    with matching columns works (unknown columns are rejected).
+    let batch = DatasetId::German.generate(5, 99).expect("generate rows");
+    let rows = rows_from_frame(&batch);
+    let request = post(
+        "/v1/predict",
+        &json!({ "dataset": "german", "model": "log-reg", "rows": Value::Array(rows.clone()) }),
+    );
+    let reply = parse(app.handle(&request));
+    println!("\n/v1/predict -> predictions {}", reply.get("predictions").expect("predictions"));
+
+    // 3. Run a paper detector + repair over the same rows.
+    let request = post(
+        "/v1/clean",
+        &json!({
+            "dataset": "german",
+            "detector": "outliers-sd",
+            "rows": Value::Array(rows.clone()),
+        }),
+    );
+    let reply = parse(app.handle(&request));
+    println!(
+        "/v1/clean   -> {} flagged cells, {} repaired",
+        reply.get("flagged_cells").and_then(Value::as_array).map_or(0, Vec::len),
+        reply.get("repairs").and_then(Value::as_array).map_or(0, Vec::len),
+    );
+
+    // 4. Audit fairness on a labeled batch: group confusions plus the
+    //    paper's predictive-parity and equal-opportunity disparities.
+    let audit_batch = DatasetId::German.generate(200, 7).expect("generate audit rows");
+    let request = post(
+        "/v1/audit",
+        &json!({
+            "dataset": "german",
+            "model": "log-reg",
+            "rows": Value::Array(rows_from_frame(&audit_batch)),
+        }),
+    );
+    let reply = parse(app.handle(&request));
+    println!(
+        "/v1/audit   -> accuracy {:.3} over {} groups",
+        reply.get("accuracy").and_then(Value::as_f64).unwrap_or(f64::NAN),
+        reply.get("groups").and_then(Value::as_array).map_or(0, Vec::len),
+    );
+    if let Some(group) = reply.get("groups").and_then(Value::as_array).and_then(|g| g.first()) {
+        println!(
+            "  {}: disparities {}",
+            group.get("group").and_then(Value::as_str).unwrap_or("?"),
+            group.get("disparities").expect("disparities"),
+        );
+    }
+
+    // 5. Every handled request was counted.
+    println!("\n--- /metrics (excerpt) ---");
+    for line in app.metrics().render().lines().filter(|l| l.contains("requests_total")) {
+        println!("{line}");
+    }
+}
+
+fn parse(response: demodq_repro::demodq_serve::Response) -> Value {
+    assert_eq!(response.status, 200, "request failed: {:?}", String::from_utf8_lossy(&response.body));
+    serde_json::from_slice(&response.body).expect("JSON response")
+}

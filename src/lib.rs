@@ -5,7 +5,9 @@
 pub use cleaning;
 pub use datasets;
 pub use demodq;
+pub use demodq_serve;
 pub use fairness;
 pub use mlcore;
+pub use serde_json;
 pub use statskit;
 pub use tabular;

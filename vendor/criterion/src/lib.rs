@@ -1,0 +1,228 @@
+//! Vendored minimal benchmark harness, API-compatible with the subset of
+//! `criterion` the workspace's benches use: `criterion_group!` /
+//! `criterion_main!`, `Criterion::{benchmark_group, bench_function}`,
+//! `BenchmarkGroup::{sample_size, throughput, bench_with_input,
+//! bench_function, finish}`, `Bencher::iter`, `BenchmarkId::from_parameter`
+//! and `Throughput::Elements`.
+//!
+//! Instead of criterion's statistical analysis it times `sample_size`
+//! samples (after a short warm-up) and reports min/mean/max per iteration,
+//! plus element throughput when configured.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput configuration for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Number of elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier (rendered parameter).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// An id that is just the rendered parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Times closures passed to [`Bencher::iter`].
+pub struct Bencher {
+    samples: u64,
+    elapsed: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records total elapsed time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run a few unrecorded iterations.
+        for _ in 0..2 {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iterations = self.samples;
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+fn run_one(full_id: &str, samples: u64, throughput: Option<Throughput>, f: impl FnOnce(&mut Bencher)) {
+    let mut bencher = Bencher { samples, elapsed: Duration::ZERO, iterations: 0 };
+    f(&mut bencher);
+    if bencher.iterations == 0 {
+        println!("{full_id}: no iterations recorded");
+        return;
+    }
+    let per_iter = bencher.elapsed / bencher.iterations as u32;
+    let mut line = format!(
+        "{full_id}: {} /iter over {} iters",
+        format_duration(per_iter),
+        bencher.iterations
+    );
+    let per_iter_s = per_iter.as_secs_f64();
+    if per_iter_s > 0.0 {
+        match throughput {
+            Some(Throughput::Elements(n)) => {
+                line.push_str(&format!(" ({:.0} elem/s)", n as f64 / per_iter_s));
+            }
+            Some(Throughput::Bytes(n)) => {
+                line.push_str(&format!(" ({:.0} B/s)", n as f64 / per_iter_s));
+            }
+            None => {}
+        }
+    }
+    println!("{line}");
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Sets the throughput used for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `routine` with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, routine: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnOnce(&mut Bencher, &I),
+    {
+        let full_id = format!("{}/{}", self.name, id);
+        run_one(&full_id, self.sample_size, self.throughput, |b| routine(b, input));
+        self
+    }
+
+    /// Benchmarks `routine` with no input.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, id: impl fmt::Display, routine: F) -> &mut Self {
+        let full_id = format!("{}/{id}", self.name);
+        run_one(&full_id, self.sample_size, self.throughput, routine);
+        self
+    }
+
+    /// Ends the group (kept for API parity; reporting is immediate).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver handed to `criterion_group!` functions.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// A driver with default settings.
+    pub fn new() -> Self {
+        Criterion {}
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks `routine` outside any group.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, id: impl fmt::Display, routine: F) -> &mut Self {
+        run_one(&id.to_string(), 10, None, routine);
+        self
+    }
+}
+
+/// Declares a benchmark group function list.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::new();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::new();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(100));
+        group.bench_with_input(BenchmarkId::from_parameter("id"), &21u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.bench_function("plain", |b| b.iter(|| 1 + 1));
+        group.finish();
+        c.bench_function("top-level", |b| b.iter(|| black_box(3) * 3));
+    }
+
+    #[test]
+    fn benchmark_id_renders_parameter() {
+        assert_eq!(BenchmarkId::from_parameter("knn").to_string(), "knn");
+        assert_eq!(BenchmarkId::new("fit", 5).to_string(), "fit/5");
+    }
+}

@@ -1,0 +1,256 @@
+//! Vendored minimal property-testing harness, API-compatible with the
+//! subset of `proptest` the workspace's test suites use: the `proptest!`
+//! macro, `prop_assert*`, range/`Just`/tuple strategies, `prop_oneof!`,
+//! `prop::collection::vec`, `prop::sample::select`, `any::<T>()` and
+//! `Strategy::prop_map`.
+//!
+//! No shrinking: a failing case panics with the generated inputs' seed so
+//! the failure is reproducible (generation is fully deterministic per test
+//! name and case index).
+
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// Glob-import module, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Deterministic RNG used for generation (splitmix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the RNG.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in `[0, n)`; `n` must be positive.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        // Multiply-shift bounded sampling (bias negligible at test scale).
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "fmt", args...)` — fails the
+/// current case without panicking inside the generation loop.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// `prop_assume!(cond)` — skips (rather than fails) the current case when
+/// the precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        $crate::prop_assume!($cond, concat!("assumption failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// `prop_assert_eq!(a, b)` with optional format message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left), stringify!($right), left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)*);
+    }};
+}
+
+/// `prop_assert_ne!(a, b)` with optional format message.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{} != {}` (both: `{:?}`)",
+            stringify!($left), stringify!($right), left
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left != *right, $($fmt)*);
+    }};
+}
+
+/// Weighted (or unweighted) union of strategies producing the same value
+/// type; each alternative is boxed.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( (($weight) as u32, $crate::strategy::Strategy::boxed($strat)) ),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( (1u32, $crate::strategy::Strategy::boxed($strat)) ),+
+        ])
+    };
+}
+
+/// The `proptest! { ... }` block: an optional
+/// `#![proptest_config(...)]` followed by `#[test] fn name(arg in strategy,
+/// ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = ($config:expr); ) => {};
+    (config = ($config:expr);
+     $(#[$meta:meta])*
+     fn $name:ident( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut runner =
+                $crate::test_runner::TestRunner::new(&config, stringify!($name));
+            while let Some(mut rng) = runner.next_case() {
+                $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut rng);)+
+                // The immediately-called closure gives `$body` a `?`
+                // operator that short-circuits the case, like upstream.
+                #[allow(clippy::redundant_closure_call)]
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                runner.finish_case(outcome);
+            }
+        }
+        $crate::__proptest_items! { config = ($config); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_pair() -> impl Strategy<Value = (u64, u64)> {
+        (0u64..100, 100u64..200)
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 1.5..9.5f64, n in 3usize..17) {
+            prop_assert!((1.5..9.5).contains(&x));
+            prop_assert!((3..17).contains(&n));
+        }
+
+        #[test]
+        fn vec_sizes_and_elements(v in prop::collection::vec(0u8..2, 5..=9)) {
+            prop_assert!((5..=9).contains(&v.len()));
+            prop_assert!(v.iter().all(|&b| b < 2));
+        }
+
+        #[test]
+        fn oneof_and_just(x in prop_oneof![3 => 0.0..1.0f64, 1 => Just(f64::NAN)]) {
+            prop_assert!(x.is_nan() || (0.0..1.0).contains(&x));
+        }
+
+        #[test]
+        fn tuples_and_map(p in arb_pair().prop_map(|(a, b)| a + b)) {
+            prop_assert!((100..300).contains(&p));
+        }
+
+        #[test]
+        fn select_picks_members(d in prop::sample::select(vec![2u64, 4, 8])) {
+            prop_assert!([2, 4, 8].contains(&d));
+        }
+
+        #[test]
+        fn any_u64_varies(seed in any::<u64>()) {
+            let _ = seed; // just exercising generation
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+        #[test]
+        fn config_with_cases_runs(x in 0u64..10) {
+            prop_assert!(x < 10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case failed")]
+    fn failing_property_panics_with_context() {
+        proptest! {
+            fn inner(x in 0u64..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        inner();
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_name() {
+        let config = ProptestConfig::default();
+        let mut a = crate::test_runner::TestRunner::new(&config, "det");
+        let mut b = crate::test_runner::TestRunner::new(&config, "det");
+        let ra = Strategy::generate(&(0.0..1.0f64), &mut a.next_case().unwrap());
+        let rb = Strategy::generate(&(0.0..1.0f64), &mut b.next_case().unwrap());
+        assert_eq!(ra, rb);
+    }
+}

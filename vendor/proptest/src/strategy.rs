@@ -1,0 +1,289 @@
+//! Value-generation strategies.
+
+use crate::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A way to generate values of one type.
+///
+/// Unlike upstream there is no shrinking: `Value` is the generated type
+/// directly.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `map_fn`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, map_fn: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { base: self, map_fn }
+    }
+
+    /// Type-erases the strategy (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Object-safe generation, backing [`BoxedStrategy`].
+trait DynStrategy<T> {
+    fn dyn_generate(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn DynStrategy<T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.dyn_generate(rng)
+    }
+}
+
+/// Always generates a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The mapped strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    base: S,
+    map_fn: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.map_fn)(self.base.generate(rng))
+    }
+}
+
+/// Weighted union of same-valued strategies (built by `prop_oneof!`).
+pub struct Union<T> {
+    alternatives: Vec<(u32, BoxedStrategy<T>)>,
+    total_weight: u64,
+}
+
+impl<T> Union<T> {
+    /// Builds a union from `(weight, strategy)` alternatives.
+    pub fn new(alternatives: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!alternatives.is_empty(), "prop_oneof! needs alternatives");
+        let total_weight = alternatives.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total_weight > 0, "prop_oneof! weights sum to zero");
+        Union { alternatives, total_weight }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total_weight);
+        for (weight, strat) in &self.alternatives {
+            if pick < u64::from(*weight) {
+                return strat.generate(rng);
+            }
+            pick -= u64::from(*weight);
+        }
+        unreachable!("weighted pick out of range")
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($ty:ty),+) => {
+        $(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $ty
+                }
+            }
+            impl Strategy for RangeInclusive<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128 + 1) as u128;
+                    let pick = (u128::from(rng.next_u64()) * span) >> 64;
+                    (lo as i128 + pick as i128) as $ty
+                }
+            }
+        )+
+    };
+}
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let v = self.start + (self.end - self.start) * rng.next_f64();
+        v.clamp(self.start, f64::from_bits(self.end.to_bits() - 1))
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range strategy");
+        let unit = (rng.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64;
+        (lo + (hi - lo) * unit).clamp(lo, hi)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range strategy");
+        let v = (f64::from(self.start)
+            + (f64::from(self.end) - f64::from(self.start)) * rng.next_f64()) as f32;
+        v.min(f32::from_bits(self.end.to_bits() - 1)).max(self.start)
+    }
+}
+
+/// Generation for `any::<T>()`.
+pub trait Arbitrary: Sized {
+    /// Generates an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        rng.next_u64()
+    }
+}
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut TestRng) -> u32 {
+        rng.next_u64() as u32
+    }
+}
+impl Arbitrary for u8 {
+    fn arbitrary(rng: &mut TestRng) -> u8 {
+        rng.next_u64() as u8
+    }
+}
+impl Arbitrary for usize {
+    fn arbitrary(rng: &mut TestRng) -> usize {
+        rng.next_u64() as usize
+    }
+}
+impl Arbitrary for i64 {
+    fn arbitrary(rng: &mut TestRng) -> i64 {
+        rng.next_u64() as i64
+    }
+}
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite, wide-range floats.
+        (rng.next_f64() - 0.5) * 2e12
+    }
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// `any::<T>()` — unconstrained values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+)),+ $(,)?) => {
+        $(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )+
+    };
+}
+impl_tuple_strategy!(
+    (A),
+    (A, B),
+    (A, B, C),
+    (A, B, C, D),
+    (A, B, C, D, E),
+    (A, B, C, D, E, F)
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_ranges_stay_in_bounds() {
+        let mut rng = TestRng::seed_from_u64(9);
+        for _ in 0..500 {
+            let v = (10u64..20).generate(&mut rng);
+            assert!((10..20).contains(&v));
+            let w = (-5i32..5).generate(&mut rng);
+            assert!((-5..5).contains(&w));
+            let x = (3usize..=3).generate(&mut rng);
+            assert_eq!(x, 3);
+        }
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = TestRng::seed_from_u64(4);
+        for _ in 0..500 {
+            let v = (-2.0..3.0f64).generate(&mut rng);
+            assert!((-2.0..3.0).contains(&v));
+            let w = (0.0..=1.0f64).generate(&mut rng);
+            assert!((0.0..=1.0).contains(&w));
+        }
+    }
+
+    #[test]
+    fn union_honours_weights_roughly() {
+        let mut rng = TestRng::seed_from_u64(11);
+        let u = Union::new(vec![(9, Just(0u8).boxed()), (1, Just(1u8).boxed())]);
+        let ones: usize = (0..2000).map(|_| usize::from(u.generate(&mut rng))).sum();
+        assert!(ones > 50 && ones < 500, "ones = {ones}");
+    }
+}

@@ -1,0 +1,144 @@
+//! Case scheduling and failure reporting for `proptest!`.
+
+use crate::TestRng;
+use std::fmt;
+
+/// Harness configuration; only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 32 keeps deterministic CI runs fast
+        // while still exercising each property across varied inputs.
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// A failed or rejected test case (produced by the `prop_assert*` and
+/// `prop_assume!` macros).
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+    rejected: bool,
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError { message: message.into(), rejected: false }
+    }
+
+    /// A rejection (`prop_assume!` miss): the case is skipped, not failed.
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError { message: message.into(), rejected: true }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// FNV-1a, fingerprinting the test name into an RNG stream id.
+fn fnv1a(name: &str) -> u64 {
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for byte in name.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+/// Drives the cases of one property.
+///
+/// Generation is deterministic per (test name, case index), so a reported
+/// failing case reproduces on re-run without persisted state.
+pub struct TestRunner {
+    name: String,
+    name_hash: u64,
+    cases: u32,
+    next_case: u32,
+}
+
+impl TestRunner {
+    /// A runner for the named property under `config`.
+    pub fn new(config: &ProptestConfig, name: &str) -> Self {
+        TestRunner {
+            name: name.to_string(),
+            name_hash: fnv1a(name),
+            cases: config.cases,
+            next_case: 0,
+        }
+    }
+
+    /// Total number of cases this runner will schedule.
+    pub fn cases(&self) -> u32 {
+        self.cases
+    }
+
+    /// The RNG for the next case, or `None` when all cases have run.
+    pub fn next_case(&mut self) -> Option<TestRng> {
+        if self.next_case >= self.cases {
+            return None;
+        }
+        let case = u64::from(self.next_case);
+        self.next_case += 1;
+        Some(TestRng::seed_from_u64(
+            self.name_hash ^ case.wrapping_mul(0xA24BAED4963EE407),
+        ))
+    }
+
+    /// Records the outcome of the case last issued by [`Self::next_case`];
+    /// panics on failure with enough context to reproduce.
+    pub fn finish_case(&mut self, outcome: Result<(), TestCaseError>) {
+        if let Err(err) = outcome {
+            if err.rejected {
+                return;
+            }
+            panic!(
+                "proptest case failed: {} (property `{}`, case {}/{})",
+                err,
+                self.name,
+                self.next_case, // already advanced, so this is 1-based
+                self.cases,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runner_schedules_exactly_n_cases() {
+        let mut runner = TestRunner::new(&ProptestConfig::with_cases(5), "five");
+        let mut count = 0;
+        while runner.next_case().is_some() {
+            runner.finish_case(Ok(()));
+            count += 1;
+        }
+        assert_eq!(count, 5);
+        assert_eq!(runner.cases(), 5);
+    }
+
+    #[test]
+    fn different_names_get_different_streams() {
+        let config = ProptestConfig::default();
+        let a = TestRunner::new(&config, "alpha").next_case().unwrap().clone().next_u64();
+        let b = TestRunner::new(&config, "beta").next_case().unwrap().clone().next_u64();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,191 @@
+//! Vendored minimal `rayon` shim: the `par_iter().map(..).collect()`
+//! subset the study runner uses, executed on std threads with an atomic
+//! work-stealing index. Items are processed in parallel and results are
+//! returned in input order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The usual glob-import module.
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Number of worker threads: one per available core, at least one.
+fn n_workers(n_items: usize) -> usize {
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    cores.min(n_items).max(1)
+}
+
+/// Conversion into a borrowing parallel iterator.
+pub trait IntoParallelRefIterator<'data> {
+    /// The borrowed item type.
+    type Item: 'data;
+    /// The parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// A parallel iterator over borrowed items.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    type Iter = ParSlice<'data, T>;
+
+    fn par_iter(&'data self) -> ParSlice<'data, T> {
+        ParSlice { slice: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    type Iter = ParSlice<'data, T>;
+
+    fn par_iter(&'data self) -> ParSlice<'data, T> {
+        ParSlice { slice: self }
+    }
+}
+
+/// A parallel pipeline that can run a per-item function and collect the
+/// results in input order.
+pub trait ParallelIterator: Sized {
+    /// The item type flowing through the pipeline.
+    type Item;
+
+    /// Maps each item through `op` (executed on worker threads).
+    fn map<R, F>(self, op: F) -> ParMap<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Send + Sync,
+        R: Send,
+    {
+        ParMap { base: self, op }
+    }
+
+    /// Runs the pipeline. Implementation detail of `collect`.
+    fn run(self) -> Vec<Self::Item>;
+
+    /// Executes the pipeline and collects results in input order.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_results(self.run())
+    }
+}
+
+/// A collection buildable from parallel results.
+pub trait FromParallelIterator<T> {
+    /// Builds the collection from in-order results.
+    fn from_par_results(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_par_results(items: Vec<T>) -> Vec<T> {
+        items
+    }
+}
+
+/// Borrowing parallel iterator over a slice.
+pub struct ParSlice<'data, T> {
+    slice: &'data [T],
+}
+
+impl<'data, T: Sync> ParallelIterator for ParSlice<'data, T> {
+    type Item = &'data T;
+
+    fn run(self) -> Vec<&'data T> {
+        self.slice.iter().collect()
+    }
+}
+
+/// The mapped pipeline stage.
+pub struct ParMap<B, F> {
+    base: B,
+    op: F,
+}
+
+impl<B, R, F> ParallelIterator for ParMap<B, F>
+where
+    B: ParallelIterator,
+    B::Item: Send,
+    F: Fn(B::Item) -> R + Send + Sync,
+    R: Send,
+{
+    type Item = R;
+
+    fn run(self) -> Vec<R> {
+        let items = self.base.run();
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let op = &self.op;
+        let workers = n_workers(n);
+        if workers == 1 {
+            return items.into_iter().map(op).collect();
+        }
+        // Hand out (index, item) tasks through a shared cursor; each worker
+        // pushes (index, result) pairs, merged and re-ordered at the end.
+        let tasks: Vec<Mutex<Option<B::Item>>> =
+            items.into_iter().map(|item| Mutex::new(Some(item))).collect();
+        let cursor = AtomicUsize::new(0);
+        let mut chunks: Vec<Vec<(usize, R)>> = Vec::with_capacity(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                return local;
+                            }
+                            let item = tasks[i].lock().unwrap().take().expect("task taken once");
+                            local.push((i, op(item)));
+                        }
+                    })
+                })
+                .collect();
+            for handle in handles {
+                chunks.push(handle.join().expect("worker panicked"));
+            }
+        });
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for (i, r) in chunks.into_iter().flatten() {
+            slots[i] = Some(r);
+        }
+        slots.into_iter().map(|s| s.expect("every index produced")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let input: Vec<u64> = Vec::new();
+        let out: Vec<u64> = input.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn actually_runs_concurrently_when_multicore() {
+        // Smoke check: heavy-ish tasks across threads still give correct
+        // in-order results.
+        let input: Vec<u64> = (0..64).collect();
+        let out: Vec<u64> = input
+            .par_iter()
+            .map(|&x| (0..10_000).fold(x, |acc, _| acc.wrapping_mul(6364136223846793005).wrapping_add(1)))
+            .collect();
+        let expected: Vec<u64> = input
+            .iter()
+            .map(|&x| (0..10_000).fold(x, |acc, _| acc.wrapping_mul(6364136223846793005).wrapping_add(1)))
+            .collect();
+        assert_eq!(out, expected);
+    }
+}

@@ -1,0 +1,932 @@
+//! Vendored minimal JSON library, API-compatible with the subset of
+//! `serde_json` this workspace uses: the [`Value`] tree, an ordered
+//! [`Map`] (BTreeMap-backed, like upstream without `preserve_order`),
+//! the [`json!`] macro, [`to_string`] / [`to_string_pretty`] and
+//! [`from_str`].
+//!
+//! The parser is a recursive-descent implementation with a nesting-depth
+//! limit so untrusted network input (the serving subsystem feeds request
+//! bodies through here) cannot overflow the stack.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Maximum nesting depth accepted by the parser.
+const MAX_DEPTH: usize = 128;
+
+/// A JSON number: integers keep their integer formatting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed (negative) integer.
+    I64(i64),
+    /// Finite float.
+    F64(f64),
+}
+
+impl Number {
+    /// The value as `f64` (always possible).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::U64(v) => v as f64,
+            Number::I64(v) => v as f64,
+            Number::F64(v) => v,
+        }
+    }
+
+    /// The value as `u64` when losslessly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::U64(v) => Some(v),
+            Number::I64(v) => u64::try_from(v).ok(),
+            Number::F64(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => {
+                Some(v as u64)
+            }
+            Number::F64(_) => None,
+        }
+    }
+
+    /// The value as `i64` when losslessly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::U64(v) => i64::try_from(v).ok(),
+            Number::I64(v) => Some(v),
+            Number::F64(v) if v.fract() == 0.0 && v >= i64::MIN as f64 && v <= i64::MAX as f64 => {
+                Some(v as i64)
+            }
+            Number::F64(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Number::U64(v) => write!(f, "{v}"),
+            Number::I64(v) => write!(f, "{v}"),
+            Number::F64(v) => {
+                let s = format!("{v}");
+                if s.contains('.') || s.contains('e') || s.contains('E') {
+                    f.write_str(&s)
+                } else {
+                    write!(f, "{s}.0")
+                }
+            }
+        }
+    }
+}
+
+/// Ordered string-keyed map (BTreeMap-backed: deterministic key order).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Map<K = String, V = Value> {
+    inner: BTreeMap<K, V>,
+}
+
+impl Map<String, Value> {
+    /// An empty map.
+    pub fn new() -> Self {
+        Map { inner: BTreeMap::new() }
+    }
+
+    /// Inserts a key-value pair, returning the previous value if any.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        self.inner.insert(key, value)
+    }
+
+    /// The value for a key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.inner.get(key)
+    }
+
+    /// True when the key is present.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.inner.contains_key(key)
+    }
+
+    /// Removes a key, returning its value.
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        self.inner.remove(key)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Iterates `(key, value)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.inner.iter()
+    }
+
+    /// Iterates keys in order.
+    pub fn keys(&self) -> impl Iterator<Item = &String> {
+        self.inner.keys()
+    }
+
+    /// Iterates values in key order.
+    pub fn values(&self) -> impl Iterator<Item = &Value> {
+        self.inner.values()
+    }
+}
+
+impl IntoIterator for Map<String, Value> {
+    type Item = (String, Value);
+    type IntoIter = std::collections::btree_map::IntoIter<String, Value>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.into_iter()
+    }
+}
+
+impl FromIterator<(String, Value)> for Map<String, Value> {
+    fn from_iter<T: IntoIterator<Item = (String, Value)>>(iter: T) -> Self {
+        Map { inner: iter.into_iter().collect() }
+    }
+}
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`.
+    #[default]
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(Map<String, Value>),
+}
+
+impl Value {
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, if it is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The value as an object, if it is one.
+    pub fn as_object(&self) -> Option<&Map<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// True when the value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Object member by key (`None` on non-objects or absent keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&to_string(self).map_err(|_| fmt::Error)?)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<u8> for Value {
+    fn from(v: u8) -> Self {
+        Value::Number(Number::U64(u64::from(v)))
+    }
+}
+impl From<u16> for Value {
+    fn from(v: u16) -> Self {
+        Value::Number(Number::U64(u64::from(v)))
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::Number(Number::U64(u64::from(v)))
+    }
+}
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::Number(Number::U64(v))
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::Number(Number::U64(v as u64))
+    }
+}
+impl From<i8> for Value {
+    fn from(v: i8) -> Self {
+        Value::from(i64::from(v))
+    }
+}
+impl From<i16> for Value {
+    fn from(v: i16) -> Self {
+        Value::from(i64::from(v))
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::from(i64::from(v))
+    }
+}
+impl From<isize> for Value {
+    fn from(v: isize) -> Self {
+        Value::from(v as i64)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        if v >= 0 {
+            Value::Number(Number::U64(v as u64))
+        } else {
+            Value::Number(Number::I64(v))
+        }
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        // Non-finite floats have no JSON representation; mirror upstream's
+        // `json!` behaviour of mapping them to null.
+        if v.is_finite() {
+            Value::Number(Number::F64(v))
+        } else {
+            Value::Null
+        }
+    }
+}
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::from(f64::from(v))
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::String(v.to_string())
+    }
+}
+impl From<&String> for Value {
+    fn from(v: &String) -> Self {
+        Value::String(v.clone())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::String(v)
+    }
+}
+impl From<Map<String, Value>> for Value {
+    fn from(v: Map<String, Value>) -> Self {
+        Value::Object(v)
+    }
+}
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+impl<T: Into<Value> + Clone> From<&[T]> for Value {
+    fn from(v: &[T]) -> Self {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+impl From<&Value> for Value {
+    fn from(v: &Value) -> Self {
+        v.clone()
+    }
+}
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        v.map_or(Value::Null, Into::into)
+    }
+}
+
+/// Serialisation/parsing error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+    /// Byte offset of a parse error, when known.
+    pub offset: Option<usize>,
+}
+
+impl Error {
+    fn new(message: impl Into<String>, offset: Option<usize>) -> Self {
+        Error { message: message.into(), offset }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.offset {
+            Some(at) => write!(f, "{} at byte {at}", self.message),
+            None => f.write_str(&self.message),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Anything serialisable to JSON text. Implemented for [`Value`] and
+/// [`Map`]; the workspace never uses serde derive.
+pub trait ToJson {
+    /// The value tree to serialise.
+    fn to_json_value(&self) -> Value;
+}
+
+impl ToJson for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl ToJson for Map<String, Value> {
+    fn to_json_value(&self) -> Value {
+        Value::Object(self.clone())
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+macro_rules! impl_to_json_scalar {
+    ($($ty:ty),+) => {
+        $(impl ToJson for $ty {
+            fn to_json_value(&self) -> Value {
+                Value::from(*self)
+            }
+        })+
+    };
+}
+impl_to_json_scalar!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl ToJson for str {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl ToJson for String {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>, level: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => out.push_str(&n.to_string()),
+        Value::String(s) => escape_into(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                pad(out, indent, level + 1);
+                write_value(out, item, indent, level + 1);
+            }
+            pad(out, indent, level);
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                pad(out, indent, level + 1);
+                escape_into(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, level + 1);
+            }
+            pad(out, indent, level);
+            out.push('}');
+        }
+    }
+}
+
+fn pad(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', width * level));
+    }
+}
+
+/// Serialises to compact JSON text.
+pub fn to_string<T: ToJson + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_json_value(), None, 0);
+    Ok(out)
+}
+
+/// Serialises to pretty-printed JSON text (2-space indent).
+pub fn to_string_pretty<T: ToJson + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_json_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Serialises to a byte vector.
+pub fn to_vec<T: ToJson + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    to_string(value).map(String::into_bytes)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T> {
+        Err(Error::new(message, Some(self.pos)))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<()> {
+        if self.bump() == Some(byte) {
+            Ok(())
+        } else {
+            self.pos = self.pos.saturating_sub(1);
+            self.err(format!("expected '{}'", byte as char))
+        }
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<Value> {
+        if depth > MAX_DEPTH {
+            return self.err("maximum nesting depth exceeded");
+        }
+        self.skip_ws();
+        match self.peek() {
+            None => self.err("unexpected end of input"),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => self.parse_array(depth),
+            Some(b'{') => self.parse_object(depth),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(other) => self.err(format!("unexpected character '{}'", other as char)),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Value) -> Result<Value> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            self.err(format!("invalid literal (expected '{text}')"))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{08}'),
+                    Some(b'f') => out.push('\u{0c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let first = self.parse_hex4()?;
+                        let code = if (0xD800..0xDC00).contains(&first) {
+                            // Surrogate pair: expect a low surrogate next.
+                            if self.bump() != Some(b'\\') || self.bump() != Some(b'u') {
+                                return self.err("unpaired surrogate");
+                            }
+                            let low = self.parse_hex4()?;
+                            if !(0xDC00..0xE000).contains(&low) {
+                                return self.err("invalid low surrogate");
+                            }
+                            0x10000 + ((first - 0xD800) << 10) + (low - 0xDC00)
+                        } else {
+                            first
+                        };
+                        match char::from_u32(code) {
+                            Some(c) => out.push(c),
+                            None => return self.err("invalid unicode escape"),
+                        }
+                    }
+                    _ => return self.err("invalid escape sequence"),
+                },
+                Some(b) if b < 0x20 => return self.err("control character in string"),
+                Some(b) => {
+                    // Re-assemble UTF-8 multibyte sequences from raw bytes.
+                    let len = match b {
+                        0x00..=0x7F => 1,
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        0xF0..=0xF7 => 4,
+                        _ => return self.err("invalid UTF-8"),
+                    };
+                    let start = self.pos - 1;
+                    let end = start + len;
+                    if end > self.bytes.len() {
+                        return self.err("truncated UTF-8 sequence");
+                    }
+                    match std::str::from_utf8(&self.bytes[start..end]) {
+                        Ok(s) => out.push_str(s),
+                        Err(_) => return self.err("invalid UTF-8"),
+                    }
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let digit = match self.bump() {
+                Some(b @ b'0'..=b'9') => u32::from(b - b'0'),
+                Some(b @ b'a'..=b'f') => u32::from(b - b'a') + 10,
+                Some(b @ b'A'..=b'F') => u32::from(b - b'A') + 10,
+                _ => return self.err("invalid \\u escape"),
+            };
+            code = code * 16 + digit;
+        }
+        Ok(code)
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("invalid number", Some(start)))?;
+        if !is_float {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::U64(v)));
+            }
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::I64(v)));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(v) if v.is_finite() => Ok(Value::Number(Number::F64(v))),
+            _ => Err(Error::new(format!("invalid number '{text}'"), Some(start))),
+        }
+    }
+
+    fn parse_array(&mut self, depth: usize) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value(depth + 1)?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Value::Array(items)),
+                _ => {
+                    self.pos = self.pos.saturating_sub(1);
+                    return self.err("expected ',' or ']'");
+                }
+            }
+        }
+    }
+
+    fn parse_object(&mut self, depth: usize) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value(depth + 1)?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Value::Object(map)),
+                _ => {
+                    self.pos = self.pos.saturating_sub(1);
+                    return self.err("expected ',' or '}'");
+                }
+            }
+        }
+    }
+}
+
+/// Parses JSON text into a [`Value`].
+pub fn from_str(text: &str) -> Result<Value> {
+    from_slice(text.as_bytes())
+}
+
+/// Parses JSON bytes into a [`Value`].
+pub fn from_slice(bytes: &[u8]) -> Result<Value> {
+    let mut parser = Parser { bytes, pos: 0 };
+    let value = parser.parse_value(0)?;
+    parser.skip_ws();
+    if parser.pos != bytes.len() {
+        return parser.err("trailing characters after JSON value");
+    }
+    Ok(value)
+}
+
+/// Builds a [`Value`] from a JSON-ish literal, mirroring upstream's macro
+/// for the forms this workspace uses (scalars, arrays, flat objects).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($tt:tt)* ]) => {
+        $crate::Value::Array($crate::json_list!([] $($tt)*))
+    };
+    ({ $($tt:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut map = $crate::Map::new();
+        $crate::json_entries!(map $($tt)*);
+        $crate::Value::Object(map)
+    }};
+    // By reference, like upstream: `json!(borrowed.string_field)` must not
+    // move out of the borrow.
+    ($other:expr) => { $crate::ToJson::to_json_value(&$other) };
+}
+
+/// Internal muncher for [`json!`] array elements; nested `null`, arrays
+/// and objects must be re-dispatched as tokens (an `expr` fragment would
+/// swallow them before the literal arms of [`json!`] could match).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_list {
+    ([$($done:expr,)*]) => { vec![$($done,)*] };
+    ([$($done:expr,)*] ,) => { vec![$($done,)*] };
+    ([$($done:expr,)*] null $(, $($rest:tt)*)?) => {
+        $crate::json_list!([$($done,)* $crate::Value::Null,] $($($rest)*)?)
+    };
+    ([$($done:expr,)*] [$($inner:tt)*] $(, $($rest:tt)*)?) => {
+        $crate::json_list!([$($done,)* $crate::json!([$($inner)*]),] $($($rest)*)?)
+    };
+    ([$($done:expr,)*] {$($inner:tt)*} $(, $($rest:tt)*)?) => {
+        $crate::json_list!([$($done,)* $crate::json!({$($inner)*}),] $($($rest)*)?)
+    };
+    ([$($done:expr,)*] $next:expr, $($rest:tt)*) => {
+        $crate::json_list!([$($done,)* $crate::json!($next),] $($rest)*)
+    };
+    ([$($done:expr,)*] $last:expr) => {
+        $crate::json_list!([$($done,)* $crate::json!($last),])
+    };
+}
+
+/// Internal muncher for [`json!`] object entries (same dispatch rules as
+/// [`json_list!`]).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_entries {
+    ($map:ident) => {};
+    ($map:ident ,) => {};
+    ($map:ident $key:tt : null $(, $($rest:tt)*)?) => {
+        $map.insert(($key).to_string(), $crate::Value::Null);
+        $crate::json_entries!($map $($($rest)*)?);
+    };
+    ($map:ident $key:tt : [$($inner:tt)*] $(, $($rest:tt)*)?) => {
+        $map.insert(($key).to_string(), $crate::json!([$($inner)*]));
+        $crate::json_entries!($map $($($rest)*)?);
+    };
+    ($map:ident $key:tt : {$($inner:tt)*} $(, $($rest:tt)*)?) => {
+        $map.insert(($key).to_string(), $crate::json!({$($inner)*}));
+        $crate::json_entries!($map $($($rest)*)?);
+    };
+    ($map:ident $key:tt : $value:expr, $($rest:tt)*) => {
+        $map.insert(($key).to_string(), $crate::json!($value));
+        $crate::json_entries!($map $($rest)*);
+    };
+    ($map:ident $key:tt : $value:expr) => {
+        $map.insert(($key).to_string(), $crate::json!($value));
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_compact() {
+        let text = r#"{"a":[1,2.5,-3],"b":"x\n\"y\"","c":true,"d":null}"#;
+        let v = from_str(text).unwrap();
+        assert_eq!(to_string(&v).unwrap(), text);
+    }
+
+    #[test]
+    fn integers_keep_integer_formatting() {
+        assert_eq!(to_string(&json!(42u64)).unwrap(), "42");
+        assert_eq!(to_string(&json!(-7i64)).unwrap(), "-7");
+        assert_eq!(to_string(&json!(1.0f64)).unwrap(), "1.0");
+        assert_eq!(to_string(&json!(0.25f64)).unwrap(), "0.25");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(json!(f64::NAN), Value::Null);
+        assert_eq!(json!(f64::INFINITY), Value::Null);
+    }
+
+    #[test]
+    fn object_macro_and_accessors() {
+        let v = json!({"name": "adult", "rows": 5usize, "acc": 0.81});
+        assert_eq!(v.get("name").and_then(Value::as_str), Some("adult"));
+        assert_eq!(v.get("rows").and_then(Value::as_u64), Some(5));
+        assert!(v.get("acc").and_then(Value::as_f64).unwrap() > 0.8);
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn macro_nests_null_arrays_and_objects() {
+        let v = json!({
+            "a": null,
+            "b": [1u64, null, {"c": true}],
+            "d": {"e": [], "f": {}},
+            "g": 2u64 + 3,
+        });
+        assert_eq!(
+            to_string(&v).unwrap(),
+            r#"{"a":null,"b":[1,null,{"c":true}],"d":{"e":[],"f":{}},"g":5}"#
+        );
+    }
+
+    #[test]
+    fn map_is_key_ordered() {
+        let mut m = Map::new();
+        m.insert("b".to_string(), json!(2u64));
+        m.insert("a".to_string(), json!(1u64));
+        assert_eq!(to_string(&m).unwrap(), r#"{"a":1,"b":2}"#);
+    }
+
+    #[test]
+    fn pretty_printing_indents() {
+        let v = json!({"a": 1u64});
+        let pretty = to_string_pretty(&v).unwrap();
+        assert_eq!(pretty, "{\n  \"a\": 1\n}");
+    }
+
+    #[test]
+    fn parse_errors_carry_offsets() {
+        assert!(from_str("{\"a\": }").is_err());
+        assert!(from_str("[1, 2").is_err());
+        assert!(from_str("[1] trailing").is_err());
+        assert!(from_str("nul").is_err());
+        assert!(from_str("").is_err());
+    }
+
+    #[test]
+    fn depth_limit_rejects_deep_nesting() {
+        let text = format!("{}1{}", "[".repeat(300), "]".repeat(300));
+        assert!(from_str(&text).is_err());
+        let ok = format!("{}1{}", "[".repeat(50), "]".repeat(50));
+        assert!(from_str(&ok).is_ok());
+    }
+
+    #[test]
+    fn unicode_escapes_and_surrogates() {
+        let v = from_str(r#""A😀""#).unwrap();
+        assert_eq!(v.as_str(), Some("A\u{1F600}"));
+        assert!(from_str(r#""\ud83d""#).is_err());
+        let round = to_string(&Value::String("smile \u{1F600}".to_string())).unwrap();
+        assert_eq!(from_str(&round).unwrap().as_str(), Some("smile \u{1F600}"));
+    }
+
+    #[test]
+    fn string_values_parse_multibyte_utf8() {
+        let v = from_str("\"caf\u{e9}\"").unwrap();
+        assert_eq!(v.as_str(), Some("caf\u{e9}"));
+    }
+}
