@@ -22,4 +22,8 @@ cargo test --workspace -q
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> studybench perf gate (vs committed BENCH_study.json)"
+cargo run --release -p demodq-bench --bin studybench -- \
+    --smoke --out target/BENCH_study.json --baseline BENCH_study.json
+
 echo "CI green."

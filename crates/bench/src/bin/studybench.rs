@@ -1,0 +1,231 @@
+//! Tracked performance benchmark for the study pipeline.
+//!
+//! Two sections, written as JSON (default `BENCH_study.json`):
+//!
+//! * **micro** — GBDT training on encoded Adult data with the histogram
+//!   splitter vs the exact splitter (best of three runs each), plus one
+//!   training run per model kind.
+//! * **study** — the end-to-end error-type study over all datasets,
+//!   models and error types at the chosen scale, reported as wall time
+//!   and model evaluations per second.
+//!
+//! With `--baseline PATH` the run is also a regression gate: it exits
+//! non-zero if the baseline or current report is missing required
+//! fields, or if end-to-end throughput dropped below 75% of the
+//! baseline. CI runs `studybench --smoke --baseline BENCH_study.json`
+//! against the committed baseline.
+//!
+//! ```text
+//! cargo run --release -p demodq-bench --bin studybench -- --smoke
+//! ```
+
+use datasets::{DatasetId, ErrorType};
+use demodq::config::StudyScale;
+use mlcore::{GbdtClassifier, ModelKind};
+use serde_json::{json, Value};
+use std::time::Instant;
+use tabular::{DenseMatrix, FeatureEncoder};
+
+struct Options {
+    scale: StudyScale,
+    scale_name: &'static str,
+    seed: u64,
+    out: String,
+    baseline: Option<String>,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        scale: StudyScale::smoke(),
+        scale_name: "smoke",
+        seed: 42,
+        out: "BENCH_study.json".to_string(),
+        baseline: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => {
+                opts.scale = StudyScale::smoke();
+                opts.scale_name = "smoke";
+            }
+            "--default" => {
+                opts.scale = StudyScale::default_scale();
+                opts.scale_name = "default";
+            }
+            "--seed" => {
+                let value = args.next().unwrap_or_default();
+                opts.seed = value.parse().unwrap_or_else(|_| {
+                    eprintln!("bad seed '{value}'");
+                    std::process::exit(2);
+                });
+            }
+            "--out" => opts.out = args.next().unwrap_or_default(),
+            "--baseline" => opts.baseline = args.next(),
+            other => {
+                eprintln!(
+                    "unknown argument '{other}'; usage: \
+                     [--smoke|--default] [--seed N] [--out PATH] [--baseline PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    if opts.out.is_empty() {
+        eprintln!("--out needs a path");
+        std::process::exit(2);
+    }
+    opts
+}
+
+/// Best-of-`repeats` wall time of `f`, in milliseconds.
+fn time_ms(repeats: usize, mut f: impl FnMut()) -> f64 {
+    (0..repeats)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Adult at a fixed microbench size, encoded once.
+fn adult_encoded(seed: u64) -> (DenseMatrix, Vec<u8>) {
+    let pool = DatasetId::Adult.generate(4_000, seed).expect("generate adult pool");
+    let encoder = FeatureEncoder::fit(&pool, true).expect("fit encoder");
+    (encoder.transform(&pool).expect("encode adult"), pool.labels().expect("labels"))
+}
+
+fn micro_section(seed: u64) -> Value {
+    let (x, y) = adult_encoded(seed);
+    eprintln!("micro: adult encoded {} x {}", x.n_rows(), x.n_cols());
+
+    let gbdt_hist_ms = time_ms(3, || {
+        std::hint::black_box(GbdtClassifier::fit(&x, &y, 3, 50, 0.3, 1.0, 7));
+    });
+    let gbdt_exact_ms = time_ms(3, || {
+        std::hint::black_box(GbdtClassifier::fit_exact(&x, &y, 3, 50, 0.3, 1.0, 7));
+    });
+    eprintln!(
+        "micro: gbdt hist {gbdt_hist_ms:.1}ms vs exact {gbdt_exact_ms:.1}ms \
+         ({:.1}x)",
+        gbdt_exact_ms / gbdt_hist_ms
+    );
+
+    let mut train_ms = serde_json::Map::new();
+    for kind in ModelKind::extended() {
+        let spec = kind.default_grid().into_iter().next().expect("non-empty grid");
+        let ms = time_ms(1, || {
+            std::hint::black_box(spec.fit(&x, &y, 7));
+        });
+        eprintln!("micro: {} train {ms:.1}ms", kind.name());
+        train_ms.insert(kind.name().to_string(), json!(ms));
+    }
+
+    json!({
+        "gbdt_hist_ms": gbdt_hist_ms,
+        "gbdt_exact_ms": gbdt_exact_ms,
+        "gbdt_speedup": gbdt_exact_ms / gbdt_hist_ms,
+        "train_ms": train_ms,
+    })
+}
+
+fn study_section(scale: &StudyScale, seed: u64) -> Value {
+    let t = Instant::now();
+    let mut evals = 0usize;
+    for error in ErrorType::all() {
+        eprintln!("study: running {error}...");
+        let results = demodq::runner::run_error_type_study(
+            error,
+            &DatasetId::all(),
+            &ModelKind::all(),
+            scale,
+            seed,
+        )
+        .expect("study failed");
+        evals += results.n_model_evaluations();
+    }
+    let wall = t.elapsed().as_secs_f64();
+    let evals_per_sec = evals as f64 / wall;
+    eprintln!("study: {wall:.2}s, {evals} evals, {evals_per_sec:.2} evals/s");
+    json!({
+        "wall_seconds": wall,
+        "model_evaluations": evals,
+        "evals_per_sec": evals_per_sec,
+    })
+}
+
+/// Fields every report (current or baseline) must carry to be comparable.
+const REQUIRED: &[&[&str]] = &[
+    &["schema_version"],
+    &["scale"],
+    &["micro", "gbdt_hist_ms"],
+    &["micro", "gbdt_exact_ms"],
+    &["micro", "gbdt_speedup"],
+    &["micro", "train_ms"],
+    &["study", "wall_seconds"],
+    &["study", "model_evaluations"],
+    &["study", "evals_per_sec"],
+];
+
+fn lookup<'a>(report: &'a Value, path: &[&str]) -> Option<&'a Value> {
+    path.iter().try_fold(report, |v, key| v.get(key))
+}
+
+/// Checks required fields on `label`/`report`; returns false and prints
+/// what is missing on failure.
+fn check_fields(label: &str, report: &Value) -> bool {
+    let mut ok = true;
+    for path in REQUIRED {
+        if lookup(report, path).is_none() {
+            eprintln!("{label}: missing required field {}", path.join("."));
+            ok = false;
+        }
+    }
+    ok
+}
+
+fn main() {
+    let opts = parse_args();
+    let report = json!({
+        "schema_version": 1,
+        "scale": opts.scale_name,
+        "seed": opts.seed,
+        "micro": micro_section(opts.seed),
+        "study": study_section(&opts.scale, opts.seed),
+    });
+
+    let rendered = serde_json::to_string_pretty(&report).expect("serialise report");
+    std::fs::write(&opts.out, rendered + "\n")
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", opts.out));
+    eprintln!("wrote {}", opts.out);
+
+    if !check_fields("current report", &report) {
+        std::process::exit(1);
+    }
+
+    let Some(baseline_path) = opts.baseline else { return };
+    let raw = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
+        eprintln!("cannot read baseline {baseline_path}: {e}");
+        std::process::exit(1);
+    });
+    let baseline: Value = serde_json::from_str(&raw).unwrap_or_else(|e| {
+        eprintln!("baseline {baseline_path} is not valid JSON: {e}");
+        std::process::exit(1);
+    });
+    if !check_fields("baseline", &baseline) {
+        std::process::exit(1);
+    }
+    let current = lookup(&report, &["study", "evals_per_sec"]).and_then(Value::as_f64).unwrap();
+    let reference =
+        lookup(&baseline, &["study", "evals_per_sec"]).and_then(Value::as_f64).unwrap_or(0.0);
+    let floor = 0.75 * reference;
+    if current < floor {
+        eprintln!(
+            "PERF REGRESSION: {current:.2} evals/s is below 75% of the \
+             baseline {reference:.2} evals/s (floor {floor:.2})"
+        );
+        std::process::exit(1);
+    }
+    eprintln!("perf gate OK: {current:.2} evals/s vs baseline {reference:.2} (floor {floor:.2})");
+}

@@ -47,7 +47,10 @@ pub mod tables;
 
 pub use config::{ExperimentConfig, RepairSpec, StudyScale};
 pub use impact::{classify_pair, Impact};
-pub use pipeline::{evaluate_arm, run_configuration_once, ArmEvaluation, RunPair};
+pub use pipeline::{
+    encode_arm, evaluate_arm, evaluate_arm_encoded, run_configuration_once, ArmEvaluation,
+    EncodedArm, RunPair,
+};
 pub use runner::{run_error_type_study, ConfigScores, GroupMetricScores, StudyResults};
 pub use serving::{train_serving_model, ServingModel};
 pub use tables::ImpactTable;

@@ -22,9 +22,11 @@
 use crate::config::{RepairSpec, StudyScale};
 use cleaning::detect::DetectorKind;
 use cleaning::repair::{CatImpute, LabelRepair, MissingRepair, NumImpute};
-use fairness::{group_confusions, GroupConfusions, GroupSpec};
+use fairness::{group_confusions, GroupConfusions, GroupSpec, Groups};
 use mlcore::{f1_score, tune_and_fit, ModelKind};
-use tabular::{split::train_test_split, DataFrame, FeatureEncoder, Result, Rng64, TabularError};
+use tabular::{
+    split::train_test_split, DataFrame, DenseMatrix, FeatureEncoder, Result, Rng64, TabularError,
+};
 
 /// Scores of one trained model on its test set.
 #[derive(Debug, Clone)]
@@ -63,8 +65,78 @@ pub struct RunPair {
     pub repaired: ArmEvaluation,
 }
 
+/// One prepared (train, test) arm, encoded once and reusable across every
+/// model kind and model seed evaluated on it.
+///
+/// Encoding (standardise + one-hot + missing indicators) and group-mask
+/// evaluation are pure functions of the frames, so hoisting them out of
+/// the per-(model, seed) loop changes no scores — it only removes
+/// redundant work.
+#[derive(Debug, Clone)]
+pub struct EncodedArm {
+    /// Encoded training features.
+    pub x_train: DenseMatrix,
+    /// Training labels.
+    pub y_train: Vec<u8>,
+    /// Encoded test features (same encoder as `x_train`).
+    pub x_test: DenseMatrix,
+    /// Test labels.
+    pub y_test: Vec<u8>,
+    /// Per-group-spec membership masks over the test rows, keyed by the
+    /// spec's label (e.g. `sex`, `sex*age`).
+    pub groups: Vec<(String, Groups)>,
+}
+
+/// Encodes one prepared (train, test) pair: fits the feature encoder on
+/// `train`, transforms both frames, and evaluates every group spec on the
+/// test frame.
+pub fn encode_arm(train: &DataFrame, test: &DataFrame, groups: &[GroupSpec]) -> Result<EncodedArm> {
+    let y_train = train.labels()?;
+    let y_test = test.labels()?;
+    let encoder = FeatureEncoder::fit(train, true)?;
+    let x_train = encoder.transform(train)?;
+    let x_test = encoder.transform(test)?;
+    let mut masks = Vec::with_capacity(groups.len());
+    for spec in groups {
+        masks.push((spec.label(), spec.evaluate(test)?));
+    }
+    Ok(EncodedArm { x_train, y_train, x_test, y_test, groups: masks })
+}
+
+/// Trains a tuned model of `model` kind on a pre-encoded arm and scores
+/// it on the arm's test matrix.
+pub fn evaluate_arm_encoded(
+    arm: &EncodedArm,
+    model: ModelKind,
+    cv_folds: usize,
+    seed: u64,
+) -> ArmEvaluation {
+    let tuned = tune_and_fit(model, &arm.x_train, &arm.y_train, cv_folds, seed);
+    let preds = tuned.model.predict(&arm.x_test);
+    let accuracy = mlcore::accuracy(&arm.y_test, &preds);
+    let f1 = f1_score(&arm.y_test, &preds);
+    let per_group = arm
+        .groups
+        .iter()
+        .map(|(label, masks)| (label.clone(), group_confusions(&arm.y_test, &preds, masks)))
+        .collect();
+    ArmEvaluation {
+        test_accuracy: accuracy,
+        test_f1: f1,
+        val_accuracy: tuned.val_accuracy,
+        train_accuracy: tuned.train_accuracy,
+        best_params: tuned.best_spec.params_string(),
+        group_confusions: per_group,
+    }
+}
+
 /// Trains a tuned model of `model` kind on `train` and scores it on
 /// `test`, including group-wise confusion matrices for every group spec.
+///
+/// Thin frame-based wrapper over [`encode_arm`] + [`evaluate_arm_encoded`]
+/// for callers that evaluate an arm once (serving, single-shot runs);
+/// the study runner encodes each arm once and reuses it across models
+/// and seeds.
 pub fn evaluate_arm(
     train: &DataFrame,
     test: &DataFrame,
@@ -73,28 +145,8 @@ pub fn evaluate_arm(
     cv_folds: usize,
     seed: u64,
 ) -> Result<ArmEvaluation> {
-    let y_train = train.labels()?;
-    let y_test = test.labels()?;
-    let encoder = FeatureEncoder::fit(train, true)?;
-    let x_train = encoder.transform(train)?;
-    let x_test = encoder.transform(test)?;
-    let tuned = tune_and_fit(model, &x_train, &y_train, cv_folds, seed);
-    let preds = tuned.model.predict(&x_test);
-    let accuracy = mlcore::accuracy(&y_test, &preds);
-    let f1 = f1_score(&y_test, &preds);
-    let mut per_group = Vec::with_capacity(groups.len());
-    for spec in groups {
-        let masks = spec.evaluate(test)?;
-        per_group.push((spec.label(), group_confusions(&y_test, &preds, &masks)));
-    }
-    Ok(ArmEvaluation {
-        test_accuracy: accuracy,
-        test_f1: f1,
-        val_accuracy: tuned.val_accuracy,
-        train_accuracy: tuned.train_accuracy,
-        best_params: tuned.best_spec.params_string(),
-        group_confusions: per_group,
-    })
+    let arm = encode_arm(train, test, groups)?;
+    Ok(evaluate_arm_encoded(&arm, model, cv_folds, seed))
 }
 
 /// The default imputer used wherever the *dirty* pipeline is forced to

@@ -5,11 +5,14 @@
 //! Mirrors CleanML's execution structure: the **dirty baseline is computed
 //! once per (dataset, model, split, model-seed)** and shared across all
 //! repair variants of the error type, and detection runs once per detector
-//! rather than once per (detector, repair) pair. Tasks are independent and
-//! run rayon-parallel.
+//! rather than once per (detector, repair) pair. Model-independent work is
+//! hoisted maximally: each (dataset, split) task samples, prepares
+//! (detection + repair) and **feature-encodes every arm exactly once**,
+//! then reuses the encoded matrices across all models and model seeds.
+//! Tasks are independent and run rayon-parallel.
 
 use crate::config::{ExperimentConfig, RepairSpec, StudyScale};
-use crate::pipeline::{evaluate_arm, sample_split, ArmEvaluation};
+use crate::pipeline::{encode_arm, evaluate_arm_encoded, sample_split, ArmEvaluation};
 use cleaning::repair::{CatImpute, LabelRepair, MissingRepair, NumImpute};
 use datasets::{DatasetId, ErrorType};
 use fairness::{FairnessMetric, GroupSpec};
@@ -225,11 +228,12 @@ type PreparedVariants = (DataFrame, DataFrame, Vec<(DataFrame, DataFrame)>);
 /// variant (repaired accuracy, repaired disparities).
 type SeedScores = (f64, Vec<f64>, Vec<(f64, Vec<f64>)>);
 
-/// Output of one (dataset, model, split) task.
+/// Output of one (dataset, split) task: per model, one [`SeedScores`]
+/// per model seed (seeds in ascending order).
 struct TaskOutput {
     dataset_idx: usize,
-    model_idx: usize,
-    runs: Vec<SeedScores>,
+    split_idx: usize,
+    runs_by_model: Vec<Vec<SeedScores>>,
 }
 
 /// Runs the full study for one error type over the given datasets and
@@ -270,58 +274,61 @@ pub fn run_error_type_study(
         pools.push(pool);
     }
 
-    // Task grid: (dataset, model, split).
+    // Task grid: (dataset, split). Sampling, detection, repair and feature
+    // encoding are all model-independent, so each split's arms are built
+    // and encoded once and shared across every model and model seed.
     let mut tasks = Vec::new();
     for d in 0..datasets.len() {
-        for m in 0..models.len() {
-            for s in 0..scale.n_splits {
-                tasks.push((d, m, s));
-            }
+        for s in 0..scale.n_splits {
+            tasks.push((d, s));
         }
     }
 
     let outputs: Vec<Result<TaskOutput>> = tasks
         .par_iter()
-        .map(|&(d, m, s)| -> Result<TaskOutput> {
+        .map(|&(d, s)| -> Result<TaskOutput> {
             let pool = &pools[d];
             let sseed = split_seed(study_seed, datasets[d], s);
             let (train, test) = sample_split(pool, scale, sseed)?;
             let (dirty_train, dirty_test, repaired_frames) =
                 prepare_all_variants(&train, &test, error, &variants, sseed ^ 0x5EED)?;
-            let mut runs = Vec::with_capacity(scale.n_model_seeds);
-            for k in 0..scale.n_model_seeds {
-                let model_seed = sseed
-                    .wrapping_add(fnv(models[m].name()))
-                    .wrapping_add(k as u64 * 0x2545F4914F6CDD1D);
-                let dirty_eval = evaluate_arm(
-                    &dirty_train,
-                    &dirty_test,
-                    models[m],
-                    &group_specs[d],
-                    scale.cv_folds,
-                    model_seed,
-                )?;
-                let dirty_disp = disparities(&dirty_eval, &group_labels[d], &metrics);
-                let mut per_variant = Vec::with_capacity(variants.len());
-                for (rep_train, rep_test) in &repaired_frames {
-                    let rep_eval = evaluate_arm(
-                        rep_train,
-                        rep_test,
-                        models[m],
-                        &group_specs[d],
-                        scale.cv_folds,
-                        model_seed,
-                    )?;
-                    let rep_disp = disparities(&rep_eval, &group_labels[d], &metrics);
-                    per_variant.push((rep_eval.test_accuracy, rep_disp));
+            let dirty_arm = encode_arm(&dirty_train, &dirty_test, &group_specs[d])?;
+            let variant_arms = repaired_frames
+                .iter()
+                .map(|(rep_train, rep_test)| encode_arm(rep_train, rep_test, &group_specs[d]))
+                .collect::<Result<Vec<_>>>()?;
+            let mut runs_by_model = Vec::with_capacity(models.len());
+            for model in models {
+                let mut runs = Vec::with_capacity(scale.n_model_seeds);
+                for k in 0..scale.n_model_seeds {
+                    let model_seed = sseed
+                        .wrapping_add(fnv(model.name()))
+                        .wrapping_add(k as u64 * 0x2545F4914F6CDD1D);
+                    let dirty_eval =
+                        evaluate_arm_encoded(&dirty_arm, *model, scale.cv_folds, model_seed);
+                    let dirty_disp = disparities(&dirty_eval, &group_labels[d], &metrics);
+                    let mut per_variant = Vec::with_capacity(variant_arms.len());
+                    for arm in &variant_arms {
+                        let rep_eval =
+                            evaluate_arm_encoded(arm, *model, scale.cv_folds, model_seed);
+                        let rep_disp = disparities(&rep_eval, &group_labels[d], &metrics);
+                        per_variant.push((rep_eval.test_accuracy, rep_disp));
+                    }
+                    runs.push((dirty_eval.test_accuracy, dirty_disp, per_variant));
                 }
-                runs.push((dirty_eval.test_accuracy, dirty_disp, per_variant));
+                runs_by_model.push(runs);
             }
-            Ok(TaskOutput { dataset_idx: d, model_idx: m, runs })
+            Ok(TaskOutput { dataset_idx: d, split_idx: s, runs_by_model })
         })
         .collect();
 
-    // Assemble per-configuration score vectors.
+    // Propagate the first task error; afterwards outputs are addressed
+    // directly by task order (dataset-major, split-minor) — no per-config
+    // scan over the whole output list.
+    let outputs: Vec<TaskOutput> = outputs.into_iter().collect::<Result<_>>()?;
+
+    // Assemble per-configuration score vectors. Runs are ordered by
+    // (split asc, model seed asc), matching the task execution order.
     let n_runs = scale.scores_per_config();
     let mut configs = Vec::new();
     for (d, id) in datasets.iter().enumerate() {
@@ -344,12 +351,10 @@ pub fn run_error_type_study(
                         })
                         .collect(),
                 };
-                for output in &outputs {
-                    let output = output.as_ref().map_err(Clone::clone)?;
-                    if output.dataset_idx != d || output.model_idx != m {
-                        continue;
-                    }
-                    for (dirty_acc, dirty_disp, per_variant) in &output.runs {
+                for s in 0..scale.n_splits {
+                    let output = &outputs[d * scale.n_splits + s];
+                    debug_assert_eq!((output.dataset_idx, output.split_idx), (d, s));
+                    for (dirty_acc, dirty_disp, per_variant) in &output.runs_by_model[m] {
                         let (rep_acc, rep_disp) = &per_variant[v];
                         cs.dirty_accuracy.push(*dirty_acc);
                         cs.repaired_accuracy.push(*rep_acc);

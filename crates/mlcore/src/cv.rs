@@ -7,6 +7,7 @@
 //! the paper evaluates per split, which is how model-seed variance enters
 //! the score samples.
 
+use crate::binned::{BinnedMatrix, DEFAULT_N_BINS};
 use crate::metrics::accuracy;
 use crate::model::{Classifier, ModelKind, ModelSpec};
 use tabular::{split::kfold, DenseMatrix, Rng64};
@@ -48,16 +49,40 @@ pub fn tune_and_fit(
     let folds = kfold(x.n_rows(), n_folds, rng.next_u64()).expect("valid fold arguments");
     let fit_seed = rng.next_u64();
 
-    let mut best: Option<(f64, ModelSpec)> = None;
-    for spec in &grid {
-        let mut scores = Vec::with_capacity(folds.len());
-        for (train_idx, val_idx) in &folds {
-            let x_train = x.take_rows(train_idx);
-            let y_train: Vec<u8> = train_idx.iter().map(|&i| y[i]).collect();
+    // Tree-based families train on quantile bins: bin the full training
+    // matrix once and share it across every fold and every grid
+    // configuration. (Bin edges come from the full matrix, LightGBM-style
+    // dataset-level binning.)
+    let binned = kind
+        .is_tree_based()
+        .then(|| BinnedMatrix::from_matrix(x, DEFAULT_N_BINS));
+    // Materialise each fold once, outside the grid loop. Tree folds only
+    // need the validation side densified; the row indices address the
+    // shared binned matrix directly.
+    let fold_data: Vec<_> = folds
+        .iter()
+        .map(|(train_idx, val_idx)| {
             let x_val = x.take_rows(val_idx);
             let y_val: Vec<u8> = val_idx.iter().map(|&i| y[i]).collect();
-            let model = spec.fit(&x_train, &y_train, fit_seed);
-            scores.push(accuracy(&y_val, &model.predict(&x_val)));
+            let dense_train = binned.is_none().then(|| {
+                let x_train = x.take_rows(train_idx);
+                let y_train: Vec<u8> = train_idx.iter().map(|&i| y[i]).collect();
+                (x_train, y_train)
+            });
+            (train_idx, x_val, y_val, dense_train)
+        })
+        .collect();
+
+    let mut best: Option<(f64, ModelSpec)> = None;
+    for spec in &grid {
+        let mut scores = Vec::with_capacity(fold_data.len());
+        for (train_idx, x_val, y_val, dense_train) in &fold_data {
+            let model = match (&binned, dense_train) {
+                (Some(b), _) => spec.fit_binned(b, x, train_idx, y, fit_seed),
+                (None, Some((x_train, y_train))) => spec.fit(x_train, y_train, fit_seed),
+                (None, None) => unreachable!("dense folds exist whenever binning is off"),
+            };
+            scores.push(accuracy(y_val, &model.predict(x_val)));
         }
         let mean = scores.iter().sum::<f64>() / scores.len() as f64;
         // Strict improvement keeps the first (seed-shuffled) winner on ties.
@@ -66,7 +91,13 @@ pub fn tune_and_fit(
         }
     }
     let (val_accuracy, best_spec) = best.expect("non-empty grid");
-    let model = best_spec.fit(x, y, fit_seed);
+    let model = match &binned {
+        Some(b) => {
+            let all_rows: Vec<usize> = (0..x.n_rows()).collect();
+            best_spec.fit_binned(b, x, &all_rows, y, fit_seed)
+        }
+        None => best_spec.fit(x, y, fit_seed),
+    };
     let train_accuracy = accuracy(y, &model.predict(x));
     TunedModel { model, best_spec, val_accuracy, train_accuracy }
 }

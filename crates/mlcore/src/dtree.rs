@@ -3,10 +3,17 @@
 //! underlying benchmark also evaluates decision trees and random forests,
 //! so they are provided for extension studies).
 //!
-//! The tree maximises Gini-impurity reduction with exact greedy splits;
-//! the forest bags bootstrap samples and sqrt-feature subsets per split.
+//! The tree maximises Gini-impurity reduction. The production path
+//! ([`DecisionTreeClassifier::fit`] / [`RandomForestClassifier::fit`])
+//! finds splits over per-bin (positive, total) count histograms of a
+//! quantile-binned matrix — one O(n) pass per node instead of a sort per
+//! feature per node — and the forest shares a single [`BinnedMatrix`]
+//! across all bagged trees. [`DecisionTreeClassifier::fit_exact`] keeps
+//! the exact greedy splitter as the parity reference.
 
+use crate::binned::{BinnedMatrix, DEFAULT_N_BINS};
 use crate::model::Classifier;
+use crate::tree::{node_split_threshold, partition_rows};
 use tabular::{DenseMatrix, Rng64};
 
 /// One node of a classification tree.
@@ -50,32 +57,177 @@ fn gini(pos: f64, total: f64) -> f64 {
     2.0 * p * (1.0 - p)
 }
 
+/// Per-bin (positive count, total count) accumulator. Integer counts make
+/// sibling subtraction exact, so subtracted histograms are bit-identical
+/// to freshly computed ones.
+type ClassHist = Vec<(u32, u32)>;
+
 impl DecisionTreeClassifier {
-    /// Fits a tree on the given rows (`None` = all rows). `rng` drives the
-    /// per-split feature subsampling when `max_features` is set.
+    /// Fits a tree with histogram split finding, binning `x` internally.
+    /// `seed` drives the per-split feature subsampling when
+    /// `max_features` is set.
     pub fn fit(x: &DenseMatrix, y: &[u8], params: DTreeParams, seed: u64) -> Self {
+        assert_eq!(x.n_rows(), y.len(), "feature/label length mismatch");
+        let binned = BinnedMatrix::from_matrix(x, DEFAULT_N_BINS);
+        let rows: Vec<usize> = (0..x.n_rows()).collect();
+        let mut rng = Rng64::seed_from_u64(seed);
+        Self::fit_binned(&binned, &rows, y, params, &mut rng)
+    }
+
+    /// Fits a tree on the rows `rows` of a pre-binned matrix (shared
+    /// across CV folds, the hyperparameter grid, and bagged trees).
+    /// `y` is indexed by global row id. `rows` may repeat indices
+    /// (bootstrap samples).
+    pub fn fit_binned(
+        binned: &BinnedMatrix,
+        rows: &[usize],
+        y: &[u8],
+        params: DTreeParams,
+        rng: &mut Rng64,
+    ) -> Self {
+        assert_eq!(binned.n_rows(), y.len(), "feature/label length mismatch");
+        let mut tree = DecisionTreeClassifier { nodes: Vec::new() };
+        let mut rows = rows.to_vec();
+        tree.build_binned(binned, y, &mut rows, 0, params, rng, None);
+        tree
+    }
+
+    /// Fits a tree with exact greedy splits (a sort per feature per
+    /// node). Parity reference for the histogram path.
+    pub fn fit_exact(x: &DenseMatrix, y: &[u8], params: DTreeParams, seed: u64) -> Self {
         assert_eq!(x.n_rows(), y.len(), "feature/label length mismatch");
         let rows: Vec<usize> = (0..x.n_rows()).collect();
         let mut tree = DecisionTreeClassifier { nodes: Vec::new() };
         let mut rng = Rng64::seed_from_u64(seed);
-        tree.build(x, y, &rows, 0, params, &mut rng);
+        tree.build_exact(x, y, &rows, 0, params, &mut rng);
         tree
     }
 
-    /// Fits on an explicit row subset (bootstrap sample for the forest).
-    fn fit_rows(
-        x: &DenseMatrix,
-        y: &[u8],
+    /// Accumulates (positive, total) counts per bin for the features in
+    /// `features` (full-layout histogram; unsampled features stay zero).
+    fn compute_hist(
+        binned: &BinnedMatrix,
         rows: &[usize],
+        y: &[u8],
+        features: &[usize],
+    ) -> ClassHist {
+        let mut hist: ClassHist = vec![(0, 0); binned.total_bins()];
+        for &j in features {
+            if binned.n_bins(j) == 1 {
+                continue;
+            }
+            let column = binned.feature_bins(j);
+            let slice = &mut hist[binned.offset(j)..binned.offset(j) + binned.n_bins(j)];
+            for &i in rows {
+                let slot = &mut slice[usize::from(column[i])];
+                slot.0 += u32::from(y[i]);
+                slot.1 += 1;
+            }
+        }
+        hist
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build_binned(
+        &mut self,
+        binned: &BinnedMatrix,
+        y: &[u8],
+        rows: &mut [usize],
+        depth: usize,
         params: DTreeParams,
         rng: &mut Rng64,
-    ) -> Self {
-        let mut tree = DecisionTreeClassifier { nodes: Vec::new() };
-        tree.build(x, y, rows, 0, params, rng);
-        tree
+        hist: Option<ClassHist>,
+    ) -> usize {
+        let total = rows.len() as f64;
+        let pos = rows.iter().filter(|&&i| y[i] == 1).count() as f64;
+        let make_leaf = |nodes: &mut Vec<Node>| {
+            nodes.push(Node::Leaf { probability: if total > 0.0 { pos / total } else { 0.5 } });
+            nodes.len() - 1
+        };
+        if depth >= params.max_depth
+            || rows.len() < params.min_samples_split
+            || pos == 0.0
+            || pos == total
+        {
+            return make_leaf(&mut self.nodes);
+        }
+        let parent_gini = gini(pos, total);
+        let d = binned.n_cols();
+        // Feature subset. With subsampling the parent's histogram covers
+        // different features than the children need, so sibling
+        // subtraction only applies to the all-features (single tree) case.
+        let features: Vec<usize> = match params.max_features {
+            None => (0..d).collect(),
+            Some(m) => rng.sample_indices(d, m.min(d).max(1)),
+        };
+        let hist = match hist {
+            Some(h) if params.max_features.is_none() => h,
+            _ => Self::compute_hist(binned, rows, y, &features),
+        };
+        let mut best: Option<(f64, usize, usize)> = None; // (gain, feature, bin)
+        for &feature in &features {
+            let n_bins = binned.n_bins(feature);
+            if n_bins < 2 {
+                continue;
+            }
+            let slice = &hist[binned.offset(feature)..binned.offset(feature) + n_bins];
+            let mut left_pos = 0u32;
+            let mut left_n = 0u32;
+            for (bin, &(p, n)) in slice[..n_bins - 1].iter().enumerate() {
+                left_pos += p;
+                left_n += n;
+                if left_n == 0 || u64::from(left_n) == rows.len() as u64 {
+                    continue;
+                }
+                let ln = f64::from(left_n);
+                let rn = total - ln;
+                let lp = f64::from(left_pos);
+                let rp = pos - lp;
+                let weighted = (ln * gini(lp, ln) + rn * gini(rp, rn)) / total;
+                let gain = parent_gini - weighted;
+                if gain > 1e-12 && best.is_none_or(|(g, _, _)| gain > g) {
+                    best = Some((gain, feature, bin));
+                }
+            }
+        }
+        match best {
+            None => make_leaf(&mut self.nodes),
+            Some((_, feature, bin)) => {
+                let threshold = node_split_threshold(binned, feature, bin, rows);
+                let column = binned.feature_bins(feature);
+                let split_at = partition_rows(rows, |i| usize::from(column[i]) <= bin);
+                let idx = self.nodes.len();
+                self.nodes.push(Node::Leaf { probability: 0.0 }); // placeholder
+                let (left_hist, right_hist) =
+                    if params.max_features.is_none() && depth + 1 < params.max_depth {
+                        let (left_rows, right_rows) = rows.split_at(split_at);
+                        let (small, small_is_left) = if left_rows.len() <= right_rows.len() {
+                            (left_rows, true)
+                        } else {
+                            (right_rows, false)
+                        };
+                        let small_hist = Self::compute_hist(binned, small, y, &features);
+                        let large_hist = subtract_hist(hist, &small_hist);
+                        if small_is_left {
+                            (Some(small_hist), Some(large_hist))
+                        } else {
+                            (Some(large_hist), Some(small_hist))
+                        }
+                    } else {
+                        (None, None)
+                    };
+                let (left_rows, right_rows) = rows.split_at_mut(split_at);
+                let left =
+                    self.build_binned(binned, y, left_rows, depth + 1, params, rng, left_hist);
+                let right =
+                    self.build_binned(binned, y, right_rows, depth + 1, params, rng, right_hist);
+                self.nodes[idx] = Node::Split { feature, threshold, left, right };
+                idx
+            }
+        }
     }
 
-    fn build(
+    fn build_exact(
         &mut self,
         x: &DenseMatrix,
         y: &[u8],
@@ -135,8 +287,8 @@ impl DecisionTreeClassifier {
                     rows.iter().partition(|&&i| x.get(i, feature) <= threshold);
                 let idx = self.nodes.len();
                 self.nodes.push(Node::Leaf { probability: 0.0 }); // placeholder
-                let left = self.build(x, y, &left_rows, depth + 1, params, rng);
-                let right = self.build(x, y, &right_rows, depth + 1, params, rng);
+                let left = self.build_exact(x, y, &left_rows, depth + 1, params, rng);
+                let right = self.build_exact(x, y, &right_rows, depth + 1, params, rng);
                 self.nodes[idx] = Node::Split { feature, threshold, left, right };
                 idx
             }
@@ -168,27 +320,54 @@ impl Classifier for DecisionTreeClassifier {
     }
 }
 
+/// Parent histogram minus the smaller child's, element-wise (exact in
+/// integer counts).
+fn subtract_hist(mut parent: ClassHist, small: &ClassHist) -> ClassHist {
+    for (p, s) in parent.iter_mut().zip(small) {
+        p.0 -= s.0;
+        p.1 -= s.1;
+    }
+    parent
+}
+
 /// A bagged random forest.
 pub struct RandomForestClassifier {
     trees: Vec<DecisionTreeClassifier>,
 }
 
 impl RandomForestClassifier {
-    /// Fits `n_trees` trees on bootstrap samples with sqrt-feature subsets.
+    /// Fits `n_trees` trees on bootstrap samples with sqrt-feature
+    /// subsets, binning `x` once and sharing the binned matrix across
+    /// every tree.
     pub fn fit(x: &DenseMatrix, y: &[u8], n_trees: usize, max_depth: usize, seed: u64) -> Self {
         assert_eq!(x.n_rows(), y.len(), "feature/label length mismatch");
-        assert!(n_trees > 0, "need at least one tree");
-        let n = x.n_rows();
+        let binned = BinnedMatrix::from_matrix(x, DEFAULT_N_BINS);
+        let rows: Vec<usize> = (0..x.n_rows()).collect();
         let mut rng = Rng64::seed_from_u64(seed);
-        let m = ((x.n_cols() as f64).sqrt().ceil() as usize).max(1);
+        Self::fit_binned(&binned, &rows, y, n_trees, max_depth, &mut rng)
+    }
+
+    /// Fits on the rows `rows` of a pre-binned matrix; bootstrap samples
+    /// are drawn from `rows`. `y` is indexed by global row id.
+    pub fn fit_binned(
+        binned: &BinnedMatrix,
+        rows: &[usize],
+        y: &[u8],
+        n_trees: usize,
+        max_depth: usize,
+        rng: &mut Rng64,
+    ) -> Self {
+        assert!(n_trees > 0, "need at least one tree");
+        let n = rows.len();
+        let m = ((binned.n_cols() as f64).sqrt().ceil() as usize).max(1);
         let params = DTreeParams { max_depth, min_samples_split: 2, max_features: Some(m) };
         let trees = (0..n_trees)
             .map(|_| {
                 if n == 0 {
                     DecisionTreeClassifier { nodes: vec![Node::Leaf { probability: 0.5 }] }
                 } else {
-                    let rows: Vec<usize> = (0..n).map(|_| rng.below(n)).collect();
-                    DecisionTreeClassifier::fit_rows(x, y, &rows, params, &mut rng)
+                    let sample: Vec<usize> = (0..n).map(|_| rows[rng.below(n)]).collect();
+                    DecisionTreeClassifier::fit_binned(binned, &sample, y, params, rng)
                 }
             })
             .collect();
@@ -241,6 +420,15 @@ mod tests {
     }
 
     #[test]
+    fn exact_tree_learns_xor() {
+        let (x, y) = xor_data(200);
+        let tree = DecisionTreeClassifier::fit_exact(&x, &y, DTreeParams::default(), 3);
+        let preds = tree.predict(&x);
+        let correct = preds.iter().zip(&y).filter(|(p, t)| p == t).count();
+        assert!(correct >= 195, "correct={correct}/200");
+    }
+
+    #[test]
     fn pure_node_stops_early() {
         let x = DenseMatrix::from_vec(4, 1, vec![1.0, 2.0, 3.0, 4.0]);
         let tree = DecisionTreeClassifier::fit(&x, &[1, 1, 1, 1], DTreeParams::default(), 0);
@@ -268,6 +456,27 @@ mod tests {
         for p in tree.predict_proba(&x) {
             assert!((0.0..=1.0).contains(&p));
         }
+    }
+
+    #[test]
+    fn binned_tree_is_deterministic_across_runs() {
+        let (x, y) = xor_data(150);
+        let a = DecisionTreeClassifier::fit(&x, &y, DTreeParams::default(), 9);
+        let b = DecisionTreeClassifier::fit(&x, &y, DTreeParams::default(), 9);
+        assert_eq!(a.predict_proba(&x), b.predict_proba(&x));
+        assert_eq!(a.n_nodes(), b.n_nodes());
+    }
+
+    #[test]
+    fn binned_tree_tracks_exact_accuracy() {
+        let (x, y) = xor_data(300);
+        let hist = DecisionTreeClassifier::fit(&x, &y, DTreeParams::default(), 3);
+        let exact = DecisionTreeClassifier::fit_exact(&x, &y, DTreeParams::default(), 3);
+        let acc = |preds: Vec<u8>| {
+            preds.iter().zip(&y).filter(|(p, t)| p == t).count() as f64 / y.len() as f64
+        };
+        let (ha, ea) = (acc(hist.predict(&x)), acc(exact.predict(&x)));
+        assert!((ha - ea).abs() <= 0.02, "hist {ha} vs exact {ea}");
     }
 
     #[test]

@@ -1,7 +1,17 @@
 //! Gradient-boosted decision trees with logistic loss — the study's
 //! "xgboost" model, implemented with the second-order (Newton) boosting
 //! formulation and stochastic row subsampling.
+//!
+//! The feature matrix is quantile-binned **once** per training matrix
+//! ([`BinnedMatrix`]) and shared across all boosting rounds; each weak
+//! learner finds splits over per-bin (gradient, hessian) histograms
+//! instead of re-sorting every feature at every node. Callers that train
+//! many models on the same matrix (cross-validation, the hyperparameter
+//! grid) can bin once themselves and use [`GbdtClassifier::fit_binned`].
+//! [`GbdtClassifier::fit_exact`] keeps the exact greedy splitter as the
+//! parity/benchmark reference.
 
+use crate::binned::{BinnedMatrix, DEFAULT_N_BINS};
 use crate::linalg::sigmoid;
 use crate::model::Classifier;
 use crate::tree::{RegressionTree, TreeParams};
@@ -15,9 +25,20 @@ pub struct GbdtClassifier {
     base_score: f64,
 }
 
+/// Fixed GBDT hyperparameters bundled for the two fit paths.
+#[derive(Debug, Clone, Copy)]
+struct BoostParams {
+    max_depth: usize,
+    n_rounds: usize,
+    learning_rate: f64,
+    reg_lambda: f64,
+    seed: u64,
+}
+
 impl GbdtClassifier {
     /// Fits `n_rounds` depth-limited trees with shrinkage `learning_rate`
-    /// and leaf-weight regularisation `reg_lambda`.
+    /// and leaf-weight regularisation `reg_lambda`, binning `x` once and
+    /// finding splits over histograms.
     ///
     /// `seed` drives the 80% row subsampling per round (set by the
     /// experimentation framework per model instance, mirroring the paper's
@@ -32,45 +53,115 @@ impl GbdtClassifier {
         seed: u64,
     ) -> Self {
         assert_eq!(x.n_rows(), y.len(), "feature/label length mismatch");
-        let n = x.n_rows();
+        let binned = BinnedMatrix::from_matrix(x, DEFAULT_N_BINS);
+        let rows: Vec<usize> = (0..x.n_rows()).collect();
+        Self::fit_binned(&binned, x, &rows, y, max_depth, n_rounds, learning_rate, reg_lambda, seed)
+    }
+
+    /// Fits on the rows `rows` of a pre-binned matrix. `x` and `y` are
+    /// the full (global-indexed) matrix and labels backing `binned`;
+    /// boosting runs on the `rows` subset only. The binned matrix can be
+    /// shared across every fold of a cross-validation and every
+    /// configuration of a hyperparameter grid.
+    #[allow(clippy::too_many_arguments)]
+    pub fn fit_binned(
+        binned: &BinnedMatrix,
+        x: &DenseMatrix,
+        rows: &[usize],
+        y: &[u8],
+        max_depth: usize,
+        n_rounds: usize,
+        learning_rate: f64,
+        reg_lambda: f64,
+        seed: u64,
+    ) -> Self {
+        assert_eq!(binned.n_rows(), x.n_rows(), "binned/raw row mismatch");
+        assert_eq!(x.n_rows(), y.len(), "feature/label length mismatch");
+        let params = BoostParams { max_depth, n_rounds, learning_rate, reg_lambda, seed };
+        Self::boost(params, rows, y, x.n_rows(), |grad, hess, sample| {
+            RegressionTree::fit_binned(binned, sample, grad, hess, Self::tree_params(&params))
+        }, |tree, i| tree.predict_row(x.row(i)))
+    }
+
+    /// Fits with exact greedy splits (the pre-histogram implementation):
+    /// every feature re-sorted at every node of every round. Kept as the
+    /// parity reference and benchmark baseline.
+    pub fn fit_exact(
+        x: &DenseMatrix,
+        y: &[u8],
+        max_depth: usize,
+        n_rounds: usize,
+        learning_rate: f64,
+        reg_lambda: f64,
+        seed: u64,
+    ) -> Self {
+        assert_eq!(x.n_rows(), y.len(), "feature/label length mismatch");
+        let rows: Vec<usize> = (0..x.n_rows()).collect();
+        let params = BoostParams { max_depth, n_rounds, learning_rate, reg_lambda, seed };
+        Self::boost(params, &rows, y, x.n_rows(), |grad, hess, sample| {
+            // The exact splitter works on a materialised submatrix with
+            // locally indexed gradients, as the original implementation did.
+            let sub_x = x.take_rows(sample);
+            let sub_g: Vec<f64> = sample.iter().map(|&i| grad[i]).collect();
+            let sub_h: Vec<f64> = sample.iter().map(|&i| hess[i]).collect();
+            RegressionTree::fit_exact(&sub_x, &sub_g, &sub_h, Self::tree_params(&params))
+        }, |tree, i| tree.predict_row(x.row(i)))
+    }
+
+    fn tree_params(params: &BoostParams) -> TreeParams {
+        TreeParams {
+            max_depth: params.max_depth,
+            reg_lambda: params.reg_lambda,
+            min_child_weight: 1.0,
+            min_gain: 1e-6,
+        }
+    }
+
+    /// The shared boosting loop. `fit_tree(grad, hess, sample_rows)`
+    /// fits one weak learner (gradients indexed by global row id);
+    /// `predict(tree, i)` scores global row `i`.
+    fn boost(
+        params: BoostParams,
+        rows: &[usize],
+        y: &[u8],
+        n_global: usize,
+        mut fit_tree: impl FnMut(&[f64], &[f64], &[usize]) -> RegressionTree,
+        predict: impl Fn(&RegressionTree, usize) -> f64,
+    ) -> Self {
+        let n = rows.len();
+        let learning_rate = params.learning_rate;
         if n == 0 {
             return GbdtClassifier { trees: Vec::new(), learning_rate, base_score: 0.0 };
         }
         // Log-odds of the base rate as the initial score.
-        let pos = y.iter().filter(|&&l| l == 1).count() as f64;
+        let pos = rows.iter().filter(|&&i| y[i] == 1).count() as f64;
         let rate = (pos / n as f64).clamp(1e-6, 1.0 - 1e-6);
         let base_score = (rate / (1.0 - rate)).ln();
-        let mut scores = vec![base_score; n];
-        let mut trees = Vec::with_capacity(n_rounds);
-        let mut rng = Rng64::seed_from_u64(seed);
-        let params = TreeParams {
-            max_depth,
-            reg_lambda,
-            min_child_weight: 1.0,
-            min_gain: 1e-6,
-        };
+        // Global-indexed buffers: only the entries named by `rows` are
+        // read, so one allocation serves any subset.
+        let mut scores = vec![base_score; n_global];
+        let mut grad = vec![0.0; n_global];
+        let mut hess = vec![0.0; n_global];
+        let mut trees = Vec::with_capacity(params.n_rounds);
+        let mut rng = Rng64::seed_from_u64(params.seed);
         let subsample = ((n as f64) * 0.8).ceil() as usize;
-        let mut grad = vec![0.0; n];
-        let mut hess = vec![0.0; n];
-        for _ in 0..n_rounds {
-            for i in 0..n {
+        for _ in 0..params.n_rounds {
+            for &i in rows {
                 let p = sigmoid(scores[i]);
                 grad[i] = p - f64::from(y[i]);
                 hess[i] = (p * (1.0 - p)).max(1e-9);
             }
             // Stochastic row subsample (without replacement).
-            let rows = rng.sample_indices(n, subsample.min(n));
-            let sub_x = x.take_rows(&rows);
-            let sub_g: Vec<f64> = rows.iter().map(|&i| grad[i]).collect();
-            let sub_h: Vec<f64> = rows.iter().map(|&i| hess[i]).collect();
-            let tree = RegressionTree::fit(&sub_x, &sub_g, &sub_h, params);
-            if tree.n_nodes() == 1 && tree.predict_row(&vec![0.0; x.n_cols()]).abs() < 1e-12 {
+            let sample: Vec<usize> =
+                rng.sample_indices(n, subsample.min(n)).into_iter().map(|k| rows[k]).collect();
+            let tree = fit_tree(&grad, &hess, &sample);
+            if tree.n_nodes() == 1 && tree.predict_row(&[]).abs() < 1e-12 {
                 // Degenerate round (no usable split, near-zero leaf); the
                 // remaining rounds would be identical — stop early.
                 break;
             }
-            for (i, s) in scores.iter_mut().enumerate() {
-                *s += learning_rate * tree.predict_row(x.row(i));
+            for &i in rows {
+                scores[i] += learning_rate * predict(&tree, i);
             }
             trees.push(tree);
         }
@@ -118,6 +209,15 @@ mod tests {
     fn learns_xor() {
         let (x, y) = xor_data();
         let model = GbdtClassifier::fit(&x, &y, 3, 40, 0.3, 1.0, 7);
+        let preds = model.predict(&x);
+        let correct = preds.iter().zip(&y).filter(|(p, t)| p == t).count();
+        assert!(correct >= 38, "correct={correct}/40");
+    }
+
+    #[test]
+    fn exact_splitter_learns_xor() {
+        let (x, y) = xor_data();
+        let model = GbdtClassifier::fit_exact(&x, &y, 3, 40, 0.3, 1.0, 7);
         let preds = model.predict(&x);
         let correct = preds.iter().zip(&y).filter(|(p, t)| p == t).count();
         assert!(correct >= 38, "correct={correct}/40");
@@ -175,5 +275,48 @@ mod tests {
         let y: Vec<u8> = (0..20).map(|i| u8::from(i % 2 == 0)).collect();
         let model = GbdtClassifier::fit(&x, &y, 3, 50, 0.3, 1.0, 0);
         assert!(model.n_trees() < 50);
+    }
+
+    #[test]
+    fn row_subset_trains_on_that_subset_only() {
+        // Rows 20..40 carry an inverted signal; training on 0..20 only
+        // must follow the 0..20 signal.
+        let mut data = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..40 {
+            let v = (i % 20) as f64;
+            data.push(v + (i as f64) * 1e-3);
+            y.push(if i < 20 { u8::from(v >= 10.0) } else { u8::from(v < 10.0) });
+        }
+        let x = DenseMatrix::from_vec(40, 1, data);
+        let binned = BinnedMatrix::from_matrix(&x, 64);
+        let rows: Vec<usize> = (0..20).collect();
+        let model = GbdtClassifier::fit_binned(&binned, &x, &rows, &y, 3, 30, 0.3, 1.0, 5);
+        let probe = DenseMatrix::from_vec(2, 1, vec![2.0, 17.0]);
+        assert_eq!(model.predict(&probe), vec![0, 1]);
+    }
+
+    #[test]
+    fn hist_and_exact_agree_on_few_distinct_values() {
+        // With few distinct values the histogram candidate thresholds are
+        // the exact ones, so both paths produce identical ensembles.
+        let (x, y) = {
+            let mut data = Vec::new();
+            let mut y = Vec::new();
+            for i in 0..80 {
+                let a = f64::from(i % 4);
+                let b = f64::from((i / 4) % 3);
+                data.push(a);
+                data.push(b);
+                y.push(u8::from(a + b >= 3.0));
+            }
+            (DenseMatrix::from_vec(80, 2, data), y)
+        };
+        let hist = GbdtClassifier::fit(&x, &y, 3, 20, 0.3, 1.0, 11);
+        let exact = GbdtClassifier::fit_exact(&x, &y, 3, 20, 0.3, 1.0, 11);
+        let (ph, pe) = (hist.predict_proba(&x), exact.predict_proba(&x));
+        for (a, b) in ph.iter().zip(&pe) {
+            assert!((a - b).abs() < 1e-9, "hist {a} vs exact {b}");
+        }
     }
 }

@@ -31,37 +31,47 @@ impl KnnClassifier {
         self.k.min(self.train.n_rows().max(1))
     }
 
-    /// Indices of the `k` nearest training rows to `point`
-    /// (ties broken by lower index for determinism).
-    fn nearest(&self, point: &[f64]) -> Vec<usize> {
+    /// Counts positive labels among the `k` nearest training rows to
+    /// `point` (ties broken by lower index for determinism); returns
+    /// `(positives, k)`. `best` is a caller-owned scratch buffer reused
+    /// across queries to avoid a per-query allocation.
+    fn count_positive_neighbours(
+        &self,
+        point: &[f64],
+        best: &mut Vec<(f64, usize)>,
+    ) -> (usize, usize) {
         let n = self.train.n_rows();
         let k = self.effective_k().min(n);
-        // Max-heap of (distance, index) over the current best k.
-        let mut heap: Vec<(f64, usize)> = Vec::with_capacity(k + 1);
+        best.clear();
+        // Index of the current worst (largest distance, ties to the higher
+        // row index) entry of `best`, maintained incrementally during the
+        // fill phase so no sort or rescan is needed until `best` is full.
+        let mut worst = 0;
         for i in 0..n {
             let d = self.train.row_distance_sq(i, point);
-            if heap.len() < k {
-                heap.push((d, i));
-                if heap.len() == k {
-                    heap.sort_by(|a, b| {
-                        b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1).reverse())
-                    });
+            if best.len() < k {
+                best.push((d, i));
+                // New rows carry increasing indices, so `>=` keeps the
+                // tie-broken worst current.
+                if d >= best[worst].0 {
+                    worst = best.len() - 1;
                 }
-            } else if d < heap[0].0 || (d == heap[0].0 && i < heap[0].1) {
-                heap[0] = (d, i);
-                // Restore "largest first" by a single pass (k is small).
-                let mut worst = 0;
-                for (j, item) in heap.iter().enumerate() {
-                    if item.0 > heap[worst].0
-                        || (item.0 == heap[worst].0 && item.1 > heap[worst].1)
+            } else if d < best[worst].0 {
+                // Strictly closer than the worst kept neighbour. (An
+                // equal-distance candidate never displaces anything: the
+                // kept entry has the lower index and wins the tie.)
+                best[worst] = (d, i);
+                for (j, item) in best.iter().enumerate() {
+                    if item.0 > best[worst].0
+                        || (item.0 == best[worst].0 && item.1 > best[worst].1)
                     {
                         worst = j;
                     }
                 }
-                heap.swap(0, worst);
             }
         }
-        heap.into_iter().map(|(_, i)| i).collect()
+        let pos = best.iter().filter(|&&(_, j)| self.labels[j] == 1).count();
+        (pos, k)
     }
 }
 
@@ -71,11 +81,11 @@ impl Classifier for KnnClassifier {
         if n == 0 {
             return vec![0.5; x.n_rows()];
         }
+        let mut scratch = Vec::with_capacity(self.effective_k());
         (0..x.n_rows())
             .map(|i| {
-                let neigh = self.nearest(x.row(i));
-                let pos = neigh.iter().filter(|&&j| self.labels[j] == 1).count();
-                pos as f64 / neigh.len() as f64
+                let (pos, k) = self.count_positive_neighbours(x.row(i), &mut scratch);
+                pos as f64 / k as f64
             })
             .collect()
     }
@@ -154,6 +164,32 @@ mod tests {
     fn zero_k_panics() {
         let x = DenseMatrix::zeros(1, 1);
         KnnClassifier::fit(&x, &[0], 0);
+    }
+
+    #[test]
+    fn matches_brute_force_sort() {
+        // The incremental worst-tracking must agree with a full sort by
+        // (distance, index) on scrambled data with duplicate distances.
+        let values: Vec<f64> = (0..60).map(|i| ((i * 17) % 12) as f64).collect();
+        let x = DenseMatrix::from_vec(60, 1, values.clone());
+        let y: Vec<u8> = (0..60).map(|i| (i % 2) as u8).collect();
+        for k in [1, 3, 5, 11] {
+            let model = KnnClassifier::fit(&x, &y, k);
+            let queries = DenseMatrix::from_vec(4, 1, vec![0.3, 5.5, 11.2, 2.0]);
+            let got = model.predict_proba(&queries);
+            for (qi, &want_p) in got.iter().enumerate() {
+                let q = queries.get(qi, 0);
+                let mut order: Vec<(f64, usize)> =
+                    values.iter().enumerate().map(|(i, v)| ((v - q) * (v - q), i)).collect();
+                order.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+                let pos = order[..k].iter().filter(|&&(_, i)| y[i] == 1).count();
+                assert!(
+                    (want_p - pos as f64 / k as f64).abs() < 1e-12,
+                    "k={k} query={qi}: got {want_p}, want {}/{k}",
+                    pos
+                );
+            }
+        }
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! [`tabular::FeatureEncoder`] and expose a common [`Classifier`] object
 //! interface so the experimentation framework can treat them uniformly.
 
+pub mod binned;
 pub mod cv;
 pub mod dtree;
 pub mod gbdt;
@@ -23,6 +24,7 @@ pub mod metrics;
 pub mod model;
 pub mod tree;
 
+pub use binned::{BinnedMatrix, DEFAULT_N_BINS};
 pub use cv::{tune_and_fit, TunedModel};
 pub use dtree::{DecisionTreeClassifier, RandomForestClassifier};
 pub use gbdt::GbdtClassifier;

@@ -1,11 +1,12 @@
 //! The common classifier interface and the declarative model specification
 //! the experimentation framework tunes over.
 
+use crate::binned::BinnedMatrix;
 use crate::dtree::{DTreeParams, DecisionTreeClassifier, RandomForestClassifier};
 use crate::gbdt::GbdtClassifier;
 use crate::knn::KnnClassifier;
 use crate::logreg::LogRegClassifier;
-use tabular::DenseMatrix;
+use tabular::{DenseMatrix, Rng64};
 
 /// A trained binary classifier.
 pub trait Classifier: Send + Sync {
@@ -75,6 +76,13 @@ impl ModelKind {
             "random-forest" | "forest" => Some(ModelKind::RandomForest),
             _ => None,
         }
+    }
+
+    /// Whether the family trains on quantile-binned features. Tree-based
+    /// families share one [`BinnedMatrix`] across CV folds and grid
+    /// configurations; the others consume dense matrices directly.
+    pub fn is_tree_based(&self) -> bool {
+        matches!(self, ModelKind::Gbdt | ModelKind::DecisionTree | ModelKind::RandomForest)
     }
 
     /// The hyperparameter grid searched during 5-fold cross-validation.
@@ -213,6 +221,60 @@ impl ModelSpec {
             }
         }
     }
+
+    /// Trains the specified model on the rows `rows` of a pre-binned
+    /// matrix (`x` and `y` are the full matrix/labels backing `binned`).
+    ///
+    /// Tree-based families train directly on the shared bins — for the
+    /// full row set this produces the same model as [`ModelSpec::fit`].
+    /// The non-tree families have no binned path and fall back to
+    /// materialising the row subset.
+    pub fn fit_binned(
+        &self,
+        binned: &BinnedMatrix,
+        x: &DenseMatrix,
+        rows: &[usize],
+        y: &[u8],
+        seed: u64,
+    ) -> Box<dyn Classifier> {
+        assert_eq!(x.n_rows(), y.len(), "feature/label length mismatch");
+        match *self {
+            ModelSpec::Gbdt { max_depth, n_rounds, learning_rate, reg_lambda } => {
+                Box::new(GbdtClassifier::fit_binned(
+                    binned,
+                    x,
+                    rows,
+                    y,
+                    max_depth,
+                    n_rounds,
+                    learning_rate,
+                    reg_lambda,
+                    seed,
+                ))
+            }
+            ModelSpec::DecisionTree { max_depth } => {
+                let mut rng = Rng64::seed_from_u64(seed);
+                Box::new(DecisionTreeClassifier::fit_binned(
+                    binned,
+                    rows,
+                    y,
+                    DTreeParams { max_depth, ..Default::default() },
+                    &mut rng,
+                ))
+            }
+            ModelSpec::RandomForest { n_trees, max_depth } => {
+                let mut rng = Rng64::seed_from_u64(seed);
+                Box::new(RandomForestClassifier::fit_binned(
+                    binned, rows, y, n_trees, max_depth, &mut rng,
+                ))
+            }
+            ModelSpec::LogReg { .. } | ModelSpec::Knn { .. } => {
+                let sub_x = x.take_rows(rows);
+                let sub_y: Vec<u8> = rows.iter().map(|&i| y[i]).collect();
+                self.fit(&sub_x, &sub_y, seed)
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -253,6 +315,22 @@ mod tests {
     #[test]
     fn paper_models_are_a_prefix_of_extended() {
         assert_eq!(ModelKind::extended()[..3], ModelKind::all());
+    }
+
+    #[test]
+    fn fit_binned_on_all_rows_matches_fit() {
+        use crate::binned::{BinnedMatrix, DEFAULT_N_BINS};
+        use tabular::DenseMatrix;
+        let x = DenseMatrix::from_vec(30, 1, (0..30).map(f64::from).collect());
+        let y: Vec<u8> = (0..30).map(|i| u8::from(i >= 15)).collect();
+        let binned = BinnedMatrix::from_matrix(&x, DEFAULT_N_BINS);
+        let rows: Vec<usize> = (0..30).collect();
+        for kind in [ModelKind::Gbdt, ModelKind::DecisionTree, ModelKind::RandomForest] {
+            let spec = kind.default_grid()[0];
+            let dense = spec.fit(&x, &y, 9);
+            let shared = spec.fit_binned(&binned, &x, &rows, &y, 9);
+            assert_eq!(dense.predict_proba(&x), shared.predict_proba(&x), "{kind}");
+        }
     }
 
     #[test]

@@ -1,7 +1,19 @@
 //! Regression trees over (gradient, hessian) targets — the weak learner of
 //! the gradient-boosted classifier, using the second-order gain and leaf
 //! weight formulas of the XGBoost paper.
+//!
+//! Two split finders are provided:
+//!
+//! * [`RegressionTree::fit_binned`] — the production path: per-bin
+//!   (gradient, hessian) histograms over a shared [`BinnedMatrix`],
+//!   accumulated in one O(n) pass per node with sibling-histogram
+//!   subtraction (the larger child's histogram is the parent's minus the
+//!   smaller child's, so each row is scanned roughly once per level).
+//! * [`RegressionTree::fit_exact`] — the exact greedy reference that
+//!   re-sorts every feature at every node; kept for the
+//!   histogram-vs-exact parity tests and as the accuracy baseline.
 
+use crate::binned::BinnedMatrix;
 use tabular::DenseMatrix;
 
 /// One node of a regression tree, stored in a flat arena.
@@ -45,20 +57,164 @@ impl Default for TreeParams {
     }
 }
 
+/// Per-bin (gradient sum, hessian sum) accumulator.
+type GhHist = Vec<(f64, f64)>;
+
 impl RegressionTree {
     /// Fits a tree minimising the second-order objective
-    /// `Σ g_i f(x_i) + ½ Σ h_i f(x_i)² + ½ λ Σ w²`.
-    pub fn fit(x: &DenseMatrix, grad: &[f64], hess: &[f64], params: TreeParams) -> Self {
+    /// `Σ g_i f(x_i) + ½ Σ h_i f(x_i)² + ½ λ Σ w²` with exact greedy
+    /// splits (every feature re-sorted at every node). Reference
+    /// implementation — the boosting hot path uses
+    /// [`RegressionTree::fit_binned`].
+    pub fn fit_exact(x: &DenseMatrix, grad: &[f64], hess: &[f64], params: TreeParams) -> Self {
         assert_eq!(x.n_rows(), grad.len(), "gradient length mismatch");
         assert_eq!(x.n_rows(), hess.len(), "hessian length mismatch");
         let mut tree = RegressionTree { nodes: Vec::new() };
         let rows: Vec<usize> = (0..x.n_rows()).collect();
-        tree.build(x, grad, hess, &rows, 0, params);
+        tree.build_exact(x, grad, hess, &rows, 0, params);
         tree
     }
 
-    /// Recursively builds the subtree for `rows`; returns its arena index.
-    fn build(
+    /// Fits a tree with histogram split finding on the rows `rows` of a
+    /// pre-binned matrix. `grad` and `hess` are indexed by *global* row
+    /// id (`binned.n_rows()` long), so one binned matrix and one
+    /// gradient buffer serve every subsample, fold and boosting round.
+    pub fn fit_binned(
+        binned: &BinnedMatrix,
+        rows: &[usize],
+        grad: &[f64],
+        hess: &[f64],
+        params: TreeParams,
+    ) -> Self {
+        assert_eq!(binned.n_rows(), grad.len(), "gradient length mismatch");
+        assert_eq!(binned.n_rows(), hess.len(), "hessian length mismatch");
+        let mut tree = RegressionTree { nodes: Vec::new() };
+        let mut rows = rows.to_vec();
+        tree.build_binned(binned, grad, hess, &mut rows, 0, params, None);
+        tree
+    }
+
+    /// Accumulates the per-bin (gradient, hessian) histogram of `rows` in
+    /// one pass per feature over the contiguous bin column.
+    fn compute_hist(binned: &BinnedMatrix, rows: &[usize], grad: &[f64], hess: &[f64]) -> GhHist {
+        let mut hist: GhHist = vec![(0.0, 0.0); binned.total_bins()];
+        for j in 0..binned.n_cols() {
+            if binned.n_bins(j) == 1 {
+                continue; // constant feature: never a split candidate
+            }
+            let column = binned.feature_bins(j);
+            let slice = &mut hist[binned.offset(j)..binned.offset(j) + binned.n_bins(j)];
+            for &i in rows {
+                let slot = &mut slice[usize::from(column[i])];
+                slot.0 += grad[i];
+                slot.1 += hess[i];
+            }
+        }
+        hist
+    }
+
+    /// Recursively builds the subtree for `rows` (reordered in place);
+    /// returns its arena index. `hist` is the node's precomputed
+    /// histogram when the parent derived it by sibling subtraction.
+    #[allow(clippy::too_many_arguments)]
+    fn build_binned(
+        &mut self,
+        binned: &BinnedMatrix,
+        grad: &[f64],
+        hess: &[f64],
+        rows: &mut [usize],
+        depth: usize,
+        params: TreeParams,
+        hist: Option<GhHist>,
+    ) -> usize {
+        let make_leaf = |nodes: &mut Vec<Node>, g_sum: f64, h_sum: f64| {
+            let value = if h_sum + params.reg_lambda > 0.0 {
+                -g_sum / (h_sum + params.reg_lambda)
+            } else {
+                0.0
+            };
+            nodes.push(Node::Leaf { value });
+            nodes.len() - 1
+        };
+        if depth >= params.max_depth || rows.len() < 2 {
+            let g_sum: f64 = rows.iter().map(|&i| grad[i]).sum();
+            let h_sum: f64 = rows.iter().map(|&i| hess[i]).sum();
+            return make_leaf(&mut self.nodes, g_sum, h_sum);
+        }
+        let hist = hist.unwrap_or_else(|| Self::compute_hist(binned, rows, grad, hess));
+        // Row totals straight from the rows (constant features are skipped
+        // in the histogram, so a feature slice may be all-zero).
+        let g_sum: f64 = rows.iter().map(|&i| grad[i]).sum();
+        let h_sum: f64 = rows.iter().map(|&i| hess[i]).sum();
+        let parent_score = g_sum * g_sum / (h_sum + params.reg_lambda);
+        let mut best: Option<(f64, usize, usize)> = None; // (gain, feature, bin)
+        for feature in 0..binned.n_cols() {
+            let n_bins = binned.n_bins(feature);
+            if n_bins < 2 {
+                continue;
+            }
+            let slice = &hist[binned.offset(feature)..binned.offset(feature) + n_bins];
+            let mut gl = 0.0;
+            let mut hl = 0.0;
+            for (bin, &(g, h)) in slice[..n_bins - 1].iter().enumerate() {
+                gl += g;
+                hl += h;
+                let gr = g_sum - gl;
+                let hr = h_sum - hl;
+                if hl < params.min_child_weight || hr < params.min_child_weight {
+                    continue;
+                }
+                let gain = gl * gl / (hl + params.reg_lambda)
+                    + gr * gr / (hr + params.reg_lambda)
+                    - parent_score;
+                if gain > params.min_gain && best.is_none_or(|(bg, _, _)| gain > bg) {
+                    best = Some((gain, feature, bin));
+                }
+            }
+        }
+        match best {
+            None => make_leaf(&mut self.nodes, g_sum, h_sum),
+            Some((_, feature, bin)) => {
+                let threshold = node_split_threshold(binned, feature, bin, rows);
+                let column = binned.feature_bins(feature);
+                let split_at = partition_rows(rows, |i| usize::from(column[i]) <= bin);
+                let idx = self.nodes.len();
+                self.nodes.push(Node::Leaf { value: 0.0 }); // placeholder
+                // Sibling subtraction: scan only the smaller child; the
+                // larger child's histogram is parent − smaller. Skip the
+                // extra scan entirely when the children will be leaves.
+                let (left_hist, right_hist) = if depth + 1 < params.max_depth {
+                    let (left_rows, right_rows) = rows.split_at(split_at);
+                    let (small, small_is_left) = if left_rows.len() <= right_rows.len() {
+                        (left_rows, true)
+                    } else {
+                        (right_rows, false)
+                    };
+                    let small_hist = Self::compute_hist(binned, small, grad, hess);
+                    let large_hist = subtract_hist(hist, &small_hist);
+                    if small_is_left {
+                        (Some(small_hist), Some(large_hist))
+                    } else {
+                        (Some(large_hist), Some(small_hist))
+                    }
+                } else {
+                    (None, None)
+                };
+                let (left_rows, right_rows) = rows.split_at_mut(split_at);
+                let left =
+                    self.build_binned(binned, grad, hess, left_rows, depth + 1, params, left_hist);
+                let right = self.build_binned(
+                    binned, grad, hess, right_rows, depth + 1, params, right_hist,
+                );
+                self.nodes[idx] = Node::Split { feature, threshold, left, right };
+                idx
+            }
+        }
+    }
+
+    /// Recursively builds the subtree for `rows` with exact greedy splits;
+    /// returns its arena index.
+    fn build_exact(
         &mut self,
         x: &DenseMatrix,
         grad: &[f64],
@@ -119,8 +275,8 @@ impl RegressionTree {
                 // Reserve our slot before recursing so children land after us.
                 let idx = self.nodes.len();
                 self.nodes.push(Node::Leaf { value: 0.0 }); // placeholder
-                let left = self.build(x, grad, hess, &left_rows, depth + 1, params);
-                let right = self.build(x, grad, hess, &right_rows, depth + 1, params);
+                let left = self.build_exact(x, grad, hess, &left_rows, depth + 1, params);
+                let right = self.build_exact(x, grad, hess, &right_rows, depth + 1, params);
                 self.nodes[idx] = Node::Split { feature, threshold, left, right };
                 idx
             }
@@ -151,9 +307,69 @@ impl RegressionTree {
     }
 }
 
+/// In-place stable partition: rows satisfying `pred` move to the front,
+/// preserving relative order on both sides (determinism of the recursion
+/// depends on stable row order). Returns the boundary index.
+pub(crate) fn partition_rows(rows: &mut [usize], pred: impl Fn(usize) -> bool) -> usize {
+    let mut right: Vec<usize> = Vec::with_capacity(rows.len());
+    let mut write = 0;
+    for read in 0..rows.len() {
+        let row = rows[read];
+        if pred(row) {
+            rows[write] = row;
+            write += 1;
+        } else {
+            right.push(row);
+        }
+    }
+    rows[write..].copy_from_slice(&right);
+    write
+}
+
+/// The raw threshold for the chosen split "bin ≤ `bin` goes left",
+/// centred between the node's actual values either side of the cut:
+/// the midpoint of the highest occupied bin ≤ `bin` and the lowest
+/// occupied bin > `bin` **among `rows`**. Mirrors the exact greedy
+/// splitter's between-adjacent-values midpoints, which generalise far
+/// better than the bin edge (the edge hugs the left values, so unseen
+/// rows between the two sides all route right).
+pub(crate) fn node_split_threshold(
+    binned: &BinnedMatrix,
+    feature: usize,
+    bin: usize,
+    rows: &[usize],
+) -> f64 {
+    let column = binned.feature_bins(feature);
+    let mut left_bin: Option<usize> = None;
+    let mut right_bin: Option<usize> = None;
+    for &i in rows {
+        let b = usize::from(column[i]);
+        if b <= bin {
+            left_bin = Some(left_bin.map_or(b, |c| c.max(b)));
+        } else {
+            right_bin = Some(right_bin.map_or(b, |c| c.min(b)));
+        }
+    }
+    match (left_bin, right_bin) {
+        (Some(l), Some(r)) => binned.split_threshold(feature, l, r),
+        // One side empty (degenerate split): fall back to the cut edge.
+        _ => binned.threshold(feature, bin),
+    }
+}
+
+/// Parent histogram minus the smaller child's, element-wise.
+fn subtract_hist(mut parent: GhHist, small: &GhHist) -> GhHist {
+    for (p, s) in parent.iter_mut().zip(small) {
+        p.0 -= s.0;
+        p.1 -= s.1;
+    }
+    parent
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::binned::DEFAULT_N_BINS;
 
     /// Builds gradients/hessians equivalent to a squared-error fit of
     /// `target` from a zero prediction: g = -target, h = 1.
@@ -161,43 +377,65 @@ mod tests {
         (targets.iter().map(|t| -t).collect(), vec![1.0; targets.len()])
     }
 
+    /// Fits both implementations on the same data.
+    fn fit_both(x: &DenseMatrix, g: &[f64], h: &[f64], params: TreeParams) -> [RegressionTree; 2] {
+        let binned = BinnedMatrix::from_matrix(x, DEFAULT_N_BINS);
+        let rows: Vec<usize> = (0..x.n_rows()).collect();
+        [
+            RegressionTree::fit_exact(x, g, h, params),
+            RegressionTree::fit_binned(&binned, &rows, g, h, params),
+        ]
+    }
+
     #[test]
     fn fits_step_function() {
         let x = DenseMatrix::from_vec(6, 1, vec![0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
         let targets = [0.0, 0.0, 0.0, 5.0, 5.0, 5.0];
         let (g, h) = sq_error_setup(&targets);
-        let tree = RegressionTree::fit(
+        for tree in fit_both(
             &x,
             &g,
             &h,
             TreeParams { max_depth: 2, reg_lambda: 0.0, min_child_weight: 0.5, min_gain: 1e-6 },
-        );
-        // Leaf values should approximate group means.
-        assert!((tree.predict_row(&[1.0]) - 0.0).abs() < 1e-9);
-        assert!((tree.predict_row(&[11.0]) - 5.0).abs() < 1e-9);
-        assert!(tree.n_leaves() >= 2);
+        ) {
+            // Leaf values should approximate group means.
+            assert!((tree.predict_row(&[1.0]) - 0.0).abs() < 1e-9);
+            assert!((tree.predict_row(&[11.0]) - 5.0).abs() < 1e-9);
+            assert!(tree.n_leaves() >= 2);
+        }
     }
 
     #[test]
     fn depth_zero_returns_single_leaf_mean() {
         let x = DenseMatrix::from_vec(4, 1, vec![0.0, 1.0, 2.0, 3.0]);
         let (g, h) = sq_error_setup(&[1.0, 2.0, 3.0, 4.0]);
-        let tree = RegressionTree::fit(
+        for tree in fit_both(
             &x,
             &g,
             &h,
             TreeParams { max_depth: 0, reg_lambda: 0.0, min_child_weight: 0.0, min_gain: 0.0 },
-        );
-        assert_eq!(tree.n_nodes(), 1);
-        assert!((tree.predict_row(&[0.0]) - 2.5).abs() < 1e-9);
+        ) {
+            assert_eq!(tree.n_nodes(), 1);
+            assert!((tree.predict_row(&[0.0]) - 2.5).abs() < 1e-9);
+        }
     }
 
     #[test]
     fn regularisation_shrinks_leaf_values() {
         let x = DenseMatrix::from_vec(2, 1, vec![0.0, 1.0]);
         let (g, h) = sq_error_setup(&[4.0, 4.0]);
-        let weak = RegressionTree::fit(&x, &g, &h, TreeParams { max_depth: 0, reg_lambda: 0.0, ..Default::default() });
-        let strong = RegressionTree::fit(&x, &g, &h, TreeParams { max_depth: 0, reg_lambda: 10.0, ..Default::default() });
+        let weak = RegressionTree::fit_exact(
+            &x,
+            &g,
+            &h,
+            TreeParams { max_depth: 0, reg_lambda: 0.0, ..Default::default() },
+        );
+        let strong = RegressionTree::fit_exact(
+            &x,
+            &g,
+            &h,
+            TreeParams { max_depth: 0, reg_lambda: 10.0, ..Default::default() },
+        );
         assert!(strong.predict_row(&[0.0]).abs() < weak.predict_row(&[0.0]).abs());
     }
 
@@ -205,23 +443,25 @@ mod tests {
     fn constant_feature_yields_leaf() {
         let x = DenseMatrix::from_vec(4, 1, vec![7.0; 4]);
         let (g, h) = sq_error_setup(&[0.0, 1.0, 0.0, 1.0]);
-        let tree = RegressionTree::fit(&x, &g, &h, TreeParams::default());
-        assert_eq!(tree.n_nodes(), 1);
+        for tree in fit_both(&x, &g, &h, TreeParams::default()) {
+            assert_eq!(tree.n_nodes(), 1);
+        }
     }
 
     #[test]
     fn min_child_weight_blocks_tiny_splits() {
         let x = DenseMatrix::from_vec(3, 1, vec![0.0, 1.0, 2.0]);
         let (g, h) = sq_error_setup(&[0.0, 0.0, 9.0]);
-        let tree = RegressionTree::fit(
+        for tree in fit_both(
             &x,
             &g,
             &h,
             TreeParams { max_depth: 3, reg_lambda: 0.0, min_child_weight: 2.0, min_gain: 0.0 },
-        );
-        // Any split would isolate <2 hessian weight on one side except 2|1...
-        // left {0,1} has weight 2, right {2} has weight 1 < 2 -> blocked.
-        assert_eq!(tree.n_nodes(), 1);
+        ) {
+            // Any split would isolate <2 hessian weight on one side except 2|1...
+            // left {0,1} has weight 2, right {2} has weight 1 < 2 -> blocked.
+            assert_eq!(tree.n_nodes(), 1);
+        }
     }
 
     #[test]
@@ -229,13 +469,55 @@ mod tests {
         // Feature 0 is noise (constant), feature 1 separates the targets.
         let x = DenseMatrix::from_vec(4, 2, vec![5.0, 0.0, 5.0, 1.0, 5.0, 10.0, 5.0, 11.0]);
         let (g, h) = sq_error_setup(&[0.0, 0.0, 8.0, 8.0]);
-        let tree = RegressionTree::fit(
+        for tree in fit_both(
             &x,
             &g,
             &h,
             TreeParams { max_depth: 1, reg_lambda: 0.0, min_child_weight: 0.5, min_gain: 1e-9 },
-        );
-        assert!((tree.predict_row(&[5.0, 0.5]) - 0.0).abs() < 1e-9);
-        assert!((tree.predict_row(&[5.0, 10.5]) - 8.0).abs() < 1e-9);
+        ) {
+            assert!((tree.predict_row(&[5.0, 0.5]) - 0.0).abs() < 1e-9);
+            assert!((tree.predict_row(&[5.0, 10.5]) - 8.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn binned_matches_exact_on_few_distinct_values() {
+        // With <= max_bins distinct values the histogram candidate set is
+        // the exact candidate set, so both trees predict identically.
+        let values: Vec<f64> = (0..60).map(|i| f64::from(i % 6)).collect();
+        let targets: Vec<f64> = values.iter().map(|&v| if v < 3.0 { -1.0 } else { 2.0 }).collect();
+        let x = DenseMatrix::from_vec(60, 1, values);
+        let (g, h) = sq_error_setup(&targets);
+        let [exact, binned] = fit_both(&x, &g, &h, TreeParams::default());
+        for probe in [0.0, 1.0, 2.5, 3.0, 4.9, 5.0] {
+            assert!(
+                (exact.predict_row(&[probe]) - binned.predict_row(&[probe])).abs() < 1e-9,
+                "probe {probe}"
+            );
+        }
+    }
+
+    #[test]
+    fn binned_is_deterministic_across_runs() {
+        let values: Vec<f64> = (0..300).map(|i| ((i * 37) % 101) as f64 * 0.1).collect();
+        let targets: Vec<f64> = values.iter().map(|&v| (v * 0.7).sin()).collect();
+        let x = DenseMatrix::from_vec(300, 1, values);
+        let (g, h) = sq_error_setup(&targets);
+        let binned = BinnedMatrix::from_matrix(&x, 32);
+        let rows: Vec<usize> = (0..300).collect();
+        let a = RegressionTree::fit_binned(&binned, &rows, &g, &h, TreeParams::default());
+        let b = RegressionTree::fit_binned(&binned, &rows, &g, &h, TreeParams::default());
+        assert_eq!(a.n_nodes(), b.n_nodes());
+        for i in 0..300 {
+            assert_eq!(a.predict_row(x.row(i)), b.predict_row(x.row(i)));
+        }
+    }
+
+    #[test]
+    fn partition_rows_is_stable() {
+        let mut rows = vec![5, 2, 9, 4, 7, 0];
+        let at = partition_rows(&mut rows, |r| r % 2 == 0);
+        assert_eq!(at, 3);
+        assert_eq!(rows, vec![2, 4, 0, 5, 9, 7]);
     }
 }

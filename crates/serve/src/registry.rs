@@ -11,6 +11,10 @@ use std::collections::BTreeMap;
 /// The registry. Immutable after construction, so workers need no locks.
 pub struct Registry {
     models: BTreeMap<(&'static str, &'static str), ServingModel>,
+    /// Wall-clock training seconds per (dataset, model), measured at
+    /// startup and exported by `/metrics` as
+    /// `serve_startup_train_seconds`.
+    train_seconds: BTreeMap<(&'static str, &'static str), f64>,
     scale_name: String,
     seed: u64,
 }
@@ -34,7 +38,11 @@ impl Registry {
             let handles: Vec<_> = pairs
                 .iter()
                 .map(|&(dataset, model)| {
-                    scope.spawn(move || train_serving_model(dataset, model, scale, seed))
+                    scope.spawn(move || {
+                        let start = std::time::Instant::now();
+                        let result = train_serving_model(dataset, model, scale, seed);
+                        (result, start.elapsed().as_secs_f64())
+                    })
                 })
                 .collect();
             for handle in handles {
@@ -42,11 +50,20 @@ impl Registry {
             }
         });
         let mut registry = BTreeMap::new();
-        for result in trained {
+        let mut train_seconds = BTreeMap::new();
+        for (result, seconds) in trained {
             let served = result?;
-            registry.insert((served.dataset.name(), served.model.name()), served);
+            let key = (served.dataset.name(), served.model.name());
+            train_seconds.insert(key, seconds);
+            registry.insert(key, served);
         }
-        Ok(Registry { models: registry, scale_name: scale_name.to_string(), seed })
+        Ok(Registry { models: registry, train_seconds, scale_name: scale_name.to_string(), seed })
+    }
+
+    /// Startup training wall seconds per (dataset, model), in
+    /// deterministic key order.
+    pub fn startup_train_seconds(&self) -> impl Iterator<Item = (&'static str, &'static str, f64)> + '_ {
+        self.train_seconds.iter().map(|(&(d, m), &secs)| (d, m, secs))
     }
 
     /// Looks up a model by dataset and model names (paper naming).
@@ -117,5 +134,10 @@ mod tests {
         assert!(registry.any_for_dataset("german").is_some());
         assert_eq!(registry.scale_name(), "smoke");
         assert_eq!(registry.seed(), 11);
+        let timings: Vec<_> = registry.startup_train_seconds().collect();
+        assert_eq!(timings.len(), 1);
+        let (dataset, model, seconds) = timings[0];
+        assert_eq!((dataset, model), ("german", "log-reg"));
+        assert!(seconds > 0.0);
     }
 }

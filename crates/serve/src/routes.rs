@@ -55,7 +55,7 @@ impl App {
     fn route(&self, request: &Request) -> Response {
         let result = match (request.method.as_str(), request.path.as_str()) {
             ("GET", "/healthz") => Ok(self.healthz()),
-            ("GET", "/metrics") => Ok(Response::text(200, self.metrics.render())),
+            ("GET", "/metrics") => Ok(Response::text(200, self.render_metrics())),
             ("POST", "/v1/predict") => self.json_body(request).and_then(|b| self.predict(&b)),
             ("POST", "/v1/clean") => self.json_body(request).and_then(|b| self.clean(&b)),
             ("POST", "/v1/audit") => self.json_body(request).and_then(|b| self.audit(&b)),
@@ -65,6 +65,21 @@ impl App {
             _ => Err(Response::error(404, "no such endpoint")),
         };
         result.unwrap_or_else(|error| error)
+    }
+
+    /// The request-level metrics plus the startup training-time gauge
+    /// (fixed after construction, so rendered from the registry rather
+    /// than tracked as a counter).
+    fn render_metrics(&self) -> String {
+        let mut out = self.metrics.render();
+        out.push_str("# HELP serve_startup_train_seconds Wall-clock seconds spent training each served model at startup.\n");
+        out.push_str("# TYPE serve_startup_train_seconds gauge\n");
+        for (dataset, model, seconds) in self.registry.startup_train_seconds() {
+            out.push_str(&format!(
+                "serve_startup_train_seconds{{dataset=\"{dataset}\",model=\"{model}\"}} {seconds:.6}\n"
+            ));
+        }
+        out
     }
 
     fn healthz(&self) -> Response {

@@ -1,0 +1,171 @@
+//! Parity of histogram-binned tree training against the exact greedy
+//! splitter, on the study's real datasets.
+//!
+//! Histogram splits consider quantile-bin boundaries instead of every
+//! distinct-value midpoint, so individual trees can differ from the exact
+//! ones — but on study-sized data the accuracy and fairness conclusions
+//! must not move: test accuracy stays within 0.02 and per-group disparity
+//! signs are unchanged (up to near-zero disparities, where the sign
+//! carries no information).
+
+use datasets::DatasetId;
+use demodq::pipeline::sample_split;
+use demodq::StudyScale;
+use fairness::{group_confusions, FairnessMetric, GroupConfusions};
+use mlcore::{accuracy, Classifier, DecisionTreeClassifier, GbdtClassifier};
+use tabular::{DataFrame, DenseMatrix, FeatureEncoder};
+
+/// Encoded train/test matrices plus the frames for group evaluation.
+struct Encoded {
+    x_train: DenseMatrix,
+    y_train: Vec<u8>,
+    x_test: DenseMatrix,
+    y_test: Vec<u8>,
+    test: DataFrame,
+}
+
+/// Samples a split of `id` and encodes it (incomplete rows dropped so
+/// both splitters see identical, fully numeric matrices).
+///
+/// The sample is larger than the smoke preset: parity tolerances are in
+/// accuracy points, and on a smoke-sized (≈100 row) test set a single
+/// row is already ≈0.01, so tie-flip noise between two equally valid
+/// greedy trees would dominate the comparison.
+fn encoded_split(id: DatasetId, seed: u64) -> Encoded {
+    let scale = StudyScale { pool_size: 2000, sample_size: 1200, test_fraction: 0.3, ..StudyScale::smoke() };
+    let pool = id.generate(scale.pool_size, seed).expect("generate pool");
+    let (train, test) = sample_split(&pool, &scale, seed ^ 0xA11CE).expect("split");
+    let train = train.drop_incomplete_rows().expect("drop train rows");
+    let test = test.drop_incomplete_rows().expect("drop test rows");
+    let encoder = FeatureEncoder::fit(&train, true).expect("fit encoder");
+    Encoded {
+        x_train: encoder.transform(&train).expect("encode train"),
+        y_train: train.labels().expect("train labels"),
+        x_test: encoder.transform(&test).expect("encode test"),
+        y_test: test.labels().expect("test labels"),
+        test,
+    }
+}
+
+/// Per-group signed disparities of `preds` on the test frame, for the
+/// two headline metrics.
+fn signed_disparities(
+    id: DatasetId,
+    data: &Encoded,
+    preds: &[u8],
+) -> Vec<(String, FairnessMetric, Option<f64>)> {
+    let groups = id.spec().single_attribute_specs();
+    let mut out = Vec::new();
+    for group in groups {
+        let masks = group.evaluate(&data.test).expect("evaluate group");
+        let gc: GroupConfusions = group_confusions(&data.y_test, preds, &masks);
+        for metric in [FairnessMetric::PredictiveParity, FairnessMetric::EqualOpportunity] {
+            out.push((group.label(), metric, metric.signed_disparity(&gc)));
+        }
+    }
+    out
+}
+
+/// Element-wise mean of per-seed disparity vectors; an entry is `None`
+/// unless it was defined on every seed.
+fn averaged_disparities(
+    per_seed: &[Vec<(String, FairnessMetric, Option<f64>)>],
+) -> Vec<(String, FairnessMetric, Option<f64>)> {
+    let n = per_seed.len() as f64;
+    per_seed[0]
+        .iter()
+        .enumerate()
+        .map(|(i, (label, metric, _))| {
+            let vals: Option<Vec<f64>> = per_seed.iter().map(|s| s[i].2).collect();
+            (label.clone(), *metric, vals.map(|v| v.iter().sum::<f64>() / n))
+        })
+        .collect()
+}
+
+/// Disparity signs must agree unless either disparity is so small that
+/// its sign is noise.
+fn assert_signs_compatible(
+    dataset: DatasetId,
+    exact: &[(String, FairnessMetric, Option<f64>)],
+    hist: &[(String, FairnessMetric, Option<f64>)],
+) {
+    const SIGN_SLACK: f64 = 0.1;
+    assert_eq!(exact.len(), hist.len());
+    for ((label, metric, e), (_, _, h)) in exact.iter().zip(hist) {
+        let (Some(e), Some(h)) = (e, h) else { continue };
+        let same_sign = (e >= &0.0) == (h >= &0.0);
+        assert!(
+            same_sign || (e.abs() < SIGN_SLACK && h.abs() < SIGN_SLACK),
+            "{dataset:?}/{label}/{metric:?}: disparity sign flipped beyond noise \
+             (exact {e:.4}, hist {h:.4})"
+        );
+    }
+}
+
+/// Both comparisons average over a few independent splits: a single
+/// split leaves room for tie-flip noise (two equally valid greedy trees
+/// that happen to disagree on a handful of rows), which is exactly the
+/// variation the study itself averages away over splits and seeds.
+const PARITY_SEEDS: [u64; 3] = [2024, 4077, 9183];
+
+#[test]
+fn gbdt_hist_matches_exact_on_all_datasets() {
+    for id in DatasetId::all() {
+        let (mut accs_exact, mut accs_hist) = (Vec::new(), Vec::new());
+        let (mut disp_exact, mut disp_hist) = (Vec::new(), Vec::new());
+        for seed in PARITY_SEEDS {
+            let data = encoded_split(id, seed);
+            let exact = GbdtClassifier::fit_exact(&data.x_train, &data.y_train, 3, 50, 0.3, 1.0, 7);
+            let hist = GbdtClassifier::fit(&data.x_train, &data.y_train, 3, 50, 0.3, 1.0, 7);
+            let preds_exact = exact.predict(&data.x_test);
+            let preds_hist = hist.predict(&data.x_test);
+            accs_exact.push(accuracy(&data.y_test, &preds_exact));
+            accs_hist.push(accuracy(&data.y_test, &preds_hist));
+            disp_exact.push(signed_disparities(id, &data, &preds_exact));
+            disp_hist.push(signed_disparities(id, &data, &preds_hist));
+        }
+        let n = PARITY_SEEDS.len() as f64;
+        let acc_exact = accs_exact.iter().sum::<f64>() / n;
+        let acc_hist = accs_hist.iter().sum::<f64>() / n;
+        assert!(
+            (acc_exact - acc_hist).abs() <= 0.02,
+            "{id:?}: exact {acc_exact:.4} vs hist {acc_hist:.4}"
+        );
+        assert_signs_compatible(
+            id,
+            &averaged_disparities(&disp_exact),
+            &averaged_disparities(&disp_hist),
+        );
+    }
+}
+
+#[test]
+fn dtree_hist_matches_exact_on_all_datasets() {
+    use mlcore::dtree::DTreeParams;
+    for id in DatasetId::all() {
+        let (mut accs_exact, mut accs_hist) = (Vec::new(), Vec::new());
+        for seed in PARITY_SEEDS {
+            let data = encoded_split(id, seed.wrapping_mul(77));
+            let params = DTreeParams { max_depth: 6, ..Default::default() };
+            let exact = DecisionTreeClassifier::fit_exact(&data.x_train, &data.y_train, params, 3);
+            let hist = DecisionTreeClassifier::fit(&data.x_train, &data.y_train, params, 3);
+            accs_exact.push(accuracy(&data.y_test, &exact.predict(&data.x_test)));
+            accs_hist.push(accuracy(&data.y_test, &hist.predict(&data.x_test)));
+        }
+        let n = PARITY_SEEDS.len() as f64;
+        let acc_exact = accs_exact.iter().sum::<f64>() / n;
+        let acc_hist = accs_hist.iter().sum::<f64>() / n;
+        assert!(
+            (acc_exact - acc_hist).abs() <= 0.02,
+            "{id:?}: exact {acc_exact:.4} vs hist {acc_hist:.4}"
+        );
+    }
+}
+
+#[test]
+fn hist_training_is_deterministic_on_real_data() {
+    let data = encoded_split(DatasetId::Adult, 5);
+    let a = GbdtClassifier::fit(&data.x_train, &data.y_train, 3, 30, 0.3, 1.0, 9);
+    let b = GbdtClassifier::fit(&data.x_train, &data.y_train, 3, 30, 0.3, 1.0, 9);
+    assert_eq!(a.predict_proba(&data.x_test), b.predict_proba(&data.x_test));
+}

@@ -170,6 +170,15 @@ fn serves_predict_clean_audit_over_tcp() {
     assert!(metrics.contains("demodq_requests_total{endpoint=\"/v1/predict\"}"));
     assert!(metrics.contains("demodq_request_seconds_bucket"));
 
+    // --- startup training time is exported per served model ---
+    assert!(metrics.contains("# TYPE serve_startup_train_seconds gauge"));
+    let gauge = metrics
+        .lines()
+        .find(|l| l.starts_with("serve_startup_train_seconds{dataset=\"german\",model=\"log-reg\"}"))
+        .expect("startup gauge for the served (dataset, model) pair");
+    let value: f64 = gauge.split_whitespace().last().unwrap().parse().unwrap();
+    assert!(value > 0.0, "training took measurable time: {gauge}");
+
     // --- graceful shutdown: joins cleanly, then refuses connections ---
     server.shutdown();
     let refused = TcpStream::connect_timeout(&addr, Duration::from_millis(500));
