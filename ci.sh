@@ -26,4 +26,46 @@ echo "==> studybench perf gate (vs committed BENCH_study.json)"
 cargo run --release -p demodq-bench --bin studybench -- \
     --smoke --out target/BENCH_study.json --baseline BENCH_study.json
 
+echo "==> crash-resume smoke (kill -9 mid-study, resume from journal)"
+# The root release build does not build the crate binaries; build the
+# smoke harness explicitly.
+cargo build --release -p demodq-bench --bin resume_smoke
+SMOKE_DIR=target/resume_smoke
+rm -rf "$SMOKE_DIR"
+mkdir -p "$SMOKE_DIR"
+RESUME_SMOKE=target/release/resume_smoke
+SMOKE_ARGS=(--error mislabels --scale smoke --seed 42)
+
+# 1. Clean reference run (no journal).
+"$RESUME_SMOKE" "${SMOKE_ARGS[@]}" --out "$SMOKE_DIR/clean.json"
+
+# 2. Journaled run killed with SIGKILL after ~50% of the 10 tasks. The
+#    self-kill makes a nonzero exit the expected outcome.
+if "$RESUME_SMOKE" "${SMOKE_ARGS[@]}" --journal "$SMOKE_DIR/journal" --kill-after 5; then
+    echo "FAIL: the --kill-after run was supposed to die mid-study"
+    exit 1
+fi
+
+# 3. Resume from the journal; record the summary lines.
+"$RESUME_SMOKE" "${SMOKE_ARGS[@]}" --journal "$SMOKE_DIR/journal" --resume \
+    --out "$SMOKE_DIR/resumed.json" | tee "$SMOKE_DIR/resume.log"
+
+# Completed tasks must be replayed, not re-executed...
+hits=$(grep -oE 'journal-hits: [0-9]+' "$SMOKE_DIR/resume.log" | grep -oE '[0-9]+')
+if [ "${hits:-0}" -lt 5 ]; then
+    echo "FAIL: expected at least 5 journal hits on resume, got '${hits:-none}'"
+    exit 1
+fi
+# ...the journal must parse without warnings...
+grep -q 'journal-warnings: 0' "$SMOKE_DIR/resume.log" || {
+    echo "FAIL: resume reported journal warnings"
+    exit 1
+}
+# ...and the resumed export must be byte-identical to the clean run.
+cmp "$SMOKE_DIR/clean.json" "$SMOKE_DIR/resumed.json" || {
+    echo "FAIL: resumed results differ from the uninterrupted run"
+    exit 1
+}
+echo "crash-resume smoke OK (journal hits: $hits)"
+
 echo "CI green."

@@ -1,0 +1,171 @@
+//! Crash-resume smoke harness for the durable study runner.
+//!
+//! Runs one error-type study with the task journal enabled and prints
+//! machine-greppable summary lines:
+//!
+//! ```text
+//! journal-hits: 5
+//! journal-warnings: 0
+//! failed-tasks: 0
+//! ```
+//!
+//! With `--kill-after N` the process sends itself `SIGKILL` after the
+//! N-th task completes (and is journaled) — a real hard kill, not a
+//! simulated error — so CI can verify that a subsequent `--resume` run
+//! replays the journaled tasks and exports byte-identical results.
+//!
+//! ```text
+//! resume_smoke --error mislabels --scale smoke --journal DIR --out a.json
+//! resume_smoke ... --kill-after 5        # dies mid-run (expected)
+//! resume_smoke ... --resume --out b.json # completes from the journal
+//! cmp a.json b.json
+//! ```
+
+use datasets::{DatasetId, ErrorType};
+use demodq::config::{StudyOptions, StudyScale};
+use demodq::export::study_results_json;
+use mlcore::ModelKind;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Task count after which the process kills itself (0 = never).
+static KILL_AFTER: AtomicUsize = AtomicUsize::new(0);
+
+/// `on_task_complete` hook: hard-kill our own process once `done` reaches
+/// the `--kill-after` threshold. SIGKILL cannot be caught, so whatever the
+/// journal holds at that instant is exactly what a real crash would leave.
+fn kill_hook(done: usize, _total: usize) {
+    let threshold = KILL_AFTER.load(Ordering::Relaxed);
+    if threshold > 0 && done >= threshold {
+        eprintln!("resume_smoke: self-kill after {done} task(s)");
+        let _ = std::process::Command::new("kill")
+            .args(["-9", &std::process::id().to_string()])
+            .status();
+        // SIGKILL delivery can lag the spawn; don't let more tasks finish.
+        loop {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+    }
+}
+
+struct Args {
+    error: ErrorType,
+    scale: StudyScale,
+    seed: u64,
+    journal: Option<String>,
+    out: Option<String>,
+    resume: bool,
+    kill_after: usize,
+    threshold: f64,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        error: ErrorType::Mislabels,
+        scale: StudyScale::smoke(),
+        seed: 42,
+        journal: None,
+        out: None,
+        resume: false,
+        kill_after: 0,
+        threshold: 0.1,
+    };
+    let usage = "usage: resume_smoke [--error missing_values|outliers|mislabels] \
+                 [--scale smoke|default|full] [--seed N] [--journal DIR] [--out PATH] \
+                 [--resume] [--kill-after N] [--threshold F]";
+    let mut args = std::env::args().skip(1);
+    let value = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next().unwrap_or_else(|| {
+            eprintln!("{flag} needs a value; {usage}");
+            std::process::exit(2);
+        })
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--error" => {
+                let name = value(&mut args, "--error");
+                parsed.error = ErrorType::all()
+                    .into_iter()
+                    .find(|e| e.name() == name)
+                    .unwrap_or_else(|| {
+                        eprintln!("unknown error type '{name}'; {usage}");
+                        std::process::exit(2);
+                    });
+            }
+            "--scale" => {
+                let name = value(&mut args, "--scale");
+                parsed.scale = StudyScale::parse(&name).unwrap_or_else(|| {
+                    eprintln!("unknown scale '{name}'; {usage}");
+                    std::process::exit(2);
+                });
+            }
+            "--seed" => {
+                parsed.seed = value(&mut args, "--seed").parse().unwrap_or_else(|_| {
+                    eprintln!("bad --seed; {usage}");
+                    std::process::exit(2);
+                });
+            }
+            "--journal" => parsed.journal = Some(value(&mut args, "--journal")),
+            "--out" => parsed.out = Some(value(&mut args, "--out")),
+            "--resume" => parsed.resume = true,
+            "--kill-after" => {
+                parsed.kill_after =
+                    value(&mut args, "--kill-after").parse().unwrap_or_else(|_| {
+                        eprintln!("bad --kill-after; {usage}");
+                        std::process::exit(2);
+                    });
+            }
+            "--threshold" => {
+                parsed.threshold =
+                    value(&mut args, "--threshold").parse().unwrap_or_else(|_| {
+                        eprintln!("bad --threshold; {usage}");
+                        std::process::exit(2);
+                    });
+            }
+            other => {
+                eprintln!("unknown argument '{other}'; {usage}");
+                std::process::exit(2);
+            }
+        }
+    }
+    parsed
+}
+
+fn main() {
+    let args = parse_args();
+    KILL_AFTER.store(args.kill_after, Ordering::Relaxed);
+    let options = StudyOptions {
+        journal_dir: args.journal.as_ref().map(std::path::PathBuf::from),
+        resume: args.resume,
+        failure_threshold: args.threshold,
+        progress: true,
+        on_task_complete: if args.kill_after > 0 { Some(kill_hook) } else { None },
+        ..StudyOptions::default()
+    };
+    let results = demodq::runner::run_error_type_study_with(
+        args.error,
+        &DatasetId::all(),
+        &ModelKind::all(),
+        &args.scale,
+        args.seed,
+        &options,
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("study failed: {e}");
+        std::process::exit(1);
+    });
+
+    println!("journal-hits: {}", results.journal_hits);
+    println!("journal-warnings: {}", results.journal_warnings);
+    println!("failed-tasks: {}", results.failed_tasks.len());
+    if let Some(summary) = results.degraded_summary() {
+        println!("{summary}");
+    }
+    if let Some(out) = &args.out {
+        let rendered = study_results_json(&results);
+        std::fs::write(out, rendered + "\n").unwrap_or_else(|e| {
+            eprintln!("cannot write {out}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("wrote {out}");
+    }
+}

@@ -27,8 +27,17 @@ fn main() {
     println!("{}", render_disparities(&rows, false, 0.05));
     println!("{}", render_disparities(&rows, true, 0.05));
 
-    // RQ2: all three error-type studies, all twelve tables.
-    let studies = demodq_bench::run_all_studies(&opts.scale, opts.seed).expect("studies failed");
+    // RQ2: all three error-type studies, all twelve tables. With
+    // `--journal DIR` every completed (dataset, split) task is journaled
+    // as it finishes, and `--resume` replays completed tasks instead of
+    // re-running them after a crash.
+    let studies = demodq_bench::run_all_studies_with(&opts.scale, opts.seed, &opts.study_options())
+        .expect("studies failed");
+    for study in &studies {
+        if let Some(summary) = study.degraded_summary() {
+            eprintln!("{} study {summary}", study.error);
+        }
+    }
     let roman = [
         ["II", "III", "IV", "V"],
         ["VI", "VII", "VIII", "IX"],

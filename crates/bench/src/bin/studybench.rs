@@ -7,7 +7,9 @@
 //!   training run per model kind.
 //! * **study** — the end-to-end error-type study over all datasets,
 //!   models and error types at the chosen scale, reported as wall time
-//!   and model evaluations per second.
+//!   and model evaluations per second, plus cumulative per-phase wall
+//!   time (sample / prepare / encode / train_eval) and the failed-task
+//!   count.
 //!
 //! With `--baseline PATH` the run is also a regression gate: it exits
 //! non-zero if the baseline or current report is missing required
@@ -20,7 +22,8 @@
 //! ```
 
 use datasets::{DatasetId, ErrorType};
-use demodq::config::StudyScale;
+use demodq::config::{StudyOptions, StudyScale};
+use demodq::progress::PhaseSeconds;
 use mlcore::{GbdtClassifier, ModelKind};
 use serde_json::{json, Value};
 use std::time::Instant;
@@ -131,27 +134,45 @@ fn micro_section(seed: u64) -> Value {
 }
 
 fn study_section(scale: &StudyScale, seed: u64) -> Value {
+    let options = StudyOptions { progress: true, ..StudyOptions::default() };
     let t = Instant::now();
     let mut evals = 0usize;
+    let mut failed_tasks = 0usize;
+    let mut phases = PhaseSeconds::default();
     for error in ErrorType::all() {
         eprintln!("study: running {error}...");
-        let results = demodq::runner::run_error_type_study(
+        let results = demodq::runner::run_error_type_study_with(
             error,
             &DatasetId::all(),
             &ModelKind::all(),
             scale,
             seed,
+            &options,
         )
         .expect("study failed");
         evals += results.n_model_evaluations();
+        failed_tasks += results.failed_tasks.len();
+        phases.accumulate(&results.phases);
     }
     let wall = t.elapsed().as_secs_f64();
     let evals_per_sec = evals as f64 / wall;
-    eprintln!("study: {wall:.2}s, {evals} evals, {evals_per_sec:.2} evals/s");
+    eprintln!(
+        "study: {wall:.2}s, {evals} evals, {evals_per_sec:.2} evals/s \
+         (phase seconds: sample {:.2}, prepare {:.2}, encode {:.2}, train_eval {:.2})",
+        phases.sample, phases.prepare, phases.encode, phases.train_eval
+    );
     json!({
         "wall_seconds": wall,
         "model_evaluations": evals,
         "evals_per_sec": evals_per_sec,
+        "failed_tasks": failed_tasks,
+        "phase_seconds": json!({
+            "sample": phases.sample,
+            "prepare": phases.prepare,
+            "encode": phases.encode,
+            "train_eval": phases.train_eval,
+            "total": phases.total(),
+        }),
     })
 }
 
@@ -166,6 +187,12 @@ const REQUIRED: &[&[&str]] = &[
     &["study", "wall_seconds"],
     &["study", "model_evaluations"],
     &["study", "evals_per_sec"],
+    &["study", "failed_tasks"],
+    &["study", "phase_seconds", "sample"],
+    &["study", "phase_seconds", "prepare"],
+    &["study", "phase_seconds", "encode"],
+    &["study", "phase_seconds", "train_eval"],
+    &["study", "phase_seconds", "total"],
 ];
 
 fn lookup<'a>(report: &'a Value, path: &[&str]) -> Option<&'a Value> {

@@ -23,10 +23,10 @@
 //! systems cost of the building blocks: detector throughput, repair
 //! throughput, model training, and the end-to-end pipeline.
 
-use demodq::config::StudyScale;
+use demodq::config::{StudyOptions, StudyScale};
 
 /// Parsed common CLI options.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CliOptions {
     /// Study scale preset.
     pub scale: StudyScale,
@@ -34,15 +34,40 @@ pub struct CliOptions {
     pub seed: u64,
     /// Extra flag (binary-specific, e.g. `--drilldown`).
     pub extra: bool,
+    /// Task-journal directory (`--journal DIR`); `None` disables
+    /// journaling.
+    pub journal: Option<String>,
+    /// Resume from the journal instead of re-running completed tasks.
+    pub resume: bool,
 }
 
 impl Default for CliOptions {
     fn default() -> Self {
-        CliOptions { scale: StudyScale::default_scale(), seed: 42, extra: false }
+        CliOptions {
+            scale: StudyScale::default_scale(),
+            seed: 42,
+            extra: false,
+            journal: None,
+            resume: false,
+        }
     }
 }
 
-/// Parses `--scale`, `--seed` and one optional extra flag from raw args.
+impl CliOptions {
+    /// The durable-execution options these CLI flags select (progress
+    /// lines on; the binaries are interactive tools).
+    pub fn study_options(&self) -> StudyOptions {
+        StudyOptions {
+            journal_dir: self.journal.clone().map(std::path::PathBuf::from),
+            resume: self.resume,
+            progress: true,
+            ..StudyOptions::default()
+        }
+    }
+}
+
+/// Parses `--scale`, `--seed`, `--journal DIR`, `--resume` and one
+/// optional extra flag from raw args.
 ///
 /// Unknown arguments abort with a usage message (better than silently
 /// running hours at the wrong scale).
@@ -65,16 +90,30 @@ pub fn parse_args<I: Iterator<Item = String>>(args: I, extra_flag: &str) -> CliO
                     std::process::exit(2);
                 });
             }
+            "--journal" => {
+                let value = args.next().unwrap_or_default();
+                if value.is_empty() {
+                    eprintln!("--journal needs a directory");
+                    std::process::exit(2);
+                }
+                opts.journal = Some(value);
+            }
+            "--resume" => opts.resume = true,
             flag if flag == extra_flag && !extra_flag.is_empty() => {
                 opts.extra = true;
             }
             other => {
                 eprintln!(
-                    "unknown argument '{other}'; usage: --scale smoke|default|full --seed N {extra_flag}"
+                    "unknown argument '{other}'; usage: --scale smoke|default|full --seed N \
+                     [--journal DIR] [--resume] {extra_flag}"
                 );
                 std::process::exit(2);
             }
         }
+    }
+    if opts.resume && opts.journal.is_none() {
+        eprintln!("--resume needs --journal DIR (there is no journal to resume from)");
+        std::process::exit(2);
     }
     opts
 }
@@ -135,17 +174,28 @@ pub fn run_all_studies(
     scale: &StudyScale,
     seed: u64,
 ) -> tabular::Result<Vec<demodq::runner::StudyResults>> {
+    run_all_studies_with(scale, seed, &StudyOptions::default())
+}
+
+/// [`run_all_studies`] with durable-execution options (journal, resume,
+/// progress telemetry, failure threshold).
+pub fn run_all_studies_with(
+    scale: &StudyScale,
+    seed: u64,
+    options: &StudyOptions,
+) -> tabular::Result<Vec<demodq::runner::StudyResults>> {
     use datasets::{DatasetId, ErrorType};
     use mlcore::ModelKind;
     let mut out = Vec::new();
     for error in ErrorType::all() {
         eprintln!("running {error} study...");
-        out.push(demodq::runner::run_error_type_study(
+        out.push(demodq::runner::run_error_type_study_with(
             error,
             &DatasetId::all(),
             &ModelKind::all(),
             scale,
             seed,
+            options,
         )?);
     }
     Ok(out)
@@ -171,6 +221,21 @@ mod tests {
     fn parses_extra_flag() {
         let opts = parse_args(args(&["--drilldown"]), "--drilldown");
         assert!(opts.extra);
+    }
+
+    #[test]
+    fn parses_journal_and_resume() {
+        let opts =
+            parse_args(args(&["--journal", "results/journal", "--resume"]), "");
+        assert_eq!(opts.journal.as_deref(), Some("results/journal"));
+        assert!(opts.resume);
+        let study = opts.study_options();
+        assert_eq!(
+            study.journal_dir.as_deref(),
+            Some(std::path::Path::new("results/journal"))
+        );
+        assert!(study.resume);
+        assert!(study.progress);
     }
 
     #[test]

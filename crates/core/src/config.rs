@@ -1,9 +1,12 @@
-//! Experimental configurations and study scales.
+//! Experimental configurations, study scales, and durable-execution
+//! options.
 
 use cleaning::detect::DetectorKind;
 use cleaning::repair::{MissingRepair, OutlierRepair};
 use datasets::{DatasetId, ErrorType};
 use mlcore::ModelKind;
+use std::path::PathBuf;
+use std::time::Duration;
 
 /// A fully specified cleaning intervention: which errors are detected and
 /// how flagged tuples are repaired.
@@ -169,6 +172,59 @@ impl StudyScale {
     /// Paired scores produced per configuration.
     pub fn scores_per_config(&self) -> usize {
         self.n_splits * self.n_model_seeds
+    }
+}
+
+/// Durability and robustness controls for
+/// [`crate::runner::run_error_type_study_with`].
+///
+/// The defaults reproduce a plain in-memory run (no journal, no progress
+/// lines) with graceful degradation: a failed (dataset, split) task is
+/// recorded and excluded from assembly instead of aborting the study, and
+/// only when more than [`StudyOptions::failure_threshold`] of the tasks
+/// fail does the run turn into an `Err`.
+#[derive(Debug, Clone)]
+pub struct StudyOptions {
+    /// Directory for the append-only task journal (e.g. `results/journal`).
+    /// `None` disables journaling.
+    pub journal_dir: Option<PathBuf>,
+    /// Load the matching journal before running and skip tasks whose
+    /// results are already recorded (fingerprint-verified).
+    pub resume: bool,
+    /// Highest tolerated fraction of failed tasks; strictly more than this
+    /// turns the study into an `Err` listing every failed task.
+    pub failure_threshold: f64,
+    /// Emit periodic progress lines (tasks done/total, evals/s, ETA) to
+    /// stderr.
+    pub progress: bool,
+    /// Minimum interval between progress lines.
+    pub progress_interval: Duration,
+    /// Test hook: report `(dataset name, split)` tasks as failed without
+    /// executing them (exercises the degradation path deterministically).
+    pub inject_task_failure: Option<fn(dataset: &str, split: usize) -> bool>,
+    /// Test hook: stop starting new tasks once this many have been
+    /// executed this run, then return an interruption `Err` (simulates a
+    /// crash without killing the test process; the journal keeps what
+    /// completed).
+    pub stop_after_tasks: Option<usize>,
+    /// Hook called after each newly executed task completes (and is
+    /// journaled), with `(tasks executed this run, total tasks)`. The
+    /// crash-resume CI smoke uses this to `kill -9` itself mid-run.
+    pub on_task_complete: Option<fn(done: usize, total: usize)>,
+}
+
+impl Default for StudyOptions {
+    fn default() -> StudyOptions {
+        StudyOptions {
+            journal_dir: None,
+            resume: false,
+            failure_threshold: 0.1,
+            progress: false,
+            progress_interval: Duration::from_secs(5),
+            inject_task_failure: None,
+            stop_after_tasks: None,
+            on_task_complete: None,
+        }
     }
 }
 

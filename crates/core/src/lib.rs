@@ -35,9 +35,11 @@ pub mod config;
 pub mod deepdive;
 pub mod export;
 pub mod fair_tuning;
+pub mod journal;
 pub mod selector;
 pub mod impact;
 pub mod pipeline;
+pub mod progress;
 pub mod report;
 pub mod results;
 pub mod rq1;
@@ -45,12 +47,16 @@ pub mod runner;
 pub mod serving;
 pub mod tables;
 
-pub use config::{ExperimentConfig, RepairSpec, StudyScale};
+pub use config::{ExperimentConfig, RepairSpec, StudyOptions, StudyScale};
 pub use impact::{classify_pair, Impact};
 pub use pipeline::{
     encode_arm, evaluate_arm, evaluate_arm_encoded, run_configuration_once, ArmEvaluation,
     EncodedArm, RunPair,
 };
-pub use runner::{run_error_type_study, ConfigScores, GroupMetricScores, StudyResults};
+pub use progress::{PhaseSeconds, ProgressSnapshot, ProgressTracker, StudyPhase};
+pub use results::FailedTask;
+pub use runner::{
+    run_error_type_study, run_error_type_study_with, ConfigScores, GroupMetricScores, StudyResults,
+};
 pub use serving::{train_serving_model, ServingModel};
 pub use tables::ImpactTable;

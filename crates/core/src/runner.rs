@@ -10,14 +10,39 @@
 //! (detection + repair) and **feature-encodes every arm exactly once**,
 //! then reuses the encoded matrices across all models and model seeds.
 //! Tasks are independent and run rayon-parallel.
+//!
+//! # Durable execution
+//!
+//! [`run_error_type_study_with`] adds a crash-safe layer on top:
+//!
+//! * every completed task is appended to a fingerprinted JSONL
+//!   **journal** (see [`crate::journal`]) as it finishes, so a killed
+//!   process loses at most the tasks still in flight;
+//! * `resume: true` replays journaled tasks instead of re-executing them
+//!   — and because every task seed derives from `(study seed, dataset,
+//!   split)` only (never from the task's position in a work list), a
+//!   resumed run produces byte-identical final results;
+//! * a failed task no longer aborts the study: it is recorded (error
+//!   string + seeds) and excluded from assembly, and only when more than
+//!   [`StudyOptions::failure_threshold`] of the tasks fail does the run
+//!   return an `Err`;
+//! * an atomic [`crate::progress::ProgressTracker`] reports tasks
+//!   done/total, evals/s and ETA, and per-phase wall time is aggregated
+//!   into the study result.
 
-use crate::config::{ExperimentConfig, RepairSpec, StudyScale};
+use crate::config::{ExperimentConfig, RepairSpec, StudyOptions, StudyScale};
+use crate::journal::{self, JournalWriter, StudyFingerprint};
 use crate::pipeline::{encode_arm, evaluate_arm_encoded, sample_split, ArmEvaluation};
+use crate::progress::{PhaseAccumulator, PhaseSeconds, ProgressTracker, StudyPhase};
+use crate::results::FailedTask;
 use cleaning::repair::{CatImpute, LabelRepair, MissingRepair, NumImpute};
 use datasets::{DatasetId, ErrorType};
 use fairness::{FairnessMetric, GroupSpec};
 use mlcore::ModelKind;
 use rayon::prelude::*;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Instant;
 use tabular::{DataFrame, Result, TabularError};
 
 /// Paired dirty/repaired score vectors for one group × metric.
@@ -62,30 +87,82 @@ pub struct StudyResults {
     pub error: ErrorType,
     /// The scale the study ran at.
     pub scale: StudyScale,
-    /// One entry per (dataset, model, repair variant).
+    /// One entry per (dataset, model, repair variant) with at least one
+    /// completed run; configurations whose every task failed are excluded.
     pub configs: Vec<ConfigScores>,
+    /// Tasks that failed and were excluded from assembly (degraded run
+    /// when non-empty).
+    pub failed_tasks: Vec<FailedTask>,
+    /// Tasks restored from the journal instead of re-executed.
+    pub journal_hits: usize,
+    /// Journal records that could not be used (stale fingerprint,
+    /// truncation, seed drift, ...). Zero on a healthy resume.
+    pub journal_warnings: usize,
+    /// Cumulative per-phase wall time of the tasks executed this run.
+    pub phases: PhaseSeconds,
 }
 
 impl StudyResults {
+    /// A plain result carrying only scores (no failures, no journal
+    /// statistics) — what an undisturbed in-memory run produces.
+    pub fn new(error: ErrorType, scale: StudyScale, configs: Vec<ConfigScores>) -> StudyResults {
+        StudyResults {
+            error,
+            scale,
+            configs,
+            failed_tasks: Vec::new(),
+            journal_hits: 0,
+            journal_warnings: 0,
+            phases: PhaseSeconds::default(),
+        }
+    }
+
+    /// True when at least one task failed and the study completed without
+    /// its runs.
+    pub fn degraded(&self) -> bool {
+        !self.failed_tasks.is_empty()
+    }
+
+    /// Human-readable summary of the failed tasks, `None` for a clean run.
+    pub fn degraded_summary(&self) -> Option<String> {
+        if self.failed_tasks.is_empty() {
+            return None;
+        }
+        let list = self
+            .failed_tasks
+            .iter()
+            .map(|t| format!("{} ({})", t.label(), t.error))
+            .collect::<Vec<_>>()
+            .join("; ");
+        Some(format!("degraded: {} task(s) failed: {list}", self.failed_tasks.len()))
+    }
+
     /// Total number of model evaluations performed (two arms per run, but
     /// the dirty arm is shared across repair variants).
+    ///
+    /// Counts the dirty runs actually present per (dataset, model) rather
+    /// than assuming the full grid, so degraded runs and partially
+    /// completed configurations are not overcounted.
     pub fn n_model_evaluations(&self) -> usize {
-        // repaired evaluations + shared dirty evaluations
         let repaired: usize = self
             .configs
             .iter()
             .map(|c| c.repaired_accuracy.len())
             .sum();
-        let mut dirty_keys: std::collections::BTreeSet<(&str, &str)> = Default::default();
+        let mut dirty_runs: std::collections::BTreeMap<(&str, &str), usize> = Default::default();
         for c in &self.configs {
-            dirty_keys.insert((c.config.dataset.name(), c.config.model.name()));
+            let key = (c.config.dataset.name(), c.config.model.name());
+            let entry = dirty_runs.entry(key).or_insert(0);
+            // All variants of a (dataset, model) share the identical dirty
+            // baseline, so max == the shared run count.
+            *entry = (*entry).max(c.dirty_accuracy.len());
         }
-        repaired + dirty_keys.len() * self.scale.scores_per_config()
+        repaired + dirty_runs.values().sum::<usize>()
     }
 }
 
 /// FNV-1a hash for deterministic seed derivation.
-fn fnv(text: &str) -> u64 {
+pub(crate) fn fnv(text: &str) -> u64 {
     let mut h: u64 = 0xcbf29ce484222325;
     for b in text.bytes() {
         h ^= u64::from(b);
@@ -96,8 +173,9 @@ fn fnv(text: &str) -> u64 {
 
 /// Mixes study seed, dataset and split index into a split seed.
 /// Independent of the model so all models see identical splits
-/// (CleanML re-uses splits across methods).
-fn split_seed(study_seed: u64, dataset: DatasetId, split: usize) -> u64 {
+/// (CleanML re-uses splits across methods), and independent of the task's
+/// position in any work list so a resumed run reproduces identical seeds.
+pub(crate) fn split_seed(study_seed: u64, dataset: DatasetId, split: usize) -> u64 {
     study_seed
         .wrapping_mul(0x9E3779B97F4A7C15)
         .wrapping_add(fnv(dataset.name()))
@@ -226,18 +304,98 @@ type PreparedVariants = (DataFrame, DataFrame, Vec<(DataFrame, DataFrame)>);
 
 /// One model-seed's scores: dirty accuracy, dirty disparities, and per
 /// variant (repaired accuracy, repaired disparities).
-type SeedScores = (f64, Vec<f64>, Vec<(f64, Vec<f64>)>);
+pub(crate) type SeedScores = (f64, Vec<f64>, Vec<(f64, Vec<f64>)>);
 
 /// Output of one (dataset, split) task: per model, one [`SeedScores`]
 /// per model seed (seeds in ascending order).
-struct TaskOutput {
-    dataset_idx: usize,
-    split_idx: usize,
-    runs_by_model: Vec<Vec<SeedScores>>,
+pub(crate) struct TaskOutput {
+    pub(crate) dataset_idx: usize,
+    pub(crate) split_idx: usize,
+    pub(crate) runs_by_model: Vec<Vec<SeedScores>>,
+}
+
+/// Executes one (dataset, split) task: sample, prepare all variants,
+/// encode every arm once, train/evaluate all models × seeds. Phase wall
+/// times are accumulated even when a stage errors out.
+#[allow(clippy::too_many_arguments)]
+fn execute_task(
+    d: usize,
+    s: usize,
+    sseed: u64,
+    pool: &DataFrame,
+    error: ErrorType,
+    variants: &[RepairSpec],
+    models: &[ModelKind],
+    scale: &StudyScale,
+    group_specs: &[GroupSpec],
+    group_labels: &[(String, bool)],
+    metrics: &[FairnessMetric],
+    phases: &PhaseAccumulator,
+) -> Result<TaskOutput> {
+    let mut mark = Instant::now();
+    let mut lap = |phase: StudyPhase| {
+        let now = Instant::now();
+        phases.add(phase, now - mark);
+        mark = now;
+    };
+
+    let sampled = sample_split(pool, scale, sseed);
+    lap(StudyPhase::Sample);
+    let (train, test) = sampled?;
+
+    let prepared = prepare_all_variants(&train, &test, error, variants, sseed ^ 0x5EED);
+    lap(StudyPhase::Prepare);
+    let (dirty_train, dirty_test, repaired_frames) = prepared?;
+
+    let encoded = (|| -> Result<_> {
+        let dirty_arm = encode_arm(&dirty_train, &dirty_test, group_specs)?;
+        let variant_arms = repaired_frames
+            .iter()
+            .map(|(rep_train, rep_test)| encode_arm(rep_train, rep_test, group_specs))
+            .collect::<Result<Vec<_>>>()?;
+        Ok((dirty_arm, variant_arms))
+    })();
+    lap(StudyPhase::Encode);
+    let (dirty_arm, variant_arms) = encoded?;
+
+    let mut runs_by_model = Vec::with_capacity(models.len());
+    for model in models {
+        let mut runs = Vec::with_capacity(scale.n_model_seeds);
+        for k in 0..scale.n_model_seeds {
+            let model_seed = sseed
+                .wrapping_add(fnv(model.name()))
+                .wrapping_add(k as u64 * 0x2545F4914F6CDD1D);
+            let dirty_eval = evaluate_arm_encoded(&dirty_arm, *model, scale.cv_folds, model_seed);
+            let dirty_disp = disparities(&dirty_eval, group_labels, metrics);
+            let mut per_variant = Vec::with_capacity(variant_arms.len());
+            for arm in &variant_arms {
+                let rep_eval = evaluate_arm_encoded(arm, *model, scale.cv_folds, model_seed);
+                let rep_disp = disparities(&rep_eval, group_labels, metrics);
+                per_variant.push((rep_eval.test_accuracy, rep_disp));
+            }
+            runs.push((dirty_eval.test_accuracy, dirty_disp, per_variant));
+        }
+        runs_by_model.push(runs);
+    }
+    lap(StudyPhase::TrainEval);
+    Ok(TaskOutput { dataset_idx: d, split_idx: s, runs_by_model })
+}
+
+/// Per-task result of the parallel phase.
+enum TaskOutcome {
+    /// Executed this run.
+    Done(TaskOutput),
+    /// Restored from the journal (counts as a journal hit).
+    Replayed(TaskOutput),
+    /// Failed; recorded and excluded from assembly.
+    Failed(FailedTask),
+    /// Not started because `stop_after_tasks` tripped.
+    Interrupted,
 }
 
 /// Runs the full study for one error type over the given datasets and
-/// models.
+/// models with default [`StudyOptions`] (no journal, graceful
+/// degradation up to the default failure threshold).
 ///
 /// Datasets that do not carry the error type (e.g. heart has no missing
 /// values) are skipped automatically.
@@ -247,6 +405,20 @@ pub fn run_error_type_study(
     models: &[ModelKind],
     scale: &StudyScale,
     study_seed: u64,
+) -> Result<StudyResults> {
+    run_error_type_study_with(error, dataset_ids, models, scale, study_seed, &StudyOptions::default())
+}
+
+/// Runs the full study for one error type with durable-execution options:
+/// task journaling, resume, graceful per-task degradation and progress
+/// telemetry. See [`StudyOptions`].
+pub fn run_error_type_study_with(
+    error: ErrorType,
+    dataset_ids: &[DatasetId],
+    models: &[ModelKind],
+    scale: &StudyScale,
+    study_seed: u64,
+    options: &StudyOptions,
 ) -> Result<StudyResults> {
     let metrics = FairnessMetric::all().to_vec();
     let variants = RepairSpec::variants_for(error);
@@ -284,51 +456,186 @@ pub fn run_error_type_study(
         }
     }
 
-    let outputs: Vec<Result<TaskOutput>> = tasks
-        .par_iter()
-        .map(|&(d, s)| -> Result<TaskOutput> {
-            let pool = &pools[d];
-            let sseed = split_seed(study_seed, datasets[d], s);
-            let (train, test) = sample_split(pool, scale, sseed)?;
-            let (dirty_train, dirty_test, repaired_frames) =
-                prepare_all_variants(&train, &test, error, &variants, sseed ^ 0x5EED)?;
-            let dirty_arm = encode_arm(&dirty_train, &dirty_test, &group_specs[d])?;
-            let variant_arms = repaired_frames
-                .iter()
-                .map(|(rep_train, rep_test)| encode_arm(rep_train, rep_test, &group_specs[d]))
-                .collect::<Result<Vec<_>>>()?;
-            let mut runs_by_model = Vec::with_capacity(models.len());
-            for model in models {
-                let mut runs = Vec::with_capacity(scale.n_model_seeds);
-                for k in 0..scale.n_model_seeds {
-                    let model_seed = sseed
-                        .wrapping_add(fnv(model.name()))
-                        .wrapping_add(k as u64 * 0x2545F4914F6CDD1D);
-                    let dirty_eval =
-                        evaluate_arm_encoded(&dirty_arm, *model, scale.cv_folds, model_seed);
-                    let dirty_disp = disparities(&dirty_eval, &group_labels[d], &metrics);
-                    let mut per_variant = Vec::with_capacity(variant_arms.len());
-                    for arm in &variant_arms {
-                        let rep_eval =
-                            evaluate_arm_encoded(arm, *model, scale.cv_folds, model_seed);
-                        let rep_disp = disparities(&rep_eval, &group_labels[d], &metrics);
-                        per_variant.push((rep_eval.test_accuracy, rep_disp));
-                    }
-                    runs.push((dirty_eval.test_accuracy, dirty_disp, per_variant));
+    // Journal setup: open (append) the fingerprinted journal file and,
+    // when resuming, replay whatever valid records it already holds.
+    let fingerprint = StudyFingerprint::compute(error, &datasets, models, scale, study_seed, &variants);
+    let mut journal_warnings = 0usize;
+    let mut replayed: HashMap<(usize, usize), Vec<Vec<SeedScores>>> = HashMap::new();
+    let writer: Option<JournalWriter> = match &options.journal_dir {
+        Some(dir) => {
+            let path = journal::journal_path(dir, error, &fingerprint);
+            if options.resume {
+                let replay = journal::load(&path, &fingerprint);
+                for warning in &replay.warnings {
+                    eprintln!("journal warning: {warning}");
                 }
-                runs_by_model.push(runs);
+                journal_warnings += replay.warnings.len();
+                for ((name, split), record) in replay.tasks {
+                    let Some(d) = datasets.iter().position(|id| id.name() == name) else {
+                        eprintln!("journal warning: task {name}#{split} not in the dataset roster");
+                        journal_warnings += 1;
+                        continue;
+                    };
+                    if split >= scale.n_splits {
+                        eprintln!("journal warning: task {name}#{split} beyond the split grid");
+                        journal_warnings += 1;
+                        continue;
+                    }
+                    let expected_seed = split_seed(study_seed, datasets[d], split);
+                    if record.seed != expected_seed {
+                        eprintln!(
+                            "journal warning: task {name}#{split} seed {} does not match the \
+                             derived seed {expected_seed}; re-running",
+                            record.seed
+                        );
+                        journal_warnings += 1;
+                        continue;
+                    }
+                    let shape_ok = record.runs_by_model.len() == models.len()
+                        && record
+                            .runs_by_model
+                            .iter()
+                            .all(|runs| runs.len() == scale.n_model_seeds);
+                    if !shape_ok {
+                        eprintln!("journal warning: task {name}#{split} has a mismatched run grid; re-running");
+                        journal_warnings += 1;
+                        continue;
+                    }
+                    replayed.insert((d, split), record.runs_by_model);
+                }
             }
-            Ok(TaskOutput { dataset_idx: d, split_idx: s, runs_by_model })
+            Some(JournalWriter::open(&path, &fingerprint)?)
+        }
+        None => None,
+    };
+
+    let evals_per_task = models.len() * scale.n_model_seeds * (1 + variants.len());
+    let tracker = ProgressTracker::new(tasks.len(), options.progress, options.progress_interval);
+    let phases = PhaseAccumulator::default();
+    let executed = AtomicUsize::new(0);
+    let halted = AtomicBool::new(false);
+
+    let outcomes: Vec<TaskOutcome> = tasks
+        .par_iter()
+        .map(|&(d, s)| {
+            let name = datasets[d].name();
+            let sseed = split_seed(study_seed, datasets[d], s);
+            if let Some(runs) = replayed.get(&(d, s)) {
+                tracker.task_done(0);
+                return TaskOutcome::Replayed(TaskOutput {
+                    dataset_idx: d,
+                    split_idx: s,
+                    runs_by_model: runs.clone(),
+                });
+            }
+            if halted.load(Ordering::Relaxed) {
+                return TaskOutcome::Interrupted;
+            }
+            let result: Result<TaskOutput> = if options
+                .inject_task_failure
+                .is_some_and(|should_fail| should_fail(name, s))
+            {
+                Err(TabularError::InvalidArgument(format!(
+                    "injected prepare_all_variants failure for {name} split {s}"
+                )))
+            } else {
+                execute_task(
+                    d,
+                    s,
+                    sseed,
+                    &pools[d],
+                    error,
+                    &variants,
+                    models,
+                    scale,
+                    &group_specs[d],
+                    &group_labels[d],
+                    &metrics,
+                    &phases,
+                )
+            };
+            match result {
+                Ok(output) => {
+                    if let Some(writer) = &writer {
+                        if let Err(e) = writer.record_task(name, s, sseed, &output.runs_by_model) {
+                            eprintln!("journal write failed for {name}#{s}: {e}");
+                        }
+                    }
+                    let done = executed.fetch_add(1, Ordering::SeqCst) + 1;
+                    if options.stop_after_tasks.is_some_and(|limit| done >= limit) {
+                        halted.store(true, Ordering::SeqCst);
+                    }
+                    if let Some(hook) = options.on_task_complete {
+                        hook(done, tasks.len());
+                    }
+                    tracker.task_done(evals_per_task);
+                    TaskOutcome::Done(output)
+                }
+                Err(e) => {
+                    let message = e.to_string();
+                    if let Some(writer) = &writer {
+                        let _ = writer.record_failure(name, s, sseed, &message);
+                    }
+                    tracker.task_done(0);
+                    TaskOutcome::Failed(FailedTask {
+                        dataset: name.to_string(),
+                        split: s,
+                        seed: sseed,
+                        error: message,
+                    })
+                }
+            }
         })
         .collect();
 
-    // Propagate the first task error; afterwards outputs are addressed
-    // directly by task order (dataset-major, split-minor) — no per-config
-    // scan over the whole output list.
-    let outputs: Vec<TaskOutput> = outputs.into_iter().collect::<Result<_>>()?;
+    // Triage the outcomes. Graceful degradation: failed tasks are
+    // recorded and excluded; only past the threshold (or on a simulated
+    // interruption) does the study error out.
+    let mut slots: Vec<Option<TaskOutput>> = Vec::with_capacity(tasks.len());
+    slots.resize_with(tasks.len(), || None);
+    let mut failed_tasks: Vec<FailedTask> = Vec::new();
+    let mut journal_hits = 0usize;
+    let mut interrupted = false;
+    for (i, outcome) in outcomes.into_iter().enumerate() {
+        match outcome {
+            TaskOutcome::Done(output) => slots[i] = Some(output),
+            TaskOutcome::Replayed(output) => {
+                journal_hits += 1;
+                slots[i] = Some(output);
+            }
+            TaskOutcome::Failed(task) => failed_tasks.push(task),
+            TaskOutcome::Interrupted => interrupted = true,
+        }
+    }
+    if interrupted {
+        return Err(TabularError::InvalidArgument(format!(
+            "study interrupted after {} executed task(s) (stop_after_tasks); \
+             the journal keeps completed work",
+            executed.load(Ordering::SeqCst)
+        )));
+    }
+    if !tasks.is_empty() {
+        let failed_fraction = failed_tasks.len() as f64 / tasks.len() as f64;
+        if failed_fraction > options.failure_threshold {
+            let list = failed_tasks
+                .iter()
+                .map(|t| format!("{}: {}", t.label(), t.error))
+                .collect::<Vec<_>>()
+                .join("; ");
+            return Err(TabularError::InvalidArgument(format!(
+                "study degraded beyond the failure threshold: {}/{} tasks failed \
+                 (threshold {:.0}%): {list}",
+                failed_tasks.len(),
+                tasks.len(),
+                options.failure_threshold * 100.0
+            )));
+        }
+    }
 
     // Assemble per-configuration score vectors. Runs are ordered by
-    // (split asc, model seed asc), matching the task execution order.
+    // (split asc, model seed asc), matching the task grid order; splits
+    // whose task failed are skipped, and configurations left with no runs
+    // at all are dropped.
     let n_runs = scale.scores_per_config();
     let mut configs = Vec::new();
     for (d, id) in datasets.iter().enumerate() {
@@ -352,7 +659,9 @@ pub fn run_error_type_study(
                         .collect(),
                 };
                 for s in 0..scale.n_splits {
-                    let output = &outputs[d * scale.n_splits + s];
+                    let Some(output) = &slots[d * scale.n_splits + s] else {
+                        continue;
+                    };
                     debug_assert_eq!((output.dataset_idx, output.split_idx), (d, s));
                     for (dirty_acc, dirty_disp, per_variant) in &output.runs_by_model[m] {
                         let (rep_acc, rep_disp) = &per_variant[v];
@@ -364,12 +673,29 @@ pub fn run_error_type_study(
                         }
                     }
                 }
+                if cs.repaired_accuracy.is_empty() {
+                    continue;
+                }
                 configs.push(cs);
             }
         }
     }
 
-    Ok(StudyResults { error, scale: *scale, configs })
+    let results = StudyResults {
+        error,
+        scale: *scale,
+        configs,
+        failed_tasks,
+        journal_hits,
+        journal_warnings,
+        phases: phases.seconds(),
+    };
+    if options.progress {
+        if let Some(summary) = results.degraded_summary() {
+            eprintln!("{summary}");
+        }
+    }
+    Ok(results)
 }
 
 #[cfg(test)]
@@ -397,6 +723,13 @@ mod tests {
         assert!(cs.fairness_for("age*sex", FairnessMetric::EqualOpportunity).is_some());
         assert!(cs.fairness.iter().any(|f| f.intersectional));
         assert!(results.n_model_evaluations() >= expected_runs * 2);
+        assert!(!results.degraded());
+        assert_eq!(results.journal_hits, 0);
+        // Every phase did some work.
+        assert!(results.phases.sample > 0.0);
+        assert!(results.phases.prepare > 0.0);
+        assert!(results.phases.encode > 0.0);
+        assert!(results.phases.train_eval > 0.0);
     }
 
     #[test]
@@ -453,5 +786,87 @@ mod tests {
         for cs in &results.configs[1..] {
             assert_eq!(&cs.dirty_accuracy, first);
         }
+    }
+
+    /// Regression: the dirty side of the evaluation count must reflect the
+    /// runs actually present, not `datasets × models × scores_per_config`.
+    #[test]
+    fn n_model_evaluations_counts_actual_runs() {
+        let scale = StudyScale::smoke(); // scores_per_config() == 4
+        let mk = |runs: usize, repair: RepairSpec| ConfigScores {
+            config: ExperimentConfig {
+                dataset: DatasetId::German,
+                model: ModelKind::LogReg,
+                repair,
+            },
+            dirty_accuracy: vec![0.7; runs],
+            repaired_accuracy: vec![0.8; runs],
+            fairness: vec![],
+        };
+        let variants = RepairSpec::variants_for(ErrorType::MissingValues);
+        // A degraded study: only 2 of the 4 grid runs completed.
+        let results = StudyResults::new(
+            ErrorType::MissingValues,
+            scale,
+            vec![mk(2, variants[0]), mk(2, variants[1])],
+        );
+        // 2 repaired runs per variant + 2 shared dirty runs — NOT
+        // 4 + 4 (the old dirty_keys × scores_per_config overcount).
+        assert_eq!(results.n_model_evaluations(), 2 + 2 + 2);
+        assert!(results.n_model_evaluations() < 2 * 2 + scale.scores_per_config());
+    }
+
+    /// A deliberately failed task shrinks the evaluation count to what was
+    /// actually performed.
+    #[test]
+    fn failed_task_shrinks_evaluation_count() {
+        fn fail_split_one(dataset: &str, split: usize) -> bool {
+            dataset == "german" && split == 1
+        }
+        let options = StudyOptions {
+            failure_threshold: 0.5,
+            inject_task_failure: Some(fail_split_one),
+            ..StudyOptions::default()
+        };
+        let scale = StudyScale::smoke();
+        let results = run_error_type_study_with(
+            ErrorType::Mislabels,
+            &[DatasetId::German],
+            &[ModelKind::LogReg],
+            &scale,
+            7,
+            &options,
+        )
+        .unwrap();
+        assert!(results.degraded());
+        assert_eq!(results.failed_tasks.len(), 1);
+        assert_eq!(results.failed_tasks[0].label(), "german#1");
+        // One of two splits failed: half the runs, counted exactly.
+        let runs = scale.n_model_seeds; // one surviving split
+        assert_eq!(results.configs[0].repaired_accuracy.len(), runs);
+        assert_eq!(results.n_model_evaluations(), runs * 2);
+    }
+
+    #[test]
+    fn failure_threshold_zero_restores_abort_semantics() {
+        fn fail_any(_dataset: &str, split: usize) -> bool {
+            split == 0
+        }
+        let options = StudyOptions {
+            failure_threshold: 0.0,
+            inject_task_failure: Some(fail_any),
+            ..StudyOptions::default()
+        };
+        let err = run_error_type_study_with(
+            ErrorType::Mislabels,
+            &[DatasetId::German],
+            &[ModelKind::LogReg],
+            &StudyScale::smoke(),
+            7,
+            &options,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("failure threshold"), "{err}");
+        assert!(err.to_string().contains("german#0"), "{err}");
     }
 }

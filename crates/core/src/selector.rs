@@ -232,10 +232,10 @@ mod tests {
             }],
         };
         let variants = MissingRepair::all();
-        StudyResults {
-            error: ErrorType::MissingValues,
-            scale: StudyScale::smoke(),
-            configs: vec![
+        StudyResults::new(
+            ErrorType::MissingValues,
+            StudyScale::smoke(),
+            vec![
                 mk(
                     RepairSpec::Missing(variants[0]),
                     up.clone(),
@@ -243,7 +243,7 @@ mod tests {
                 ),
                 mk(RepairSpec::Missing(variants[1]), flat.clone(), disparity_flat.clone()),
             ],
-        }
+        )
     }
 
     #[test]

@@ -171,10 +171,10 @@ mod tests {
         let rep_acc = vec![0.80, 0.81, 0.79, 0.80, 0.81, 0.82];
         let dirty_pp = vec![0.05, 0.06, 0.05, 0.04, 0.05, 0.06];
         let rep_pp = vec![0.15, 0.16, 0.15, 0.14, 0.15, 0.16];
-        StudyResults {
-            error: ErrorType::Mislabels,
-            scale: crate::config::StudyScale::smoke(),
-            configs: vec![ConfigScores {
+        StudyResults::new(
+            ErrorType::Mislabels,
+            crate::config::StudyScale::smoke(),
+            vec![ConfigScores {
                 config: ExperimentConfig {
                     dataset: DatasetId::German,
                     model: ModelKind::LogReg,
@@ -199,7 +199,7 @@ mod tests {
                     },
                 ],
             }],
-        }
+        )
     }
 
     #[test]

@@ -76,11 +76,7 @@ proptest! {
                 }
             })
             .collect();
-        let results = StudyResults {
-            error: ErrorType::Mislabels,
-            scale: StudyScale::smoke(),
-            configs,
-        };
+        let results = StudyResults::new(ErrorType::Mislabels, StudyScale::smoke(), configs);
         let table = build_table(&results, FairnessMetric::PredictiveParity, false, 0.05);
         prop_assert_eq!(table.total(), pairs.len());
         // Marginals are consistent.
@@ -120,11 +116,7 @@ proptest! {
                 }
             })
             .collect();
-        let results = StudyResults {
-            error: ErrorType::MissingValues,
-            scale: StudyScale::smoke(),
-            configs,
-        };
+        let results = StudyResults::new(ErrorType::MissingValues, StudyScale::smoke(), configs);
         for policy in [SelectionPolicy::FairnessFirst, SelectionPolicy::AccuracyFirst] {
             for rec in recommend(&results, FairnessMetric::PredictiveParity, false, 0.05, policy) {
                 if let SelectorChoice::Clean { fairness, .. } = rec.choice {

@@ -3,9 +3,10 @@
 
 use demodq_repro::cleaning::detect::DetectorKind;
 use demodq_repro::cleaning::repair::{CatImpute, MissingRepair, NumImpute};
-use demodq_repro::datasets::DatasetId;
-use demodq_repro::demodq::config::{RepairSpec, StudyScale};
+use demodq_repro::datasets::{DatasetId, ErrorType};
+use demodq_repro::demodq::config::{RepairSpec, StudyOptions, StudyScale};
 use demodq_repro::demodq::pipeline::{prepare_arms, run_configuration_once, sample_split};
+use demodq_repro::demodq::runner::run_error_type_study_with;
 use demodq_repro::fairness::{CmpOp, GroupPredicate, GroupSpec};
 use demodq_repro::mlcore::ModelKind;
 use demodq_repro::tabular::{ColumnRole, DataFrame};
@@ -141,6 +142,77 @@ fn tiny_frames_are_rejected_cleanly() {
     assert!(DetectorKind::Mislabels.fit(&frame, 1).is_err());
     let repair = RepairSpec::Missing(MissingRepair { num: NumImpute::Mean, cat: CatImpute::Dummy });
     assert!(prepare_arms(&frame, &frame, &repair, 1).is_err());
+}
+
+/// A dataset failing on exactly one split no longer aborts the study:
+/// the run completes degraded, the other configurations keep their full
+/// score vectors, the failure is recorded with its seeds, and the
+/// failure threshold is respected.
+#[test]
+fn single_task_failure_degrades_instead_of_aborting() {
+    fn german_split_one_fails(dataset: &str, split: usize) -> bool {
+        dataset == "german" && split == 1
+    }
+    let datasets = [DatasetId::German, DatasetId::Adult];
+    let scale = StudyScale::smoke();
+    let options = StudyOptions {
+        failure_threshold: 0.5,
+        inject_task_failure: Some(german_split_one_fails),
+        ..StudyOptions::default()
+    };
+    let results = run_error_type_study_with(
+        ErrorType::Mislabels,
+        &datasets,
+        &[ModelKind::LogReg],
+        &scale,
+        7,
+        &options,
+    )
+    .expect("one failed task of four is under the 50% threshold");
+
+    assert!(results.degraded());
+    assert_eq!(results.failed_tasks.len(), 1);
+    let failed = &results.failed_tasks[0];
+    assert_eq!(failed.label(), "german#1");
+    assert!(failed.error.contains("injected"), "{}", failed.error);
+    assert!(failed.seed != 0, "the failed task's seed is recorded for reproduction");
+    let summary = results.degraded_summary().expect("degraded runs summarise");
+    assert!(summary.contains("german#1"), "{summary}");
+
+    // The untouched dataset keeps its full score vector; the degraded one
+    // loses exactly the failed split's runs.
+    let full_runs = scale.scores_per_config();
+    for cs in &results.configs {
+        let expected = match cs.config.dataset {
+            DatasetId::German => full_runs - scale.n_model_seeds,
+            _ => full_runs,
+        };
+        assert_eq!(cs.repaired_accuracy.len(), expected, "{}", cs.config.key());
+        assert_eq!(cs.dirty_accuracy.len(), expected, "{}", cs.config.key());
+    }
+    // And the evaluation count reflects what actually ran.
+    let performed: usize =
+        results.configs.iter().map(|c| c.repaired_accuracy.len() * 2).sum();
+    assert_eq!(results.n_model_evaluations(), performed);
+
+    // The same failure past a tighter threshold aborts: 1 of 4 tasks is
+    // 25%, above 10%.
+    let strict = StudyOptions {
+        failure_threshold: 0.1,
+        inject_task_failure: Some(german_split_one_fails),
+        ..StudyOptions::default()
+    };
+    let err = run_error_type_study_with(
+        ErrorType::Mislabels,
+        &datasets,
+        &[ModelKind::LogReg],
+        &scale,
+        7,
+        &strict,
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("failure threshold"), "{err}");
+    assert!(err.to_string().contains("german#1"), "{err}");
 }
 
 /// Adversarial numeric content: huge magnitudes and denormals flow

@@ -1,0 +1,208 @@
+//! Crash-resume integration tests for the durable study runner: a study
+//! interrupted mid-run and resumed from its journal must export results
+//! byte-for-byte identical to an uninterrupted run, without re-executing
+//! completed tasks; damaged or stale journal records must be rejected
+//! with warnings and re-run, never silently reused.
+
+use demodq_repro::datasets::{DatasetId, ErrorType};
+use demodq_repro::demodq::config::{StudyOptions, StudyScale};
+use demodq_repro::demodq::export::study_results_json;
+use demodq_repro::demodq::runner::run_error_type_study_with;
+use demodq_repro::mlcore::ModelKind;
+use demodq_repro::serde_json;
+use std::path::PathBuf;
+
+const SEED: u64 = 7;
+
+fn temp_journal_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join(format!("demodq-resume-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn run(datasets: &[DatasetId], options: &StudyOptions) -> demodq_repro::demodq::StudyResults {
+    run_error_type_study_with(
+        ErrorType::Mislabels,
+        datasets,
+        &[ModelKind::LogReg],
+        &StudyScale::smoke(),
+        SEED,
+        options,
+    )
+    .expect("study should complete")
+}
+
+/// The single journal file a run left in `dir`.
+fn journal_file(dir: &PathBuf) -> PathBuf {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .expect("journal dir exists")
+        .map(|e| e.expect("dir entry").path())
+        .collect();
+    assert_eq!(files.len(), 1, "expected exactly one journal file: {files:?}");
+    files.pop().unwrap()
+}
+
+/// `(dataset, split)` keys of every `task` record in the journal.
+fn task_keys(path: &PathBuf) -> Vec<(String, u64)> {
+    std::fs::read_to_string(path)
+        .expect("journal readable")
+        .lines()
+        .filter_map(|line| serde_json::from_str(line).ok())
+        .filter_map(|v: serde_json::Value| {
+            let o = v.as_object()?;
+            if o.get("kind")?.as_str()? != "task" {
+                return None;
+            }
+            Some((o.get("dataset")?.as_str()?.to_string(), o.get("split")?.as_u64()?))
+        })
+        .collect()
+}
+
+/// A run interrupted mid-study and resumed from its journal exports
+/// byte-identical results, and the journal shows each task was executed
+/// exactly once across both runs.
+#[test]
+fn interrupted_then_resumed_study_is_byte_identical() {
+    let datasets = [DatasetId::German, DatasetId::Adult];
+    let total_tasks = datasets.len() * StudyScale::smoke().n_splits;
+
+    // Reference: one undisturbed in-memory run.
+    let clean = study_results_json(&run(&datasets, &StudyOptions::default()));
+
+    // First run: journal on, halt after 2 executed tasks. On a single
+    // worker this reliably interrupts; with many cores the remaining
+    // tasks may already be in flight and the run can complete — both
+    // leave a valid journal, which is all the resume needs.
+    let dir = temp_journal_dir("identical");
+    let first = run_error_type_study_with(
+        ErrorType::Mislabels,
+        &datasets,
+        &[ModelKind::LogReg],
+        &StudyScale::smoke(),
+        SEED,
+        &StudyOptions {
+            journal_dir: Some(dir.clone()),
+            stop_after_tasks: Some(2),
+            ..StudyOptions::default()
+        },
+    );
+    if let Err(e) = &first {
+        assert!(e.to_string().contains("interrupted"), "{e}");
+    }
+    let journaled_before = task_keys(&journal_file(&dir));
+    assert!(journaled_before.len() >= 2, "at least the halt threshold is journaled");
+
+    // Resume: replay the journal, execute only the remainder.
+    let resumed = run(
+        &datasets,
+        &StudyOptions {
+            journal_dir: Some(dir.clone()),
+            resume: true,
+            ..StudyOptions::default()
+        },
+    );
+    assert_eq!(resumed.journal_hits, journaled_before.len(), "every journaled task replays");
+    assert_eq!(resumed.journal_warnings, 0);
+
+    // Byte-for-byte identical export (seeds derive from (study seed,
+    // dataset, split), never task position, and the export excludes
+    // wall-clock fields).
+    assert_eq!(study_results_json(&resumed), clean);
+
+    // Each task was journaled exactly once: completed tasks were not
+    // re-executed on resume.
+    let mut keys = task_keys(&journal_file(&dir));
+    keys.sort();
+    let n = keys.len();
+    keys.dedup();
+    assert_eq!(keys.len(), n, "no task may be journaled twice");
+    assert_eq!(n, total_tasks);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A journal whose trailing line was truncated by a hard kill mid-write
+/// resumes with one warning; the damaged task is re-run and the final
+/// export is unaffected.
+#[test]
+fn truncated_trailing_line_is_rerun_not_fatal() {
+    let datasets = [DatasetId::German];
+    let dir = temp_journal_dir("truncated");
+    let complete = run(
+        &datasets,
+        &StudyOptions { journal_dir: Some(dir.clone()), ..StudyOptions::default() },
+    );
+    let clean = study_results_json(&complete);
+    let path = journal_file(&dir);
+    let total_tasks = task_keys(&path).len();
+
+    // Chop the final record mid-line (no trailing newline), exactly what
+    // `kill -9` during a write leaves behind.
+    let text = std::fs::read_to_string(&path).unwrap();
+    let trimmed = text.trim_end_matches('\n');
+    let cut = trimmed.len() - trimmed.len() / 4;
+    std::fs::write(&path, &trimmed[..cut]).unwrap();
+
+    let resumed = run(
+        &datasets,
+        &StudyOptions {
+            journal_dir: Some(dir.clone()),
+            resume: true,
+            ..StudyOptions::default()
+        },
+    );
+    assert_eq!(resumed.journal_warnings, 1, "the truncated line warns once");
+    assert_eq!(resumed.journal_hits, total_tasks - 1, "intact records still replay");
+    assert_eq!(study_results_json(&resumed), clean);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A journal record whose recorded seed does not match the seed derived
+/// from (study seed, dataset, split) — seed drift — is rejected with a
+/// warning and its task re-executed; results stay byte-identical.
+#[test]
+fn seed_drift_record_is_rejected_and_rerun() {
+    let datasets = [DatasetId::German];
+    let dir = temp_journal_dir("drift");
+    let complete = run(
+        &datasets,
+        &StudyOptions { journal_dir: Some(dir.clone()), ..StudyOptions::default() },
+    );
+    let clean = study_results_json(&complete);
+    let path = journal_file(&dir);
+    let total_tasks = task_keys(&path).len();
+
+    // Corrupt the seed of the first task record.
+    let text = std::fs::read_to_string(&path).unwrap();
+    let mut corrupted = Vec::new();
+    let mut done = false;
+    for line in text.lines() {
+        if !done && line.contains("\"kind\":\"task\"") {
+            let start = line.find("\"seed\":").expect("task record has a seed") + 7;
+            let end = start
+                + line[start..]
+                    .find(|c: char| !c.is_ascii_digit())
+                    .expect("seed is followed by more JSON");
+            corrupted.push(format!("{}1{}", &line[..start], &line[end..]));
+            done = true;
+        } else {
+            corrupted.push(line.to_string());
+        }
+    }
+    assert!(done, "journal must contain a task record");
+    std::fs::write(&path, corrupted.join("\n") + "\n").unwrap();
+
+    let resumed = run(
+        &datasets,
+        &StudyOptions {
+            journal_dir: Some(dir.clone()),
+            resume: true,
+            ..StudyOptions::default()
+        },
+    );
+    assert_eq!(resumed.journal_warnings, 1, "seed drift warns");
+    assert_eq!(resumed.journal_hits, total_tasks - 1, "only the intact records replay");
+    assert_eq!(study_results_json(&resumed), clean);
+    let _ = std::fs::remove_dir_all(&dir);
+}
