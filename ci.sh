@@ -68,4 +68,16 @@ cmp "$SMOKE_DIR/clean.json" "$SMOKE_DIR/resumed.json" || {
 }
 echo "crash-resume smoke OK (journal hits: $hits)"
 
+echo "==> thread-count byte-identity smoke (1 thread vs 8 threads)"
+# The serial run is the reference semantics; a maximally parallel run must
+# export the identical bytes (unit seeds derive from grid position, never
+# from the schedule).
+DEMODQ_THREADS=1 "$RESUME_SMOKE" "${SMOKE_ARGS[@]}" --out "$SMOKE_DIR/threads1.json"
+DEMODQ_THREADS=8 "$RESUME_SMOKE" "${SMOKE_ARGS[@]}" --out "$SMOKE_DIR/threads8.json"
+cmp "$SMOKE_DIR/threads1.json" "$SMOKE_DIR/threads8.json" || {
+    echo "FAIL: 8-thread export differs from the 1-thread reference"
+    exit 1
+}
+echo "thread-count byte-identity smoke OK"
+
 echo "CI green."

@@ -9,13 +9,21 @@
 //!   models and error types at the chosen scale, reported as wall time
 //!   and model evaluations per second, plus cumulative per-phase wall
 //!   time (sample / prepare / encode / train_eval) and the failed-task
-//!   count.
+//!   count. This section always runs on a **1-thread pool** so the
+//!   numbers are the serial reference and stay comparable across
+//!   machines and baselines.
+//! * **study.scaling** — the same study on an N-thread pool (`--threads`,
+//!   default: the machine's core count), with `speedup` = serial wall /
+//!   parallel wall. Exports are byte-identical between the two runs by
+//!   construction (seeds derive from grid position, never schedule);
+//!   this section only measures wall-clock scaling.
 //!
 //! With `--baseline PATH` the run is also a regression gate: it exits
 //! non-zero if the baseline or current report is missing required
 //! fields, or if end-to-end throughput dropped below 75% of the
-//! baseline. CI runs `studybench --smoke --baseline BENCH_study.json`
-//! against the committed baseline.
+//! baseline's serial (1-thread) numbers. CI runs
+//! `studybench --smoke --baseline BENCH_study.json` against the
+//! committed baseline.
 //!
 //! ```text
 //! cargo run --release -p demodq-bench --bin studybench -- --smoke
@@ -35,6 +43,7 @@ struct Options {
     seed: u64,
     out: String,
     baseline: Option<String>,
+    threads: Option<usize>,
 }
 
 fn parse_args() -> Options {
@@ -44,6 +53,7 @@ fn parse_args() -> Options {
         seed: 42,
         out: "BENCH_study.json".to_string(),
         baseline: None,
+        threads: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -65,10 +75,18 @@ fn parse_args() -> Options {
             }
             "--out" => opts.out = args.next().unwrap_or_default(),
             "--baseline" => opts.baseline = args.next(),
+            "--threads" => {
+                let value = args.next().unwrap_or_default();
+                opts.threads = Some(value.parse().ok().filter(|&n| n > 0).unwrap_or_else(|| {
+                    eprintln!("bad thread count '{value}' (expected a positive integer)");
+                    std::process::exit(2);
+                }));
+            }
             other => {
                 eprintln!(
                     "unknown argument '{other}'; usage: \
-                     [--smoke|--default] [--seed N] [--out PATH] [--baseline PATH]"
+                     [--smoke|--default] [--seed N] [--out PATH] [--baseline PATH] \
+                     [--threads N]"
                 );
                 std::process::exit(2);
             }
@@ -133,35 +151,42 @@ fn micro_section(seed: u64) -> Value {
     })
 }
 
-fn study_section(scale: &StudyScale, seed: u64) -> Value {
+/// Runs the full study on a dedicated `threads`-wide pool and returns the
+/// section JSON. `threads == 1` is the serial reference configuration.
+fn study_section(scale: &StudyScale, seed: u64, threads: usize) -> Value {
+    let pool = rayon::ThreadPool::new(threads);
     let options = StudyOptions { progress: true, ..StudyOptions::default() };
     let t = Instant::now();
-    let mut evals = 0usize;
-    let mut failed_tasks = 0usize;
-    let mut phases = PhaseSeconds::default();
-    for error in ErrorType::all() {
-        eprintln!("study: running {error}...");
-        let results = demodq::runner::run_error_type_study_with(
-            error,
-            &DatasetId::all(),
-            &ModelKind::all(),
-            scale,
-            seed,
-            &options,
-        )
-        .expect("study failed");
-        evals += results.n_model_evaluations();
-        failed_tasks += results.failed_tasks.len();
-        phases.accumulate(&results.phases);
-    }
+    let (evals, failed_tasks, phases) = pool.install(|| {
+        let mut evals = 0usize;
+        let mut failed_tasks = 0usize;
+        let mut phases = PhaseSeconds::default();
+        for error in ErrorType::all() {
+            eprintln!("study[{threads}t]: running {error}...");
+            let results = demodq::runner::run_error_type_study_with(
+                error,
+                &DatasetId::all(),
+                &ModelKind::all(),
+                scale,
+                seed,
+                &options,
+            )
+            .expect("study failed");
+            evals += results.n_model_evaluations();
+            failed_tasks += results.failed_tasks.len();
+            phases.accumulate(&results.phases);
+        }
+        (evals, failed_tasks, phases)
+    });
     let wall = t.elapsed().as_secs_f64();
     let evals_per_sec = evals as f64 / wall;
     eprintln!(
-        "study: {wall:.2}s, {evals} evals, {evals_per_sec:.2} evals/s \
+        "study[{threads}t]: {wall:.2}s, {evals} evals, {evals_per_sec:.2} evals/s \
          (phase seconds: sample {:.2}, prepare {:.2}, encode {:.2}, train_eval {:.2})",
         phases.sample, phases.prepare, phases.encode, phases.train_eval
     );
     json!({
+        "threads": threads,
         "wall_seconds": wall,
         "model_evaluations": evals,
         "evals_per_sec": evals_per_sec,
@@ -184,6 +209,7 @@ const REQUIRED: &[&[&str]] = &[
     &["micro", "gbdt_exact_ms"],
     &["micro", "gbdt_speedup"],
     &["micro", "train_ms"],
+    &["study", "threads"],
     &["study", "wall_seconds"],
     &["study", "model_evaluations"],
     &["study", "evals_per_sec"],
@@ -193,6 +219,10 @@ const REQUIRED: &[&[&str]] = &[
     &["study", "phase_seconds", "encode"],
     &["study", "phase_seconds", "train_eval"],
     &["study", "phase_seconds", "total"],
+    &["study", "scaling", "threads"],
+    &["study", "scaling", "wall_seconds"],
+    &["study", "scaling", "evals_per_sec"],
+    &["study", "scaling", "speedup"],
 ];
 
 fn lookup<'a>(report: &'a Value, path: &[&str]) -> Option<&'a Value> {
@@ -214,12 +244,38 @@ fn check_fields(label: &str, report: &Value) -> bool {
 
 fn main() {
     let opts = parse_args();
+    let scaling_threads = opts.threads.unwrap_or_else(|| {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    });
+
+    let micro = micro_section(opts.seed);
+    // Serial reference first (the gated numbers), then the scaling run.
+    let mut study = study_section(&opts.scale, opts.seed, 1);
+    let scaling = study_section(&opts.scale, opts.seed, scaling_threads);
+    let serial_wall =
+        study.get("wall_seconds").and_then(Value::as_f64).expect("serial wall time");
+    let scaled_wall =
+        scaling.get("wall_seconds").and_then(Value::as_f64).expect("scaled wall time");
+    let speedup = serial_wall / scaled_wall;
+    eprintln!("study: {scaling_threads}-thread speedup {speedup:.2}x over 1 thread");
+    if let Value::Object(map) = &mut study {
+        map.insert(
+            "scaling".to_string(),
+            json!({
+                "threads": scaling_threads,
+                "wall_seconds": scaled_wall,
+                "evals_per_sec": scaling.get("evals_per_sec").cloned().unwrap_or(Value::Null),
+                "speedup": speedup,
+            }),
+        );
+    }
+
     let report = json!({
         "schema_version": 1,
         "scale": opts.scale_name,
         "seed": opts.seed,
-        "micro": micro_section(opts.seed),
-        "study": study_section(&opts.scale, opts.seed),
+        "micro": micro,
+        "study": study,
     });
 
     let rendered = serde_json::to_string_pretty(&report).expect("serialise report");

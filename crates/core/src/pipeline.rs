@@ -22,7 +22,7 @@
 use crate::config::{RepairSpec, StudyScale};
 use cleaning::detect::DetectorKind;
 use cleaning::repair::{CatImpute, LabelRepair, MissingRepair, NumImpute};
-use fairness::{group_confusions, GroupConfusions, GroupSpec, Groups};
+use fairness::{group_confusions, FairnessMetric, GroupConfusions, GroupSpec, Groups};
 use mlcore::{f1_score, tune_and_fit, ModelKind};
 use tabular::{
     split::train_test_split, DataFrame, DenseMatrix, FeatureEncoder, Result, Rng64, TabularError,
@@ -128,6 +128,35 @@ pub fn evaluate_arm_encoded(
         best_params: tuned.best_spec.params_string(),
         group_confusions: per_group,
     }
+}
+
+/// Trains and scores one **evaluation unit** — the scheduling atom of the
+/// study grid: a single (encoded arm, model, seed) fit — returning the
+/// unit's test accuracy and its absolute disparities per (group, metric)
+/// in `group_labels` × `metrics` order (NaN when a disparity is
+/// undefined for the split).
+///
+/// Everything a unit's result depends on is in its arguments; nothing is
+/// read from shared mutable state, which is what lets the runner execute
+/// units in any order on any worker and still assemble byte-identical
+/// studies.
+pub fn evaluate_unit(
+    arm: &EncodedArm,
+    model: ModelKind,
+    cv_folds: usize,
+    seed: u64,
+    group_labels: &[(String, bool)],
+    metrics: &[FairnessMetric],
+) -> (f64, Vec<f64>) {
+    let eval = evaluate_arm_encoded(arm, model, cv_folds, seed);
+    let mut disp = Vec::with_capacity(group_labels.len() * metrics.len());
+    for (label, _) in group_labels {
+        let gc = eval.confusions_for(label);
+        for metric in metrics {
+            disp.push(gc.and_then(|gc| metric.absolute_disparity(gc)).unwrap_or(f64::NAN));
+        }
+    }
+    (eval.test_accuracy, disp)
 }
 
 /// Trains a tuned model of `model` kind on `train` and scores it on

@@ -1,11 +1,15 @@
 //! Progress telemetry and per-phase wall-time accounting for study runs.
 //!
-//! The study runner executes (dataset, split) tasks rayon-parallel; both
-//! helpers here are lock-free so a task can report from any worker thread:
+//! The study runner schedules individual evaluation units — one (model,
+//! variant-arm, seed) fit per unit — across the persistent worker pool;
+//! both helpers here are lock-free so any worker can report:
 //!
 //! * [`ProgressTracker`] — atomic done/total + evaluation counters that
-//!   emit periodic one-line progress reports (tasks done, evals/s, ETA)
-//!   to stderr, rate-limited to one line per interval;
+//!   emit periodic one-line progress reports (units done, evals/s, ETA)
+//!   to stderr, rate-limited to one line per interval. Ticking per unit
+//!   instead of per task makes the ETA meaningful again: the smoke grid
+//!   has only 10 tasks but hundreds of units, so estimates move smoothly
+//!   instead of jumping at task granularity;
 //! * [`PhaseAccumulator`] — atomic nanosecond counters for the four
 //!   phases of a task (sample / detect+repair / encode / train-eval),
 //!   aggregated across tasks into a [`PhaseSeconds`] summary that the
@@ -99,10 +103,11 @@ impl PhaseAccumulator {
 /// A point-in-time view of study progress.
 #[derive(Debug, Clone, Copy)]
 pub struct ProgressSnapshot {
-    /// Tasks finished (executed, replayed from a journal, or failed).
-    pub done_tasks: usize,
-    /// Total tasks in the study grid.
-    pub total_tasks: usize,
+    /// Evaluation units finished (executed, replayed from a journal, or
+    /// skipped because their task failed).
+    pub done_units: usize,
+    /// Total evaluation units in the study grid.
+    pub total_units: usize,
     /// Model evaluations performed so far (excludes journal replays).
     pub evals: usize,
     /// Time since the tracker was created.
@@ -120,14 +125,14 @@ impl ProgressSnapshot {
         }
     }
 
-    /// Estimated time to completion from the mean task duration so far.
-    /// `None` until at least one task has finished.
+    /// Estimated time to completion from the mean unit duration so far.
+    /// `None` until at least one unit has finished.
     pub fn eta(&self) -> Option<Duration> {
-        if self.done_tasks == 0 || self.total_tasks == 0 {
+        if self.done_units == 0 || self.total_units == 0 {
             return None;
         }
-        let remaining = self.total_tasks.saturating_sub(self.done_tasks);
-        Some(self.elapsed.mul_f64(remaining as f64 / self.done_tasks as f64))
+        let remaining = self.total_units.saturating_sub(self.done_units);
+        Some(self.elapsed.mul_f64(remaining as f64 / self.done_units as f64))
     }
 
     /// One-line human-readable rendering.
@@ -137,9 +142,9 @@ impl ProgressSnapshot {
             None => "?".to_string(),
         };
         format!(
-            "{}/{} tasks | {} evals | {:.1} evals/s | ETA {eta}",
-            self.done_tasks,
-            self.total_tasks,
+            "{}/{} units | {} evals | {:.1} evals/s | ETA {eta}",
+            self.done_units,
+            self.total_units,
             self.evals,
             self.evals_per_sec()
         )
@@ -151,7 +156,7 @@ impl ProgressSnapshot {
 #[derive(Debug)]
 pub struct ProgressTracker {
     enabled: bool,
-    total_tasks: usize,
+    total_units: usize,
     done: AtomicUsize,
     evals: AtomicUsize,
     start: Instant,
@@ -160,12 +165,13 @@ pub struct ProgressTracker {
 }
 
 impl ProgressTracker {
-    /// A tracker over `total_tasks` tasks. With `enabled == false` it only
-    /// counts (snapshots still work) and never prints.
-    pub fn new(total_tasks: usize, enabled: bool, interval: Duration) -> ProgressTracker {
+    /// A tracker over `total_units` evaluation units. With
+    /// `enabled == false` it only counts (snapshots still work) and
+    /// never prints.
+    pub fn new(total_units: usize, enabled: bool, interval: Duration) -> ProgressTracker {
         ProgressTracker {
             enabled,
-            total_tasks,
+            total_units,
             done: AtomicUsize::new(0),
             evals: AtomicUsize::new(0),
             start: Instant::now(),
@@ -174,23 +180,27 @@ impl ProgressTracker {
         }
     }
 
-    /// Records one finished task and its model evaluations (0 for a
-    /// journal replay or a failed task), emitting a progress line when
-    /// the interval has elapsed.
-    pub fn task_done(&self, evals: usize) {
-        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+    /// Records `units` finished evaluation units and their model
+    /// evaluations (`evals` is 0 for journal replays and failed tasks,
+    /// whose remaining units tick in one batch), emitting a progress
+    /// line when the interval has elapsed.
+    pub fn advance(&self, units: usize, evals: usize) {
+        if units == 0 {
+            return;
+        }
+        let done = self.done.fetch_add(units, Ordering::Relaxed) + units;
         self.evals.fetch_add(evals, Ordering::Relaxed);
         if !self.enabled {
             return;
         }
         let now = self.start.elapsed().as_nanos() as u64;
         let last = self.last_emit_nanos.load(Ordering::Relaxed);
-        let is_final = done == self.total_tasks;
+        let is_final = done == self.total_units;
         let due = now.saturating_sub(last) >= self.interval.as_nanos() as u64;
         if !is_final && !due {
             return;
         }
-        // One thread wins the emit; losers skip (the final task prints
+        // One thread wins the emit; losers skip (the final unit prints
         // unconditionally so the 100% line is never lost).
         let won = self
             .last_emit_nanos
@@ -204,8 +214,8 @@ impl ProgressTracker {
     /// Current counters.
     pub fn snapshot(&self) -> ProgressSnapshot {
         ProgressSnapshot {
-            done_tasks: self.done.load(Ordering::Relaxed),
-            total_tasks: self.total_tasks,
+            done_units: self.done.load(Ordering::Relaxed),
+            total_units: self.total_units,
             evals: self.evals.load(Ordering::Relaxed),
             elapsed: self.start.elapsed(),
         }
@@ -244,23 +254,23 @@ mod tests {
     #[test]
     fn snapshot_math() {
         let s = ProgressSnapshot {
-            done_tasks: 5,
-            total_tasks: 20,
+            done_units: 5,
+            total_units: 20,
             evals: 100,
             elapsed: Duration::from_secs(10),
         };
         assert!((s.evals_per_sec() - 10.0).abs() < 1e-9);
         assert_eq!(s.eta().unwrap(), Duration::from_secs(30));
         let line = s.line();
-        assert!(line.contains("5/20 tasks"), "{line}");
+        assert!(line.contains("5/20 units"), "{line}");
         assert!(line.contains("ETA 30s"), "{line}");
     }
 
     #[test]
     fn snapshot_edge_cases() {
         let s = ProgressSnapshot {
-            done_tasks: 0,
-            total_tasks: 4,
+            done_units: 0,
+            total_units: 4,
             evals: 0,
             elapsed: Duration::ZERO,
         };
@@ -271,11 +281,12 @@ mod tests {
 
     #[test]
     fn tracker_counts_without_printing() {
-        let t = ProgressTracker::new(3, false, Duration::from_secs(60));
-        t.task_done(10);
-        t.task_done(0);
+        let t = ProgressTracker::new(30, false, Duration::from_secs(60));
+        t.advance(1, 10);
+        t.advance(4, 0);
+        t.advance(0, 99); // a zero-unit tick is a no-op
         let s = t.snapshot();
-        assert_eq!(s.done_tasks, 2);
+        assert_eq!(s.done_units, 5);
         assert_eq!(s.evals, 10);
     }
 

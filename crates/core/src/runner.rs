@@ -9,7 +9,26 @@
 //! hoisted maximally: each (dataset, split) task samples, prepares
 //! (detection + repair) and **feature-encodes every arm exactly once**,
 //! then reuses the encoded matrices across all models and model seeds.
-//! Tasks are independent and run rayon-parallel.
+//!
+//! # Parallel decomposition
+//!
+//! Work is scheduled on the persistent work-stealing pool at **evaluation
+//! unit** granularity, not task granularity. Tasks prepare (sample +
+//! detect/repair + encode) in parallel; each prepared task then fans its
+//! (model × model-seed × arm) grid out as individual units — one tuned
+//! fit-and-score each — through a nested indexed parallel map on the same
+//! pool, so idle workers steal units (and the CV folds inside them) from
+//! whichever task is still running instead of idling behind the slowest
+//! task. A task's encoded matrices live only while its units are in
+//! flight, which keeps memory bounded by the number of workers rather
+//! than the grid size.
+//!
+//! Determinism is by construction, not by scheduling: every unit's RNG
+//! seed derives purely from `(study_seed, dataset, split, model,
+//! seed_idx)` — see [`split_seed`] and the model-seed derivation in the
+//! unit loop — and unit results return through an order-preserving
+//! indexed collect, so any thread count (including the serial 1-worker
+//! reference pool) produces byte-identical exports.
 //!
 //! # Durable execution
 //!
@@ -22,17 +41,22 @@
 //!   — and because every task seed derives from `(study seed, dataset,
 //!   split)` only (never from the task's position in a work list), a
 //!   resumed run produces byte-identical final results;
+//! * a task is journalled **only after all of its units complete** — a
+//!   halt or crash mid-task re-runs that task from scratch on resume, so
+//!   no partial grid ever reaches the journal (exactly-once semantics);
 //! * a failed task no longer aborts the study: it is recorded (error
 //!   string + seeds) and excluded from assembly, and only when more than
 //!   [`StudyOptions::failure_threshold`] of the tasks fail does the run
-//!   return an `Err`;
-//! * an atomic [`crate::progress::ProgressTracker`] reports tasks
+//!   return an `Err` — past the threshold a halt flag stops workers from
+//!   picking up new tasks promptly (idle workers park on the pool's
+//!   condvar; nothing busy-spins);
+//! * an atomic [`crate::progress::ProgressTracker`] reports units
 //!   done/total, evals/s and ETA, and per-phase wall time is aggregated
 //!   into the study result.
 
 use crate::config::{ExperimentConfig, RepairSpec, StudyOptions, StudyScale};
 use crate::journal::{self, JournalWriter, StudyFingerprint};
-use crate::pipeline::{encode_arm, evaluate_arm_encoded, sample_split, ArmEvaluation};
+use crate::pipeline::{encode_arm, evaluate_unit, sample_split, EncodedArm};
 use crate::progress::{PhaseAccumulator, PhaseSeconds, ProgressTracker, StudyPhase};
 use crate::results::FailedTask;
 use cleaning::repair::{CatImpute, LabelRepair, MissingRepair, NumImpute};
@@ -41,7 +65,7 @@ use fairness::{FairnessMetric, GroupSpec};
 use mlcore::ModelKind;
 use rayon::prelude::*;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 use tabular::{DataFrame, Result, TabularError};
 
@@ -279,26 +303,6 @@ fn preclean(
     Ok((clean_train, clean_test))
 }
 
-/// Per-run fairness extraction: absolute disparities for every group spec
-/// and metric.
-fn disparities(
-    arm: &ArmEvaluation,
-    groups: &[(String, bool)],
-    metrics: &[FairnessMetric],
-) -> Vec<f64> {
-    let mut out = Vec::with_capacity(groups.len() * metrics.len());
-    for (label, _) in groups {
-        let gc = arm.confusions_for(label);
-        for metric in metrics {
-            let value = gc
-                .and_then(|gc| metric.absolute_disparity(gc))
-                .unwrap_or(f64::NAN);
-            out.push(value);
-        }
-    }
-    out
-}
-
 /// The dirty (train, test) pair plus one repaired pair per variant.
 type PreparedVariants = (DataFrame, DataFrame, Vec<(DataFrame, DataFrame)>);
 
@@ -314,24 +318,27 @@ pub(crate) struct TaskOutput {
     pub(crate) runs_by_model: Vec<Vec<SeedScores>>,
 }
 
-/// Executes one (dataset, split) task: sample, prepare all variants,
-/// encode every arm once, train/evaluate all models × seeds. Phase wall
-/// times are accumulated even when a stage errors out.
-#[allow(clippy::too_many_arguments)]
-fn execute_task(
-    d: usize,
-    s: usize,
+/// The model-independent product of one (dataset, split) task: the dirty
+/// arm and every variant arm, encoded once. Holds the matrices the
+/// task's evaluation units all read; dropped as soon as the last unit
+/// finishes.
+struct EncodedTask {
+    dirty_arm: EncodedArm,
+    variant_arms: Vec<EncodedArm>,
+}
+
+/// Prepares one (dataset, split) task: sample, prepare all variants,
+/// encode every arm once. Phase wall times are accumulated even when a
+/// stage errors out.
+fn prepare_task(
     sseed: u64,
     pool: &DataFrame,
     error: ErrorType,
     variants: &[RepairSpec],
-    models: &[ModelKind],
     scale: &StudyScale,
     group_specs: &[GroupSpec],
-    group_labels: &[(String, bool)],
-    metrics: &[FairnessMetric],
     phases: &PhaseAccumulator,
-) -> Result<TaskOutput> {
+) -> Result<EncodedTask> {
     let mut mark = Instant::now();
     let mut lap = |phase: StudyPhase| {
         let now = Instant::now();
@@ -357,28 +364,73 @@ fn execute_task(
     })();
     lap(StudyPhase::Encode);
     let (dirty_arm, variant_arms) = encoded?;
+    Ok(EncodedTask { dirty_arm, variant_arms })
+}
 
-    let mut runs_by_model = Vec::with_capacity(models.len());
-    for model in models {
-        let mut runs = Vec::with_capacity(scale.n_model_seeds);
-        for k in 0..scale.n_model_seeds {
+/// Evaluates a prepared task's full (model × model-seed × arm) grid as
+/// individual units on the ambient pool and assembles the results in
+/// grid order.
+///
+/// Read-only evaluation context shared by every unit of every task:
+/// rosters, scale, fairness bookkeeping and the telemetry sinks.
+struct UnitCtx<'a> {
+    models: &'a [ModelKind],
+    scale: &'a StudyScale,
+    metrics: &'a [FairnessMetric],
+    phases: &'a PhaseAccumulator,
+    tracker: &'a ProgressTracker,
+}
+
+/// Each unit derives its model seed from `(sseed, model, seed_idx)`
+/// alone and writes to its own index of the collected vector, so the
+/// assembly — and therefore the export — is invariant to which worker
+/// ran which unit. Arm index 0 is the dirty arm, `1 + v` is variant `v`;
+/// the dirty and every variant arm of a (model, seed) pair share one
+/// model seed, preserving the paper's paired design.
+fn evaluate_task_units(
+    d: usize,
+    s: usize,
+    sseed: u64,
+    arms: &EncodedTask,
+    group_labels: &[(String, bool)],
+    ctx: &UnitCtx<'_>,
+) -> TaskOutput {
+    let UnitCtx { models, scale, metrics, phases, tracker } = *ctx;
+    let n_arms = 1 + arms.variant_arms.len();
+    let unit_scores: Vec<(f64, Vec<f64>)> = (0..models.len() * scale.n_model_seeds * n_arms)
+        .into_par_iter()
+        .map(|unit| {
+            let m = unit / (scale.n_model_seeds * n_arms);
+            let k = (unit / n_arms) % scale.n_model_seeds;
+            let a = unit % n_arms;
             let model_seed = sseed
-                .wrapping_add(fnv(model.name()))
+                .wrapping_add(fnv(models[m].name()))
                 .wrapping_add(k as u64 * 0x2545F4914F6CDD1D);
-            let dirty_eval = evaluate_arm_encoded(&dirty_arm, *model, scale.cv_folds, model_seed);
-            let dirty_disp = disparities(&dirty_eval, group_labels, metrics);
-            let mut per_variant = Vec::with_capacity(variant_arms.len());
-            for arm in &variant_arms {
-                let rep_eval = evaluate_arm_encoded(arm, *model, scale.cv_folds, model_seed);
-                let rep_disp = disparities(&rep_eval, group_labels, metrics);
-                per_variant.push((rep_eval.test_accuracy, rep_disp));
-            }
-            runs.push((dirty_eval.test_accuracy, dirty_disp, per_variant));
-        }
-        runs_by_model.push(runs);
-    }
-    lap(StudyPhase::TrainEval);
-    Ok(TaskOutput { dataset_idx: d, split_idx: s, runs_by_model })
+            let arm = if a == 0 { &arms.dirty_arm } else { &arms.variant_arms[a - 1] };
+            let start = Instant::now();
+            let scores =
+                evaluate_unit(arm, models[m], scale.cv_folds, model_seed, group_labels, metrics);
+            phases.add(StudyPhase::TrainEval, start.elapsed());
+            tracker.advance(1, 1);
+            scores
+        })
+        .collect();
+    let mut units = unit_scores.into_iter();
+    let runs_by_model = models
+        .iter()
+        .map(|_| {
+            (0..scale.n_model_seeds)
+                .map(|_| {
+                    let (dirty_acc, dirty_disp) = units.next().expect("dirty unit present");
+                    let per_variant: Vec<(f64, Vec<f64>)> = (1..n_arms)
+                        .map(|_| units.next().expect("variant unit present"))
+                        .collect();
+                    (dirty_acc, dirty_disp, per_variant)
+                })
+                .collect()
+        })
+        .collect();
+    TaskOutput { dataset_idx: d, split_idx: s, runs_by_model }
 }
 
 /// Per-task result of the parallel phase.
@@ -509,11 +561,25 @@ pub fn run_error_type_study_with(
         None => None,
     };
 
-    let evals_per_task = models.len() * scale.n_model_seeds * (1 + variants.len());
-    let tracker = ProgressTracker::new(tasks.len(), options.progress, options.progress_interval);
+    // One evaluation unit = one tuned fit-and-score of a single
+    // (model, seed, arm); the unit grid is the progress denominator.
+    let units_per_task = models.len() * scale.n_model_seeds * (1 + variants.len());
+    let tracker = ProgressTracker::new(
+        tasks.len() * units_per_task,
+        options.progress,
+        options.progress_interval,
+    );
     let phases = PhaseAccumulator::default();
     let executed = AtomicUsize::new(0);
-    let halted = AtomicBool::new(false);
+    let failed_count = AtomicUsize::new(0);
+    // Why a task stopped picking up work. Tasks already in flight finish
+    // all their units (so their journal record stays all-or-nothing);
+    // not-yet-started tasks see the flag at entry and return immediately
+    // — the pool's workers then park on its condvar, nothing spins.
+    const HALT_NONE: usize = 0;
+    const HALT_STOP_AFTER: usize = 1;
+    const HALT_THRESHOLD: usize = 2;
+    let halt = AtomicUsize::new(HALT_NONE);
 
     let outcomes: Vec<TaskOutcome> = tasks
         .par_iter()
@@ -521,17 +587,17 @@ pub fn run_error_type_study_with(
             let name = datasets[d].name();
             let sseed = split_seed(study_seed, datasets[d], s);
             if let Some(runs) = replayed.get(&(d, s)) {
-                tracker.task_done(0);
+                tracker.advance(units_per_task, 0);
                 return TaskOutcome::Replayed(TaskOutput {
                     dataset_idx: d,
                     split_idx: s,
                     runs_by_model: runs.clone(),
                 });
             }
-            if halted.load(Ordering::Relaxed) {
+            if halt.load(Ordering::Relaxed) != HALT_NONE {
                 return TaskOutcome::Interrupted;
             }
-            let result: Result<TaskOutput> = if options
+            let prepared: Result<EncodedTask> = if options
                 .inject_task_failure
                 .is_some_and(|should_fail| should_fail(name, s))
             {
@@ -539,58 +605,63 @@ pub fn run_error_type_study_with(
                     "injected prepare_all_variants failure for {name} split {s}"
                 )))
             } else {
-                execute_task(
-                    d,
-                    s,
-                    sseed,
-                    &pools[d],
-                    error,
-                    &variants,
-                    models,
-                    scale,
-                    &group_specs[d],
-                    &group_labels[d],
-                    &metrics,
-                    &phases,
-                )
+                prepare_task(sseed, &pools[d], error, &variants, scale, &group_specs[d], &phases)
             };
-            match result {
-                Ok(output) => {
-                    if let Some(writer) = &writer {
-                        if let Err(e) = writer.record_task(name, s, sseed, &output.runs_by_model) {
-                            eprintln!("journal write failed for {name}#{s}: {e}");
-                        }
-                    }
-                    let done = executed.fetch_add(1, Ordering::SeqCst) + 1;
-                    if options.stop_after_tasks.is_some_and(|limit| done >= limit) {
-                        halted.store(true, Ordering::SeqCst);
-                    }
-                    if let Some(hook) = options.on_task_complete {
-                        hook(done, tasks.len());
-                    }
-                    tracker.task_done(evals_per_task);
-                    TaskOutcome::Done(output)
-                }
+            let arms = match prepared {
+                Ok(arms) => arms,
                 Err(e) => {
                     let message = e.to_string();
                     if let Some(writer) = &writer {
                         let _ = writer.record_failure(name, s, sseed, &message);
                     }
-                    tracker.task_done(0);
-                    TaskOutcome::Failed(FailedTask {
+                    tracker.advance(units_per_task, 0);
+                    let failed = failed_count.fetch_add(1, Ordering::SeqCst) + 1;
+                    if failed as f64 / tasks.len() as f64 > options.failure_threshold {
+                        let _ = halt.compare_exchange(
+                            HALT_NONE,
+                            HALT_THRESHOLD,
+                            Ordering::SeqCst,
+                            Ordering::SeqCst,
+                        );
+                    }
+                    return TaskOutcome::Failed(FailedTask {
                         dataset: name.to_string(),
                         split: s,
                         seed: sseed,
                         error: message,
-                    })
+                    });
+                }
+            };
+            let ctx = UnitCtx { models, scale, metrics: &metrics, phases: &phases, tracker: &tracker };
+            let output = evaluate_task_units(d, s, sseed, &arms, &group_labels[d], &ctx);
+            // Journal only now, with every unit of the task complete:
+            // exactly-once, all-or-nothing records.
+            if let Some(writer) = &writer {
+                if let Err(e) = writer.record_task(name, s, sseed, &output.runs_by_model) {
+                    eprintln!("journal write failed for {name}#{s}: {e}");
                 }
             }
+            let done = executed.fetch_add(1, Ordering::SeqCst) + 1;
+            if options.stop_after_tasks.is_some_and(|limit| done >= limit) {
+                let _ = halt.compare_exchange(
+                    HALT_NONE,
+                    HALT_STOP_AFTER,
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                );
+            }
+            if let Some(hook) = options.on_task_complete {
+                hook(done, tasks.len());
+            }
+            TaskOutcome::Done(output)
         })
         .collect();
 
     // Triage the outcomes. Graceful degradation: failed tasks are
     // recorded and excluded; only past the threshold (or on a simulated
-    // interruption) does the study error out.
+    // interruption) does the study error out. The outcome vector is in
+    // task-grid order, so `failed_tasks` is deterministic regardless of
+    // which worker hit each failure first.
     let mut slots: Vec<Option<TaskOutput>> = Vec::with_capacity(tasks.len());
     slots.resize_with(tasks.len(), || None);
     let mut failed_tasks: Vec<FailedTask> = Vec::new();
@@ -607,13 +678,9 @@ pub fn run_error_type_study_with(
             TaskOutcome::Interrupted => interrupted = true,
         }
     }
-    if interrupted {
-        return Err(TabularError::InvalidArgument(format!(
-            "study interrupted after {} executed task(s) (stop_after_tasks); \
-             the journal keeps completed work",
-            executed.load(Ordering::SeqCst)
-        )));
-    }
+    // The threshold error outranks the interruption error: a
+    // threshold-triggered halt interrupts the remaining tasks as a side
+    // effect, and the failure is the part worth reporting.
     if !tasks.is_empty() {
         let failed_fraction = failed_tasks.len() as f64 / tasks.len() as f64;
         if failed_fraction > options.failure_threshold {
@@ -630,6 +697,13 @@ pub fn run_error_type_study_with(
                 options.failure_threshold * 100.0
             )));
         }
+    }
+    if interrupted {
+        return Err(TabularError::InvalidArgument(format!(
+            "study interrupted after {} executed task(s) (stop_after_tasks); \
+             the journal keeps completed work",
+            executed.load(Ordering::SeqCst)
+        )));
     }
 
     // Assemble per-configuration score vectors. Runs are ordered by

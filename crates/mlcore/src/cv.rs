@@ -10,6 +10,7 @@
 use crate::binned::{BinnedMatrix, DEFAULT_N_BINS};
 use crate::metrics::accuracy;
 use crate::model::{Classifier, ModelKind, ModelSpec};
+use rayon::prelude::*;
 use tabular::{split::kfold, DenseMatrix, Rng64};
 
 /// A tuned-and-refit model plus the bookkeeping the result records need.
@@ -73,17 +74,30 @@ pub fn tune_and_fit(
         })
         .collect();
 
-    let mut best: Option<(f64, ModelSpec)> = None;
-    for spec in &grid {
-        let mut scores = Vec::with_capacity(fold_data.len());
-        for (train_idx, x_val, y_val, dense_train) in &fold_data {
+    // Flatten (configuration, fold) into independent fit-and-score units
+    // so the pool can work-steal across the whole grid. Every unit's
+    // inputs (fold data, fit seed) are fixed up front, so the schedule
+    // cannot affect any score; the per-spec reduction below then runs
+    // sequentially in grid order, summing fold scores in fold order —
+    // float-identical to the old nested loop at any thread count.
+    let n_folds_actual = fold_data.len();
+    let fold_scores: Vec<f64> = (0..grid.len() * n_folds_actual)
+        .into_par_iter()
+        .map(|unit| {
+            let spec = &grid[unit / n_folds_actual];
+            let (train_idx, x_val, y_val, dense_train) = &fold_data[unit % n_folds_actual];
             let model = match (&binned, dense_train) {
                 (Some(b), _) => spec.fit_binned(b, x, train_idx, y, fit_seed),
                 (None, Some((x_train, y_train))) => spec.fit(x_train, y_train, fit_seed),
                 (None, None) => unreachable!("dense folds exist whenever binning is off"),
             };
-            scores.push(accuracy(y_val, &model.predict(x_val)));
-        }
+            accuracy(y_val, &model.predict(x_val))
+        })
+        .collect();
+
+    let mut best: Option<(f64, ModelSpec)> = None;
+    for (k, spec) in grid.iter().enumerate() {
+        let scores = &fold_scores[k * n_folds_actual..(k + 1) * n_folds_actual];
         let mean = scores.iter().sum::<f64>() / scores.len() as f64;
         // Strict improvement keeps the first (seed-shuffled) winner on ties.
         if best.is_none_or(|(b, _)| mean > b) {

@@ -14,6 +14,7 @@
 use crate::binned::{BinnedMatrix, DEFAULT_N_BINS};
 use crate::linalg::sigmoid;
 use crate::model::Classifier;
+use crate::scratch;
 use crate::tree::{RegressionTree, TreeParams};
 use tabular::{DenseMatrix, Rng64};
 
@@ -138,10 +139,15 @@ impl GbdtClassifier {
         let rate = (pos / n as f64).clamp(1e-6, 1.0 - 1e-6);
         let base_score = (rate / (1.0 - rate)).ln();
         // Global-indexed buffers: only the entries named by `rows` are
-        // read, so one allocation serves any subset.
-        let mut scores = vec![base_score; n_global];
-        let mut grad = vec![0.0; n_global];
-        let mut hess = vec![0.0; n_global];
+        // read, so one allocation serves any subset. Pulled from the
+        // per-thread scratch pool — one persistent pool worker runs many
+        // fits back to back and reuses the same allocations.
+        let mut scores = scratch::take_f64();
+        scores.resize(n_global, base_score);
+        let mut grad = scratch::take_f64();
+        grad.resize(n_global, 0.0);
+        let mut hess = scratch::take_f64();
+        hess.resize(n_global, 0.0);
         let mut trees = Vec::with_capacity(params.n_rounds);
         let mut rng = Rng64::seed_from_u64(params.seed);
         let subsample = ((n as f64) * 0.8).ceil() as usize;

@@ -6,6 +6,7 @@
 //! fraction of positive neighbours, which is what scikit-learn reports.
 
 use crate::model::Classifier;
+use crate::scratch;
 use tabular::DenseMatrix;
 
 /// A trained (memorised) k-NN model.
@@ -81,7 +82,9 @@ impl Classifier for KnnClassifier {
         if n == 0 {
             return vec![0.5; x.n_rows()];
         }
-        let mut scratch = Vec::with_capacity(self.effective_k());
+        // Pooled neighbour heap: reused across queries here and across
+        // models on the same pool worker.
+        let mut scratch = scratch::take_pairs();
         (0..x.n_rows())
             .map(|i| {
                 let (pos, k) = self.count_positive_neighbours(x.row(i), &mut scratch);

@@ -22,6 +22,7 @@ pub mod linalg;
 pub mod logreg;
 pub mod metrics;
 pub mod model;
+pub mod scratch;
 pub mod tree;
 
 pub use binned::{BinnedMatrix, DEFAULT_N_BINS};

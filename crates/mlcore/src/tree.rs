@@ -14,7 +14,13 @@
 //!   histogram-vs-exact parity tests and as the accuracy baseline.
 
 use crate::binned::BinnedMatrix;
+use crate::scratch;
 use tabular::DenseMatrix;
+
+/// Histogram cost (`rows × features`) below which a node's histogram is
+/// accumulated sequentially. Checked before asking the pool for its
+/// size, so small fits never touch (or lazily create) the global pool.
+const PARALLEL_HIST_CELLS: usize = 1 << 16;
 
 /// One node of a regression tree, stored in a flat arena.
 #[derive(Debug, Clone)]
@@ -89,28 +95,77 @@ impl RegressionTree {
         assert_eq!(binned.n_rows(), grad.len(), "gradient length mismatch");
         assert_eq!(binned.n_rows(), hess.len(), "hessian length mismatch");
         let mut tree = RegressionTree { nodes: Vec::new() };
-        let mut rows = rows.to_vec();
-        tree.build_binned(binned, grad, hess, &mut rows, 0, params, None);
+        let mut rows_buf = scratch::take_usize();
+        rows_buf.extend_from_slice(rows);
+        tree.build_binned(binned, grad, hess, rows_buf.as_mut_slice(), 0, params, None);
         tree
     }
 
     /// Accumulates the per-bin (gradient, hessian) histogram of `rows` in
-    /// one pass per feature over the contiguous bin column.
+    /// one pass per feature over the contiguous bin column. Large nodes
+    /// split the feature range into `join` halves — each feature's bins
+    /// are a disjoint `hist` slice, and the per-feature row order is the
+    /// sequential one either way, so the sums are bit-identical.
     fn compute_hist(binned: &BinnedMatrix, rows: &[usize], grad: &[f64], hess: &[f64]) -> GhHist {
         let mut hist: GhHist = vec![(0.0, 0.0); binned.total_bins()];
-        for j in 0..binned.n_cols() {
-            if binned.n_bins(j) == 1 {
-                continue; // constant feature: never a split candidate
-            }
-            let column = binned.feature_bins(j);
-            let slice = &mut hist[binned.offset(j)..binned.offset(j) + binned.n_bins(j)];
-            for &i in rows {
-                let slot = &mut slice[usize::from(column[i])];
-                slot.0 += grad[i];
-                slot.1 += hess[i];
+        let n_cols = binned.n_cols();
+        if n_cols > 1
+            && rows.len().saturating_mul(n_cols) >= PARALLEL_HIST_CELLS
+            && rayon::current_num_threads() > 1
+        {
+            Self::accumulate_features(binned, rows, grad, hess, 0, n_cols, &mut hist);
+        } else {
+            for j in 0..n_cols {
+                let slice = &mut hist[binned.offset(j)..binned.offset(j) + binned.n_bins(j)];
+                Self::accumulate_one_feature(binned, rows, grad, hess, j, slice);
             }
         }
         hist
+    }
+
+    /// Accumulates features `f_lo..f_hi` into `hist`, whose element 0 is
+    /// the first bin of feature `f_lo`, splitting recursively so sibling
+    /// halves can run on different workers.
+    fn accumulate_features(
+        binned: &BinnedMatrix,
+        rows: &[usize],
+        grad: &[f64],
+        hess: &[f64],
+        f_lo: usize,
+        f_hi: usize,
+        hist: &mut [(f64, f64)],
+    ) {
+        if f_hi - f_lo <= 1 {
+            Self::accumulate_one_feature(binned, rows, grad, hess, f_lo, hist);
+            return;
+        }
+        let mid = f_lo + (f_hi - f_lo) / 2;
+        let (left, right) = hist.split_at_mut(binned.offset(mid) - binned.offset(f_lo));
+        rayon::join(
+            || Self::accumulate_features(binned, rows, grad, hess, f_lo, mid, left),
+            || Self::accumulate_features(binned, rows, grad, hess, mid, f_hi, right),
+        );
+    }
+
+    /// The per-feature accumulation pass: `slice` is the feature's own
+    /// bin range.
+    fn accumulate_one_feature(
+        binned: &BinnedMatrix,
+        rows: &[usize],
+        grad: &[f64],
+        hess: &[f64],
+        j: usize,
+        slice: &mut [(f64, f64)],
+    ) {
+        if binned.n_bins(j) == 1 {
+            return; // constant feature: never a split candidate
+        }
+        let column = binned.feature_bins(j);
+        for &i in rows {
+            let slot = &mut slice[usize::from(column[i])];
+            slot.0 += grad[i];
+            slot.1 += hess[i];
+        }
     }
 
     /// Recursively builds the subtree for `rows` (reordered in place);
@@ -311,7 +366,8 @@ impl RegressionTree {
 /// preserving relative order on both sides (determinism of the recursion
 /// depends on stable row order). Returns the boundary index.
 pub(crate) fn partition_rows(rows: &mut [usize], pred: impl Fn(usize) -> bool) -> usize {
-    let mut right: Vec<usize> = Vec::with_capacity(rows.len());
+    let mut right = scratch::take_usize();
+    right.reserve(rows.len());
     let mut write = 0;
     for read in 0..rows.len() {
         let row = rows[read];

@@ -8,6 +8,7 @@ pub use demodq;
 pub use demodq_serve;
 pub use fairness;
 pub use mlcore;
+pub use rayon;
 pub use serde_json;
 pub use statskit;
 pub use tabular;

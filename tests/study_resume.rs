@@ -9,6 +9,7 @@ use demodq_repro::demodq::config::{StudyOptions, StudyScale};
 use demodq_repro::demodq::export::study_results_json;
 use demodq_repro::demodq::runner::run_error_type_study_with;
 use demodq_repro::mlcore::ModelKind;
+use demodq_repro::rayon::ThreadPool;
 use demodq_repro::serde_json;
 use std::path::PathBuf;
 
@@ -118,6 +119,83 @@ fn interrupted_then_resumed_study_is_byte_identical() {
     keys.dedup();
     assert_eq!(keys.len(), n, "no task may be journaled twice");
     assert_eq!(n, total_tasks);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The same study run on 1-, 2- and 8-thread pools exports byte-identical
+/// JSON: every evaluation unit's RNG seed derives from its grid position
+/// (study seed, dataset, split, model, model-seed index), never from the
+/// schedule, and result assembly is order-preserving.
+#[test]
+fn exports_byte_identical_across_thread_counts() {
+    let datasets = [DatasetId::German, DatasetId::Adult];
+    let mut exports = [1usize, 2, 8].map(|threads| {
+        let pool = ThreadPool::new(threads);
+        pool.install(|| study_results_json(&run(&datasets, &StudyOptions::default())))
+    });
+    let reference = exports[0].clone();
+    for (threads, export) in [1usize, 2, 8].iter().zip(&mut exports) {
+        assert_eq!(
+            *export, reference,
+            "{threads}-thread export differs from the serial reference"
+        );
+    }
+}
+
+/// An interrupt-then-resume cycle executed entirely on an 8-thread pool
+/// matches the undisturbed serial run byte-for-byte: the journal records
+/// a task only after every one of its units completed, so replay never
+/// observes a half-evaluated task regardless of worker interleaving.
+#[test]
+fn resume_under_parallel_pool_matches_serial_run() {
+    let datasets = [DatasetId::German, DatasetId::Adult];
+
+    // Serial reference.
+    let clean = ThreadPool::new(1)
+        .install(|| study_results_json(&run(&datasets, &StudyOptions::default())));
+
+    let pool = ThreadPool::new(8);
+    let dir = temp_journal_dir("parallel-resume");
+    let first = pool.install(|| {
+        run_error_type_study_with(
+            ErrorType::Mislabels,
+            &datasets,
+            &[ModelKind::LogReg],
+            &StudyScale::smoke(),
+            SEED,
+            &StudyOptions {
+                journal_dir: Some(dir.clone()),
+                stop_after_tasks: Some(1),
+                ..StudyOptions::default()
+            },
+        )
+    });
+    if let Err(e) = &first {
+        assert!(e.to_string().contains("interrupted"), "{e}");
+    }
+    // Whatever reached the journal must be complete tasks (exactly-once:
+    // a task is recorded only after all its units finish).
+    assert!(!task_keys(&journal_file(&dir)).is_empty(), "halt still journals finished tasks");
+
+    let resumed = pool.install(|| {
+        run(
+            &datasets,
+            &StudyOptions {
+                journal_dir: Some(dir.clone()),
+                resume: true,
+                ..StudyOptions::default()
+            },
+        )
+    });
+    assert_eq!(resumed.journal_warnings, 0);
+    assert_eq!(study_results_json(&resumed), clean);
+
+    let mut keys = task_keys(&journal_file(&dir));
+    keys.sort();
+    let n = keys.len();
+    keys.dedup();
+    assert_eq!(keys.len(), n, "no task may be journaled twice");
 
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -1,20 +1,26 @@
-//! Vendored minimal `rayon` shim: the `par_iter().map(..).collect()`
-//! subset the study runner uses, executed on std threads with an atomic
-//! work-stealing index. Items are processed in parallel and results are
-//! returned in input order.
+//! Vendored minimal `rayon` shim, backed by a persistent work-stealing
+//! thread pool ([`registry`]). Workers are created once (first parallel
+//! call) and reused; parallel iterators split their index range into
+//! [`join`] tasks that land in per-worker deques and get stolen in
+//! chunks by idle workers.
+//!
+//! Supported surface: `par_iter()` / `into_par_iter()` with `map` /
+//! `for_each` / `collect` / `with_min_len`, plus `join`, scoped
+//! [`ThreadPool`]s with `install`, and global-pool sizing via
+//! [`set_global_threads`] or the `DEMODQ_THREADS` environment variable.
+//! Results always come back in input order, whatever the schedule.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+mod registry;
+
+pub use registry::{current_num_threads, join, set_global_threads, ThreadPool};
+
+use std::mem::ManuallyDrop;
 
 /// The usual glob-import module.
 pub mod prelude {
-    pub use crate::{IntoParallelRefIterator, ParallelIterator};
-}
-
-/// Number of worker threads: one per available core, at least one.
-fn n_workers(n_items: usize) -> usize {
-    let cores = std::thread::available_parallelism().map_or(1, usize::from);
-    cores.min(n_items).max(1)
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+    };
 }
 
 /// Conversion into a borrowing parallel iterator.
@@ -33,7 +39,7 @@ impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
     type Iter = ParSlice<'data, T>;
 
     fn par_iter(&'data self) -> ParSlice<'data, T> {
-        ParSlice { slice: self }
+        ParSlice { slice: self, min_len: 1 }
     }
 }
 
@@ -42,23 +48,70 @@ impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
     type Iter = ParSlice<'data, T>;
 
     fn par_iter(&'data self) -> ParSlice<'data, T> {
-        ParSlice { slice: self }
+        ParSlice { slice: self, min_len: 1 }
     }
 }
 
-/// A parallel pipeline that can run a per-item function and collect the
-/// results in input order.
+/// Conversion into an owning parallel iterator.
+pub trait IntoParallelIterator {
+    /// The owned item type.
+    type Item: Send;
+    /// The parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// An indexed parallel iterator over owned items.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = ParRange;
+
+    fn into_par_iter(self) -> ParRange {
+        ParRange { range: self, min_len: 1 }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = ParVec<T>;
+
+    fn into_par_iter(self) -> ParVec<T> {
+        ParVec { items: self, min_len: 1 }
+    }
+}
+
+/// A parallel pipeline over an indexed sequence: each item is processed
+/// exactly once on some pool worker, results are returned in input
+/// order.
 pub trait ParallelIterator: Sized {
     /// The item type flowing through the pipeline.
-    type Item;
+    type Item: Send;
 
-    /// Maps each item through `op` (executed on worker threads).
+    /// Sets the minimum number of items a task splits down to; larger
+    /// values trade stealing granularity for lower scheduling overhead.
+    fn with_min_len(self, min_len: usize) -> Self;
+
+    /// The current splitting floor (see [`Self::with_min_len`]).
+    fn min_len(&self) -> usize {
+        1
+    }
+
+    /// Maps each item through `op` (executed on pool workers).
     fn map<R, F>(self, op: F) -> ParMap<Self, F>
     where
         F: Fn(Self::Item) -> R + Send + Sync,
         R: Send,
     {
         ParMap { base: self, op }
+    }
+
+    /// Runs `op` on every item, in parallel, for its side effects.
+    fn for_each<F>(self, op: F)
+    where
+        F: Fn(Self::Item) + Send + Sync,
+    {
+        self.map(op).run();
     }
 
     /// Runs the pipeline. Implementation detail of `collect`.
@@ -85,17 +138,73 @@ impl<T> FromParallelIterator<T> for Vec<T> {
 /// Borrowing parallel iterator over a slice.
 pub struct ParSlice<'data, T> {
     slice: &'data [T],
+    min_len: usize,
 }
 
 impl<'data, T: Sync> ParallelIterator for ParSlice<'data, T> {
     type Item = &'data T;
+
+    fn with_min_len(mut self, min_len: usize) -> Self {
+        self.min_len = min_len.max(1);
+        self
+    }
+
+    fn min_len(&self) -> usize {
+        self.min_len
+    }
 
     fn run(self) -> Vec<&'data T> {
         self.slice.iter().collect()
     }
 }
 
-/// The mapped pipeline stage.
+/// Owning parallel iterator over a `Vec`.
+pub struct ParVec<T> {
+    items: Vec<T>,
+    min_len: usize,
+}
+
+impl<T: Send> ParallelIterator for ParVec<T> {
+    type Item = T;
+
+    fn with_min_len(mut self, min_len: usize) -> Self {
+        self.min_len = min_len.max(1);
+        self
+    }
+
+    fn min_len(&self) -> usize {
+        self.min_len
+    }
+
+    fn run(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// Indexed parallel iterator over `Range<usize>`.
+pub struct ParRange {
+    range: std::ops::Range<usize>,
+    min_len: usize,
+}
+
+impl ParallelIterator for ParRange {
+    type Item = usize;
+
+    fn with_min_len(mut self, min_len: usize) -> Self {
+        self.min_len = min_len.max(1);
+        self
+    }
+
+    fn min_len(&self) -> usize {
+        self.min_len
+    }
+
+    fn run(self) -> Vec<usize> {
+        self.range.collect()
+    }
+}
+
+/// The mapped pipeline stage — the part that actually runs in parallel.
 pub struct ParMap<B, F> {
     base: B,
     op: F,
@@ -110,54 +219,92 @@ where
 {
     type Item = R;
 
+    fn with_min_len(mut self, min_len: usize) -> Self {
+        self.base = self.base.with_min_len(min_len);
+        self
+    }
+
+    fn min_len(&self) -> usize {
+        self.base.min_len()
+    }
+
     fn run(self) -> Vec<R> {
-        let items = self.base.run();
-        let n = items.len();
-        if n == 0 {
-            return Vec::new();
-        }
-        let op = &self.op;
-        let workers = n_workers(n);
-        if workers == 1 {
-            return items.into_iter().map(op).collect();
-        }
-        // Hand out (index, item) tasks through a shared cursor; each worker
-        // pushes (index, result) pairs, merged and re-ordered at the end.
-        let tasks: Vec<Mutex<Option<B::Item>>> =
-            items.into_iter().map(|item| Mutex::new(Some(item))).collect();
-        let cursor = AtomicUsize::new(0);
-        let mut chunks: Vec<Vec<(usize, R)>> = Vec::with_capacity(workers);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    scope.spawn(|| {
-                        let mut local = Vec::new();
-                        loop {
-                            let i = cursor.fetch_add(1, Ordering::Relaxed);
-                            if i >= n {
-                                return local;
-                            }
-                            let item = tasks[i].lock().unwrap().take().expect("task taken once");
-                            local.push((i, op(item)));
-                        }
-                    })
-                })
-                .collect();
-            for handle in handles {
-                chunks.push(handle.join().expect("worker panicked"));
+        let min_len = self.base.min_len();
+        parallel_map_vec(self.base.run(), min_len, self.op)
+    }
+}
+
+/// Send+Sync wrapper so raw pointers into the input/output buffers can
+/// cross into `join` closures. Each index is touched by exactly one
+/// leaf task, so the aliasing is disjoint by construction.
+struct SharedPtr<T>(*mut T);
+unsafe impl<T> Send for SharedPtr<T> {}
+unsafe impl<T> Sync for SharedPtr<T> {}
+
+impl<T> SharedPtr<T> {
+    /// Accessor (rather than field access) so closures capture the
+    /// `Sync` wrapper, not the raw pointer inside it.
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+/// Maps `items` through `op` on the ambient pool, preserving order.
+///
+/// The input is frozen in a `ManuallyDrop` and each element moved out by
+/// raw `ptr::read` from its leaf task; results are written straight into
+/// a pre-sized uninitialised output buffer. If `op` panics the two
+/// buffers are leaked rather than double-dropped — safe, and panics in
+/// study code abort the run anyway.
+fn parallel_map_vec<T, R, F>(items: Vec<T>, min_len: usize, op: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Send + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n <= min_len || current_num_threads() == 1 {
+        return items.into_iter().map(op).collect();
+    }
+    let mut input = ManuallyDrop::new(items);
+    let mut output: Vec<std::mem::MaybeUninit<R>> = Vec::with_capacity(n);
+    // Safety: length covers uninitialised slots; every one of them is
+    // written exactly once below before being read.
+    unsafe { output.set_len(n) };
+    {
+        let in_ptr = SharedPtr(input.as_mut_ptr());
+        let out_ptr = SharedPtr(output.as_mut_ptr());
+        let op = &op;
+        registry::parallel_for_range(n, min_len, &move |lo, hi| {
+            for i in lo..hi {
+                // Safety: leaf ranges partition 0..n, so index i is read
+                // from and written to exactly once.
+                unsafe {
+                    let item = std::ptr::read(in_ptr.get().add(i));
+                    out_ptr.get().add(i).write(std::mem::MaybeUninit::new(op(item)));
+                }
             }
         });
-        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
-        for (i, r) in chunks.into_iter().flatten() {
-            slots[i] = Some(r);
-        }
-        slots.into_iter().map(|s| s.expect("every index produced")).collect()
+    }
+    // Safety: the input's elements were all moved out (the Vec's buffer
+    // still needs freeing); every output slot was initialised.
+    unsafe {
+        let cap = input.capacity();
+        let ptr = input.as_mut_ptr();
+        drop(Vec::from_raw_parts(ptr, 0, cap));
+        let mut output = ManuallyDrop::new(output);
+        Vec::from_raw_parts(output.as_mut_ptr().cast::<R>(), n, output.capacity())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::{join, set_global_threads, ThreadPool};
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn map_collect_preserves_order() {
@@ -187,5 +334,94 @@ mod tests {
             .map(|&x| (0..10_000).fold(x, |acc, _| acc.wrapping_mul(6364136223846793005).wrapping_add(1)))
             .collect();
         assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn into_par_iter_over_range_and_vec() {
+        let squares: Vec<usize> = (0..257usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares, (0..257).map(|i| i * i).collect::<Vec<_>>());
+
+        let owned: Vec<String> = (0..64).map(|i| format!("item-{i}")).collect();
+        let out: Vec<usize> = owned.into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(out, (0..64).map(|i| format!("item-{i}").len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn with_min_len_still_covers_every_index() {
+        for min_len in [1, 7, 100, 10_000] {
+            let out: Vec<usize> =
+                (0..1001usize).into_par_iter().with_min_len(min_len).map(|i| i + 1).collect();
+            assert_eq!(out, (1..1002).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn for_each_visits_every_item_once() {
+        let hits: Vec<AtomicUsize> = (0..500).map(|_| AtomicUsize::new(0)).collect();
+        (0..500usize).into_par_iter().for_each(|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 1 + 1, || "two");
+        assert_eq!((a, b), (2, "two"));
+        // Nested joins from inside a pool compose.
+        let pool = ThreadPool::new(4);
+        let total = pool.install(|| {
+            let ((a, b), (c, d)) =
+                join(|| join(|| 1, || 2), || join(|| 3, || 4));
+            a + b + c + d
+        });
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn scoped_pool_runs_parallel_ops_on_its_own_workers() {
+        for threads in [1, 2, 8] {
+            let pool = ThreadPool::new(threads);
+            assert_eq!(pool.num_threads(), threads);
+            let out: Vec<u64> = pool.install(|| {
+                (0..333u64).collect::<Vec<_>>().par_iter().map(|&x| x * 3).collect()
+            });
+            assert_eq!(out, (0..333).map(|x| x * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn results_identical_across_pool_sizes() {
+        let work = |threads: usize| -> Vec<f64> {
+            let pool = ThreadPool::new(threads);
+            pool.install(|| {
+                (0..200usize)
+                    .into_par_iter()
+                    .map(|i| (0..50).fold(i as f64, |acc, k| acc + (k as f64).sqrt() * 1e-3))
+                    .collect()
+            })
+        };
+        let reference = work(1);
+        assert_eq!(work(2), reference);
+        assert_eq!(work(8), reference);
+    }
+
+    #[test]
+    fn install_propagates_panics() {
+        let pool = ThreadPool::new(2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| panic!("boom"));
+        }));
+        assert!(result.is_err());
+        // The pool survives the panic and stays usable.
+        assert_eq!(pool.install(|| 7), 7);
+    }
+
+    #[test]
+    fn set_global_threads_is_ignored_once_pool_exists() {
+        // Touch the global pool, then ask for a resize: the request must
+        // be reported as too late rather than silently applied.
+        let _ = super::current_num_threads();
+        assert!(!set_global_threads(3));
     }
 }

@@ -1,0 +1,477 @@
+//! The persistent work-stealing thread pool behind the `rayon` shim.
+//!
+//! One [`Registry`] owns N worker threads, created once and reused for
+//! every parallel call (the previous shim spawned fresh scoped threads per
+//! `collect`). Each worker has its own deque: the owner pushes and pops at
+//! the back (LIFO keeps the working set hot and `join`'s second closure on
+//! top), thieves take a *chunk* — half the victim's queue — from the front
+//! (the oldest jobs are typically the largest remaining subtrees, so one
+//! steal amortises many).
+//!
+//! Scheduling never influences results: jobs write into pre-assigned
+//! indexed slots and every seed is derived from position, not execution
+//! order, so any thread count — including the serial 1-worker reference
+//! pool — produces byte-identical output.
+//!
+//! Pool sizing, in priority order: [`set_global_threads`] (the `--threads`
+//! flag), the `DEMODQ_THREADS` environment variable, then
+//! `std::thread::available_parallelism()`. Scoped pools for tests and
+//! benchmarks come from [`ThreadPool::new`] + [`ThreadPool::install`].
+
+use std::cell::{Cell, UnsafeCell};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+/// A type-erased pointer to a job whose storage (a caller's stack frame)
+/// is guaranteed by its owner to outlive execution: the owner always
+/// blocks — retracting the job, helping until its latch sets, or waiting
+/// on a condvar — before the frame is popped.
+#[derive(Clone, Copy)]
+struct JobRef {
+    data: *const (),
+    execute_fn: unsafe fn(*const ()),
+}
+
+// Safety: JobRef is only ever created from StackJob/LockJob, whose
+// closures are Send; the pointee outlives execution (see above).
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    /// Runs the job. Never unwinds: panics are captured into the job's
+    /// result slot and re-thrown on the owner's thread.
+    unsafe fn execute(self) {
+        (self.execute_fn)(self.data);
+    }
+}
+
+/// A job allocated on the stack of a worker inside [`join`]: the owner
+/// spin-helps until `done`, so no lock is needed.
+struct StackJob<F, R> {
+    func: UnsafeCell<Option<F>>,
+    result: UnsafeCell<Option<std::thread::Result<R>>>,
+    done: AtomicBool,
+}
+
+impl<F, R> StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    fn new(func: F) -> Self {
+        StackJob {
+            func: UnsafeCell::new(Some(func)),
+            result: UnsafeCell::new(None),
+            done: AtomicBool::new(false),
+        }
+    }
+
+    fn as_job_ref(&self) -> JobRef {
+        JobRef { data: (self as *const Self).cast(), execute_fn: Self::execute_erased }
+    }
+
+    unsafe fn execute_erased(data: *const ()) {
+        let this = &*data.cast::<Self>();
+        let func = (*this.func.get()).take().expect("stack job executed twice");
+        let result = catch_unwind(AssertUnwindSafe(func));
+        *this.result.get() = Some(result);
+        this.done.store(true, Ordering::Release);
+    }
+
+    fn is_done(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+
+    /// Takes the result after `is_done()` (or an inline `execute`).
+    unsafe fn take_result(&self) -> std::thread::Result<R> {
+        (*self.result.get()).take().expect("job finished without a result")
+    }
+}
+
+/// A job whose owner blocks on a condvar — used when a thread *outside*
+/// the pool injects work ([`Registry::in_worker`]).
+struct LockJob<F, R> {
+    func: UnsafeCell<Option<F>>,
+    slot: Mutex<Option<std::thread::Result<R>>>,
+    cond: Condvar,
+}
+
+impl<F, R> LockJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    fn new(func: F) -> Self {
+        LockJob { func: UnsafeCell::new(Some(func)), slot: Mutex::new(None), cond: Condvar::new() }
+    }
+
+    fn as_job_ref(&self) -> JobRef {
+        JobRef { data: (self as *const Self).cast(), execute_fn: Self::execute_erased }
+    }
+
+    unsafe fn execute_erased(data: *const ()) {
+        let this = &*data.cast::<Self>();
+        let func = (*this.func.get()).take().expect("lock job executed twice");
+        let result = catch_unwind(AssertUnwindSafe(func));
+        *this.slot.lock().unwrap() = Some(result);
+        this.cond.notify_all();
+    }
+
+    fn wait(&self) -> std::thread::Result<R> {
+        let mut slot = self.slot.lock().unwrap();
+        loop {
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            slot = self.cond.wait(slot).unwrap();
+        }
+    }
+}
+
+// Safety: the unsafe-cell fields are only touched by the (single) thread
+// executing the job; the owner reads the slot under the mutex / after the
+// Release store on `done`.
+unsafe impl<F: Send, R: Send> Sync for LockJob<F, R> {}
+
+/// The shared state of one pool: per-worker deques, an injector queue for
+/// external callers, and the sleep/terminate machinery.
+struct Registry {
+    /// One deque per worker. Owner end: back. Thief end: front.
+    deques: Vec<Mutex<VecDeque<JobRef>>>,
+    /// Jobs injected by threads outside the pool (FIFO).
+    injected: Mutex<VecDeque<JobRef>>,
+    /// Idle workers park here. Pushers notify without taking the lock;
+    /// the bounded `wait_timeout` below makes a missed wakeup cost at
+    /// most one tick instead of a deadlock.
+    idle_lock: Mutex<()>,
+    idle_cond: Condvar,
+    terminate: AtomicBool,
+}
+
+/// How long an idle worker sleeps before re-scanning the queues.
+const IDLE_TICK: Duration = Duration::from_millis(1);
+
+thread_local! {
+    /// `(worker index, owning registry)` of the current thread, if it is
+    /// a pool worker. The raw pointer stays valid for the thread's whole
+    /// life because the worker holds an `Arc` to its registry.
+    static CURRENT_WORKER: Cell<Option<(usize, *const Registry)>> = const { Cell::new(None) };
+}
+
+fn current_worker() -> Option<(usize, *const Registry)> {
+    CURRENT_WORKER.with(Cell::get)
+}
+
+impl Registry {
+    /// Creates the registry and spawns its workers.
+    fn new(n_threads: usize) -> (Arc<Registry>, Vec<std::thread::JoinHandle<()>>) {
+        let n = n_threads.max(1);
+        let registry = Arc::new(Registry {
+            deques: (0..n).map(|_| Mutex::new(VecDeque::new())).collect(),
+            injected: Mutex::new(VecDeque::new()),
+            idle_lock: Mutex::new(()),
+            idle_cond: Condvar::new(),
+            terminate: AtomicBool::new(false),
+        });
+        let handles = (0..n)
+            .map(|index| {
+                let registry = Arc::clone(&registry);
+                std::thread::Builder::new()
+                    .name(format!("demodq-pool-{index}"))
+                    .spawn(move || {
+                        CURRENT_WORKER
+                            .with(|c| c.set(Some((index, Arc::as_ptr(&registry)))));
+                        registry.worker_loop(index);
+                        CURRENT_WORKER.with(|c| c.set(None));
+                    })
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        (registry, handles)
+    }
+
+    fn num_threads(&self) -> usize {
+        self.deques.len()
+    }
+
+    fn worker_loop(&self, index: usize) {
+        loop {
+            if let Some(job) = self.find_work(index) {
+                unsafe { job.execute() };
+                continue;
+            }
+            if self.terminate.load(Ordering::Acquire) {
+                return;
+            }
+            let guard = self.idle_lock.lock().unwrap();
+            let _ = self.idle_cond.wait_timeout(guard, IDLE_TICK).unwrap();
+        }
+    }
+
+    /// Next job for worker `index`: own deque (newest first), then the
+    /// injector, then a chunked steal from a victim.
+    fn find_work(&self, index: usize) -> Option<JobRef> {
+        if let Some(job) = self.deques[index].lock().unwrap().pop_back() {
+            return Some(job);
+        }
+        if let Some(job) = self.injected.lock().unwrap().pop_front() {
+            return Some(job);
+        }
+        let n = self.deques.len();
+        for offset in 1..n {
+            let victim = (index + offset) % n;
+            // Take half the victim's queue from the *front* in one lock
+            // acquisition. Collected into a local buffer first so the two
+            // deque locks are never held together (no lock-order cycles).
+            let stolen: Vec<JobRef> = {
+                let mut deque = self.deques[victim].lock().unwrap();
+                let take = deque.len().div_ceil(2);
+                deque.drain(..take).collect()
+            };
+            let mut stolen = stolen.into_iter();
+            let Some(first) = stolen.next() else { continue };
+            let rest: Vec<JobRef> = stolen.collect();
+            if !rest.is_empty() {
+                let mut own = self.deques[index].lock().unwrap();
+                own.extend(rest);
+                drop(own);
+                // What we queued beyond the job we run is up for grabs.
+                self.idle_cond.notify_all();
+            }
+            return Some(first);
+        }
+        None
+    }
+
+    fn push_local(&self, index: usize, job: JobRef) {
+        self.deques[index].lock().unwrap().push_back(job);
+        self.idle_cond.notify_one();
+    }
+
+    /// Retracts the back job of our own deque iff it is `data` (the job a
+    /// `join` just pushed and nobody stole). Returns whether it was ours.
+    fn pop_local_if(&self, index: usize, data: *const ()) -> bool {
+        let mut deque = self.deques[index].lock().unwrap();
+        if deque.back().is_some_and(|job| std::ptr::eq(job.data, data)) {
+            deque.pop_back();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Runs `func` on a worker of this pool, blocking the calling thread
+    /// until it completes. A call from one of this pool's own workers
+    /// runs inline (so nested parallel calls compose without deadlock).
+    fn in_worker<F, R>(&self, func: F) -> R
+    where
+        F: FnOnce() -> R + Send,
+        R: Send,
+    {
+        if let Some((_, registry)) = current_worker() {
+            if std::ptr::eq(registry, self) {
+                return func();
+            }
+        }
+        let job = LockJob::new(func);
+        self.injected.lock().unwrap().push_back(job.as_job_ref());
+        self.idle_cond.notify_all();
+        match job.wait() {
+            Ok(value) => value,
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+}
+
+/// Potentially-parallel `(oper_a(), oper_b())`.
+///
+/// On a pool worker, `oper_b` is published for stealing while the worker
+/// runs `oper_a`; if nobody stole it, the worker retracts and runs it
+/// inline (so an uncontended `join` costs two mutex ops, not a thread
+/// hop). While a stolen `oper_b` is in flight the worker *helps* — it
+/// executes other pool jobs instead of blocking. Off-pool threads just
+/// run both closures sequentially.
+///
+/// A panic in either closure is re-thrown here after both have settled,
+/// so the caller's stack frame (which owns the job) is never abandoned
+/// while the pool still references it.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let Some((index, registry)) = current_worker() else {
+        return (oper_a(), oper_b());
+    };
+    // Safety: we are on a worker thread of this registry, which holds an
+    // Arc keeping it alive for the duration of this call.
+    let registry = unsafe { &*registry };
+    let job_b = StackJob::new(oper_b);
+    registry.push_local(index, job_b.as_job_ref());
+    let result_a = catch_unwind(AssertUnwindSafe(oper_a));
+    let result_b = if registry.pop_local_if(index, (&job_b as *const StackJob<B, RB>).cast()) {
+        unsafe {
+            job_b.as_job_ref().execute();
+            job_b.take_result()
+        }
+    } else {
+        // Stolen (or already being executed via a steal chain): help with
+        // other work until the thief finishes it.
+        let mut idle_rounds = 0u32;
+        while !job_b.is_done() {
+            if let Some(job) = registry.find_work(index) {
+                unsafe { job.execute() };
+                idle_rounds = 0;
+            } else if idle_rounds < 64 {
+                idle_rounds += 1;
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        unsafe { job_b.take_result() }
+    };
+    match (result_a, result_b) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(payload), _) | (Ok(_), Err(payload)) => resume_unwind(payload),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The global pool.
+
+static GLOBAL_POOL: OnceLock<Arc<Registry>> = OnceLock::new();
+/// Explicit size request (0 = unset); wins over `DEMODQ_THREADS`.
+static REQUESTED_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Pins the global pool to `n_threads` workers (`1` = fully serial
+/// reference run). Must be called before the first parallel operation;
+/// returns `false` when the pool already exists (the request is then
+/// ignored — the pool is never resized).
+pub fn set_global_threads(n_threads: usize) -> bool {
+    REQUESTED_THREADS.store(n_threads.max(1), Ordering::Relaxed);
+    GLOBAL_POOL.get().is_none()
+}
+
+fn default_thread_count() -> usize {
+    let requested = REQUESTED_THREADS.load(Ordering::Relaxed);
+    if requested > 0 {
+        return requested;
+    }
+    if let Ok(value) = std::env::var("DEMODQ_THREADS") {
+        match value.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => return n,
+            _ => eprintln!("DEMODQ_THREADS='{value}' is not a positive integer; ignoring"),
+        }
+    }
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+fn global_registry() -> &'static Arc<Registry> {
+    // Worker handles are intentionally dropped: the global pool lives for
+    // the whole process.
+    GLOBAL_POOL.get_or_init(|| Registry::new(default_thread_count()).0)
+}
+
+/// Worker count of the current thread's pool (its own registry on a
+/// worker, the global pool — created on first use — otherwise).
+pub fn current_num_threads() -> usize {
+    match current_worker() {
+        // Safety: worker threads keep their registry alive.
+        Some((_, registry)) => unsafe { (*registry).num_threads() },
+        None => global_registry().num_threads(),
+    }
+}
+
+/// Runs `func` inside the ambient pool: inline when already on a worker
+/// (nested parallelism composes via that worker's registry), injected
+/// into the global pool otherwise.
+pub(crate) fn in_ambient_pool<F, R>(func: F) -> R
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    if current_worker().is_some() {
+        func()
+    } else {
+        global_registry().in_worker(func)
+    }
+}
+
+/// Recursive binary split of `0..len` into `join` tasks; leaves of at
+/// most `min_len` indices run `body(lo, hi)` sequentially.
+pub(crate) fn parallel_for_range<F>(len: usize, min_len: usize, body: &F)
+where
+    F: Fn(usize, usize) + Sync,
+{
+    if len == 0 {
+        return;
+    }
+    let min_len = min_len.max(1);
+    in_ambient_pool(|| split_range(0, len, min_len, body));
+}
+
+fn split_range<F>(lo: usize, hi: usize, min_len: usize, body: &F)
+where
+    F: Fn(usize, usize) + Sync,
+{
+    if hi - lo <= min_len {
+        body(lo, hi);
+        return;
+    }
+    let mid = lo + (hi - lo) / 2;
+    join(
+        || split_range(lo, mid, min_len, body),
+        || split_range(mid, hi, min_len, body),
+    );
+}
+
+/// A scoped thread pool with its own workers, independent of the global
+/// pool. [`ThreadPool::install`] runs a closure on it; parallel calls
+/// made from inside compose onto the same workers. Dropping the pool
+/// joins its (idle) workers.
+pub struct ThreadPool {
+    registry: Arc<Registry>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// A pool with exactly `n_threads` workers (minimum 1; `new(1)` is
+    /// the serial reference configuration).
+    pub fn new(n_threads: usize) -> ThreadPool {
+        let (registry, handles) = Registry::new(n_threads);
+        ThreadPool { registry, handles }
+    }
+
+    /// The pool's worker count.
+    pub fn num_threads(&self) -> usize {
+        self.registry.num_threads()
+    }
+
+    /// Runs `func` on this pool, blocking until it returns. Every
+    /// parallel operation `func` performs executes on this pool's
+    /// workers. Panics in `func` propagate to the caller.
+    pub fn install<F, R>(&self, func: F) -> R
+    where
+        F: FnOnce() -> R + Send,
+        R: Send,
+    {
+        self.registry.in_worker(func)
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // All installs have returned (they borrow &self), so the queues
+        // are empty; workers exit at their next idle scan.
+        self.registry.terminate.store(true, Ordering::Release);
+        self.registry.idle_cond.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
