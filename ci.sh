@@ -16,6 +16,14 @@ if [ "${1:-}" = "quick" ]; then
     exit 0
 fi
 
+echo "==> cargo build --release --workspace --all-targets"
+# The root build above skips the crate binaries (demodq-serve,
+# demodq-bench, resume_smoke); compile everything the later gates drive.
+cargo build --release --workspace --all-targets
+
+echo "==> demodq-lint (determinism & safety lints vs lint-baseline.txt)"
+cargo run -q --release -p demodq-lint -- --format json
+
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
@@ -27,9 +35,7 @@ cargo run --release -p demodq-bench --bin studybench -- \
     --smoke --out target/BENCH_study.json --baseline BENCH_study.json
 
 echo "==> crash-resume smoke (kill -9 mid-study, resume from journal)"
-# The root release build does not build the crate binaries; build the
-# smoke harness explicitly.
-cargo build --release -p demodq-bench --bin resume_smoke
+# resume_smoke was compiled by the --workspace --all-targets build above.
 SMOKE_DIR=target/resume_smoke
 rm -rf "$SMOKE_DIR"
 mkdir -p "$SMOKE_DIR"

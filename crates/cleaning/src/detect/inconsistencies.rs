@@ -74,6 +74,7 @@ impl InconsistencyDetector {
                 let dominant = *members
                     .iter()
                     .max_by_key(|&&c| (counts[c as usize], std::cmp::Reverse(c)))
+                    // lint:allow(P001, members.len() >= 2 is guaranteed by the guard above)
                     .expect("non-empty cluster");
                 for &c in members {
                     if c != dominant {
@@ -121,6 +122,7 @@ impl InconsistencyDetector {
                     let dominant = *members
                         .iter()
                         .max_by_key(|&&c| (counts[c as usize], std::cmp::Reverse(c)))
+                        // lint:allow(P001, members.len() >= 2 is guaranteed by the guard above)
                         .expect("non-empty cluster");
                     for &c in members {
                         mapping[c as usize] = dominant;

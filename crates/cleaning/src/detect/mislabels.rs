@@ -122,7 +122,9 @@ impl MislabelDetector {
                 }
                 let target = confident_joint[noisy][implied];
                 let pool = &mut candidates[noisy][implied];
-                pool.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+                pool.sort_by(|a, b| {
+                    b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal).then(a.1.cmp(&b.1))
+                });
                 for &(_, row) in pool.iter().take(target) {
                     flags[row] = true;
                 }

@@ -72,9 +72,7 @@ pub fn knn_shapley_masked(
         order.clear();
         order.extend(0..n);
         // Stable tie-break by index for determinism.
-        order.sort_by(|&a, &b| {
-            dist[a].partial_cmp(&dist[b]).expect("finite distances").then(a.cmp(&b))
-        });
+        order.sort_by(|&a, &b| dist[a].total_cmp(&dist[b]).then(a.cmp(&b)));
         // Recursion from farthest to nearest.
         let y_t = y_test[t];
         let matches = |i: usize| f64::from(y_train[order[i]] == y_t);
@@ -148,6 +146,7 @@ pub fn fairness_influence(
         }
     };
     let disparity = recall_of(&priv_pos) - recall_of(&dis_pos);
+    // lint:allow(F001, exact-zero disparity deliberately maps to the +1 sign convention)
     let sign = if disparity.is_nan() || disparity == 0.0 { 1.0 } else { disparity.signum() };
     to_priv
         .iter()
@@ -160,8 +159,11 @@ pub fn fairness_influence(
 /// order for fairness-aware cleaning.
 pub fn rank_by_influence(influence: &[f64]) -> Vec<usize> {
     let mut order: Vec<usize> = (0..influence.len()).collect();
+    // `unwrap_or(Equal)` rather than `total_cmp`: influence values mix
+    // +0.0/-0.0 (sign * 0.0), which must stay ties for the index
+    // tie-break to decide, exactly as `partial_cmp` treats them.
     order.sort_by(|&a, &b| {
-        influence[b].partial_cmp(&influence[a]).expect("finite influence").then(a.cmp(&b))
+        influence[b].partial_cmp(&influence[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
     });
     order
 }

@@ -74,6 +74,7 @@ pub fn case_analysis(entries: &[ClassifiedEntry]) -> Vec<CaseOutcome> {
     cases
         .into_iter()
         .map(|((metric, dataset, group, error), entries)| CaseOutcome {
+            // lint:allow(P001, the key was produced by FairnessMetric::name; parse is its inverse)
             metric: FairnessMetric::parse(&metric).expect("metric name round-trips"),
             dataset,
             group,

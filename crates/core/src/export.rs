@@ -158,6 +158,7 @@ pub fn study_results_json(results: &StudyResults) -> String {
         "n_model_evaluations": results.n_model_evaluations(),
         "configs": Value::Array(configs),
     });
+    // lint:allow(P001, serialising an in-memory Value tree cannot fail)
     serde_json::to_string_pretty(&doc).expect("study export serialises")
 }
 

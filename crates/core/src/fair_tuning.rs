@@ -111,7 +111,7 @@ pub fn tune_and_fit_fair(
     let feasible_best = scored
         .iter()
         .filter(|(_, s)| s.disparity <= epsilon)
-        .max_by(|a, b| a.1.accuracy.partial_cmp(&b.1.accuracy).expect("finite accuracy"));
+        .max_by(|a, b| a.1.accuracy.partial_cmp(&b.1.accuracy).unwrap_or(std::cmp::Ordering::Equal));
     let (best_spec, score, satisfied) = match feasible_best {
         Some((spec, score)) => (*spec, *score, true),
         None => {
@@ -120,9 +120,14 @@ pub fn tune_and_fit_fair(
                 .min_by(|a, b| {
                     a.1.disparity
                         .partial_cmp(&b.1.disparity)
-                        .expect("finite disparity")
-                        .then(b.1.accuracy.partial_cmp(&a.1.accuracy).expect("finite accuracy"))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(
+                            b.1.accuracy
+                                .partial_cmp(&a.1.accuracy)
+                                .unwrap_or(std::cmp::Ordering::Equal),
+                        )
                 })
+                // lint:allow(P001, scored has one entry per spec and the spec grid is never empty)
                 .expect("non-empty grid");
             (*spec, *score, false)
         }

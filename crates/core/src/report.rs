@@ -70,6 +70,7 @@ pub fn render_disparities(rows: &[DisparityRow], intersectional: bool, alpha: f6
             continue;
         }
         shown += 1;
+        // lint:allow(P001, row.significant() returned true, which requires g_test to be Some)
         let test = row.g_test.expect("significant implies present");
         let _ = writeln!(
             out,

@@ -64,7 +64,7 @@ use datasets::{DatasetId, ErrorType};
 use fairness::{FairnessMetric, GroupSpec};
 use mlcore::ModelKind;
 use rayon::prelude::*;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 use tabular::{DataFrame, Result, TabularError};
@@ -339,8 +339,10 @@ fn prepare_task(
     group_specs: &[GroupSpec],
     phases: &PhaseAccumulator,
 ) -> Result<EncodedTask> {
+    // lint:allow(D002, phase timing is telemetry only; durations never feed seeds or exports)
     let mut mark = Instant::now();
     let mut lap = |phase: StudyPhase| {
+        // lint:allow(D002, phase timing is telemetry only; durations never feed seeds or exports)
         let now = Instant::now();
         phases.add(phase, now - mark);
         mark = now;
@@ -407,6 +409,7 @@ fn evaluate_task_units(
                 .wrapping_add(fnv(models[m].name()))
                 .wrapping_add(k as u64 * 0x2545F4914F6CDD1D);
             let arm = if a == 0 { &arms.dirty_arm } else { &arms.variant_arms[a - 1] };
+            // lint:allow(D002, unit timing is telemetry only; never feeds seeds or exports)
             let start = Instant::now();
             let scores =
                 evaluate_unit(arm, models[m], scale.cv_folds, model_seed, group_labels, metrics);
@@ -421,8 +424,10 @@ fn evaluate_task_units(
         .map(|_| {
             (0..scale.n_model_seeds)
                 .map(|_| {
+                    // lint:allow(P001, unit_scores has exactly n_models*n_seeds*n_arms entries by construction)
                     let (dirty_acc, dirty_disp) = units.next().expect("dirty unit present");
                     let per_variant: Vec<(f64, Vec<f64>)> = (1..n_arms)
+                        // lint:allow(P001, unit_scores has exactly n_models*n_seeds*n_arms entries by construction)
                         .map(|_| units.next().expect("variant unit present"))
                         .collect();
                     (dirty_acc, dirty_disp, per_variant)
@@ -512,7 +517,7 @@ pub fn run_error_type_study_with(
     // when resuming, replay whatever valid records it already holds.
     let fingerprint = StudyFingerprint::compute(error, &datasets, models, scale, study_seed, &variants);
     let mut journal_warnings = 0usize;
-    let mut replayed: HashMap<(usize, usize), Vec<Vec<SeedScores>>> = HashMap::new();
+    let mut replayed: BTreeMap<(usize, usize), Vec<Vec<SeedScores>>> = BTreeMap::new();
     let writer: Option<JournalWriter> = match &options.journal_dir {
         Some(dir) => {
             let path = journal::journal_path(dir, error, &fingerprint);

@@ -1,0 +1,497 @@
+//! A minimal Rust lexer: just enough token structure for path- and
+//! pattern-level lints, but fully aware of the places where naive text
+//! matching goes wrong — line and (nested) block comments, cooked and
+//! raw strings (any `#` depth), byte strings, char literals vs
+//! lifetimes, and raw identifiers.
+//!
+//! The lexer never fails: unterminated constructs simply run to end of
+//! file. Lints operate on the token stream, so a pattern inside a string
+//! literal or a comment can never produce a finding.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (`unsafe`, `HashMap`, `unwrap`, ...).
+    Ident(String),
+    /// Integer literal (any base, any suffix except `f32`/`f64`).
+    Int,
+    /// Float literal (`1.0`, `1e3`, `1f64`, ...).
+    Float,
+    /// String, byte-string, raw-string or char literal.
+    Str,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// Any other single punctuation character.
+    Punct(char),
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// A comment plus the 1-based lines it spans (inclusive).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text without the `//` / `/*` markers.
+    pub text: String,
+    /// First line of the comment.
+    pub line: usize,
+    /// Last line of the comment (same as `line` for `//` comments).
+    pub end_line: usize,
+}
+
+/// The full lex of one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens, in order, comments excluded.
+    pub tokens: Vec<Token>,
+    /// All comments, in order.
+    pub comments: Vec<Comment>,
+    /// Total number of source lines.
+    pub n_lines: usize,
+}
+
+/// Lexes `source` into tokens and comments.
+pub fn lex(source: &str) -> Lexed {
+    Lexer { chars: source.chars().collect(), pos: 0, line: 1, out: Lexed::default() }.run(source)
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn run(mut self, source: &str) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            match c {
+                '\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                c if c.is_whitespace() => self.pos += 1,
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.cooked_string(),
+                'b' | 'r' | 'c' if self.is_literal_prefix() => self.prefixed_literal(),
+                '\'' => self.quote(),
+                c if c.is_ascii_digit() => self.number(),
+                c if c == '_' || c.is_alphabetic() => self.ident(),
+                '=' if self.peek(1) == Some('=') => self.push2(Tok::EqEq),
+                '!' if self.peek(1) == Some('=') => self.push2(Tok::NotEq),
+                c => {
+                    self.push(Tok::Punct(c));
+                    self.pos += 1;
+                }
+            }
+        }
+        self.out.n_lines = source.lines().count();
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, tok: Tok) {
+        self.out.tokens.push(Token { tok, line: self.line });
+    }
+
+    fn push2(&mut self, tok: Tok) {
+        self.push(tok);
+        self.pos += 2;
+    }
+
+    /// Does the `b`/`r`/`c` at the cursor start a string literal (vs an
+    /// ordinary identifier such as `result` or a raw identifier `r#type`)?
+    fn is_literal_prefix(&self) -> bool {
+        let (a, b) = (self.peek(0), self.peek(1));
+        match (a, b) {
+            // b"...", c"...", r"..."
+            (_, Some('"')) => true,
+            // br"..." / br#"..."#
+            (Some('b'), Some('r')) => matches!(self.peek(2), Some('"') | Some('#')),
+            // r#"..."# — but r#ident is a raw identifier, not a string.
+            (Some('r'), Some('#')) => {
+                let mut k = 1;
+                while self.peek(k) == Some('#') {
+                    k += 1;
+                }
+                self.peek(k) == Some('"')
+            }
+            _ => false,
+        }
+    }
+
+    fn line_comment(&mut self) {
+        self.pos += 2;
+        let start = self.pos;
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            self.pos += 1;
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        self.out.comments.push(Comment { text, line: self.line, end_line: self.line });
+    }
+
+    fn block_comment(&mut self) {
+        let start_line = self.line;
+        self.pos += 2;
+        let start = self.pos;
+        let mut depth = 1usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                self.pos += 2;
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+                self.pos += 2;
+            } else {
+                if c == '\n' {
+                    self.line += 1;
+                }
+                self.pos += 1;
+            }
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        self.pos = (self.pos + 2).min(self.chars.len());
+        self.out.comments.push(Comment { text, line: start_line, end_line: self.line });
+    }
+
+    fn cooked_string(&mut self) {
+        let start_line = self.line;
+        self.pos += 1; // opening quote
+        while let Some(c) = self.peek(0) {
+            match c {
+                '\\' => self.pos += 2,
+                '"' => {
+                    self.pos += 1;
+                    break;
+                }
+                '\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.out.tokens.push(Token { tok: Tok::Str, line: start_line });
+    }
+
+    /// `b"..."`, `r"..."`, `br#"..."#`, `c"..."` — anything
+    /// [`Self::is_literal_prefix`] accepted.
+    fn prefixed_literal(&mut self) {
+        let start_line = self.line;
+        // Skip the alphabetic prefix (b, r, br, rb, c).
+        while matches!(self.peek(0), Some('b') | Some('r') | Some('c')) {
+            self.pos += 1;
+        }
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        if self.peek(0) != Some('"') {
+            // Defensive: is_literal_prefix guarantees a quote here.
+            self.out.tokens.push(Token { tok: Tok::Str, line: start_line });
+            return;
+        }
+        self.pos += 1;
+        if hashes == 0 && !self.raw_prefix_escapes() {
+            // r"..." has no escapes; b"..." and c"..." do.
+            self.raw_until_quote(0);
+        } else if hashes == 0 {
+            // b"..."/c"...": cooked rules (escapes active).
+            while let Some(c) = self.peek(0) {
+                match c {
+                    '\\' => self.pos += 2,
+                    '"' => {
+                        self.pos += 1;
+                        break;
+                    }
+                    '\n' => {
+                        self.line += 1;
+                        self.pos += 1;
+                    }
+                    _ => self.pos += 1,
+                }
+            }
+        } else {
+            self.raw_until_quote(hashes);
+        }
+        self.out.tokens.push(Token { tok: Tok::Str, line: start_line });
+    }
+
+    /// Whether the literal prefix just consumed was a cooked (escaping)
+    /// one. Only `r`-prefixed strings are escape-free; this is looked up
+    /// from the characters immediately before the cursor.
+    fn raw_prefix_escapes(&self) -> bool {
+        // The char right before the opening quote run: for zero hashes the
+        // quote is at pos-1 and the prefix letter at pos-2.
+        !matches!(self.chars.get(self.pos.wrapping_sub(2)), Some('r'))
+    }
+
+    /// Consumes a raw-string body until `"` followed by `hashes` `#`s.
+    fn raw_until_quote(&mut self, hashes: usize) {
+        while let Some(c) = self.peek(0) {
+            if c == '"' {
+                let mut ok = true;
+                for k in 0..hashes {
+                    if self.peek(1 + k) != Some('#') {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    self.pos += 1 + hashes;
+                    return;
+                }
+            }
+            if c == '\n' {
+                self.line += 1;
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// `'` starts either a char literal or a lifetime.
+    fn quote(&mut self) {
+        // Lifetime: 'ident not followed by a closing quote.
+        if let Some(c1) = self.peek(1) {
+            if (c1 == '_' || c1.is_alphabetic()) && self.peek(2) != Some('\'') {
+                self.pos += 1; // the quote
+                while let Some(c) = self.peek(0) {
+                    if c == '_' || c.is_alphanumeric() {
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                // Lifetimes carry no lint signal; drop them.
+                return;
+            }
+        }
+        // Char literal.
+        self.pos += 1;
+        match self.peek(0) {
+            Some('\\') => {
+                self.pos += 2; // backslash + escaped char (covers '\'', '\\')
+                // \u{...} and \x.. run until the closing quote below.
+                while let Some(c) = self.peek(0) {
+                    self.pos += 1;
+                    if c == '\'' {
+                        break;
+                    }
+                }
+            }
+            Some(_) => {
+                self.pos += 1;
+                if self.peek(0) == Some('\'') {
+                    self.pos += 1;
+                }
+            }
+            None => {}
+        }
+        self.push(Tok::Str);
+    }
+
+    fn number(&mut self) {
+        let mut is_float = false;
+        // Base prefix?
+        if self.peek(0) == Some('0')
+            && matches!(self.peek(1), Some('x') | Some('X') | Some('b') | Some('B') | Some('o') | Some('O'))
+        {
+            self.pos += 2;
+            while let Some(c) = self.peek(0) {
+                if c.is_ascii_hexdigit() || c == '_' {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+            self.push(Tok::Int);
+            return;
+        }
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_digit() || c == '_' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        // Fractional part: `.` followed by a digit (so `0..n` and
+        // `1.max(2)` stay integers).
+        if self.peek(0) == Some('.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            is_float = true;
+            self.pos += 1;
+            while let Some(c) = self.peek(0) {
+                if c.is_ascii_digit() || c == '_' {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        } else if self.peek(0) == Some('.')
+            && !matches!(self.peek(1), Some('.') | Some('_'))
+            && !self.peek(1).is_some_and(|c| c.is_alphabetic())
+        {
+            // Trailing-dot float: `1.`
+            is_float = true;
+            self.pos += 1;
+        }
+        // Exponent.
+        if matches!(self.peek(0), Some('e') | Some('E')) {
+            let mut k = 1;
+            if matches!(self.peek(1), Some('+') | Some('-')) {
+                k = 2;
+            }
+            if self.peek(k).is_some_and(|c| c.is_ascii_digit()) {
+                is_float = true;
+                self.pos += k;
+                while let Some(c) = self.peek(0) {
+                    if c.is_ascii_digit() || c == '_' {
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+        // Suffix (u8, i64, f64, usize, ...).
+        let suffix_start = self.pos;
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let suffix: String = self.chars[suffix_start..self.pos].iter().collect();
+        if suffix == "f32" || suffix == "f64" {
+            is_float = true;
+        }
+        self.push(if is_float { Tok::Float } else { Tok::Int });
+    }
+
+    fn ident(&mut self) {
+        // Raw identifier r#name (the raw-string case was routed away).
+        if self.peek(0) == Some('r') && self.peek(1) == Some('#') {
+            self.pos += 2;
+        }
+        let start = self.pos;
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let name: String = self.chars[start..self.pos].iter().collect();
+        self.push(Tok::Ident(name));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(name) => Some(name),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_patterns() {
+        let src = r##"
+// HashMap in a comment
+/* SystemTime::now() in a block /* nested */ comment */
+let s = "HashMap::new()";
+let r = r#"Instant::now()"#;
+let b = b"unwrap()";
+fn real() { HashMap::new(); }
+"##;
+        let names = idents(src);
+        assert!(names.contains(&"HashMap".to_string()));
+        assert!(!names.contains(&"SystemTime".to_string()));
+        assert!(!names.contains(&"Instant".to_string()));
+        assert!(!names.contains(&"unwrap".to_string()));
+        // All three comment bodies were captured.
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].text.contains("HashMap"));
+        assert!(lexed.comments[1].text.contains("nested"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { let c = 'x'; let esc = '\\''; x }";
+        let lexed = lex(src);
+        let strs = lexed.tokens.iter().filter(|t| t.tok == Tok::Str).count();
+        assert_eq!(strs, 2, "exactly the two char literals");
+    }
+
+    #[test]
+    fn float_vs_int_literals() {
+        let toks = |src: &str| -> Vec<Tok> { lex(src).tokens.into_iter().map(|t| t.tok).collect() };
+        assert!(toks("1.0").contains(&Tok::Float));
+        assert!(toks("1e3").contains(&Tok::Float));
+        assert!(toks("2f64").contains(&Tok::Float));
+        assert!(!toks("0..n").contains(&Tok::Float));
+        assert!(!toks("1.max(2)").contains(&Tok::Float));
+        assert!(!toks("0xAB").contains(&Tok::Float));
+        assert!(toks("1_000.5").contains(&Tok::Float));
+    }
+
+    #[test]
+    fn eqeq_and_noteq_are_single_tokens() {
+        let lexed = lex("a == 1.0 && b != 2");
+        let kinds: Vec<Tok> = lexed.tokens.into_iter().map(|t| t.tok).collect();
+        assert!(kinds.contains(&Tok::EqEq));
+        assert!(kinds.contains(&Tok::NotEq));
+    }
+
+    #[test]
+    fn line_numbers_advance_in_multiline_strings() {
+        let src = "let a = \"x\ny\";\nlet b = 1;";
+        let lexed = lex(src);
+        let b_line = lexed
+            .tokens
+            .iter()
+            .find(|t| t.tok == Tok::Ident("b".to_string()))
+            .map(|t| t.line);
+        assert_eq!(b_line, Some(3));
+    }
+
+    #[test]
+    fn raw_identifier_is_an_ident() {
+        assert_eq!(idents("let r#type = 1;"), vec!["let", "type"]);
+    }
+
+    #[test]
+    fn raw_string_with_hashes_and_quotes() {
+        let src = r###"let s = r##"body with "quotes" and # marks"##; let after = 2;"###;
+        let names = idents(src);
+        assert!(names.contains(&"after".to_string()));
+        assert!(!names.contains(&"body".to_string()));
+    }
+}

@@ -1,0 +1,235 @@
+//! `demodq-lint` CLI: lints the workspace, compares against the
+//! committed baseline and exits nonzero on any drift.
+//!
+//! ```text
+//! demodq-lint [--root DIR] [--baseline FILE] [--format human|json]
+//!             [--write-baseline] [--no-baseline] [--codes]
+//! ```
+//!
+//! Exit codes: `0` clean (tree matches the baseline exactly), `1` new
+//! findings or stale baseline entries, `2` usage or I/O error.
+
+use demodq_lint::{compare, json_escape, lint_tree, Baseline, Code, Config, Report, Verdict};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Cli {
+    root: PathBuf,
+    baseline: Option<PathBuf>,
+    format: Format,
+    write_baseline: bool,
+    no_baseline: bool,
+    codes: bool,
+}
+
+#[derive(PartialEq, Clone, Copy)]
+enum Format {
+    Human,
+    Json,
+}
+
+fn parse_cli() -> Result<Cli, String> {
+    let mut cli = Cli {
+        root: PathBuf::from("."),
+        baseline: None,
+        format: Format::Human,
+        write_baseline: false,
+        no_baseline: false,
+        codes: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                cli.root = PathBuf::from(args.next().ok_or("--root needs a directory")?);
+            }
+            "--baseline" => {
+                cli.baseline = Some(PathBuf::from(args.next().ok_or("--baseline needs a file")?));
+            }
+            "--format" => match args.next().as_deref() {
+                Some("human") => cli.format = Format::Human,
+                Some("json") => cli.format = Format::Json,
+                other => return Err(format!("--format must be human|json, got {other:?}")),
+            },
+            "--write-baseline" => cli.write_baseline = true,
+            "--no-baseline" => cli.no_baseline = true,
+            "--codes" => cli.codes = true,
+            "--help" | "-h" => {
+                return Err("usage: demodq-lint [--root DIR] [--baseline FILE] \
+                            [--format human|json] [--write-baseline] [--no-baseline] [--codes]"
+                    .to_string())
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(cli)
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_cli() {
+        Ok(cli) => cli,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+    if cli.codes {
+        for code in Code::ALL {
+            println!("{}  {}", code.name(), code.describe());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let config = Config::demodq();
+    let report = match lint_tree(&cli.root, &config) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("demodq-lint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let baseline_path = cli.baseline.clone().unwrap_or_else(|| cli.root.join("lint-baseline.txt"));
+    if cli.write_baseline {
+        let baseline = Baseline::from_report(&report);
+        if let Err(e) = std::fs::write(&baseline_path, baseline.render()) {
+            eprintln!("demodq-lint: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "wrote {} ({} entries, {} grandfathered findings)",
+            baseline_path.display(),
+            baseline.counts.len(),
+            baseline.counts.values().sum::<usize>()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = if cli.no_baseline {
+        Baseline::default()
+    } else {
+        match std::fs::read_to_string(&baseline_path) {
+            Ok(text) => match Baseline::parse(&text) {
+                Ok(baseline) => baseline,
+                Err(e) => {
+                    eprintln!("demodq-lint: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+            Err(e) => {
+                eprintln!(
+                    "demodq-lint: cannot read baseline {} ({e}); run with --write-baseline \
+                     to create it or --no-baseline to compare against empty",
+                    baseline_path.display()
+                );
+                return ExitCode::from(2);
+            }
+        }
+    };
+
+    let verdict = compare(&report, &baseline);
+    match cli.format {
+        Format::Human => print_human(&report, &verdict),
+        Format::Json => print_json(&report, &verdict),
+    }
+    if verdict.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn print_human(report: &Report, verdict: &Verdict) {
+    // Only findings in (file, code) groups that exceed the baseline are
+    // actionable; print them all (the grandfathered ones give context).
+    let over: std::collections::BTreeSet<(&str, Code)> =
+        verdict.new.iter().map(|(f, c, _, _)| (f.as_str(), *c)).collect();
+    for finding in report.active() {
+        if over.contains(&(finding.file.as_str(), finding.code)) {
+            println!(
+                "{}:{}: {} {}",
+                finding.file,
+                finding.line,
+                finding.code.name(),
+                finding.message
+            );
+        }
+    }
+    for (file, code, actual, grandfathered) in &verdict.new {
+        println!(
+            "NEW {file} {}: {actual} finding(s), {grandfathered} baselined",
+            code.name()
+        );
+    }
+    for (file, code, actual, grandfathered) in &verdict.stale {
+        println!(
+            "STALE {file} {}: baseline says {grandfathered}, found {actual} — \
+             shrink the baseline (--write-baseline) to lock in the fix",
+            code.name()
+        );
+    }
+    let suppressed = report.findings.iter().filter(|f| f.suppressed).count();
+    let active = report.active().count();
+    println!(
+        "demodq-lint: {} file(s), {} active finding(s) ({} suppressed), {} new, {} stale — {}",
+        report.files_scanned,
+        active,
+        suppressed,
+        verdict.new.len(),
+        verdict.stale.len(),
+        if verdict.clean() { "clean" } else { "FAIL" }
+    );
+}
+
+fn print_json(report: &Report, verdict: &Verdict) {
+    let mut out = String::from("{\n  \"findings\": [\n");
+    let active: Vec<_> = report.active().collect();
+    for (i, finding) in active.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"file\": \"{}\", \"line\": {}, \"code\": \"{}\", \"message\": \"{}\"}}{}\n",
+            json_escape(&finding.file),
+            finding.line,
+            finding.code.name(),
+            json_escape(&finding.message),
+            if i + 1 < active.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n  \"suppressed\": [\n");
+    let suppressed: Vec<_> = report.findings.iter().filter(|f| f.suppressed).collect();
+    for (i, finding) in suppressed.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"file\": \"{}\", \"line\": {}, \"code\": \"{}\", \"reason\": \"{}\"}}{}\n",
+            json_escape(&finding.file),
+            finding.line,
+            finding.code.name(),
+            json_escape(finding.reason.as_deref().unwrap_or("")),
+            if i + 1 < suppressed.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n  \"new\": [\n");
+    for (i, (file, code, actual, grandfathered)) in verdict.new.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"file\": \"{}\", \"code\": \"{}\", \"count\": {actual}, \"baselined\": {grandfathered}}}{}\n",
+            json_escape(file),
+            code.name(),
+            if i + 1 < verdict.new.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n  \"stale\": [\n");
+    for (i, (file, code, actual, grandfathered)) in verdict.stale.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"file\": \"{}\", \"code\": \"{}\", \"count\": {actual}, \"baselined\": {grandfathered}}}{}\n",
+            json_escape(file),
+            code.name(),
+            if i + 1 < verdict.stale.len() { "," } else { "" }
+        ));
+    }
+    out.push_str(&format!(
+        "  ],\n  \"summary\": {{\"files\": {}, \"active\": {}, \"suppressed\": {}, \"clean\": {}}}\n}}\n",
+        report.files_scanned,
+        report.active().count(),
+        suppressed.len(),
+        verdict.clean()
+    ));
+    print!("{out}");
+}

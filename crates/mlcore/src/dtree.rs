@@ -146,6 +146,7 @@ impl DecisionTreeClassifier {
         };
         if depth >= params.max_depth
             || rows.len() < params.min_samples_split
+            // lint:allow(F001, exact-zero guard: pos is a sum of 0/1 labels, pure-node check)
             || pos == 0.0
             || pos == total
         {
@@ -244,6 +245,7 @@ impl DecisionTreeClassifier {
         };
         if depth >= params.max_depth
             || rows.len() < params.min_samples_split
+            // lint:allow(F001, exact-zero guard: pos is a sum of 0/1 labels, pure-node check)
             || pos == 0.0
             || pos == total
         {
@@ -261,7 +263,7 @@ impl DecisionTreeClassifier {
         for &feature in &features {
             sorted.clear();
             sorted.extend(rows.iter().map(|&i| (x.get(i, feature), y[i])));
-            sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite feature"));
+            sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
             let mut left_pos = 0.0;
             for w in 0..sorted.len() - 1 {
                 left_pos += f64::from(sorted[w].1);

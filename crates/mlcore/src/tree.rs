@@ -298,7 +298,7 @@ impl RegressionTree {
         for feature in 0..x.n_cols() {
             sorted.clear();
             sorted.extend(rows.iter().map(|&i| (x.get(i, feature), grad[i], hess[i])));
-            sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("non-finite feature value"));
+            sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
             let mut gl = 0.0;
             let mut hl = 0.0;
             for w in 0..sorted.len() - 1 {

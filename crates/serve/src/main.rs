@@ -24,6 +24,9 @@ fn install_signal_handlers() {
     }
     const SIGINT: i32 = 2;
     const SIGTERM: i32 = 15;
+    // SAFETY: `on_signal` is async-signal-safe (a single atomic store)
+    // and the handler address stays valid for the process lifetime, so
+    // installing it via libc `signal` cannot invoke UB later.
     unsafe {
         signal(SIGINT, on_signal as *const () as usize);
         signal(SIGTERM, on_signal as *const () as usize);

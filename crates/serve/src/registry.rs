@@ -46,7 +46,11 @@ impl Registry {
                 })
                 .collect();
             for handle in handles {
-                trained.push(handle.join().expect("training thread panicked"));
+                trained.push(handle.join().unwrap_or_else(|_| {
+                    (Err(tabular::TabularError::InvalidArgument(
+                        "training thread panicked".to_string(),
+                    )), 0.0)
+                }));
             }
         });
         let mut registry = BTreeMap::new();

@@ -224,7 +224,9 @@ impl App {
                     None => MissingRepair::all()
                         .into_iter()
                         .find(|r| r.name() == "impute_mean_dummy")
-                        .expect("baseline imputer exists"),
+                        .ok_or_else(|| {
+                            Response::error(500, "default repair impute_mean_dummy unavailable")
+                        })?,
                     Some(name) => MissingRepair::all()
                         .into_iter()
                         .find(|r| r.name() == name)

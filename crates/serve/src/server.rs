@@ -114,7 +114,7 @@ fn accept_loop(
     let (sender, receiver) = sync_channel::<TcpStream>(config.queue_capacity.max(1));
     let receiver = Arc::new(Mutex::new(receiver));
     let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
-        .map(|i| {
+        .filter_map(|i| {
             let app = Arc::clone(&app);
             let receiver = Arc::clone(&receiver);
             let shutdown = Arc::clone(&shutdown);
@@ -122,9 +122,15 @@ fn accept_loop(
             std::thread::Builder::new()
                 .name(format!("demodq-worker-{i}"))
                 .spawn(move || worker_loop(&app, &receiver, &shutdown, log_requests))
-                .expect("spawn worker thread")
+                .map_err(|e| eprintln!("serve: cannot spawn worker {i}: {e}"))
+                .ok()
         })
         .collect();
+    if workers.is_empty() {
+        // Degraded but not dead: serve requests on the accept thread
+        // itself rather than refusing every connection.
+        eprintln!("serve: no worker threads available; handling requests inline");
+    }
 
     while !shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
@@ -133,6 +139,10 @@ fn accept_loop(
                 let _ = stream.set_read_timeout(Some(config.read_timeout));
                 let _ = stream.set_write_timeout(Some(config.write_timeout));
                 let _ = stream.set_nodelay(true);
+                if workers.is_empty() {
+                    handle_connection(&app, stream, &shutdown, config.log_requests);
+                    continue;
+                }
                 match sender.try_send(stream) {
                     Ok(()) => {}
                     Err(TrySendError::Full(stream)) => {
@@ -168,7 +178,9 @@ fn worker_loop(
 ) {
     loop {
         let stream = {
-            let guard = receiver.lock().expect("queue lock poisoned");
+            // A poisoned lock only means another worker panicked while
+            // holding it; the receiver itself is still sound.
+            let guard = receiver.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
             guard.recv()
         };
         match stream {

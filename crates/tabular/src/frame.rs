@@ -119,6 +119,7 @@ impl DataFrame {
             .label()
             .ok_or_else(|| TabularError::UnknownColumn("<label>".to_string()))?;
         let data = self.numeric(&field.name)?;
+        // lint:allow(F001, labels are stored as exact 0.0/1.0; nonzero test is the contract)
         Ok(data.iter().map(|&x| if x != 0.0 { 1 } else { 0 }).collect())
     }
 

@@ -93,6 +93,7 @@ impl DenseMatrix {
         assert_eq!(v.len(), self.rows, "matvec_t dimension mismatch");
         let mut out = vec![0.0; self.cols];
         for (i, &vi) in v.iter().enumerate() {
+            // lint:allow(F001, exact-zero sparsity skip; any nonzero value must be processed)
             if vi == 0.0 {
                 continue;
             }

@@ -35,7 +35,7 @@ impl ColumnStats {
             return None;
         }
         let missing = data.len() - present.len();
-        present.sort_by(|a, b| a.partial_cmp(b).expect("no NaN after filter"));
+        present.sort_by(|a, b| a.total_cmp(b));
         let count = present.len();
         let mean = present.iter().sum::<f64>() / count as f64;
         let std_dev = if count < 2 {
@@ -70,7 +70,7 @@ impl ColumnStats {
         if present.is_empty() {
             return None;
         }
-        present.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        present.sort_by(|a, b| a.total_cmp(b));
         let mut best = present[0];
         let mut best_count = 0usize;
         let mut i = 0;
@@ -117,7 +117,7 @@ pub fn percentile(data: &[f64], q: f64) -> Option<f64> {
     if present.is_empty() {
         return None;
     }
-    present.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    present.sort_by(|a, b| a.total_cmp(b));
     Some(percentile_sorted(&present, q))
 }
 

@@ -200,6 +200,48 @@ fn resume_under_parallel_pool_matches_serial_run() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Replay is keyed by (dataset, split), never by record position: a
+/// journal with its task records reversed resumes to a byte-identical
+/// export. Guards the runner's ordered `replayed` map (lint code D001)
+/// against regressions to insertion-order-sensitive storage.
+#[test]
+fn reordered_journal_replays_byte_identical() {
+    let datasets = [DatasetId::German, DatasetId::Adult];
+    let dir = temp_journal_dir("reordered");
+    let complete = run(
+        &datasets,
+        &StudyOptions { journal_dir: Some(dir.clone()), ..StudyOptions::default() },
+    );
+    let clean = study_results_json(&complete);
+    let path = journal_file(&dir);
+    let total_tasks = task_keys(&path).len();
+    assert!(total_tasks >= 2, "need multiple tasks to reorder");
+
+    // Reverse every task record while keeping the header (fingerprint)
+    // line first.
+    let text = std::fs::read_to_string(&path).unwrap();
+    let mut lines: Vec<&str> = text.lines().collect();
+    let tasks_start = lines
+        .iter()
+        .position(|l| l.contains("\"kind\":\"task\""))
+        .expect("journal has task records");
+    lines[tasks_start..].reverse();
+    std::fs::write(&path, lines.join("\n") + "\n").unwrap();
+
+    let resumed = run(
+        &datasets,
+        &StudyOptions {
+            journal_dir: Some(dir.clone()),
+            resume: true,
+            ..StudyOptions::default()
+        },
+    );
+    assert_eq!(resumed.journal_warnings, 0, "reordering is not corruption");
+    assert_eq!(resumed.journal_hits, total_tasks, "every record still replays");
+    assert_eq!(study_results_json(&resumed), clean);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// A journal whose trailing line was truncated by a hard kill mid-write
 /// resumes with one warning; the damaged task is re-run and the final
 /// export is unaffected.

@@ -10,6 +10,8 @@
 //! [`set_global_threads`] or the `DEMODQ_THREADS` environment variable.
 //! Results always come back in input order, whatever the schedule.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 mod registry;
 
 pub use registry::{current_num_threads, join, set_global_threads, ThreadPool};
@@ -238,7 +240,12 @@ where
 /// cross into `join` closures. Each index is touched by exactly one
 /// leaf task, so the aliasing is disjoint by construction.
 struct SharedPtr<T>(*mut T);
+// SAFETY: the wrapped pointer is only dereferenced at indices owned by
+// exactly one leaf task (ranges partition 0..n), so concurrent access
+// from multiple threads never aliases.
 unsafe impl<T> Send for SharedPtr<T> {}
+// SAFETY: same disjoint-index argument as Send; `&SharedPtr` only hands
+// out the raw pointer, never a reference to shared data.
 unsafe impl<T> Sync for SharedPtr<T> {}
 
 impl<T> SharedPtr<T> {
@@ -271,7 +278,7 @@ where
     }
     let mut input = ManuallyDrop::new(items);
     let mut output: Vec<std::mem::MaybeUninit<R>> = Vec::with_capacity(n);
-    // Safety: length covers uninitialised slots; every one of them is
+    // SAFETY: length covers uninitialised slots; every one of them is
     // written exactly once below before being read.
     unsafe { output.set_len(n) };
     {
@@ -280,7 +287,7 @@ where
         let op = &op;
         registry::parallel_for_range(n, min_len, &move |lo, hi| {
             for i in lo..hi {
-                // Safety: leaf ranges partition 0..n, so index i is read
+                // SAFETY: leaf ranges partition 0..n, so index i is read
                 // from and written to exactly once.
                 unsafe {
                     let item = std::ptr::read(in_ptr.get().add(i));
@@ -289,7 +296,7 @@ where
             }
         });
     }
-    // Safety: the input's elements were all moved out (the Vec's buffer
+    // SAFETY: the input's elements were all moved out (the Vec's buffer
     // still needs freeing); every output slot was initialised.
     unsafe {
         let cap = input.capacity();

@@ -35,7 +35,7 @@ struct JobRef {
     execute_fn: unsafe fn(*const ()),
 }
 
-// Safety: JobRef is only ever created from StackJob/LockJob, whose
+// SAFETY: JobRef is only ever created from StackJob/LockJob, whose
 // closures are Send; the pointee outlives execution (see above).
 unsafe impl Send for JobRef {}
 
@@ -43,7 +43,10 @@ impl JobRef {
     /// Runs the job. Never unwinds: panics are captured into the job's
     /// result slot and re-thrown on the owner's thread.
     unsafe fn execute(self) {
-        (self.execute_fn)(self.data);
+        // SAFETY: caller guarantees `data` still points at the live
+        // Stack/LockJob this ref was created from (owners keep the job
+        // alive until `done`/the condvar fires).
+        unsafe { (self.execute_fn)(self.data) };
     }
 }
 
@@ -73,11 +76,16 @@ where
     }
 
     unsafe fn execute_erased(data: *const ()) {
-        let this = &*data.cast::<Self>();
-        let func = (*this.func.get()).take().expect("stack job executed twice");
-        let result = catch_unwind(AssertUnwindSafe(func));
-        *this.result.get() = Some(result);
-        this.done.store(true, Ordering::Release);
+        // SAFETY: `data` came from `as_job_ref` on a StackJob the owner
+        // keeps alive until `done` is set; only the executing thread
+        // touches the cells before that store-release.
+        unsafe {
+            let this = &*data.cast::<Self>();
+            let func = (*this.func.get()).take().expect("stack job executed twice");
+            let result = catch_unwind(AssertUnwindSafe(func));
+            *this.result.get() = Some(result);
+            this.done.store(true, Ordering::Release);
+        }
     }
 
     fn is_done(&self) -> bool {
@@ -86,7 +94,10 @@ where
 
     /// Takes the result after `is_done()` (or an inline `execute`).
     unsafe fn take_result(&self) -> std::thread::Result<R> {
-        (*self.result.get()).take().expect("job finished without a result")
+        // SAFETY: caller observed `is_done()` (acquire), so the executing
+        // thread's writes to the cell happen-before this read and no one
+        // else touches it afterwards.
+        unsafe { (*self.result.get()).take().expect("job finished without a result") }
     }
 }
 
@@ -112,11 +123,16 @@ where
     }
 
     unsafe fn execute_erased(data: *const ()) {
-        let this = &*data.cast::<Self>();
-        let func = (*this.func.get()).take().expect("lock job executed twice");
-        let result = catch_unwind(AssertUnwindSafe(func));
-        *this.slot.lock().unwrap() = Some(result);
-        this.cond.notify_all();
+        // SAFETY: `data` came from `as_job_ref` on a LockJob whose owner
+        // blocks in `wait()` until the slot is filled, so the pointee is
+        // alive and the func cell is only taken here.
+        unsafe {
+            let this = &*data.cast::<Self>();
+            let func = (*this.func.get()).take().expect("lock job executed twice");
+            let result = catch_unwind(AssertUnwindSafe(func));
+            *this.slot.lock().unwrap() = Some(result);
+            this.cond.notify_all();
+        }
     }
 
     fn wait(&self) -> std::thread::Result<R> {
@@ -130,7 +146,7 @@ where
     }
 }
 
-// Safety: the unsafe-cell fields are only touched by the (single) thread
+// SAFETY: the unsafe-cell fields are only touched by the (single) thread
 // executing the job; the owner reads the slot under the mutex / after the
 // Release store on `done`.
 unsafe impl<F: Send, R: Send> Sync for LockJob<F, R> {}
@@ -199,6 +215,9 @@ impl Registry {
     fn worker_loop(&self, index: usize) {
         loop {
             if let Some(job) = self.find_work(index) {
+                // SAFETY: jobs in the deques/injector point at owner
+                // stack frames that outlive execution (owners spin or
+                // block until the job reports completion).
                 unsafe { job.execute() };
                 continue;
             }
@@ -307,13 +326,15 @@ where
     let Some((index, registry)) = current_worker() else {
         return (oper_a(), oper_b());
     };
-    // Safety: we are on a worker thread of this registry, which holds an
+    // SAFETY: we are on a worker thread of this registry, which holds an
     // Arc keeping it alive for the duration of this call.
     let registry = unsafe { &*registry };
     let job_b = StackJob::new(oper_b);
     registry.push_local(index, job_b.as_job_ref());
     let result_a = catch_unwind(AssertUnwindSafe(oper_a));
     let result_b = if registry.pop_local_if(index, (&job_b as *const StackJob<B, RB>).cast()) {
+        // SAFETY: we just retracted the job from our own deque, so no
+        // other thread can run it; job_b lives on this stack frame.
         unsafe {
             job_b.as_job_ref().execute();
             job_b.take_result()
@@ -324,6 +345,8 @@ where
         let mut idle_rounds = 0u32;
         while !job_b.is_done() {
             if let Some(job) = registry.find_work(index) {
+                // SAFETY: same owner-outlives-execution argument as
+                // `worker_loop`; helping runs arbitrary queued jobs.
                 unsafe { job.execute() };
                 idle_rounds = 0;
             } else if idle_rounds < 64 {
@@ -333,6 +356,8 @@ where
                 std::thread::yield_now();
             }
         }
+        // SAFETY: the `is_done()` loop above observed the thief's
+        // store-release, so the result is written and ours to take.
         unsafe { job_b.take_result() }
     };
     match (result_a, result_b) {
@@ -381,7 +406,7 @@ fn global_registry() -> &'static Arc<Registry> {
 /// worker, the global pool — created on first use — otherwise).
 pub fn current_num_threads() -> usize {
     match current_worker() {
-        // Safety: worker threads keep their registry alive.
+        // SAFETY: worker threads keep their registry alive.
         Some((_, registry)) => unsafe { (*registry).num_threads() },
         None => global_registry().num_threads(),
     }
