@@ -21,6 +21,20 @@ echo "==> cargo build --release --workspace --all-targets"
 # demodq-bench, resume_smoke); compile everything the later gates drive.
 cargo build --release --workspace --all-targets
 
+echo "==> lint coverage: every workspace member lives under a linted root"
+# demodq-lint scans the crates/, vendor/ and src/ trees. A workspace
+# member added anywhere else would silently escape the determinism and
+# safety lints, so any Cargo.toml outside those roots fails the gate.
+while IFS= read -r manifest; do
+    case "$manifest" in
+        ./Cargo.toml | ./crates/*/Cargo.toml | ./vendor/*/Cargo.toml) ;;
+        *)
+            echo "FAIL: $manifest is outside demodq-lint coverage (crates/, vendor/, root)"
+            exit 1
+            ;;
+    esac
+done < <(find . -name Cargo.toml -not -path './target/*')
+
 echo "==> demodq-lint (determinism & safety lints vs lint-baseline.txt)"
 cargo run -q --release -p demodq-lint -- --format json
 
@@ -85,5 +99,22 @@ cmp "$SMOKE_DIR/threads1.json" "$SMOKE_DIR/threads8.json" || {
     exit 1
 }
 echo "thread-count byte-identity smoke OK"
+
+echo "==> rectifying-study byte-identity smoke (--repair-side both, 1 vs 8 threads)"
+# The `both` arms refit and leaf-rectify tree models inside each unit;
+# the schedule-independence guarantee must survive that extra work.
+DEMODQ_THREADS=1 "$RESUME_SMOKE" "${SMOKE_ARGS[@]}" --repair-side both \
+    --out "$SMOKE_DIR/rectify1.json"
+DEMODQ_THREADS=8 "$RESUME_SMOKE" "${SMOKE_ARGS[@]}" --repair-side both \
+    --out "$SMOKE_DIR/rectify8.json"
+grep -q '"repair_side": "both"' "$SMOKE_DIR/rectify1.json" || {
+    echo "FAIL: rectifying export does not record its repair side"
+    exit 1
+}
+cmp "$SMOKE_DIR/rectify1.json" "$SMOKE_DIR/rectify8.json" || {
+    echo "FAIL: 8-thread rectifying export differs from the 1-thread reference"
+    exit 1
+}
+echo "rectifying-study byte-identity smoke OK"
 
 echo "CI green."

@@ -22,7 +22,7 @@
 //! ```
 
 use datasets::{DatasetId, ErrorType};
-use demodq::config::{StudyOptions, StudyScale};
+use demodq::config::{RepairSide, StudyOptions, StudyScale};
 use demodq::export::study_results_json;
 use mlcore::ModelKind;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -56,6 +56,7 @@ struct Args {
     resume: bool,
     kill_after: usize,
     threshold: f64,
+    repair_side: RepairSide,
 }
 
 fn parse_args() -> Args {
@@ -68,10 +69,12 @@ fn parse_args() -> Args {
         resume: false,
         kill_after: 0,
         threshold: 0.1,
+        repair_side: RepairSide::Data,
     };
     let usage = "usage: resume_smoke [--error missing_values|outliers|mislabels] \
                  [--scale smoke|default|full] [--seed N] [--journal DIR] [--out PATH] \
-                 [--resume] [--kill-after N] [--threshold F]";
+                 [--resume] [--kill-after N] [--threshold F] \
+                 [--repair-side data|model|both]";
     let mut args = std::env::args().skip(1);
     let value = |args: &mut dyn Iterator<Item = String>, flag: &str| {
         args.next().unwrap_or_else(|| {
@@ -114,6 +117,13 @@ fn parse_args() -> Args {
                         std::process::exit(2);
                     });
             }
+            "--repair-side" => {
+                let name = value(&mut args, "--repair-side");
+                parsed.repair_side = RepairSide::parse(&name).unwrap_or_else(|| {
+                    eprintln!("unknown repair side '{name}'; {usage}");
+                    std::process::exit(2);
+                });
+            }
             "--threshold" => {
                 parsed.threshold =
                     value(&mut args, "--threshold").parse().unwrap_or_else(|_| {
@@ -139,6 +149,7 @@ fn main() {
         failure_threshold: args.threshold,
         progress: true,
         on_task_complete: if args.kill_after > 0 { Some(kill_hook) } else { None },
+        repair_side: args.repair_side,
         ..StudyOptions::default()
     };
     let results = demodq::runner::run_error_type_study_with(

@@ -3,13 +3,16 @@
 //! Two sections, written as JSON (default `BENCH_study.json`):
 //!
 //! * **micro** — GBDT training on encoded Adult data with the histogram
-//!   splitter vs the exact splitter (best of three runs each), plus one
-//!   training run per model kind.
+//!   splitter vs the exact splitter (best of three runs each), one
+//!   training run per model kind, and one leaf-rectification run per
+//!   tree-family model (`rectify_ms`).
 //! * **study** — the end-to-end error-type study over all datasets,
-//!   models and error types at the chosen scale, reported as wall time
-//!   and model evaluations per second, plus cumulative per-phase wall
-//!   time (sample / prepare / encode / train_eval) and the failed-task
-//!   count. This section always runs on a **1-thread pool** so the
+//!   models and error types at the chosen scale, with
+//!   `repair_side: both` so the repaired arms also leaf-rectify tree
+//!   models, reported as wall time and model evaluations per second,
+//!   plus cumulative per-phase wall time (sample / prepare / encode /
+//!   train_eval / rectify, the last also surfaced as
+//!   `study.rectify_seconds`) and the failed-task count. This section always runs on a **1-thread pool** so the
 //!   numbers are the serial reference and stay comparable across
 //!   machines and baselines.
 //! * **study.scaling** — the same study on an N-thread pool (`--threads`,
@@ -30,9 +33,11 @@
 //! ```
 
 use datasets::{DatasetId, ErrorType};
-use demodq::config::{StudyOptions, StudyScale};
+use demodq::config::{RepairSide, StudyOptions, StudyScale};
 use demodq::progress::PhaseSeconds;
-use mlcore::{GbdtClassifier, ModelKind};
+use demodq_rectify::{rectify_classifier, RectifyOptions};
+use fairness::Groups;
+use mlcore::{Classifier, GbdtClassifier, ModelKind};
 use serde_json::{json, Value};
 use std::time::Instant;
 use tabular::{DenseMatrix, FeatureEncoder};
@@ -110,15 +115,19 @@ fn time_ms(repeats: usize, mut f: impl FnMut()) -> f64 {
         .fold(f64::INFINITY, f64::min)
 }
 
-/// Adult at a fixed microbench size, encoded once.
-fn adult_encoded(seed: u64) -> (DenseMatrix, Vec<u8>) {
+/// Adult at a fixed microbench size, encoded once, with the dataset's
+/// first fairness group membership (for the rectification microbench).
+fn adult_encoded(seed: u64) -> (DenseMatrix, Vec<u8>, Groups) {
     let pool = DatasetId::Adult.generate(4_000, seed).expect("generate adult pool");
     let encoder = FeatureEncoder::fit(&pool, true).expect("fit encoder");
-    (encoder.transform(&pool).expect("encode adult"), pool.labels().expect("labels"))
+    let groups = DatasetId::Adult.spec().single_attribute_specs()[0]
+        .evaluate(&pool)
+        .expect("evaluate adult groups");
+    (encoder.transform(&pool).expect("encode adult"), pool.labels().expect("labels"), groups)
 }
 
 fn micro_section(seed: u64) -> Value {
-    let (x, y) = adult_encoded(seed);
+    let (x, y, groups) = adult_encoded(seed);
     eprintln!("micro: adult encoded {} x {}", x.n_rows(), x.n_cols());
 
     let gbdt_hist_ms = time_ms(3, || {
@@ -143,11 +152,28 @@ fn micro_section(seed: u64) -> Value {
         train_ms.insert(kind.name().to_string(), json!(ms));
     }
 
+    // Leaf rectification per tree family: fit once, then time one
+    // branch-and-bound repair pass against the default constraint. Each
+    // kind gets a fresh model — rectification mutates its leaves, and a
+    // second pass on an already-fair model would time a no-op.
+    let opts = RectifyOptions::default();
+    let mut rectify_ms = serde_json::Map::new();
+    for kind in [ModelKind::DecisionTree, ModelKind::RandomForest, ModelKind::Gbdt] {
+        let spec = kind.default_grid().into_iter().next().expect("non-empty grid");
+        let mut model: Box<dyn Classifier> = spec.fit(&x, &y, 7);
+        let ms = time_ms(1, || {
+            std::hint::black_box(rectify_classifier(model.as_mut(), &x, &y, &groups, &opts));
+        });
+        eprintln!("micro: {} rectify {ms:.1}ms", kind.name());
+        rectify_ms.insert(kind.name().to_string(), json!(ms));
+    }
+
     json!({
         "gbdt_hist_ms": gbdt_hist_ms,
         "gbdt_exact_ms": gbdt_exact_ms,
         "gbdt_speedup": gbdt_exact_ms / gbdt_hist_ms,
         "train_ms": train_ms,
+        "rectify_ms": rectify_ms,
     })
 }
 
@@ -155,7 +181,13 @@ fn micro_section(seed: u64) -> Value {
 /// section JSON. `threads == 1` is the serial reference configuration.
 fn study_section(scale: &StudyScale, seed: u64, threads: usize) -> Value {
     let pool = rayon::ThreadPool::new(threads);
-    let options = StudyOptions { progress: true, ..StudyOptions::default() };
+    // `both` exercises the full repair surface: data repairs on the
+    // variant arms plus post-training leaf rectification of tree models.
+    let options = StudyOptions {
+        progress: true,
+        repair_side: RepairSide::Both,
+        ..StudyOptions::default()
+    };
     let t = Instant::now();
     let (evals, failed_tasks, phases) = pool.install(|| {
         let mut evals = 0usize;
@@ -182,8 +214,9 @@ fn study_section(scale: &StudyScale, seed: u64, threads: usize) -> Value {
     let evals_per_sec = evals as f64 / wall;
     eprintln!(
         "study[{threads}t]: {wall:.2}s, {evals} evals, {evals_per_sec:.2} evals/s \
-         (phase seconds: sample {:.2}, prepare {:.2}, encode {:.2}, train_eval {:.2})",
-        phases.sample, phases.prepare, phases.encode, phases.train_eval
+         (phase seconds: sample {:.2}, prepare {:.2}, encode {:.2}, train_eval {:.2}, \
+         rectify {:.2})",
+        phases.sample, phases.prepare, phases.encode, phases.train_eval, phases.rectify
     );
     json!({
         "threads": threads,
@@ -191,11 +224,13 @@ fn study_section(scale: &StudyScale, seed: u64, threads: usize) -> Value {
         "model_evaluations": evals,
         "evals_per_sec": evals_per_sec,
         "failed_tasks": failed_tasks,
+        "rectify_seconds": phases.rectify,
         "phase_seconds": json!({
             "sample": phases.sample,
             "prepare": phases.prepare,
             "encode": phases.encode,
             "train_eval": phases.train_eval,
+            "rectify": phases.rectify,
             "total": phases.total(),
         }),
     })
@@ -209,15 +244,18 @@ const REQUIRED: &[&[&str]] = &[
     &["micro", "gbdt_exact_ms"],
     &["micro", "gbdt_speedup"],
     &["micro", "train_ms"],
+    &["micro", "rectify_ms"],
     &["study", "threads"],
     &["study", "wall_seconds"],
     &["study", "model_evaluations"],
     &["study", "evals_per_sec"],
     &["study", "failed_tasks"],
+    &["study", "rectify_seconds"],
     &["study", "phase_seconds", "sample"],
     &["study", "phase_seconds", "prepare"],
     &["study", "phase_seconds", "encode"],
     &["study", "phase_seconds", "train_eval"],
+    &["study", "phase_seconds", "rectify"],
     &["study", "phase_seconds", "total"],
     &["study", "scaling", "threads"],
     &["study", "scaling", "wall_seconds"],

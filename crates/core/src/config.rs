@@ -4,9 +4,85 @@
 use cleaning::detect::DetectorKind;
 use cleaning::repair::{MissingRepair, OutlierRepair};
 use datasets::{DatasetId, ErrorType};
+use fairness::FairnessMetric;
 use mlcore::ModelKind;
 use std::path::PathBuf;
 use std::time::Duration;
+
+/// Which side of the pipeline a study's repairs act on.
+///
+/// The paper's protocol repairs the **data** (clean, refit, compare);
+/// `demodq-rectify` adds the **model** side (train on dirty data, then
+/// edit the trained model's leaves until a fairness constraint holds).
+/// `Both` composes them: clean the data *and* rectify the refit model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepairSide {
+    /// Repair the training data only (the paper's protocol).
+    Data,
+    /// Leave the data dirty and rectify the trained model only.
+    Model,
+    /// Clean the data, then rectify the model trained on it.
+    Both,
+}
+
+impl RepairSide {
+    /// All sides, in study-grid order.
+    pub fn all() -> [RepairSide; 3] {
+        [RepairSide::Data, RepairSide::Model, RepairSide::Both]
+    }
+
+    /// Stable name used in exports and journal fingerprints.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RepairSide::Data => "data",
+            RepairSide::Model => "model",
+            RepairSide::Both => "both",
+        }
+    }
+
+    /// Parses a side name.
+    pub fn parse(name: &str) -> Option<RepairSide> {
+        match name {
+            "data" => Some(RepairSide::Data),
+            "model" => Some(RepairSide::Model),
+            "both" => Some(RepairSide::Both),
+            _ => None,
+        }
+    }
+
+    /// Whether units on this side rectify the trained model.
+    pub fn rectifies(&self) -> bool {
+        !matches!(self, RepairSide::Data)
+    }
+
+    /// Whether the "repaired" arm of a unit uses the cleaned data (when
+    /// false, the repaired arm retrains on the dirty frame and relies on
+    /// rectification alone).
+    pub fn repairs_data(&self) -> bool {
+        !matches!(self, RepairSide::Model)
+    }
+}
+
+/// The fairness constraint model-side rectification restores.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RectifySpec {
+    /// Constrained metric (absolute validation gap).
+    pub metric: FairnessMetric,
+    /// Gap tolerance.
+    pub epsilon: f64,
+    /// Branch-and-bound node budget per rectification.
+    pub max_nodes: usize,
+}
+
+impl Default for RectifySpec {
+    fn default() -> RectifySpec {
+        RectifySpec {
+            metric: FairnessMetric::EqualOpportunity,
+            epsilon: 0.05,
+            max_nodes: 20_000,
+        }
+    }
+}
 
 /// A fully specified cleaning intervention: which errors are detected and
 /// how flagged tuples are repaired.
@@ -211,6 +287,13 @@ pub struct StudyOptions {
     /// journaled), with `(tasks executed this run, total tasks)`. The
     /// crash-resume CI smoke uses this to `kill -9` itself mid-run.
     pub on_task_complete: Option<fn(done: usize, total: usize)>,
+    /// Which side of the pipeline the study's repairs act on. `Data`
+    /// reproduces the paper's protocol exactly; `Model` / `Both` add
+    /// post-training rectification of tree-structured models.
+    pub repair_side: RepairSide,
+    /// The rectification constraint used when
+    /// [`StudyOptions::repair_side`] rectifies.
+    pub rectify: RectifySpec,
 }
 
 impl Default for StudyOptions {
@@ -224,6 +307,8 @@ impl Default for StudyOptions {
             inject_task_failure: None,
             stop_after_tasks: None,
             on_task_complete: None,
+            repair_side: RepairSide::Data,
+            rectify: RectifySpec::default(),
         }
     }
 }
@@ -268,6 +353,23 @@ mod tests {
         let key = cfg.key();
         assert!(key.starts_with("german/missing_values/impute_"));
         assert!(key.ends_with("/log-reg"));
+    }
+
+    #[test]
+    fn repair_sides_round_trip_and_default_is_the_paper() {
+        for side in RepairSide::all() {
+            assert_eq!(RepairSide::parse(side.name()), Some(side));
+        }
+        assert!(RepairSide::parse("smt").is_none());
+        let options = StudyOptions::default();
+        assert_eq!(options.repair_side, RepairSide::Data);
+        assert!(!options.repair_side.rectifies(), "paper protocol has no model edits");
+        assert!(RepairSide::Model.rectifies());
+        assert!(!RepairSide::Model.repairs_data());
+        assert!(RepairSide::Both.rectifies());
+        assert!(RepairSide::Both.repairs_data());
+        assert_eq!(options.rectify.metric, FairnessMetric::EqualOpportunity);
+        assert!(options.rectify.epsilon > 0.0 && options.rectify.epsilon < 1.0);
     }
 
     #[test]

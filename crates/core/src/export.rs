@@ -145,6 +145,7 @@ pub fn study_results_json(results: &StudyResults) -> String {
     let failed: Vec<Value> = results.failed_tasks.iter().map(failed_task_record).collect();
     let doc = json!({
         "error": results.error.name(),
+        "repair_side": results.repair_side.name(),
         "scale": {
             "pool_size": results.scale.pool_size,
             "sample_size": results.scale.sample_size,
@@ -258,6 +259,7 @@ mod tests {
         assert!(a.contains("german/mislabels/flip_labels/log-reg"), "{a}");
         assert!(a.contains("null"), "undefined disparity must export as null: {a}");
         assert!(a.contains("\"degraded\": true"), "{a}");
+        assert!(a.contains("\"repair_side\": \"data\""), "{a}");
         assert!(a.contains("\"boom\""), "{a}");
         // Wall-clock fields stay out of the export (byte-identity on
         // resume) — and journal statistics likewise.

@@ -24,7 +24,7 @@
 //! and a `kill -9` can leave at most one truncated trailing line — which
 //! the loader tolerates (the affected task is simply re-run).
 
-use crate::config::{RepairSpec, StudyScale};
+use crate::config::{RectifySpec, RepairSide, RepairSpec, StudyScale};
 use crate::runner::{fnv, SeedScores};
 use datasets::{DatasetId, ErrorType};
 use mlcore::ModelKind;
@@ -49,6 +49,13 @@ pub struct StudyFingerprint {
 
 impl StudyFingerprint {
     /// Computes the fingerprint of a study configuration.
+    ///
+    /// The summary's leading `v2` is the **study shape version**: it is
+    /// bumped whenever the semantics of a unit's scores change (v1 → v2
+    /// added the `repair_side` axis and model rectification), so a
+    /// journal written by an older binary is rejected with an explicit
+    /// versioned-shape warning instead of a bare hash mismatch.
+    #[allow(clippy::too_many_arguments)]
     pub fn compute(
         error: ErrorType,
         datasets: &[DatasetId],
@@ -56,12 +63,14 @@ impl StudyFingerprint {
         scale: &StudyScale,
         study_seed: u64,
         variants: &[RepairSpec],
+        side: RepairSide,
+        rectify: &RectifySpec,
     ) -> StudyFingerprint {
         let dataset_names: Vec<&str> = datasets.iter().map(|d| d.name()).collect();
         let model_names: Vec<&str> = models.iter().map(|m| m.name()).collect();
         let variant_names: Vec<String> = variants.iter().map(RepairSpec::name).collect();
         let summary = format!(
-            "v1|error={}|seed={study_seed}|pool={}|sample={}|splits={}|mseeds={}|test={}|cv={}|datasets={}|models={}|variants={}",
+            "v2|error={}|seed={study_seed}|pool={}|sample={}|splits={}|mseeds={}|test={}|cv={}|datasets={}|models={}|variants={}|side={}|rect={},{},{}",
             error.name(),
             scale.pool_size,
             scale.sample_size,
@@ -71,7 +80,11 @@ impl StudyFingerprint {
             scale.cv_folds,
             dataset_names.join(","),
             model_names.join(","),
-            variant_names.join(",")
+            variant_names.join(","),
+            side.name(),
+            rectify.metric.name(),
+            rectify.epsilon,
+            rectify.max_nodes
         );
         StudyFingerprint { hex: format!("{:016x}", fnv(&summary)), summary }
     }
@@ -284,6 +297,21 @@ impl JournalReplay {
         let kind = record.get("kind").and_then(Value::as_str).ok_or("record has no kind")?;
         let fp = record.get("fp").and_then(Value::as_str).ok_or("record has no fingerprint")?;
         if fp != fingerprint.hex {
+            // A header whose summary carries a different version prefix
+            // was written by a binary with a different study shape (e.g.
+            // a pre-rectification v1 journal): say so explicitly — the
+            // whole file is unusable, not merely one stale record.
+            if kind == "header" {
+                if let Some(config) = record.get("config").and_then(Value::as_str) {
+                    let old_version = config.split('|').next().unwrap_or("");
+                    let new_version = fingerprint.summary.split('|').next().unwrap_or("");
+                    if old_version != new_version {
+                        return Err(format!(
+                            "journal uses the {old_version} study shape but this binary                              writes the versioned study shape {new_version};                              its records are rejected and the study re-runs"
+                        ));
+                    }
+                }
+            }
             return Err(format!(
                 "fingerprint mismatch ({fp} vs expected {}); stale record skipped",
                 fingerprint.hex
@@ -369,15 +397,21 @@ pub fn load(path: &Path, fingerprint: &StudyFingerprint) -> JournalReplay {
 mod tests {
     use super::*;
 
-    fn fingerprint() -> StudyFingerprint {
+    fn compute_fp(seed: u64, datasets: &[DatasetId], side: RepairSide) -> StudyFingerprint {
         StudyFingerprint::compute(
             ErrorType::Mislabels,
-            &[DatasetId::German],
+            datasets,
             &[ModelKind::LogReg],
             &StudyScale::smoke(),
-            7,
+            seed,
             &RepairSpec::variants_for(ErrorType::Mislabels),
+            side,
+            &RectifySpec::default(),
         )
+    }
+
+    fn fingerprint() -> StudyFingerprint {
+        compute_fp(7, &[DatasetId::German], RepairSide::Data)
     }
 
     fn sample_runs() -> Vec<Vec<SeedScores>> {
@@ -394,27 +428,18 @@ mod tests {
     #[test]
     fn fingerprint_is_sensitive_to_every_input() {
         let base = fingerprint();
-        let other_seed = StudyFingerprint::compute(
-            ErrorType::Mislabels,
-            &[DatasetId::German],
-            &[ModelKind::LogReg],
-            &StudyScale::smoke(),
-            8,
-            &RepairSpec::variants_for(ErrorType::Mislabels),
-        );
+        let other_seed = compute_fp(8, &[DatasetId::German], RepairSide::Data);
         assert_ne!(base.hex, other_seed.hex);
-        let other_roster = StudyFingerprint::compute(
-            ErrorType::Mislabels,
-            &[DatasetId::German, DatasetId::Adult],
-            &[ModelKind::LogReg],
-            &StudyScale::smoke(),
-            7,
-            &RepairSpec::variants_for(ErrorType::Mislabels),
-        );
+        let other_roster = compute_fp(7, &[DatasetId::German, DatasetId::Adult], RepairSide::Data);
         assert_ne!(base.hex, other_roster.hex);
+        let other_side = compute_fp(7, &[DatasetId::German], RepairSide::Both);
+        assert_ne!(base.hex, other_side.hex, "repair side must be part of the identity");
         assert_eq!(base.hex.len(), 16);
+        assert!(base.summary.starts_with("v2|"));
         assert!(base.summary.contains("error=mislabels"));
         assert!(base.summary.contains("datasets=german"));
+        assert!(base.summary.contains("|side=data|"));
+        assert!(base.summary.contains("|rect=EO,0.05,20000"));
     }
 
     #[test]
@@ -480,19 +505,50 @@ mod tests {
         let writer = JournalWriter::open(&path, &fp).unwrap();
         writer.record_task("german", 0, 11, &sample_runs()).unwrap();
         drop(writer);
-        let other = StudyFingerprint::compute(
-            ErrorType::Mislabels,
-            &[DatasetId::German],
-            &[ModelKind::LogReg],
-            &StudyScale::smoke(),
-            8, // different study seed
-            &RepairSpec::variants_for(ErrorType::Mislabels),
-        );
+        let other = compute_fp(8, &[DatasetId::German], RepairSide::Data); // different study seed
         let replay = load(&path, &other);
         assert!(replay.tasks.is_empty(), "stale records must not be reused");
         // Header + task both mismatch.
         assert_eq!(replay.warnings.len(), 2, "{:?}", replay.warnings);
         assert!(replay.warnings.iter().all(|w| w.contains("fingerprint mismatch")));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// A journal written by a binary with an older study shape (the
+    /// pre-rectification `v1` summary) is rejected with an explicit
+    /// versioned-shape warning, never replayed.
+    #[test]
+    fn older_study_shape_journal_is_rejected_with_versioned_warning() {
+        let path = temp_path("v1-shape.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let fp = fingerprint();
+        // Hand-write a v1-era journal: same configuration, but the old
+        // summary format (no side/rect components) and its old hash.
+        let v1_summary = "v1|error=mislabels|seed=7|pool=900|sample=450|splits=2|mseeds=2|test=0.25|cv=3|datasets=german|models=log-reg|variants=flip_labels";
+        let v1_hex = format!("{:016x}", fnv(v1_summary));
+        let header = serde_json::json!({
+            "kind": "header",
+            "fp": v1_hex,
+            "config": v1_summary,
+        });
+        let task = serde_json::json!({
+            "kind": "task",
+            "fp": v1_hex,
+            "dataset": "german",
+            "split": 0,
+            "seed": 11,
+            "runs": encode_runs(&sample_runs()),
+        });
+        std::fs::write(&path, format!("{header}
+{task}
+")).unwrap();
+        let replay = load(&path, &fp);
+        assert!(replay.tasks.is_empty(), "v1 records must never replay into a v2 study");
+        assert!(
+            replay.warnings.iter().any(|w| w.contains("versioned study shape")),
+            "{:?}",
+            replay.warnings
+        );
         let _ = std::fs::remove_file(&path);
     }
 

@@ -31,6 +31,13 @@
 //! * [`results`] — CleanML-style JSON result records
 //!   (`impute_mean_dummy__sex_priv__fp` keys);
 //! * [`report`] — paper-format text rendering of every table and figure.
+//!
+//! Beyond the paper's protocol, the study grid carries a `repair_side`
+//! axis ([`config::RepairSide`]): repair the *data* (the paper's
+//! cleaning arms), rectify the *model* post-training with
+//! [`demodq_rectify`] (leaf-level branch-and-bound under a fairness
+//! constraint), or compose *both* — addressing the paper's §VII call to
+//! steer repair selection by fairness rather than accuracy alone.
 
 pub mod config;
 pub mod deepdive;
@@ -48,16 +55,17 @@ pub mod runner;
 pub mod serving;
 pub mod tables;
 
-pub use config::{ExperimentConfig, RepairSpec, StudyOptions, StudyScale};
+pub use config::{ExperimentConfig, RectifySpec, RepairSide, RepairSpec, StudyOptions, StudyScale};
+pub use fair_tuning::{tune_and_fit_fair, tune_and_fit_fair_rectified, FairTunedModel};
 pub use impact::{classify_pair, Impact};
 pub use pipeline::{
-    encode_arm, evaluate_arm, evaluate_arm_encoded, run_configuration_once, ArmEvaluation,
-    EncodedArm, RunPair,
+    encode_arm, evaluate_arm, evaluate_arm_encoded, rectification_split, rectify_unit_model,
+    run_configuration_once, ArmEvaluation, EncodedArm, RunPair,
 };
 pub use progress::{PhaseSeconds, ProgressSnapshot, ProgressTracker, StudyPhase};
 pub use results::FailedTask;
 pub use runner::{
     run_error_type_study, run_error_type_study_with, ConfigScores, GroupMetricScores, StudyResults,
 };
-pub use serving::{train_serving_model, ServingModel};
+pub use serving::{train_serving_model, RectificationGap, ServingModel, ServingRectification};
 pub use tables::ImpactTable;

@@ -19,14 +19,19 @@
 //!   missing values are removed beforehand for both arms;
 //! * test labels are **never** flipped.
 
-use crate::config::{RepairSpec, StudyScale};
+use crate::config::{RectifySpec, RepairSpec, StudyScale};
 use cleaning::detect::DetectorKind;
 use cleaning::repair::{CatImpute, LabelRepair, MissingRepair, NumImpute};
+use demodq_rectify::{rectify_classifier, RectificationReport, RectifyOptions};
 use fairness::{group_confusions, FairnessMetric, GroupConfusions, GroupSpec, Groups};
-use mlcore::{f1_score, tune_and_fit, ModelKind};
+use mlcore::{f1_score, tune_and_fit, Classifier, ModelKind, TunedModel};
 use tabular::{
     split::train_test_split, DataFrame, DenseMatrix, FeatureEncoder, Result, Rng64, TabularError,
 };
+
+/// Salt folded into the model seed to derive the rectification
+/// validation carve-out, keeping it decoupled from every other stream.
+const VALIDATION_SALT: u64 = 0x7EC7_1F1E;
 
 /// Scores of one trained model on its test set.
 #[derive(Debug, Clone)]
@@ -85,6 +90,10 @@ pub struct EncodedArm {
     /// Per-group-spec membership masks over the test rows, keyed by the
     /// spec's label (e.g. `sex`, `sex*age`).
     pub groups: Vec<(String, Groups)>,
+    /// The same group specs evaluated over the **training** rows — the
+    /// substrate of the rectification validation carve-out (model-side
+    /// repair must never look at the test split).
+    pub train_groups: Vec<(String, Groups)>,
 }
 
 /// Encodes one prepared (train, test) pair: fits the feature encoder on
@@ -97,10 +106,39 @@ pub fn encode_arm(train: &DataFrame, test: &DataFrame, groups: &[GroupSpec]) -> 
     let x_train = encoder.transform(train)?;
     let x_test = encoder.transform(test)?;
     let mut masks = Vec::with_capacity(groups.len());
+    let mut train_masks = Vec::with_capacity(groups.len());
     for spec in groups {
         masks.push((spec.label(), spec.evaluate(test)?));
+        train_masks.push((spec.label(), spec.evaluate(train)?));
     }
-    Ok(EncodedArm { x_train, y_train, x_test, y_test, groups: masks })
+    Ok(EncodedArm { x_train, y_train, x_test, y_test, groups: masks, train_groups: train_masks })
+}
+
+/// Scores a fitted unit model's test predictions against an arm.
+fn score_tuned(arm: &EncodedArm, tuned: &TunedModel, preds: &[u8]) -> ArmEvaluation {
+    let accuracy = mlcore::accuracy(&arm.y_test, preds);
+    let f1 = f1_score(&arm.y_test, preds);
+    let per_group = arm
+        .groups
+        .iter()
+        .map(|(label, masks)| (label.clone(), group_confusions(&arm.y_test, preds, masks)))
+        .collect();
+    ArmEvaluation {
+        test_accuracy: accuracy,
+        test_f1: f1,
+        val_accuracy: tuned.val_accuracy,
+        train_accuracy: tuned.train_accuracy,
+        best_params: tuned.best_spec.params_string(),
+        group_confusions: per_group,
+    }
+}
+
+/// Cross-validates and refits one unit's model on the arm's training
+/// matrix. Split out from [`evaluate_arm_encoded`] so the runner can
+/// rectify the fitted model (and time that phase separately) before
+/// scoring it.
+pub fn fit_unit(arm: &EncodedArm, model: ModelKind, cv_folds: usize, seed: u64) -> TunedModel {
+    tune_and_fit(model, &arm.x_train, &arm.y_train, cv_folds, seed)
 }
 
 /// Trains a tuned model of `model` kind on a pre-encoded arm and scores
@@ -111,23 +149,9 @@ pub fn evaluate_arm_encoded(
     cv_folds: usize,
     seed: u64,
 ) -> ArmEvaluation {
-    let tuned = tune_and_fit(model, &arm.x_train, &arm.y_train, cv_folds, seed);
+    let tuned = fit_unit(arm, model, cv_folds, seed);
     let preds = tuned.model.predict(&arm.x_test);
-    let accuracy = mlcore::accuracy(&arm.y_test, &preds);
-    let f1 = f1_score(&arm.y_test, &preds);
-    let per_group = arm
-        .groups
-        .iter()
-        .map(|(label, masks)| (label.clone(), group_confusions(&arm.y_test, &preds, masks)))
-        .collect();
-    ArmEvaluation {
-        test_accuracy: accuracy,
-        test_f1: f1,
-        val_accuracy: tuned.val_accuracy,
-        train_accuracy: tuned.train_accuracy,
-        best_params: tuned.best_spec.params_string(),
-        group_confusions: per_group,
-    }
+    score_tuned(arm, &tuned, &preds)
 }
 
 /// Trains and scores one **evaluation unit** — the scheduling atom of the
@@ -148,7 +172,20 @@ pub fn evaluate_unit(
     group_labels: &[(String, bool)],
     metrics: &[FairnessMetric],
 ) -> (f64, Vec<f64>) {
-    let eval = evaluate_arm_encoded(arm, model, cv_folds, seed);
+    let tuned = fit_unit(arm, model, cv_folds, seed);
+    score_unit(arm, &tuned, group_labels, metrics)
+}
+
+/// Scores a fitted (and possibly rectified) unit model: test accuracy
+/// plus absolute disparities in `group_labels` × `metrics` order.
+pub fn score_unit(
+    arm: &EncodedArm,
+    tuned: &TunedModel,
+    group_labels: &[(String, bool)],
+    metrics: &[FairnessMetric],
+) -> (f64, Vec<f64>) {
+    let preds = tuned.model.predict(&arm.x_test);
+    let eval = score_tuned(arm, tuned, &preds);
     let mut disp = Vec::with_capacity(group_labels.len() * metrics.len());
     for (label, _) in group_labels {
         let gc = eval.confusions_for(label);
@@ -157,6 +194,59 @@ pub fn evaluate_unit(
         }
     }
     (eval.test_accuracy, disp)
+}
+
+/// The deterministic validation carve-out rectification evaluates flips
+/// against: a ~25% subset of the training rows, derived from the unit's
+/// model seed so every unit (and every resume of it) sees the same rows.
+pub fn rectification_split(n_rows: usize, seed: u64) -> Vec<usize> {
+    if n_rows == 0 {
+        return Vec::new();
+    }
+    let n_val = (n_rows / 4).max(1);
+    let mut rng = Rng64::seed_from_u64(seed ^ VALIDATION_SALT);
+    let mut idx = rng.sample_indices(n_rows, n_val);
+    idx.sort_unstable();
+    idx
+}
+
+fn take_matrix_rows(x: &DenseMatrix, idx: &[usize]) -> DenseMatrix {
+    let cols = x.n_cols();
+    let mut data = Vec::with_capacity(idx.len() * cols);
+    for &i in idx {
+        data.extend_from_slice(x.row(i));
+    }
+    DenseMatrix::from_vec(idx.len(), cols, data)
+}
+
+/// Rectifies a unit's fitted model in place against the arm's validation
+/// carve-out, constraining the **first** group spec (the dataset's
+/// primary protected attribute). Returns `None` for model families
+/// without editable tree structure — those pass through unrectified.
+pub fn rectify_unit_model(
+    model: &mut dyn Classifier,
+    arm: &EncodedArm,
+    seed: u64,
+    rectify: &RectifySpec,
+) -> Option<RectificationReport> {
+    let (_, train_groups) = arm.train_groups.first()?;
+    let idx = rectification_split(arm.y_train.len(), seed);
+    if idx.is_empty() {
+        return None;
+    }
+    let x_val = take_matrix_rows(&arm.x_train, &idx);
+    let y_val: Vec<u8> = idx.iter().map(|&i| arm.y_train[i]).collect();
+    let groups = Groups {
+        privileged: idx.iter().map(|&i| train_groups.privileged[i]).collect(),
+        disadvantaged: idx.iter().map(|&i| train_groups.disadvantaged[i]).collect(),
+    };
+    let opts = RectifyOptions {
+        metric: rectify.metric,
+        epsilon: rectify.epsilon,
+        max_nodes: rectify.max_nodes,
+        ..RectifyOptions::default()
+    };
+    rectify_classifier(model, &x_val, &y_val, &groups, &opts)
 }
 
 /// Trains a tuned model of `model` kind on `train` and scores it on
@@ -393,6 +483,43 @@ mod tests {
             let total = arm.confusions_for("age").unwrap().total();
             assert_eq!(total as usize, 113); // 450 * 0.25 rounded
         }
+    }
+
+    #[test]
+    fn rectification_split_is_a_deterministic_quarter() {
+        let a = rectification_split(400, 9);
+        let b = rectification_split(400, 9);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 100);
+        assert!(a.iter().all(|&i| i < 400));
+        assert!(a.windows(2).all(|w| w[0] < w[1]), "sorted and unique");
+        assert_ne!(a, rectification_split(400, 10), "seed-dependent");
+        assert!(rectification_split(0, 9).is_empty());
+        assert_eq!(rectification_split(3, 9).len(), 1, "tiny splits keep one row");
+    }
+
+    #[test]
+    fn rectify_unit_model_edits_trees_and_skips_logreg() {
+        let pool = german_pool();
+        let scale = StudyScale::smoke();
+        let (train, test) = sample_split(&pool, &scale, 13).unwrap();
+        let arm = encode_arm(&train, &test, &groups()).unwrap();
+        assert_eq!(arm.train_groups.len(), 3);
+        let spec = RectifySpec {
+            epsilon: 0.0,
+            ..RectifySpec::default()
+        };
+        let mut tree = fit_unit(&arm, ModelKind::DecisionTree, scale.cv_folds, 4);
+        let report = rectify_unit_model(tree.model.as_mut(), &arm, 4, &spec);
+        let report = report.expect("decision trees are rectifiable");
+        assert_eq!(report.model, "decision-tree");
+        // Scoring the rectified model still produces well-formed scores.
+        let labels = vec![("sex".to_string(), false)];
+        let (acc, disp) = score_unit(&arm, &tree, &labels, &[FairnessMetric::EqualOpportunity]);
+        assert!(acc > 0.0 && acc <= 1.0);
+        assert_eq!(disp.len(), 1);
+        let mut logreg = fit_unit(&arm, ModelKind::LogReg, scale.cv_folds, 4);
+        assert!(rectify_unit_model(logreg.model.as_mut(), &arm, 4, &spec).is_none());
     }
 
     #[test]

@@ -18,7 +18,8 @@
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
-/// The four phases of one (dataset, split) task, in execution order.
+/// The five phases of one (dataset, split) task, in execution order
+/// (`Rectify` only runs for model-side repair studies).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StudyPhase {
     /// Pool sampling and train/test splitting.
@@ -29,6 +30,8 @@ pub enum StudyPhase {
     Encode,
     /// Model tuning, training and scoring across models and seeds.
     TrainEval,
+    /// Post-training fairness rectification of tree-structured models.
+    Rectify,
 }
 
 impl StudyPhase {
@@ -39,6 +42,7 @@ impl StudyPhase {
             StudyPhase::Prepare => "prepare",
             StudyPhase::Encode => "encode",
             StudyPhase::TrainEval => "train_eval",
+            StudyPhase::Rectify => "rectify",
         }
     }
 
@@ -48,6 +52,7 @@ impl StudyPhase {
             StudyPhase::Prepare => 1,
             StudyPhase::Encode => 2,
             StudyPhase::TrainEval => 3,
+            StudyPhase::Rectify => 4,
         }
     }
 }
@@ -64,12 +69,14 @@ pub struct PhaseSeconds {
     pub encode: f64,
     /// Model tuning, training and scoring.
     pub train_eval: f64,
+    /// Post-training rectification (0 for data-side studies).
+    pub rectify: f64,
 }
 
 impl PhaseSeconds {
-    /// Total time across all four phases.
+    /// Total time across all five phases.
     pub fn total(&self) -> f64 {
-        self.sample + self.prepare + self.encode + self.train_eval
+        self.sample + self.prepare + self.encode + self.train_eval + self.rectify
     }
 
     /// Adds another summary (e.g. when aggregating several studies).
@@ -78,13 +85,14 @@ impl PhaseSeconds {
         self.prepare += other.prepare;
         self.encode += other.encode;
         self.train_eval += other.train_eval;
+        self.rectify += other.rectify;
     }
 }
 
 /// Thread-safe accumulator of per-phase nanoseconds.
 #[derive(Debug, Default)]
 pub struct PhaseAccumulator {
-    nanos: [AtomicU64; 4],
+    nanos: [AtomicU64; 5],
 }
 
 impl PhaseAccumulator {
@@ -96,7 +104,7 @@ impl PhaseAccumulator {
     /// Snapshot of the accumulated times in seconds.
     pub fn seconds(&self) -> PhaseSeconds {
         let s = |i: usize| self.nanos[i].load(Ordering::Relaxed) as f64 / 1e9;
-        PhaseSeconds { sample: s(0), prepare: s(1), encode: s(2), train_eval: s(3) }
+        PhaseSeconds { sample: s(0), prepare: s(1), encode: s(2), train_eval: s(3), rectify: s(4) }
     }
 }
 
@@ -246,9 +254,21 @@ mod tests {
 
     #[test]
     fn phase_seconds_accumulate() {
-        let mut a = PhaseSeconds { sample: 1.0, prepare: 2.0, encode: 3.0, train_eval: 4.0 };
-        a.accumulate(&PhaseSeconds { sample: 0.5, prepare: 0.5, encode: 0.5, train_eval: 0.5 });
-        assert_eq!(a.total(), 12.0);
+        let mut a = PhaseSeconds {
+            sample: 1.0,
+            prepare: 2.0,
+            encode: 3.0,
+            train_eval: 4.0,
+            rectify: 1.0,
+        };
+        a.accumulate(&PhaseSeconds {
+            sample: 0.5,
+            prepare: 0.5,
+            encode: 0.5,
+            train_eval: 0.5,
+            rectify: 1.0,
+        });
+        assert_eq!(a.total(), 14.0);
     }
 
     #[test]
@@ -297,10 +317,11 @@ mod tests {
             StudyPhase::Prepare,
             StudyPhase::Encode,
             StudyPhase::TrainEval,
+            StudyPhase::Rectify,
         ]
         .into_iter()
         .map(StudyPhase::name)
         .collect();
-        assert_eq!(names, ["sample", "prepare", "encode", "train_eval"]);
+        assert_eq!(names, ["sample", "prepare", "encode", "train_eval", "rectify"]);
     }
 }

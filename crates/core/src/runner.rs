@@ -54,9 +54,11 @@
 //!   done/total, evals/s and ETA, and per-phase wall time is aggregated
 //!   into the study result.
 
-use crate::config::{ExperimentConfig, RepairSpec, StudyOptions, StudyScale};
+use crate::config::{ExperimentConfig, RectifySpec, RepairSide, RepairSpec, StudyOptions, StudyScale};
 use crate::journal::{self, JournalWriter, StudyFingerprint};
-use crate::pipeline::{encode_arm, evaluate_unit, sample_split, EncodedArm};
+use crate::pipeline::{
+    encode_arm, evaluate_unit, fit_unit, rectify_unit_model, sample_split, score_unit, EncodedArm,
+};
 use crate::progress::{PhaseAccumulator, PhaseSeconds, ProgressTracker, StudyPhase};
 use crate::results::FailedTask;
 use cleaning::repair::{CatImpute, LabelRepair, MissingRepair, NumImpute};
@@ -124,6 +126,8 @@ pub struct StudyResults {
     pub journal_warnings: usize,
     /// Cumulative per-phase wall time of the tasks executed this run.
     pub phases: PhaseSeconds,
+    /// Which side of the pipeline the study's repairs acted on.
+    pub repair_side: RepairSide,
 }
 
 impl StudyResults {
@@ -138,6 +142,7 @@ impl StudyResults {
             journal_hits: 0,
             journal_warnings: 0,
             phases: PhaseSeconds::default(),
+            repair_side: RepairSide::Data,
         }
     }
 
@@ -381,6 +386,8 @@ struct UnitCtx<'a> {
     metrics: &'a [FairnessMetric],
     phases: &'a PhaseAccumulator,
     tracker: &'a ProgressTracker,
+    side: RepairSide,
+    rectify: &'a RectifySpec,
 }
 
 /// Each unit derives its model seed from `(sseed, model, seed_idx)`
@@ -389,6 +396,16 @@ struct UnitCtx<'a> {
 /// ran which unit. Arm index 0 is the dirty arm, `1 + v` is variant `v`;
 /// the dirty and every variant arm of a (model, seed) pair share one
 /// model seed, preserving the paper's paired design.
+///
+/// [`RepairSide`] decides what a variant unit trains on and whether its
+/// fitted model is rectified afterwards; the dirty baseline (arm 0) is
+/// always a plain fit, so every side's "repaired vs dirty" comparison
+/// shares one baseline:
+///
+/// * `Data`  — variant arm, no rectification (the paper's protocol);
+/// * `Model` — the **dirty** arm refit per variant slot, then rectified
+///   (isolates the model-side repair from any data cleaning);
+/// * `Both`  — variant arm, then rectified (composition of the two).
 fn evaluate_task_units(
     d: usize,
     s: usize,
@@ -397,7 +414,7 @@ fn evaluate_task_units(
     group_labels: &[(String, bool)],
     ctx: &UnitCtx<'_>,
 ) -> TaskOutput {
-    let UnitCtx { models, scale, metrics, phases, tracker } = *ctx;
+    let UnitCtx { models, scale, metrics, phases, tracker, side, rectify } = *ctx;
     let n_arms = 1 + arms.variant_arms.len();
     let unit_scores: Vec<(f64, Vec<f64>)> = (0..models.len() * scale.n_model_seeds * n_arms)
         .into_par_iter()
@@ -408,12 +425,36 @@ fn evaluate_task_units(
             let model_seed = sseed
                 .wrapping_add(fnv(models[m].name()))
                 .wrapping_add(k as u64 * 0x2545F4914F6CDD1D);
-            let arm = if a == 0 { &arms.dirty_arm } else { &arms.variant_arms[a - 1] };
-            // lint:allow(D002, unit timing is telemetry only; never feeds seeds or exports)
-            let start = Instant::now();
-            let scores =
-                evaluate_unit(arm, models[m], scale.cv_folds, model_seed, group_labels, metrics);
-            phases.add(StudyPhase::TrainEval, start.elapsed());
+            let use_variant = a > 0 && side.repairs_data();
+            let arm = if use_variant { &arms.variant_arms[a - 1] } else { &arms.dirty_arm };
+            let scores = if a > 0 && side.rectifies() {
+                // lint:allow(D002, unit timing is telemetry only; never feeds seeds or exports)
+                let start = Instant::now();
+                let mut tuned = fit_unit(arm, models[m], scale.cv_folds, model_seed);
+                phases.add(StudyPhase::TrainEval, start.elapsed());
+                // lint:allow(D002, unit timing is telemetry only; never feeds seeds or exports)
+                let rectify_start = Instant::now();
+                let _report = rectify_unit_model(tuned.model.as_mut(), arm, model_seed, rectify);
+                phases.add(StudyPhase::Rectify, rectify_start.elapsed());
+                // lint:allow(D002, unit timing is telemetry only; never feeds seeds or exports)
+                let score_start = Instant::now();
+                let scores = score_unit(arm, &tuned, group_labels, metrics);
+                phases.add(StudyPhase::TrainEval, score_start.elapsed());
+                scores
+            } else {
+                // lint:allow(D002, unit timing is telemetry only; never feeds seeds or exports)
+                let start = Instant::now();
+                let scores = evaluate_unit(
+                    arm,
+                    models[m],
+                    scale.cv_folds,
+                    model_seed,
+                    group_labels,
+                    metrics,
+                );
+                phases.add(StudyPhase::TrainEval, start.elapsed());
+                scores
+            };
             tracker.advance(1, 1);
             scores
         })
@@ -515,7 +556,16 @@ pub fn run_error_type_study_with(
 
     // Journal setup: open (append) the fingerprinted journal file and,
     // when resuming, replay whatever valid records it already holds.
-    let fingerprint = StudyFingerprint::compute(error, &datasets, models, scale, study_seed, &variants);
+    let fingerprint = StudyFingerprint::compute(
+        error,
+        &datasets,
+        models,
+        scale,
+        study_seed,
+        &variants,
+        options.repair_side,
+        &options.rectify,
+    );
     let mut journal_warnings = 0usize;
     let mut replayed: BTreeMap<(usize, usize), Vec<Vec<SeedScores>>> = BTreeMap::new();
     let writer: Option<JournalWriter> = match &options.journal_dir {
@@ -637,7 +687,15 @@ pub fn run_error_type_study_with(
                     });
                 }
             };
-            let ctx = UnitCtx { models, scale, metrics: &metrics, phases: &phases, tracker: &tracker };
+            let ctx = UnitCtx {
+                models,
+                scale,
+                metrics: &metrics,
+                phases: &phases,
+                tracker: &tracker,
+                side: options.repair_side,
+                rectify: &options.rectify,
+            };
             let output = evaluate_task_units(d, s, sseed, &arms, &group_labels[d], &ctx);
             // Journal only now, with every unit of the task complete:
             // exactly-once, all-or-nothing records.
@@ -768,6 +826,7 @@ pub fn run_error_type_study_with(
         journal_hits,
         journal_warnings,
         phases: phases.seconds(),
+        repair_side: options.repair_side,
     };
     if options.progress {
         if let Some(summary) = results.degraded_summary() {
@@ -809,6 +868,38 @@ mod tests {
         assert!(results.phases.prepare > 0.0);
         assert!(results.phases.encode > 0.0);
         assert!(results.phases.train_eval > 0.0);
+    }
+
+    /// A model-side repair study runs end-to-end: the dirty baseline is
+    /// untouched (identical to the data-side study's baseline) and the
+    /// "repaired" scores come from rectified models, with the rectify
+    /// phase doing measurable work.
+    #[test]
+    fn model_side_study_rectifies_trees() {
+        let scale = StudyScale::smoke();
+        let run = |side: RepairSide| {
+            let options = StudyOptions { repair_side: side, ..StudyOptions::default() };
+            run_error_type_study_with(
+                ErrorType::Mislabels,
+                &[DatasetId::German],
+                &[ModelKind::DecisionTree],
+                &scale,
+                7,
+                &options,
+            )
+            .unwrap()
+        };
+        let data = run(RepairSide::Data);
+        let model = run(RepairSide::Model);
+        assert_eq!(model.repair_side, RepairSide::Model);
+        assert_eq!(data.repair_side, RepairSide::Data);
+        // The shared dirty baseline is side-invariant.
+        assert_eq!(data.configs[0].dirty_accuracy, model.configs[0].dirty_accuracy);
+        // Data-side studies never rectify; model-side studies do.
+        assert_eq!(data.phases.rectify, 0.0);
+        assert!(model.phases.rectify > 0.0, "rectification phase did no work");
+        let runs = scale.scores_per_config();
+        assert_eq!(model.configs[0].repaired_accuracy.len(), runs);
     }
 
     #[test]

@@ -8,12 +8,48 @@
 //! serving-time rows are standardised and one-hot encoded exactly like the
 //! training data — never re-fit on incoming data.
 
-use crate::config::StudyScale;
+use crate::config::{RectifySpec, StudyScale};
 use crate::pipeline::sample_split;
 use datasets::{DatasetId, DatasetSpec};
-use fairness::GroupSpec;
+use demodq_rectify::{rectify_classifier, RectifyOptions};
+use fairness::{group_confusions, FairnessMetric, GroupSpec};
 use mlcore::{accuracy, tune_and_fit, Classifier, ModelKind};
 use tabular::{DataFrame, FeatureEncoder, Result};
+
+/// Pre/post-rectification fairness gap of one group spec, measured on the
+/// held-out test split. `None` means the metric was undefined for that
+/// group on this split (e.g. no positives in one group).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RectificationGap {
+    /// Group spec label, e.g. `sex` or `sex*age`.
+    pub group: String,
+    /// Absolute disparity before any leaf was edited.
+    pub pre: Option<f64>,
+    /// Absolute disparity of the served (rectified) classifier.
+    pub post: Option<f64>,
+}
+
+/// Summary of the post-training rectification applied to a served tree
+/// classifier. Absent for model families without editable decision
+/// regions (log-reg, kNN).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingRectification {
+    /// The fairness metric the rectifier constrained.
+    pub metric: FairnessMetric,
+    /// The constraint threshold.
+    pub epsilon: f64,
+    /// Number of leaf edits applied.
+    pub n_edits: usize,
+    /// Whether the constraint held on the rectifier's own validation data
+    /// (the training split) after editing.
+    pub constraint_met: bool,
+    /// Test accuracy of the classifier before rectification; compare with
+    /// [`ServingModel::test_accuracy`], which describes the served
+    /// (rectified) classifier.
+    pub pre_test_accuracy: f64,
+    /// Pre/post gaps on the held-out test split, one entry per group spec.
+    pub gaps: Vec<RectificationGap>,
+}
 
 /// A tuned classifier packaged with everything needed to serve it: the
 /// fitted feature encoder, the training frame (for fitting detectors with
@@ -40,6 +76,9 @@ pub struct ServingModel {
     /// Single-attribute (and, where defined, intersectional) fairness
     /// group specs of the dataset.
     pub groups: Vec<GroupSpec>,
+    /// Post-training rectification summary; `Some` exactly when the
+    /// classifier is a tree family and its leaves were searched.
+    pub rectification: Option<ServingRectification>,
 }
 
 impl ServingModel {
@@ -65,6 +104,15 @@ impl ServingModel {
 /// Trains one serving model: generate the dataset pool, take one
 /// train/test split at `scale`, tune hyperparameters by cross-validation
 /// on the training split, refit, and score on the held-out test split.
+///
+/// Tree-family classifiers are additionally **rectified** before serving:
+/// their leaves are searched (branch-and-bound, see [`demodq_rectify`])
+/// for the minimum-error set of label flips that brings the default
+/// [`RectifySpec`] constraint within epsilon on the training split, using
+/// the dataset's first group spec. Pre/post fairness gaps for *every*
+/// group spec are then measured on the held-out test split and reported in
+/// [`ServingModel::rectification`]; `test_accuracy` always describes the
+/// classifier actually served.
 pub fn train_serving_model(
     dataset: DatasetId,
     model: ModelKind,
@@ -77,23 +125,69 @@ pub fn train_serving_model(
     let x_train = encoder.transform(&train)?;
     let y_train = train.labels()?;
     let tuned = tune_and_fit(model, &x_train, &y_train, scale.cv_folds, seed);
-    let preds = tuned.model.predict(&encoder.transform(&test)?);
-    let test_accuracy = accuracy(&test.labels()?, &preds);
     let spec = dataset.spec();
     let mut groups = spec.single_attribute_specs();
     if let Some(inter) = spec.intersectional_spec() {
         groups.push(inter);
     }
+
+    let x_test = encoder.transform(&test)?;
+    let y_test = test.labels()?;
+    let mut classifier = tuned.model;
+    let pre_preds = classifier.predict(&x_test);
+    let rect_spec = RectifySpec::default();
+    let opts = RectifyOptions {
+        metric: rect_spec.metric,
+        epsilon: rect_spec.epsilon,
+        max_nodes: rect_spec.max_nodes,
+        ..RectifyOptions::default()
+    };
+    let report = match groups.first() {
+        Some(gs) => {
+            let membership = gs.evaluate(&train)?;
+            rectify_classifier(classifier.as_mut(), &x_train, &y_train, &membership, &opts)
+        }
+        None => None,
+    };
+    let rectification = match report {
+        Some(report) => {
+            let post_preds = classifier.predict(&x_test);
+            let mut gaps = Vec::with_capacity(groups.len());
+            for gs in &groups {
+                let membership = gs.evaluate(&test)?;
+                gaps.push(RectificationGap {
+                    group: gs.label(),
+                    pre: opts
+                        .metric
+                        .absolute_disparity(&group_confusions(&y_test, &pre_preds, &membership)),
+                    post: opts
+                        .metric
+                        .absolute_disparity(&group_confusions(&y_test, &post_preds, &membership)),
+                });
+            }
+            Some(ServingRectification {
+                metric: opts.metric,
+                epsilon: opts.epsilon,
+                n_edits: report.edits.len(),
+                constraint_met: report.constraint_met,
+                pre_test_accuracy: accuracy(&y_test, &pre_preds),
+                gaps,
+            })
+        }
+        None => None,
+    };
+    let test_accuracy = accuracy(&y_test, &classifier.predict(&x_test));
     Ok(ServingModel {
         dataset,
         model,
         encoder,
-        classifier: tuned.model,
+        classifier,
         best_params: tuned.best_spec.params_string(),
         val_accuracy: tuned.val_accuracy,
         test_accuracy,
         train,
         groups,
+        rectification,
     })
 }
 
@@ -118,5 +212,26 @@ mod tests {
         assert!(preds.iter().all(|&p| p <= 1));
         let probas = served.predict_proba_frame(&batch).unwrap();
         assert!(probas.iter().all(|p| (0.0..=1.0).contains(p)));
+        // Linear models have no editable decision regions.
+        assert!(served.rectification.is_none());
+    }
+
+    #[test]
+    fn tree_serving_models_are_rectified_with_test_split_gaps() {
+        let scale = StudyScale::smoke();
+        let served =
+            train_serving_model(DatasetId::German, ModelKind::DecisionTree, &scale, 7).unwrap();
+        let rect = served.rectification.as_ref().expect("trees are rectified before serving");
+        assert_eq!(rect.gaps.len(), served.groups.len());
+        for (gap, gs) in rect.gaps.iter().zip(&served.groups) {
+            assert_eq!(gap.group, gs.label());
+            for g in [gap.pre, gap.post].into_iter().flatten() {
+                assert!((0.0..=1.0).contains(&g), "gap {g} out of range for {}", gap.group);
+            }
+        }
+        assert!((0.0..=1.0).contains(&rect.pre_test_accuracy));
+        // The served classifier reflects the edits: predictions still work.
+        let batch = DatasetId::German.generate(25, 99).unwrap();
+        assert_eq!(served.predict_frame(&batch).unwrap().len(), 25);
     }
 }

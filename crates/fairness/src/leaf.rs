@@ -1,0 +1,217 @@
+//! Per-leaf group confusion accounting — the counting substrate of
+//! model-side rectification.
+//!
+//! A tree-structured classifier partitions the validation rows into
+//! cells (one per reachable leaf). Forcing a leaf's prediction to 0 or 1
+//! moves every validation row of that cell in one deterministic way, so
+//! the fairness and accuracy consequences of any set of leaf edits can
+//! be computed **exactly** from per-leaf confusion counts — no model
+//! re-evaluation inside the search. [`LeafAccounting`] holds those
+//! counts per leaf (privileged / disadvantaged / group-excluded rows
+//! separately), and its [`LeafAccounting::forced`] transform gives the
+//! closed-form post-edit counts the rectifier's branch-and-bound bound
+//! is built from.
+
+use crate::confusion::GroupConfusions;
+use crate::groups::Groups;
+use crate::ConfusionMatrix;
+
+/// Confusion counts of one leaf's validation rows, split three ways:
+/// privileged rows, disadvantaged rows, and rows excluded from both
+/// groups (possible under intersectional specs — they still count
+/// toward accuracy).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LeafAccounting {
+    /// Counts over the leaf's privileged rows.
+    pub privileged: ConfusionMatrix,
+    /// Counts over the leaf's disadvantaged rows.
+    pub disadvantaged: ConfusionMatrix,
+    /// Counts over rows in neither group.
+    pub excluded: ConfusionMatrix,
+}
+
+/// Applies the force-to-`label` transform to one confusion matrix: every
+/// row now predicts `label`, so actual positives land in tp (label 1) or
+/// fn (label 0) and actual negatives in fp (label 1) or tn (label 0).
+fn force_cm(cm: &ConfusionMatrix, label: u8) -> ConfusionMatrix {
+    let positives = cm.tp + cm.fn_;
+    let negatives = cm.fp + cm.tn;
+    if label == 1 {
+        ConfusionMatrix { tp: positives, fp: negatives, fn_: 0, tn: 0 }
+    } else {
+        ConfusionMatrix { tp: 0, fp: 0, fn_: positives, tn: negatives }
+    }
+}
+
+impl LeafAccounting {
+    /// Tallies one row into the accounting.
+    pub fn add(&mut self, privileged: bool, disadvantaged: bool, y_true: u8, y_pred: u8) {
+        let cm = if privileged {
+            &mut self.privileged
+        } else if disadvantaged {
+            &mut self.disadvantaged
+        } else {
+            &mut self.excluded
+        };
+        match (y_true, y_pred) {
+            (0, 0) => cm.tn += 1,
+            (0, _) => cm.fp += 1,
+            (_, 0) => cm.fn_ += 1,
+            _ => cm.tp += 1,
+        }
+    }
+
+    /// Total validation rows of the leaf.
+    pub fn total(&self) -> u64 {
+        self.privileged.total() + self.disadvantaged.total() + self.excluded.total()
+    }
+
+    /// Misclassified validation rows of the leaf (all three partitions).
+    pub fn errors(&self) -> u64 {
+        self.privileged.fp
+            + self.privileged.fn_
+            + self.disadvantaged.fp
+            + self.disadvantaged.fn_
+            + self.excluded.fp
+            + self.excluded.fn_
+    }
+
+    /// The accounting after forcing every row of the leaf to predict
+    /// `label` — the exact post-edit counts, closed form.
+    pub fn forced(&self, label: u8) -> LeafAccounting {
+        LeafAccounting {
+            privileged: force_cm(&self.privileged, label),
+            disadvantaged: force_cm(&self.disadvantaged, label),
+            excluded: force_cm(&self.excluded, label),
+        }
+    }
+
+    /// Element-wise sum with another accounting.
+    pub fn merge(&mut self, other: &LeafAccounting) {
+        let add = |a: &mut ConfusionMatrix, b: &ConfusionMatrix| {
+            a.tn += b.tn;
+            a.fp += b.fp;
+            a.fn_ += b.fn_;
+            a.tp += b.tp;
+        };
+        add(&mut self.privileged, &other.privileged);
+        add(&mut self.disadvantaged, &other.disadvantaged);
+        add(&mut self.excluded, &other.excluded);
+    }
+
+    /// The group confusion pair a fairness metric consumes (excluded
+    /// rows are dropped, exactly as in
+    /// [`crate::confusion::group_confusions`]).
+    pub fn group_confusions(&self) -> GroupConfusions {
+        GroupConfusions { privileged: self.privileged, disadvantaged: self.disadvantaged }
+    }
+}
+
+/// Tallies per-leaf accountings for a validation split.
+///
+/// `leaf_of_row[i]` is the dense cell index (`< n_cells`) row `i` routes
+/// to; `y_pred` are the model's current predictions. The sum over all
+/// returned accountings reproduces the overall confusion counts.
+///
+/// Panics when the input lengths disagree or a cell index is out of
+/// range.
+pub fn per_leaf_accounting(
+    leaf_of_row: &[usize],
+    n_cells: usize,
+    y_true: &[u8],
+    y_pred: &[u8],
+    groups: &Groups,
+) -> Vec<LeafAccounting> {
+    assert_eq!(leaf_of_row.len(), y_true.len(), "leaf assignment length mismatch");
+    assert_eq!(y_true.len(), y_pred.len(), "prediction length mismatch");
+    assert_eq!(y_true.len(), groups.privileged.len(), "group mask length mismatch");
+    let mut out = vec![LeafAccounting::default(); n_cells];
+    for i in 0..y_true.len() {
+        out[leaf_of_row[i]].add(
+            groups.privileged[i],
+            groups.disadvantaged[i],
+            y_true[i],
+            y_pred[i],
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn groups(privileged: Vec<bool>, disadvantaged: Vec<bool>) -> Groups {
+        Groups { privileged, disadvantaged }
+    }
+
+    #[test]
+    fn accounting_partitions_rows_three_ways() {
+        let leaf_of_row = [0, 0, 1, 1, 0];
+        let y_true = [1, 0, 1, 0, 1];
+        let y_pred = [1, 1, 0, 0, 1];
+        let g = groups(
+            vec![true, true, false, false, false],
+            vec![false, false, true, true, false],
+        );
+        let acc = per_leaf_accounting(&leaf_of_row, 2, &y_true, &y_pred, &g);
+        assert_eq!(acc.len(), 2);
+        assert_eq!(acc[0].privileged, ConfusionMatrix { tn: 0, fp: 1, fn_: 0, tp: 1 });
+        assert_eq!(acc[0].excluded.tp, 1, "ungrouped rows still count");
+        assert_eq!(acc[1].disadvantaged, ConfusionMatrix { tn: 1, fp: 0, fn_: 1, tp: 0 });
+        assert_eq!(acc[0].total() + acc[1].total(), 5);
+        assert_eq!(acc[0].errors(), 1);
+        assert_eq!(acc[1].errors(), 1);
+    }
+
+    #[test]
+    fn sum_over_leaves_matches_overall_confusions() {
+        let n = 60;
+        let leaf_of_row: Vec<usize> = (0..n).map(|i| i % 4).collect();
+        let y_true: Vec<u8> = (0..n).map(|i| ((i / 3) % 2) as u8).collect();
+        let y_pred: Vec<u8> = (0..n).map(|i| ((i / 5) % 2) as u8).collect();
+        let priv_mask: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+        let dis_mask: Vec<bool> = priv_mask.iter().map(|&b| !b).collect();
+        let g = groups(priv_mask, dis_mask);
+        let acc = per_leaf_accounting(&leaf_of_row, 4, &y_true, &y_pred, &g);
+        let mut sum = LeafAccounting::default();
+        for a in &acc {
+            sum.merge(a);
+        }
+        let overall = crate::confusion::group_confusions(&y_true, &y_pred, &g);
+        assert_eq!(sum.group_confusions(), overall);
+        assert_eq!(sum.excluded.total(), 0);
+    }
+
+    #[test]
+    fn forced_moves_every_row_to_the_label() {
+        let mut acc = LeafAccounting::default();
+        acc.add(true, false, 1, 0); // privileged fn
+        acc.add(true, false, 0, 0); // privileged tn
+        acc.add(false, true, 1, 1); // disadvantaged tp
+        acc.add(false, false, 0, 1); // excluded fp
+        let to_one = acc.forced(1);
+        assert_eq!(to_one.privileged, ConfusionMatrix { tp: 1, fp: 1, fn_: 0, tn: 0 });
+        assert_eq!(to_one.disadvantaged.tp, 1);
+        assert_eq!(to_one.excluded.fp, 1);
+        let to_zero = acc.forced(0);
+        assert_eq!(to_zero.privileged, ConfusionMatrix { tp: 0, fp: 0, fn_: 1, tn: 1 });
+        assert_eq!(to_zero.disadvantaged.fn_, 1);
+        assert_eq!(to_zero.excluded.tn, 1);
+        // Totals are invariant under forcing.
+        assert_eq!(to_one.total(), acc.total());
+        assert_eq!(to_zero.total(), acc.total());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        per_leaf_accounting(
+            &[0],
+            1,
+            &[1, 0],
+            &[1, 0],
+            &groups(vec![true, true], vec![false, false]),
+        );
+    }
+}

@@ -38,10 +38,12 @@
 
 pub mod confusion;
 pub mod groups;
+pub mod leaf;
 pub mod metrics;
 
 pub use confusion::{group_confusions, GroupConfusions};
 pub use groups::{CmpOp, GroupPredicate, GroupSpec, Groups, PredicateValue};
+pub use leaf::{per_leaf_accounting, LeafAccounting};
 pub use metrics::FairnessMetric;
 
 /// Re-export: the confusion-matrix type the metrics consume.

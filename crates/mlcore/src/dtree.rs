@@ -314,11 +314,59 @@ impl DecisionTreeClassifier {
     pub fn n_nodes(&self) -> usize {
         self.nodes.len()
     }
+
+    /// Arena indices of every leaf, in arena (construction) order.
+    pub fn leaf_ids(&self) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| matches!(n, Node::Leaf { .. }).then_some(i))
+            .collect()
+    }
+
+    /// The leaf's positive-class probability; `None` when `node` is not a
+    /// leaf (or out of range).
+    pub fn leaf_probability(&self, node: usize) -> Option<f64> {
+        match self.nodes.get(node) {
+            Some(Node::Leaf { probability }) => Some(*probability),
+            _ => None,
+        }
+    }
+
+    /// Overwrites a leaf's probability (leaf rectification). Returns
+    /// `false` — without modifying anything — when `node` is not a leaf.
+    pub fn set_leaf_probability(&mut self, node: usize, probability: f64) -> bool {
+        match self.nodes.get_mut(node) {
+            Some(Node::Leaf { probability: p }) => {
+                *p = probability;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Arena index of the leaf `row` routes to (same traversal as
+    /// [`DecisionTreeClassifier::predict_row`]).
+    pub fn leaf_for_row(&self, row: &[f64]) -> usize {
+        let mut idx = 0;
+        loop {
+            match &self.nodes[idx] {
+                Node::Leaf { .. } => return idx,
+                Node::Split { feature, threshold, left, right } => {
+                    idx = if row[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
 }
 
 impl Classifier for DecisionTreeClassifier {
     fn predict_proba(&self, x: &DenseMatrix) -> Vec<f64> {
         (0..x.n_rows()).map(|i| self.predict_row(x.row(i))).collect()
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
     }
 }
 
@@ -380,6 +428,17 @@ impl RandomForestClassifier {
     pub fn n_trees(&self) -> usize {
         self.trees.len()
     }
+
+    /// The bagged component trees, in fitting order.
+    pub fn trees(&self) -> &[DecisionTreeClassifier] {
+        &self.trees
+    }
+
+    /// Mutable access to the component trees (leaf rectification edits
+    /// the first tree's leaf probabilities to steer the ensemble mean).
+    pub fn trees_mut(&mut self) -> &mut [DecisionTreeClassifier] {
+        &mut self.trees
+    }
 }
 
 impl Classifier for RandomForestClassifier {
@@ -391,6 +450,10 @@ impl Classifier for RandomForestClassifier {
                     / self.trees.len() as f64
             })
             .collect()
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
     }
 }
 

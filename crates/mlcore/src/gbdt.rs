@@ -184,11 +184,36 @@ impl GbdtClassifier {
         self.base_score
             + self.learning_rate * self.trees.iter().map(|t| t.predict_row(row)).sum::<f64>()
     }
+
+    /// The boosted weak learners, in boosting order.
+    pub fn trees(&self) -> &[RegressionTree] {
+        &self.trees
+    }
+
+    /// Mutable access to the weak learners (leaf rectification shifts
+    /// first-round leaf values to move the ensemble decision score).
+    pub fn trees_mut(&mut self) -> &mut [RegressionTree] {
+        &mut self.trees
+    }
+
+    /// The shrinkage applied to every tree's contribution.
+    pub fn learning_rate(&self) -> f64 {
+        self.learning_rate
+    }
+
+    /// The constant initial log-odds score.
+    pub fn base_score(&self) -> f64 {
+        self.base_score
+    }
 }
 
 impl Classifier for GbdtClassifier {
     fn predict_proba(&self, x: &DenseMatrix) -> Vec<f64> {
         (0..x.n_rows()).map(|i| sigmoid(self.decision(x.row(i)))).collect()
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
     }
 }
 

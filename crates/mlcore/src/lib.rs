@@ -33,3 +33,4 @@ pub use knn::KnnClassifier;
 pub use logreg::LogRegClassifier;
 pub use metrics::{accuracy, confusion_matrix, f1_score, precision, recall, roc_auc, ConfusionMatrix};
 pub use model::{Classifier, ModelKind, ModelSpec};
+pub use tree::{RegressionTree, TreeParams};

@@ -17,6 +17,13 @@ pub trait Classifier: Send + Sync {
     fn predict(&self, x: &DenseMatrix) -> Vec<u8> {
         self.predict_proba(x).iter().map(|&p| u8::from(p >= 0.5)).collect()
     }
+
+    /// Mutable access to the concrete model for post-training edits
+    /// (leaf rectification). `None` for families without editable
+    /// structure; the tree learners override this with `Some(self)`.
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        None
+    }
 }
 
 /// The three model families of the study (paper Section V).

@@ -360,6 +360,50 @@ impl RegressionTree {
     pub fn n_leaves(&self) -> usize {
         self.nodes.iter().filter(|n| matches!(n, Node::Leaf { .. })).count()
     }
+
+    /// Arena indices of every leaf, in arena (construction) order.
+    pub fn leaf_ids(&self) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| matches!(n, Node::Leaf { .. }).then_some(i))
+            .collect()
+    }
+
+    /// The leaf's value; `None` when `node` is not a leaf (or out of
+    /// range).
+    pub fn leaf_value(&self, node: usize) -> Option<f64> {
+        match self.nodes.get(node) {
+            Some(Node::Leaf { value }) => Some(*value),
+            _ => None,
+        }
+    }
+
+    /// Overwrites a leaf's value (leaf rectification). Returns `false` —
+    /// without modifying anything — when `node` is not a leaf.
+    pub fn set_leaf_value(&mut self, node: usize, value: f64) -> bool {
+        match self.nodes.get_mut(node) {
+            Some(Node::Leaf { value: v }) => {
+                *v = value;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Arena index of the leaf `row` routes to (same traversal as
+    /// [`RegressionTree::predict_row`]).
+    pub fn leaf_for_row(&self, row: &[f64]) -> usize {
+        let mut idx = 0;
+        loop {
+            match &self.nodes[idx] {
+                Node::Leaf { .. } => return idx,
+                Node::Split { feature, threshold, left, right } => {
+                    idx = if row[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
 }
 
 /// In-place stable partition: rows satisfying `pred` move to the front,

@@ -1,0 +1,657 @@
+//! # demodq-rectify — fairness-guided post-training model rectification
+//!
+//! The study's repair families so far all operate on the **data** side:
+//! clean the training frame, refit, measure the fairness consequence.
+//! This crate adds the **model**-side counterpart — take a trained
+//! tree-structured classifier and repair the model itself, leaving the
+//! training data untouched — so the two repair philosophies can be
+//! compared head-to-head inside one study grid (`repair_side ∈
+//! {data, model, both}`).
+//!
+//! ## Mechanism
+//!
+//! A tree-structured classifier partitions a validation split into
+//! *cells* — one per reachable leaf of the (first) tree. Forcing a
+//! cell's prediction to 0 or 1 moves every validation row of that cell
+//! in one closed-form way, so the exact fairness and accuracy
+//! consequence of any *set* of leaf edits follows from per-leaf group
+//! confusion counts ([`fairness::LeafAccounting`]) with no model
+//! re-evaluation inside the search. The rectifier runs a deterministic
+//! best-first branch-and-bound over per-cell actions
+//! {keep, force 0, force 1} with an admissible bound (cheapest
+//! completion ignoring the fairness constraint), returning the
+//! **minimum-error** flip set whose validation disparity gap is `<= ε`
+//! — exact at study scale, no SMT solver required. SAT/SMT-based leaf
+//! repair exists in the literature; at the cell counts produced by the
+//! paper's sample sizes, plain branch-and-bound with this bound proves
+//! optimality in well under the default node budget.
+//!
+//! To keep edits fairness-targeted (and the search space small), only
+//! the `max_cells` leaves carrying the most privileged/disadvantaged
+//! validation rows are editable; the rest are frozen at *keep*. The
+//! search is exact over that editable set, and the returned
+//! [`BoundProof`] records the evidence: nodes expanded, nodes pruned,
+//! and the minimum bound among pruned nodes (never below the
+//! incumbent's cost when `optimal` is true).
+//!
+//! ## Model families
+//!
+//! * **Decision tree** — a cell is a leaf; forcing sets the leaf
+//!   probability to 0.0 or 1.0.
+//! * **Random forest** — cells are the leaves of tree 0; forcing
+//!   adjusts tree 0's leaf probability past the worst-row ensemble
+//!   margin so the *mean* vote crosses 0.5 for every validation row of
+//!   the cell.
+//! * **GBDT** — cells are the leaves of the first boosting round;
+//!   forcing shifts that leaf's value past the worst-row margin of
+//!   `base_score + lr·Σ trees`, flipping the sign of the decision
+//!   function for the whole cell.
+//!
+//! Post-edit metrics are recomputed from the **mutated model's actual
+//! predictions**, never from the search's algebra, so the report's
+//! `constraint_met` is an honest end-to-end check that the score
+//! margins did what the accounting predicted.
+
+mod search;
+
+use fairness::{
+    group_confusions, per_leaf_accounting, FairnessMetric, GroupConfusions, Groups,
+    LeafAccounting,
+};
+use mlcore::{Classifier, DecisionTreeClassifier, GbdtClassifier, RandomForestClassifier};
+use std::cmp::Reverse;
+use tabular::DenseMatrix;
+
+/// Margin added past the worst-row decision boundary when forcing a
+/// forest or GBDT cell, absorbing float rounding in the margin algebra.
+const FORCE_MARGIN: f64 = 1e-6;
+
+/// Knobs of one rectification run.
+#[derive(Debug, Clone, Copy)]
+pub struct RectifyOptions {
+    /// The fairness constraint to restore (absolute disparity gap).
+    pub metric: FairnessMetric,
+    /// Maximum tolerated validation gap.
+    pub epsilon: f64,
+    /// Branch-and-bound node budget; exhaustion degrades to the best
+    /// complete assignment seen and marks the proof non-optimal.
+    pub max_nodes: usize,
+    /// Editable-cell cap: only the leaves carrying the most grouped
+    /// validation rows enter the search.
+    pub max_cells: usize,
+}
+
+impl Default for RectifyOptions {
+    fn default() -> Self {
+        RectifyOptions {
+            metric: FairnessMetric::EqualOpportunity,
+            epsilon: 0.05,
+            max_nodes: 20_000,
+            max_cells: 12,
+        }
+    }
+}
+
+/// One applied leaf edit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LeafEdit {
+    /// Index of the edited tree within the model (always 0 for the
+    /// current single-tree cell scheme).
+    pub tree: usize,
+    /// Arena index of the edited leaf.
+    pub leaf: usize,
+    /// The label the cell's validation rows are forced to.
+    pub to_label: u8,
+    /// The leaf's score before the edit (probability for classification
+    /// trees, additive value for GBDT regression trees).
+    pub old_score: f64,
+    /// The leaf's score after the edit.
+    pub new_score: f64,
+}
+
+/// Evidence of the branch-and-bound run backing a report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BoundProof {
+    /// Search nodes popped and branched.
+    pub nodes_expanded: usize,
+    /// Nodes generated but never expanded; each carried an admissible
+    /// lower bound.
+    pub nodes_pruned: usize,
+    /// Smallest bound among the pruned nodes — when `optimal` is true
+    /// this is `>= incumbent_errors`, which is the optimality
+    /// certificate.
+    pub min_pruned_bound: Option<u64>,
+    /// Validation errors of the returned assignment.
+    pub incumbent_errors: u64,
+    /// True when the search terminated by proof rather than budget.
+    pub optimal: bool,
+}
+
+/// Everything a study (or a serving endpoint) needs to know about one
+/// rectification: what was edited, what it cost, and the proof.
+#[derive(Debug, Clone)]
+pub struct RectificationReport {
+    /// Model family name (paper short name).
+    pub model: &'static str,
+    /// The constrained metric.
+    pub metric: FairnessMetric,
+    /// The gap tolerance.
+    pub epsilon: f64,
+    /// Editable cells the search ran over.
+    pub n_cells: usize,
+    /// Applied leaf edits, ascending by (tree, leaf).
+    pub edits: Vec<LeafEdit>,
+    /// Validation group confusions before editing.
+    pub pre: GroupConfusions,
+    /// Validation group confusions after editing, recomputed from the
+    /// mutated model's predictions.
+    pub post: GroupConfusions,
+    /// Validation gap before editing (`None` when undefined).
+    pub pre_gap: Option<f64>,
+    /// Validation gap after editing.
+    pub post_gap: Option<f64>,
+    /// Validation accuracy before editing.
+    pub pre_accuracy: f64,
+    /// Validation accuracy after editing.
+    pub post_accuracy: f64,
+    /// Whether the post-edit validation gap satisfies `epsilon`
+    /// (an undefined gap cannot violate the constraint).
+    pub constraint_met: bool,
+    /// The search evidence.
+    pub bound: BoundProof,
+}
+
+/// An undefined disparity cannot violate a gap constraint (matching the
+/// study's NaN semantics for undefined metrics).
+fn gap_ok(gap: Option<f64>, epsilon: f64) -> bool {
+    gap.is_none_or(|g| g <= epsilon + 1e-12)
+}
+
+fn accuracy_of(y_true: &[u8], y_pred: &[u8]) -> f64 {
+    if y_true.is_empty() {
+        return 1.0;
+    }
+    let hits = y_true.iter().zip(y_pred).filter(|(t, p)| t == p).count();
+    hits as f64 / y_true.len() as f64
+}
+
+/// Dense-cell view of a validation split: which leaf each row routes to.
+struct CellModel {
+    /// Leaf arena id per dense cell, ascending.
+    leaves: Vec<usize>,
+    /// Validation row indices per dense cell.
+    rows: Vec<Vec<usize>>,
+    /// Dense cell index per validation row.
+    assignment: Vec<usize>,
+}
+
+fn build_cells(leaf_per_row: &[usize]) -> CellModel {
+    let mut leaves = leaf_per_row.to_vec();
+    leaves.sort_unstable();
+    leaves.dedup();
+    let index: std::collections::BTreeMap<usize, usize> =
+        leaves.iter().enumerate().map(|(i, &l)| (l, i)).collect();
+    let assignment: Vec<usize> = leaf_per_row.iter().map(|l| index[l]).collect();
+    let mut rows = vec![Vec::new(); leaves.len()];
+    for (r, &c) in assignment.iter().enumerate() {
+        rows[c].push(r);
+    }
+    CellModel { leaves, rows, assignment }
+}
+
+/// The per-cell decisions of one search run, translated back to dense
+/// cell ids.
+struct Decision {
+    /// `(dense cell, forced label)`, ascending by cell.
+    flips: Vec<(usize, u8)>,
+    bound: BoundProof,
+    n_cells: usize,
+}
+
+/// Selects the editable cells, runs the search, and maps the chosen
+/// actions back onto dense cell ids.
+fn decide(accountings: &[LeafAccounting], opts: &RectifyOptions) -> Decision {
+    // Editable = the cells with the most grouped validation rows (only
+    // those can move the gap); deterministic leverage order with cell id
+    // as the tie-break. The rest are frozen at keep.
+    let mut candidates: Vec<usize> = (0..accountings.len())
+        .filter(|&c| {
+            accountings[c].privileged.total() + accountings[c].disadvantaged.total() > 0
+        })
+        .collect();
+    candidates.sort_by_key(|&c| {
+        let a = &accountings[c];
+        (Reverse(a.privileged.total() + a.disadvantaged.total()), c)
+    });
+    candidates.truncate(opts.max_cells);
+
+    let mut base = LeafAccounting::default();
+    for (c, acc) in accountings.iter().enumerate() {
+        if !candidates.contains(&c) {
+            base.merge(acc);
+        }
+    }
+    let editable: Vec<LeafAccounting> = candidates.iter().map(|&c| accountings[c]).collect();
+    let outcome = search::search(&base, &editable, opts.metric, opts.epsilon, opts.max_nodes);
+
+    let mut flips: Vec<(usize, u8)> = candidates
+        .iter()
+        .zip(&outcome.actions)
+        .filter(|(_, &a)| a != search::KEEP)
+        .map(|(&c, &a)| (c, a))
+        .collect();
+    flips.sort_unstable();
+    Decision {
+        flips,
+        bound: BoundProof {
+            nodes_expanded: outcome.nodes_expanded,
+            nodes_pruned: outcome.nodes_pruned,
+            min_pruned_bound: outcome.min_pruned_bound,
+            incumbent_errors: outcome.errors,
+            optimal: outcome.optimal,
+        },
+        n_cells: editable.len(),
+    }
+}
+
+/// Pre-edit state shared by every model family.
+struct PreState {
+    pre: GroupConfusions,
+    pre_gap: Option<f64>,
+    pre_accuracy: f64,
+}
+
+fn pre_state(y_true: &[u8], y_pred: &[u8], groups: &Groups, metric: FairnessMetric) -> PreState {
+    let pre = group_confusions(y_true, y_pred, groups);
+    PreState {
+        pre,
+        pre_gap: metric.absolute_disparity(&pre),
+        pre_accuracy: accuracy_of(y_true, y_pred),
+    }
+}
+
+/// A report for the no-edit case (constraint already met, empty split,
+/// or a model with no editable structure).
+fn untouched_report(
+    model: &'static str,
+    opts: &RectifyOptions,
+    state: &PreState,
+) -> RectificationReport {
+    RectificationReport {
+        model,
+        metric: opts.metric,
+        epsilon: opts.epsilon,
+        n_cells: 0,
+        edits: Vec::new(),
+        pre: state.pre,
+        post: state.pre,
+        pre_gap: state.pre_gap,
+        post_gap: state.pre_gap,
+        pre_accuracy: state.pre_accuracy,
+        post_accuracy: state.pre_accuracy,
+        constraint_met: gap_ok(state.pre_gap, opts.epsilon),
+        bound: BoundProof { optimal: true, ..BoundProof::default() },
+    }
+}
+
+/// Assembles the final report from the mutated model's actual
+/// predictions — the honesty check on the search algebra.
+#[allow(clippy::too_many_arguments)]
+fn finish_report(
+    model: &'static str,
+    opts: &RectifyOptions,
+    state: PreState,
+    decision: Decision,
+    edits: Vec<LeafEdit>,
+    y_true: &[u8],
+    post_pred: &[u8],
+    groups: &Groups,
+) -> RectificationReport {
+    let post = group_confusions(y_true, post_pred, groups);
+    let post_gap = opts.metric.absolute_disparity(&post);
+    RectificationReport {
+        model,
+        metric: opts.metric,
+        epsilon: opts.epsilon,
+        n_cells: decision.n_cells,
+        edits,
+        pre: state.pre,
+        post,
+        pre_gap: state.pre_gap,
+        post_gap,
+        pre_accuracy: state.pre_accuracy,
+        post_accuracy: accuracy_of(y_true, post_pred),
+        constraint_met: gap_ok(post_gap, opts.epsilon),
+        bound: decision.bound,
+    }
+}
+
+/// Rectifies a decision tree in place against the validation split.
+pub fn rectify_tree(
+    model: &mut DecisionTreeClassifier,
+    x_val: &DenseMatrix,
+    y_val: &[u8],
+    groups: &Groups,
+    opts: &RectifyOptions,
+) -> RectificationReport {
+    let pre_pred = model.predict(x_val);
+    let state = pre_state(y_val, &pre_pred, groups, opts.metric);
+    if y_val.is_empty() || gap_ok(state.pre_gap, opts.epsilon) {
+        return untouched_report("decision-tree", opts, &state);
+    }
+    let leaf_per_row: Vec<usize> =
+        (0..x_val.n_rows()).map(|i| model.leaf_for_row(x_val.row(i))).collect();
+    let cells = build_cells(&leaf_per_row);
+    let accountings =
+        per_leaf_accounting(&cells.assignment, cells.leaves.len(), y_val, &pre_pred, groups);
+    let decision = decide(&accountings, opts);
+    let mut edits = Vec::with_capacity(decision.flips.len());
+    for &(cell, label) in &decision.flips {
+        let leaf = cells.leaves[cell];
+        let old = model.leaf_probability(leaf).unwrap_or(0.5);
+        let new = f64::from(label);
+        if model.set_leaf_probability(leaf, new) {
+            edits.push(LeafEdit { tree: 0, leaf, to_label: label, old_score: old, new_score: new });
+        }
+    }
+    let post_pred = model.predict(x_val);
+    finish_report("decision-tree", opts, state, decision, edits, y_val, &post_pred, groups)
+}
+
+/// Rectifies a random forest in place. Cells are the leaves of tree 0;
+/// forcing moves tree 0's leaf probability past the worst-row margin of
+/// the ensemble mean, so the whole cell's majority vote flips.
+pub fn rectify_forest(
+    model: &mut RandomForestClassifier,
+    x_val: &DenseMatrix,
+    y_val: &[u8],
+    groups: &Groups,
+    opts: &RectifyOptions,
+) -> RectificationReport {
+    let pre_pred = model.predict(x_val);
+    let state = pre_state(y_val, &pre_pred, groups, opts.metric);
+    if y_val.is_empty() || gap_ok(state.pre_gap, opts.epsilon) {
+        return untouched_report("random-forest", opts, &state);
+    }
+    if model.trees().is_empty() {
+        return untouched_report("random-forest", opts, &state);
+    }
+    let n_trees = model.trees().len() as f64;
+    let leaf_per_row: Vec<usize> =
+        (0..x_val.n_rows()).map(|i| model.trees()[0].leaf_for_row(x_val.row(i))).collect();
+    let cells = build_cells(&leaf_per_row);
+    let accountings =
+        per_leaf_accounting(&cells.assignment, cells.leaves.len(), y_val, &pre_pred, groups);
+    let decision = decide(&accountings, opts);
+    // Per-row vote mass of trees 1.. — what tree 0's new leaf score has
+    // to overcome so the mean crosses 0.5 for every row of the cell.
+    let mean = model.predict_proba(x_val);
+    let others: Vec<f64> = (0..x_val.n_rows())
+        .map(|i| mean[i] * n_trees - model.trees()[0].predict_row(x_val.row(i)))
+        .collect();
+    let mut edits = Vec::with_capacity(decision.flips.len());
+    for &(cell, label) in &decision.flips {
+        let leaf = cells.leaves[cell];
+        let thresholds = cells.rows[cell].iter().map(|&r| 0.5 * n_trees - others[r]);
+        let new = if label == 1 {
+            thresholds.fold(f64::NEG_INFINITY, f64::max) + FORCE_MARGIN
+        } else {
+            thresholds.fold(f64::INFINITY, f64::min) - FORCE_MARGIN
+        };
+        let old = model.trees()[0].leaf_probability(leaf).unwrap_or(0.5);
+        if model.trees_mut()[0].set_leaf_probability(leaf, new) {
+            edits.push(LeafEdit { tree: 0, leaf, to_label: label, old_score: old, new_score: new });
+        }
+    }
+    let post_pred = model.predict(x_val);
+    finish_report("random-forest", opts, state, decision, edits, y_val, &post_pred, groups)
+}
+
+/// Rectifies a GBDT in place. Cells are the leaves of the first boosting
+/// round; forcing shifts that leaf's additive value past the worst-row
+/// margin of the decision function `base_score + lr·Σ trees`.
+pub fn rectify_gbdt(
+    model: &mut GbdtClassifier,
+    x_val: &DenseMatrix,
+    y_val: &[u8],
+    groups: &Groups,
+    opts: &RectifyOptions,
+) -> RectificationReport {
+    let pre_pred = model.predict(x_val);
+    let state = pre_state(y_val, &pre_pred, groups, opts.metric);
+    if y_val.is_empty() || gap_ok(state.pre_gap, opts.epsilon) {
+        return untouched_report("xgboost", opts, &state);
+    }
+    let lr = model.learning_rate();
+    if model.trees().is_empty() || lr <= 0.0 {
+        // Degenerate boost (no rounds survived, or no shrinkage): there
+        // is no leaf whose value moves the decision function.
+        return untouched_report("xgboost", opts, &state);
+    }
+    let base = model.base_score();
+    let leaf_per_row: Vec<usize> =
+        (0..x_val.n_rows()).map(|i| model.trees()[0].leaf_for_row(x_val.row(i))).collect();
+    let cells = build_cells(&leaf_per_row);
+    let accountings =
+        per_leaf_accounting(&cells.assignment, cells.leaves.len(), y_val, &pre_pred, groups);
+    let decision = decide(&accountings, opts);
+    // Per-row additive mass of rounds 1.. — the first round's new leaf
+    // value must push `base + lr·(v0 + rest)` across 0 for every row.
+    let rest: Vec<f64> = (0..x_val.n_rows())
+        .map(|i| {
+            let row = x_val.row(i);
+            (model.decision(row) - base) / lr - model.trees()[0].predict_row(row)
+        })
+        .collect();
+    let mut edits = Vec::with_capacity(decision.flips.len());
+    for &(cell, label) in &decision.flips {
+        let leaf = cells.leaves[cell];
+        let thresholds = cells.rows[cell].iter().map(|&r| -base / lr - rest[r]);
+        let new = if label == 1 {
+            thresholds.fold(f64::NEG_INFINITY, f64::max) + FORCE_MARGIN
+        } else {
+            thresholds.fold(f64::INFINITY, f64::min) - FORCE_MARGIN
+        };
+        let old = model.trees()[0].leaf_value(leaf).unwrap_or(0.0);
+        if model.trees_mut()[0].set_leaf_value(leaf, new) {
+            edits.push(LeafEdit { tree: 0, leaf, to_label: label, old_score: old, new_score: new });
+        }
+    }
+    let post_pred = model.predict(x_val);
+    finish_report("xgboost", opts, state, decision, edits, y_val, &post_pred, groups)
+}
+
+/// Rectifies any classifier that exposes editable tree structure.
+/// Returns `None` for families without one (log-reg, kNN) — the study
+/// treats those as pass-through on the model side.
+pub fn rectify_classifier(
+    model: &mut dyn Classifier,
+    x_val: &DenseMatrix,
+    y_val: &[u8],
+    groups: &Groups,
+    opts: &RectifyOptions,
+) -> Option<RectificationReport> {
+    let any = model.as_any_mut()?;
+    if let Some(m) = any.downcast_mut::<DecisionTreeClassifier>() {
+        return Some(rectify_tree(m, x_val, y_val, groups, opts));
+    }
+    if let Some(m) = any.downcast_mut::<RandomForestClassifier>() {
+        return Some(rectify_forest(m, x_val, y_val, groups, opts));
+    }
+    if let Some(m) = any.downcast_mut::<GbdtClassifier>() {
+        return Some(rectify_gbdt(m, x_val, y_val, groups, opts));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlcore::dtree::DTreeParams;
+
+    /// A synthetic split where the model learns to under-select the
+    /// disadvantaged group: feature 0 is the group attribute, feature 1
+    /// is signal. Labels depend only on the signal, but the training
+    /// labels for the disadvantaged group are flipped toward 0 so every
+    /// tree family picks up the bias.
+    fn biased_data(n: usize) -> (DenseMatrix, Vec<u8>, DenseMatrix, Vec<u8>, Groups) {
+        let gen_row = |i: usize| -> (f64, f64) {
+            let group = f64::from(i.is_multiple_of(2)); // 1.0 = privileged
+            let signal = ((i * 37 + 11) % 100) as f64 / 100.0;
+            (group, signal)
+        };
+        let label = |group: f64, signal: f64, train: bool| -> u8 {
+            let base = u8::from(signal >= 0.5);
+            // Training bias: disadvantaged positives are often erased.
+            if train && group < 0.5 && base == 1 && signal < 0.8 {
+                0
+            } else {
+                base
+            }
+        };
+        let mut xt = Vec::new();
+        let mut yt = Vec::new();
+        for i in 0..n {
+            let (g, s) = gen_row(i);
+            xt.extend_from_slice(&[g, s]);
+            yt.push(label(g, s, true));
+        }
+        let mut xv = Vec::new();
+        let mut yv = Vec::new();
+        let mut privileged = Vec::new();
+        let mut disadvantaged = Vec::new();
+        for i in 0..n {
+            let (g, s) = gen_row(i * 3 + 1);
+            xv.extend_from_slice(&[g, s]);
+            yv.push(label(g, s, false));
+            privileged.push(g >= 0.5);
+            disadvantaged.push(g < 0.5);
+        }
+        (
+            DenseMatrix::from_vec(n, 2, xt),
+            yt,
+            DenseMatrix::from_vec(n, 2, xv),
+            yv,
+            Groups { privileged, disadvantaged },
+        )
+    }
+
+    fn opts(epsilon: f64) -> RectifyOptions {
+        RectifyOptions { epsilon, ..RectifyOptions::default() }
+    }
+
+    fn assert_constraint(report: &RectificationReport, x: &DenseMatrix) {
+        assert!(
+            report.constraint_met,
+            "{}: post gap {:?} must satisfy eps {} (pre {:?})",
+            report.model, report.post_gap, report.epsilon, report.pre_gap
+        );
+        assert!(x.n_rows() > 0);
+    }
+
+    #[test]
+    fn tree_rectification_meets_epsilon_on_validation() {
+        let (xt, yt, xv, yv, groups) = biased_data(160);
+        let mut model = DecisionTreeClassifier::fit(&xt, &yt, DTreeParams::default(), 7);
+        let o = opts(0.05);
+        let report = rectify_tree(&mut model, &xv, &yv, &groups, &o);
+        assert_constraint(&report, &xv);
+        // The post confusions must match the mutated model's actual
+        // predictions (the report is computed from them).
+        let gap = o.metric.absolute_disparity(&group_confusions(
+            &yv,
+            &model.predict(&xv),
+            &groups,
+        ));
+        assert_eq!(report.post_gap, gap);
+        assert!(
+            report.pre_gap.is_some_and(|g| g > 0.05),
+            "scenario must start unfair (pre gap {:?})",
+            report.pre_gap
+        );
+        assert!(!report.edits.is_empty(), "a violating model needs edits");
+    }
+
+    #[test]
+    fn forest_rectification_meets_epsilon_on_validation() {
+        let (xt, yt, xv, yv, groups) = biased_data(160);
+        let mut model = RandomForestClassifier::fit(&xt, &yt, 7, 4, 7);
+        let report = rectify_forest(&mut model, &xv, &yv, &groups, &opts(0.05));
+        assert_constraint(&report, &xv);
+        let post = group_confusions(&yv, &model.predict(&xv), &groups);
+        assert_eq!(report.post, post, "report must reflect the mutated ensemble");
+    }
+
+    #[test]
+    fn gbdt_rectification_meets_epsilon_on_validation() {
+        let (xt, yt, xv, yv, groups) = biased_data(160);
+        let mut model = GbdtClassifier::fit(&xt, &yt, 3, 20, 0.3, 1.0, 7);
+        let report = rectify_gbdt(&mut model, &xv, &yv, &groups, &opts(0.05));
+        assert_constraint(&report, &xv);
+        let post = group_confusions(&yv, &model.predict(&xv), &groups);
+        assert_eq!(report.post, post, "report must reflect the mutated booster");
+    }
+
+    #[test]
+    fn bound_proof_is_admissible() {
+        let (xt, yt, xv, yv, groups) = biased_data(160);
+        let mut model = DecisionTreeClassifier::fit(&xt, &yt, DTreeParams::default(), 7);
+        let report = rectify_tree(&mut model, &xv, &yv, &groups, &opts(0.0));
+        if report.bound.optimal {
+            if let Some(b) = report.bound.min_pruned_bound {
+                assert!(
+                    b >= report.bound.incumbent_errors,
+                    "pruned bound {b} beats incumbent {}",
+                    report.bound.incumbent_errors
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn already_fair_model_is_untouched() {
+        let (xt, yt, xv, yv, groups) = biased_data(120);
+        let mut model = DecisionTreeClassifier::fit(&xt, &yt, DTreeParams::default(), 7);
+        // Epsilon 1.0 is always satisfied: no edits, identical pre/post.
+        let report = rectify_tree(&mut model, &xv, &yv, &groups, &opts(1.0));
+        assert!(report.edits.is_empty());
+        assert_eq!(report.pre, report.post);
+        assert!(report.constraint_met);
+        assert_eq!(report.bound.nodes_expanded, 0);
+    }
+
+    #[test]
+    fn rectify_classifier_dispatches_and_skips_non_trees() {
+        let (xt, yt, xv, yv, groups) = biased_data(160);
+        let o = opts(0.05);
+        let mut tree: Box<dyn Classifier> =
+            Box::new(DecisionTreeClassifier::fit(&xt, &yt, DTreeParams::default(), 7));
+        let report = rectify_classifier(tree.as_mut(), &xv, &yv, &groups, &o);
+        assert_eq!(report.map(|r| r.model), Some("decision-tree"));
+        let mut logreg: Box<dyn Classifier> =
+            Box::new(mlcore::LogRegClassifier::fit(&xt, &yt, 1.0, 200));
+        assert!(rectify_classifier(logreg.as_mut(), &xv, &yv, &groups, &o).is_none());
+    }
+
+    #[test]
+    fn rectification_is_deterministic() {
+        let run = || {
+            let (xt, yt, xv, yv, groups) = biased_data(160);
+            let mut model = GbdtClassifier::fit(&xt, &yt, 3, 20, 0.3, 1.0, 7);
+            let report = rectify_gbdt(&mut model, &xv, &yv, &groups, &opts(0.05));
+            (report.edits, report.post_accuracy.to_bits(), report.bound.nodes_expanded)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn empty_validation_split_is_a_noop() {
+        let (xt, yt, _, _, _) = biased_data(60);
+        let mut model = DecisionTreeClassifier::fit(&xt, &yt, DTreeParams::default(), 7);
+        let empty = DenseMatrix::from_vec(0, 2, Vec::new());
+        let groups = Groups { privileged: Vec::new(), disadvantaged: Vec::new() };
+        let report = rectify_tree(&mut model, &empty, &[], &groups, &opts(0.0));
+        assert!(report.edits.is_empty());
+        assert!(report.constraint_met, "empty split has nothing to violate");
+    }
+}

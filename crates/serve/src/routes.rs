@@ -79,6 +79,26 @@ impl App {
                 "serve_startup_train_seconds{{dataset=\"{dataset}\",model=\"{model}\"}} {seconds:.6}\n"
             ));
         }
+        let mut gap_lines = String::new();
+        for served in self.registry.entries() {
+            let Some(rect) = &served.rectification else { continue };
+            for gap in &rect.gaps {
+                for (phase, value) in [("pre", gap.pre), ("post", gap.post)] {
+                    let Some(value) = value else { continue };
+                    gap_lines.push_str(&format!(
+                        "serve_rectification_gap{{dataset=\"{}\",model=\"{}\",group=\"{}\",phase=\"{phase}\"}} {value:.6}\n",
+                        served.dataset.name(),
+                        served.model.name(),
+                        gap.group,
+                    ));
+                }
+            }
+        }
+        if !gap_lines.is_empty() {
+            out.push_str("# HELP serve_rectification_gap Absolute fairness disparity of served tree models on the held-out test split, before and after leaf rectification.\n");
+            out.push_str("# TYPE serve_rectification_gap gauge\n");
+            out.push_str(&gap_lines);
+        }
         out
     }
 
@@ -302,6 +322,31 @@ impl App {
             }));
         }
 
+        // Startup-time rectification summary: how the served classifier's
+        // leaves were edited and what it did to the test-split gaps. Null
+        // for model families without editable decision regions.
+        let rectification = served.rectification.as_ref().map_or(Value::Null, |r| {
+            let gaps: Vec<Value> = r
+                .gaps
+                .iter()
+                .map(|g| {
+                    json!({
+                        "group": g.group,
+                        "pre": option_json(g.pre),
+                        "post": option_json(g.post),
+                    })
+                })
+                .collect();
+            json!({
+                "metric": r.metric.name(),
+                "epsilon": r.epsilon,
+                "n_edits": r.n_edits,
+                "constraint_met": r.constraint_met,
+                "pre_test_accuracy": r.pre_test_accuracy,
+                "gaps": Value::Array(gaps),
+            })
+        });
+
         Ok(Response::json(
             200,
             &json!({
@@ -310,6 +355,7 @@ impl App {
                 "n_rows": y_true.len(),
                 "accuracy": accuracy,
                 "groups": Value::Array(groups),
+                "rectification": rectification,
             }),
         ))
     }

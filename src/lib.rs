@@ -5,6 +5,7 @@
 pub use cleaning;
 pub use datasets;
 pub use demodq;
+pub use demodq_rectify;
 pub use demodq_serve;
 pub use fairness;
 pub use mlcore;

@@ -2,9 +2,10 @@
 //! ephemeral port, exercised over actual TCP sockets with a minimal
 //! in-test HTTP client.
 //!
-//! The registry is trained once (German credit / logistic regression at
-//! smoke scale) and shared across the assertions, because startup
-//! training dominates the test's runtime.
+//! The registry is trained once (German credit, logistic regression plus
+//! a decision tree, at smoke scale) and shared across the assertions,
+//! because startup training dominates the test's runtime. The decision
+//! tree exercises the pre-serving leaf rectification path end to end.
 
 use datasets::DatasetId;
 use demodq::StudyScale;
@@ -60,7 +61,7 @@ fn sample_rows(n: usize) -> Vec<Value> {
 fn serves_predict_clean_audit_over_tcp() {
     let registry = Registry::train(
         &[DatasetId::German],
-        &[ModelKind::LogReg],
+        &[ModelKind::LogReg, ModelKind::DecisionTree],
         &StudyScale::smoke(),
         "smoke",
         7,
@@ -86,7 +87,7 @@ fn serves_predict_clean_audit_over_tcp() {
     assert_eq!(status, 200);
     assert_eq!(health.get("status").and_then(Value::as_str), Some("ok"));
     let models = health.get("models").and_then(Value::as_array).expect("models array");
-    assert_eq!(models.len(), 1);
+    assert_eq!(models.len(), 2);
     assert_eq!(models[0].get("dataset").and_then(Value::as_str), Some("german"));
 
     // --- /v1/predict on a batch of 3 rows ---
@@ -137,6 +138,46 @@ fn serves_predict_clean_audit_over_tcp() {
         assert!(group.get("disparities").and_then(|d| d.get("equal_opportunity")).is_some());
     }
 
+    // --- /v1/audit on the rectified decision tree reports pre/post gaps ---
+    let rows = sample_rows(40);
+    let body = serde_json::to_string(&serde_json::json!({
+        "dataset": "german",
+        "model": "decision-tree",
+        "rows": Value::Array(rows),
+    }))
+    .unwrap();
+    let (status, reply) = exchange_json(addr, "POST", "/v1/audit", Some(&body));
+    assert_eq!(status, 200, "tree audit failed: {reply}");
+    let rect = reply.get("rectification").expect("rectification field present");
+    assert!(!rect.is_null(), "tree models must carry a rectification summary");
+    assert_eq!(rect.get("metric").and_then(Value::as_str), Some("EO"));
+    assert!(rect.get("epsilon").and_then(Value::as_f64).is_some());
+    assert!(rect.get("constraint_met").and_then(Value::as_bool).is_some());
+    let gaps = rect.get("gaps").and_then(Value::as_array).expect("gaps array");
+    assert!(!gaps.is_empty(), "rectification must report per-group gaps");
+    for gap in gaps {
+        assert!(gap.get("group").and_then(Value::as_str).is_some());
+        for phase in ["pre", "post"] {
+            let v = gap.get(phase).expect("gap phase present");
+            assert!(v.is_null() || (0.0..=1.0).contains(&v.as_f64().unwrap()), "{gap}");
+        }
+    }
+
+    // --- while the linear model's audit reports no rectification ---
+    let rows = sample_rows(10);
+    let body = serde_json::to_string(&serde_json::json!({
+        "dataset": "german",
+        "model": "log-reg",
+        "rows": Value::Array(rows),
+    }))
+    .unwrap();
+    let (status, reply) = exchange_json(addr, "POST", "/v1/audit", Some(&body));
+    assert_eq!(status, 200);
+    assert!(
+        reply.get("rectification").is_some_and(Value::is_null),
+        "linear models must report null rectification: {reply}"
+    );
+
     // --- /v1/clean flags and repairs submitted rows ---
     let rows = sample_rows(25);
     let body = serde_json::to_string(&serde_json::json!({
@@ -178,6 +219,14 @@ fn serves_predict_clean_audit_over_tcp() {
         .expect("startup gauge for the served (dataset, model) pair");
     let value: f64 = gauge.split_whitespace().last().unwrap().parse().unwrap();
     assert!(value > 0.0, "training took measurable time: {gauge}");
+
+    // --- rectification gaps are exported per (dataset, model, group, phase) ---
+    assert!(metrics.contains("# TYPE serve_rectification_gap gauge"), "{metrics}");
+    let gap_line = metrics
+        .lines()
+        .find(|l| l.starts_with("serve_rectification_gap{dataset=\"german\",model=\"decision-tree\""))
+        .expect("rectification gauge for the served tree");
+    assert!(gap_line.contains("phase=\"pre\"") || gap_line.contains("phase=\"post\""), "{gap_line}");
 
     // --- graceful shutdown: joins cleanly, then refuses connections ---
     server.shutdown();

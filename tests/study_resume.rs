@@ -326,3 +326,107 @@ fn seed_drift_record_is_rejected_and_rerun() {
     assert_eq!(study_results_json(&resumed), clean);
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// A journal left behind by a pre-rectification (v1 study shape) binary
+/// is rejected outright — its version prefix no longer matches the
+/// current study shape — with an explicit "versioned study shape"
+/// warning; nothing is replayed and the re-run export matches the
+/// undisturbed run byte-for-byte.
+#[test]
+fn pre_rectification_v1_journal_is_rejected_with_versioned_shape_warning() {
+    use demodq_repro::demodq::config::RepairSpec;
+    use demodq_repro::demodq::journal::{load, StudyFingerprint};
+
+    let datasets = [DatasetId::German];
+    let dir = temp_journal_dir("v1-shape");
+    let complete = run(
+        &datasets,
+        &StudyOptions { journal_dir: Some(dir.clone()), ..StudyOptions::default() },
+    );
+    let clean = study_results_json(&complete);
+    let path = journal_file(&dir);
+    assert!(!task_keys(&path).is_empty());
+
+    // Rewrite the journal the way a v1-era binary would have left it:
+    // version prefix `v1`, no side/rect components in the summary, and
+    // the (now stale) v1 hash on every record.
+    let options = StudyOptions::default();
+    let fp = StudyFingerprint::compute(
+        ErrorType::Mislabels,
+        &datasets,
+        &[ModelKind::LogReg],
+        &StudyScale::smoke(),
+        SEED,
+        &RepairSpec::variants_for(ErrorType::Mislabels),
+        options.repair_side,
+        &options.rectify,
+    );
+    let mut v1_summary = fp.summary.replacen("v2|", "v1|", 1);
+    if let Some(cut) = v1_summary.find("|side=") {
+        v1_summary.truncate(cut);
+    }
+    let text = std::fs::read_to_string(&path).unwrap();
+    let rewritten = text.replace(&fp.hex, "00000000deadbeef").replace(&fp.summary, &v1_summary);
+    assert_ne!(rewritten, text, "the rewrite must actually change the journal");
+    std::fs::write(&path, rewritten).unwrap();
+
+    // The loader refuses every record and says why.
+    let replay = load(&path, &fp);
+    assert!(replay.tasks.is_empty(), "no v1 record may replay into a v2 study");
+    assert!(
+        replay.warnings.iter().any(|w| w.contains("versioned study shape")),
+        "expected a versioned-shape warning, got {:?}",
+        replay.warnings
+    );
+
+    // Resuming re-executes the whole study and still matches the
+    // undisturbed export.
+    let resumed = run(
+        &datasets,
+        &StudyOptions {
+            journal_dir: Some(dir.clone()),
+            resume: true,
+            ..StudyOptions::default()
+        },
+    );
+    assert_eq!(resumed.journal_hits, 0, "v1 records must never be replayed");
+    assert!(resumed.journal_warnings >= 1, "rejection must be surfaced as warnings");
+    assert_eq!(study_results_json(&resumed), clean);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The rectifying arms (`repair_side: both`) preserve the
+/// schedule-independence guarantee: the same study on 1-, 2- and
+/// 8-thread pools exports byte-identical JSON even though the repaired
+/// arms now refit and leaf-rectify tree models inside each unit.
+#[test]
+fn rectifying_study_exports_byte_identical_across_thread_counts() {
+    use demodq_repro::demodq::config::RepairSide;
+
+    let datasets = [DatasetId::German];
+    let run_both = || {
+        study_results_json(
+            &run_error_type_study_with(
+                ErrorType::Mislabels,
+                &datasets,
+                &[ModelKind::LogReg, ModelKind::DecisionTree],
+                &StudyScale::smoke(),
+                SEED,
+                &StudyOptions { repair_side: RepairSide::Both, ..StudyOptions::default() },
+            )
+            .expect("rectifying study should complete"),
+        )
+    };
+    let mut exports = [1usize, 2, 8].map(|threads| {
+        let pool = ThreadPool::new(threads);
+        pool.install(run_both)
+    });
+    assert!(exports[0].contains("\"repair_side\": \"both\""), "{}", exports[0]);
+    let reference = exports[0].clone();
+    for (threads, export) in [1usize, 2, 8].iter().zip(&mut exports) {
+        assert_eq!(
+            *export, reference,
+            "{threads}-thread rectifying export differs from the serial reference"
+        );
+    }
+}
