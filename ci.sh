@@ -44,7 +44,20 @@ cargo test --workspace -q
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> committed baseline carries the per-kernel bench sections"
+# Cheap pre-flight before the expensive bench run: the committed baseline
+# must already have every micro.kernels.* section, or the studybench
+# required-field check below would only fail after minutes of work.
+for kernel in hist knn_block logreg_batch; do
+    grep -q "\"$kernel\"" BENCH_study.json || {
+        echo "FAIL: BENCH_study.json is missing the micro.kernels.$kernel section"
+        exit 1
+    }
+done
+
 echo "==> studybench perf gate (vs committed BENCH_study.json)"
+# Checks required fields on both reports (including micro.kernels.*),
+# the end-to-end evals/s floor, and the per-kernel speedup floors.
 cargo run --release -p demodq-bench --bin studybench -- \
     --smoke --out target/BENCH_study.json --baseline BENCH_study.json
 
@@ -88,12 +101,20 @@ cmp "$SMOKE_DIR/clean.json" "$SMOKE_DIR/resumed.json" || {
 }
 echo "crash-resume smoke OK (journal hits: $hits)"
 
-echo "==> thread-count byte-identity smoke (1 thread vs 8 threads)"
-# The serial run is the reference semantics; a maximally parallel run must
-# export the identical bytes (unit seeds derive from grid position, never
-# from the schedule).
+echo "==> thread-count byte-identity smoke (1 vs 2 vs 8 threads)"
+# The serial run is the reference semantics; any parallel run must export
+# the identical bytes (unit seeds derive from grid position, never from
+# the schedule, and the histogram kernel's parallel feature scans add
+# each cell's values in the same per-lane order as the serial pass). The
+# 2-thread leg exercises the uneven rayon::join splits a power-of-two
+# pool never sees.
 DEMODQ_THREADS=1 "$RESUME_SMOKE" "${SMOKE_ARGS[@]}" --out "$SMOKE_DIR/threads1.json"
+DEMODQ_THREADS=2 "$RESUME_SMOKE" "${SMOKE_ARGS[@]}" --out "$SMOKE_DIR/threads2.json"
 DEMODQ_THREADS=8 "$RESUME_SMOKE" "${SMOKE_ARGS[@]}" --out "$SMOKE_DIR/threads8.json"
+cmp "$SMOKE_DIR/threads1.json" "$SMOKE_DIR/threads2.json" || {
+    echo "FAIL: 2-thread export differs from the 1-thread reference"
+    exit 1
+}
 cmp "$SMOKE_DIR/threads1.json" "$SMOKE_DIR/threads8.json" || {
     echo "FAIL: 8-thread export differs from the 1-thread reference"
     exit 1

@@ -6,6 +6,13 @@
 //!   splitter vs the exact splitter (best of three runs each), one
 //!   training run per model kind, and one leaf-rectification run per
 //!   tree-family model (`rectify_ms`).
+//! * **micro.kernels** — each vectorised per-unit kernel
+//!   (`hist` / `knn_block` / `logreg_batch`) against the reference loop
+//!   it replaced, on the same encoded Adult data: `naive_ms`,
+//!   `kernel_ms` and `speedup` per kernel. The regression gate compares
+//!   **speedups**, not wall times — naive and kernel run back to back in
+//!   the same process, so their ratio cancels the machine's thermal
+//!   state, which raw milliseconds do not.
 //! * **study** — the end-to-end error-type study over all datasets,
 //!   models and error types at the chosen scale, with
 //!   `repair_side: both` so the repaired arms also leaf-rectify tree
@@ -23,8 +30,9 @@
 //!
 //! With `--baseline PATH` the run is also a regression gate: it exits
 //! non-zero if the baseline or current report is missing required
-//! fields, or if end-to-end throughput dropped below 75% of the
-//! baseline's serial (1-thread) numbers. CI runs
+//! fields, if end-to-end throughput dropped below 75% of the
+//! baseline's serial (1-thread) numbers, or if any per-kernel speedup
+//! in `micro.kernels` fell below 75% of its baseline value. CI runs
 //! `studybench --smoke --baseline BENCH_study.json` against the
 //! committed baseline.
 //!
@@ -37,10 +45,11 @@ use demodq::config::{RepairSide, StudyOptions, StudyScale};
 use demodq::progress::PhaseSeconds;
 use demodq_rectify::{rectify_classifier, RectifyOptions};
 use fairness::Groups;
-use mlcore::{Classifier, GbdtClassifier, ModelKind};
+use mlcore::kernels::{self, HistF32, QUERY_BLOCK, TRAIN_BLOCK};
+use mlcore::{BinnedMatrix, Classifier, GbdtClassifier, ModelKind, DEFAULT_N_BINS};
 use serde_json::{json, Value};
 use std::time::Instant;
-use tabular::{DenseMatrix, FeatureEncoder};
+use tabular::{DenseMatrix, FeatureEncoder, Rng64};
 
 struct Options {
     scale: StudyScale,
@@ -177,6 +186,97 @@ fn micro_section(seed: u64) -> Value {
     })
 }
 
+/// One kernel's bench entry: reference loop vs vectorised kernel, both
+/// best-of-`repeats` on the same data in the same process.
+fn kernel_entry(name: &str, naive_ms: f64, kernel_ms: f64) -> Value {
+    eprintln!(
+        "micro.kernels: {name} naive {naive_ms:.3}ms vs kernel {kernel_ms:.3}ms \
+         ({:.2}x)",
+        naive_ms / kernel_ms
+    );
+    json!({
+        "naive_ms": naive_ms,
+        "kernel_ms": kernel_ms,
+        "speedup": naive_ms / kernel_ms,
+    })
+}
+
+/// Benches each vectorised per-unit kernel against the reference loop it
+/// replaced, on encoded Adult data (the study's dominant workload shape).
+fn kernels_section(seed: u64) -> Value {
+    let (x, y, _) = adult_encoded(seed);
+    let n = x.n_rows();
+    let d = x.n_cols();
+
+    // Histogram accumulation on a boosting round's real node shape: the
+    // 80% stochastic row subsample GBDT draws each round, with the
+    // logistic gradients/hessians a first round would see. The subsample
+    // matters — it makes the per-row statistic reads strided, the access
+    // pattern the row-major kernel was built for (on a dense 0..n row
+    // set both loops degenerate to sequential scans).
+    let binned = BinnedMatrix::from_matrix(&x, DEFAULT_N_BINS);
+    let all_rows: Vec<usize> = (0..n).collect();
+    let scores = vec![0.0f64; n];
+    let mut grad = vec![0.0f64; n];
+    let mut hess = vec![0.0f64; n];
+    kernels::logistic_grad_hess(&all_rows, &scores, &y, &mut grad, &mut hess);
+    let mut rng = Rng64::seed_from_u64(seed ^ 0x4157);
+    let rows = rng.sample_indices(n, (n * 4) / 5);
+    // One untimed pass per side first: the kernel's first call pays
+    // scratch-pool allocation and page faults that later calls (and the
+    // study itself, which runs thousands of them) never see again.
+    std::hint::black_box(kernels::hist_naive(&binned, &rows, &grad, &hess));
+    std::hint::black_box(HistF32::accumulate(&binned, &rows, &grad, &hess));
+    let hist_naive_ms = time_ms(9, || {
+        std::hint::black_box(kernels::hist_naive(&binned, &rows, &grad, &hess));
+    });
+    let hist_kernel_ms = time_ms(9, || {
+        std::hint::black_box(HistF32::accumulate(&binned, &rows, &grad, &hess));
+    });
+
+    // Blocked kNN distances: a query block's worth of rows against the
+    // whole pool, naive per-row scan vs transposed tile kernel.
+    let n_queries = 4 * QUERY_BLOCK;
+    let mut dist = Vec::new();
+    let mut qt = Vec::new();
+    let mut tile = vec![0.0f64; TRAIN_BLOCK * QUERY_BLOCK];
+    let knn_naive_ms = time_ms(9, || {
+        for q in 0..n_queries {
+            kernels::sq_dist_naive(&x, x.row(q), &mut dist);
+            std::hint::black_box(&dist);
+        }
+    });
+    let knn_kernel_ms = time_ms(9, || {
+        for q0 in (0..n_queries).step_by(QUERY_BLOCK) {
+            kernels::transpose_queries(&x, q0, QUERY_BLOCK, &mut qt);
+            for t0 in (0..n).step_by(TRAIN_BLOCK) {
+                let tb = TRAIN_BLOCK.min(n - t0);
+                kernels::sq_dist_block(&x, t0, tb, &qt, &mut tile);
+                std::hint::black_box(&tile);
+            }
+        }
+    });
+
+    // Batched linear scoring: full-matrix decision values, per-row loop
+    // vs the four-row interleaved kernel.
+    let weights: Vec<f64> = (0..d).map(|j| (j % 7) as f64 * 0.1 - 0.3).collect();
+    let mut out = Vec::new();
+    let logreg_naive_ms = time_ms(9, || {
+        kernels::decision_naive(&x, &weights, 0.25, &mut out);
+        std::hint::black_box(&out);
+    });
+    let logreg_kernel_ms = time_ms(9, || {
+        kernels::decision_batch(&x, &weights, 0.25, &mut out);
+        std::hint::black_box(&out);
+    });
+
+    json!({
+        "hist": kernel_entry("hist", hist_naive_ms, hist_kernel_ms),
+        "knn_block": kernel_entry("knn_block", knn_naive_ms, knn_kernel_ms),
+        "logreg_batch": kernel_entry("logreg_batch", logreg_naive_ms, logreg_kernel_ms),
+    })
+}
+
 /// Runs the full study on a dedicated `threads`-wide pool and returns the
 /// section JSON. `threads == 1` is the serial reference configuration.
 fn study_section(scale: &StudyScale, seed: u64, threads: usize) -> Value {
@@ -245,6 +345,15 @@ const REQUIRED: &[&[&str]] = &[
     &["micro", "gbdt_speedup"],
     &["micro", "train_ms"],
     &["micro", "rectify_ms"],
+    &["micro", "kernels", "hist", "naive_ms"],
+    &["micro", "kernels", "hist", "kernel_ms"],
+    &["micro", "kernels", "hist", "speedup"],
+    &["micro", "kernels", "knn_block", "naive_ms"],
+    &["micro", "kernels", "knn_block", "kernel_ms"],
+    &["micro", "kernels", "knn_block", "speedup"],
+    &["micro", "kernels", "logreg_batch", "naive_ms"],
+    &["micro", "kernels", "logreg_batch", "kernel_ms"],
+    &["micro", "kernels", "logreg_batch", "speedup"],
     &["study", "threads"],
     &["study", "wall_seconds"],
     &["study", "model_evaluations"],
@@ -286,7 +395,10 @@ fn main() {
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
     });
 
-    let micro = micro_section(opts.seed);
+    let mut micro = micro_section(opts.seed);
+    if let Value::Object(map) = &mut micro {
+        map.insert("kernels".to_string(), kernels_section(opts.seed));
+    }
     // Serial reference first (the gated numbers), then the scaling run.
     let mut study = study_section(&opts.scale, opts.seed, 1);
     let scaling = study_section(&opts.scale, opts.seed, scaling_threads);
@@ -341,12 +453,40 @@ fn main() {
     let reference =
         lookup(&baseline, &["study", "evals_per_sec"]).and_then(Value::as_f64).unwrap_or(0.0);
     let floor = 0.75 * reference;
+    let mut failed = false;
     if current < floor {
         eprintln!(
             "PERF REGRESSION: {current:.2} evals/s is below 75% of the \
              baseline {reference:.2} evals/s (floor {floor:.2})"
         );
+        failed = true;
+    } else {
+        eprintln!(
+            "perf gate OK: {current:.2} evals/s vs baseline {reference:.2} (floor {floor:.2})"
+        );
+    }
+    // Per-kernel gate on the naive/kernel *speedup* (a within-run ratio,
+    // stable across thermal states): each kernel must keep at least 75%
+    // of its baseline advantage over the reference loop.
+    for kernel in ["hist", "knn_block", "logreg_batch"] {
+        let path = ["micro", "kernels", kernel, "speedup"];
+        let current = lookup(&report, &path).and_then(Value::as_f64).unwrap();
+        let reference = lookup(&baseline, &path).and_then(Value::as_f64).unwrap_or(0.0);
+        let floor = 0.75 * reference;
+        if current < floor {
+            eprintln!(
+                "PERF REGRESSION: kernel {kernel} speedup {current:.2}x is below \
+                 75% of the baseline {reference:.2}x (floor {floor:.2}x)"
+            );
+            failed = true;
+        } else {
+            eprintln!(
+                "perf gate OK: kernel {kernel} speedup {current:.2}x vs baseline \
+                 {reference:.2}x (floor {floor:.2}x)"
+            );
+        }
+    }
+    if failed {
         std::process::exit(1);
     }
-    eprintln!("perf gate OK: {current:.2} evals/s vs baseline {reference:.2} (floor {floor:.2})");
 }

@@ -30,6 +30,12 @@ pub struct BinnedMatrix {
     /// (column-major so per-feature histogram accumulation scans a
     /// contiguous block).
     bins: Vec<u8>,
+    /// Row-major copy of the bin indices: row `i`'s codes occupy
+    /// `i * n_cols..(i + 1) * n_cols`. The histogram kernel's serial path
+    /// streams whole rows (one contiguous `u8` read per row) instead of
+    /// gathering one feature at a time; duplicating ≤ `n·d` bytes buys
+    /// that locality.
+    row_bins: Vec<u8>,
     n_rows: usize,
     n_cols: usize,
     /// Per-feature strictly increasing cut points; feature `j` has
@@ -56,6 +62,7 @@ impl BinnedMatrix {
         let n = x.n_rows();
         let d = x.n_cols();
         let mut bins = vec![0u8; n * d];
+        let mut row_bins = vec![0u8; n * d];
         let mut cuts = Vec::with_capacity(d);
         let mut sorted: Vec<f64> = Vec::with_capacity(n);
         for j in 0..d {
@@ -67,6 +74,7 @@ impl BinnedMatrix {
             for (i, slot) in column.iter_mut().enumerate() {
                 let v = x.get(i, j);
                 *slot = feature_cuts.partition_point(|t| *t < v) as u8;
+                row_bins[i * d + j] = *slot;
             }
             cuts.push(feature_cuts);
         }
@@ -91,7 +99,17 @@ impl BinnedMatrix {
                 bin_hi[slot] = bin_hi[slot].max(v);
             }
         }
-        BinnedMatrix { bins, n_rows: n, n_cols: d, cuts, offsets, total_bins, bin_lo, bin_hi }
+        BinnedMatrix {
+            bins,
+            row_bins,
+            n_rows: n,
+            n_cols: d,
+            cuts,
+            offsets,
+            total_bins,
+            bin_lo,
+            bin_hi,
+        }
     }
 
     /// Number of rows.
@@ -114,6 +132,12 @@ impl BinnedMatrix {
     #[inline]
     pub fn feature_bins(&self, j: usize) -> &[u8] {
         &self.bins[j * self.n_rows..(j + 1) * self.n_rows]
+    }
+
+    /// The contiguous bin-index row of row `i` (all features).
+    #[inline]
+    pub fn row_bins(&self, i: usize) -> &[u8] {
+        &self.row_bins[i * self.n_cols..(i + 1) * self.n_cols]
     }
 
     /// Number of bins of feature `j`.
@@ -202,7 +226,10 @@ fn quantile_cuts(sorted: &[f64], max_bins: usize) -> Vec<f64> {
             }
         }
     }
-    debug_assert!(cuts.len() < 256, "cut count exceeds u8 bin range");
+    // Hard invariant, not a debug check: a 256th cut would make bin
+    // indices overflow `u8` and silently corrupt every downstream
+    // histogram, so release builds must refuse too.
+    assert!(cuts.len() < 256, "cut count exceeds u8 bin range");
     cuts
 }
 
@@ -357,6 +384,61 @@ mod tests {
     #[should_panic(expected = "max_bins")]
     fn oversized_max_bins_panics() {
         BinnedMatrix::from_matrix(&matrix_of(vec![0.0]), 257);
+    }
+
+    #[test]
+    fn max_bins_256_with_256_distinct_values_fills_u8_exactly() {
+        // The u8 boundary case: 256 distinct values at max_bins = 256
+        // produce 255 cuts — the largest cut count the assert admits —
+        // and bin indices 0..=255 with order preserved.
+        let values: Vec<f64> = (0..256).map(|i| i as f64).collect();
+        let b = BinnedMatrix::from_matrix(&matrix_of(values), 256);
+        assert_eq!(b.feature_cuts(0).len(), 255);
+        assert_eq!(b.n_bins(0), 256);
+        assert!((0..256).all(|i| usize::from(b.bin(i, 0)) == i));
+    }
+
+    #[test]
+    fn more_distinct_values_than_256_bins_stay_in_u8_range() {
+        // 1000 distinct values at the maximum bin budget: quantile
+        // merging must keep the cut count under 256 (the assert) and
+        // every index inside u8.
+        let values: Vec<f64> = (0..1000).map(|i| i as f64 * 0.25).collect();
+        let b = BinnedMatrix::from_matrix(&matrix_of(values), 256);
+        assert!(b.feature_cuts(0).len() < 256);
+        assert!(b.n_bins(0) <= 256);
+    }
+
+    #[test]
+    fn constant_column_at_max_bin_budget_has_no_cuts() {
+        let b = BinnedMatrix::from_matrix(&matrix_of(vec![-2.5; 300]), 256);
+        assert!(b.feature_cuts(0).is_empty());
+        assert_eq!(b.n_bins(0), 1);
+    }
+
+    #[test]
+    fn empty_feature_has_no_cuts() {
+        // Zero rows: quantile_cuts sees an empty slice and must not cut.
+        let b = BinnedMatrix::from_matrix(&DenseMatrix::zeros(0, 1), 256);
+        assert!(b.feature_cuts(0).is_empty());
+        assert_eq!(b.n_bins(0), 1);
+    }
+
+    #[test]
+    fn row_bins_mirror_column_bins() {
+        let x = DenseMatrix::from_vec(
+            4,
+            3,
+            vec![0.0, 9.0, 1.0, 1.0, 9.0, 1.0, 2.0, 8.0, 0.0, 3.0, 8.0, 0.0],
+        );
+        let b = BinnedMatrix::from_matrix(&x, 8);
+        for i in 0..4 {
+            let row = b.row_bins(i);
+            assert_eq!(row.len(), 3);
+            for (j, &code) in row.iter().enumerate() {
+                assert_eq!(code, b.bin(i, j));
+            }
+        }
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! the score samples.
 
 use crate::binned::{BinnedMatrix, DEFAULT_N_BINS};
+use crate::knn::KnnClassifier;
 use crate::metrics::accuracy;
 use crate::model::{Classifier, ModelKind, ModelSpec};
 use rayon::prelude::*;
@@ -81,20 +82,62 @@ pub fn tune_and_fit(
     // cannot affect any score; the per-spec reduction below then runs
     // sequentially in grid order, summing fold scores in fold order —
     // float-identical to the old nested loop at any thread count.
+    //
+    // k-NN gets a fold-level fast path: neighbour distances do not depend
+    // on `k`, and the `k`-nearest set of any grid `k` is a prefix of the
+    // max-`k` neighbour order, so one blocked distance scan per fold
+    // scores the whole grid ([`KnnClassifier::predict_proba_grid`]). The
+    // per-(spec, fold) accuracies are identical to fitting each `k`
+    // separately, so the winner — and the refit model — cannot change.
     let n_folds_actual = fold_data.len();
-    let fold_scores: Vec<f64> = (0..grid.len() * n_folds_actual)
-        .into_par_iter()
-        .map(|unit| {
-            let spec = &grid[unit / n_folds_actual];
-            let (train_idx, x_val, y_val, dense_train) = &fold_data[unit % n_folds_actual];
-            let model = match (&binned, dense_train) {
-                (Some(b), _) => spec.fit_binned(b, x, train_idx, y, fit_seed),
-                (None, Some((x_train, y_train))) => spec.fit(x_train, y_train, fit_seed),
-                (None, None) => unreachable!("dense folds exist whenever binning is off"),
-            };
-            accuracy(y_val, &model.predict(x_val))
-        })
-        .collect();
+    let knn_ks: Option<Vec<usize>> = (kind == ModelKind::Knn).then(|| {
+        grid.iter()
+            .map(|spec| match spec {
+                ModelSpec::Knn { k } => *k,
+                _ => unreachable!("knn grid contains only knn specs"),
+            })
+            .collect()
+    });
+    let fold_scores: Vec<f64> = if let Some(ks) = &knn_ks {
+        let kmax = ks.iter().copied().max().unwrap_or(1);
+        let per_fold: Vec<Vec<f64>> = fold_data
+            .par_iter()
+            .map(|(_, x_val, y_val, dense_train)| {
+                let (x_train, y_train) =
+                    dense_train.as_ref().unwrap_or_else(|| {
+                        unreachable!("dense folds exist whenever binning is off")
+                    });
+                let model = KnnClassifier::fit(x_train, y_train, kmax);
+                model
+                    .predict_proba_grid(x_val, ks)
+                    .iter()
+                    .map(|probas| {
+                        let preds: Vec<u8> =
+                            probas.iter().map(|&p| u8::from(p >= 0.5)).collect();
+                        accuracy(y_val, &preds)
+                    })
+                    .collect()
+            })
+            .collect();
+        // Re-lay out as [spec-major] to match the generic unit order.
+        (0..grid.len() * n_folds_actual)
+            .map(|unit| per_fold[unit % n_folds_actual][unit / n_folds_actual])
+            .collect()
+    } else {
+        (0..grid.len() * n_folds_actual)
+            .into_par_iter()
+            .map(|unit| {
+                let spec = &grid[unit / n_folds_actual];
+                let (train_idx, x_val, y_val, dense_train) = &fold_data[unit % n_folds_actual];
+                let model = match (&binned, dense_train) {
+                    (Some(b), _) => spec.fit_binned(b, x, train_idx, y, fit_seed),
+                    (None, Some((x_train, y_train))) => spec.fit(x_train, y_train, fit_seed),
+                    (None, None) => unreachable!("dense folds exist whenever binning is off"),
+                };
+                accuracy(y_val, &model.predict(x_val))
+            })
+            .collect()
+    };
 
     let mut best: Option<(f64, ModelSpec)> = None;
     for (k, spec) in grid.iter().enumerate() {

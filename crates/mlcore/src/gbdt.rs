@@ -151,15 +151,16 @@ impl GbdtClassifier {
         let mut trees = Vec::with_capacity(params.n_rounds);
         let mut rng = Rng64::seed_from_u64(params.seed);
         let subsample = ((n as f64) * 0.8).ceil() as usize;
+        let mut sample = scratch::take_usize();
         for _ in 0..params.n_rounds {
-            for &i in rows {
-                let p = sigmoid(scores[i]);
-                grad[i] = p - f64::from(y[i]);
-                hess[i] = (p * (1.0 - p)).max(1e-9);
-            }
-            // Stochastic row subsample (without replacement).
-            let sample: Vec<usize> =
-                rng.sample_indices(n, subsample.min(n)).into_iter().map(|k| rows[k]).collect();
+            // Stochastic row subsample (without replacement), drawn into a
+            // pooled buffer and mapped to global row ids in place.
+            rng.sample_indices_into(n, subsample.min(n), &mut sample);
+            sample.iter_mut().for_each(|k| *k = rows[*k]);
+            // Gradients/hessians are per-row functions of the current
+            // score, so only the rows this round's tree will read need a
+            // refresh — the unsampled 20% would go unread.
+            crate::kernels::logistic_grad_hess(&sample, &scores, y, &mut grad, &mut hess);
             let tree = fit_tree(&grad, &hess, &sample);
             if tree.n_nodes() == 1 && tree.predict_row(&[]).abs() < 1e-12 {
                 // Degenerate round (no usable split, near-zero leaf); the

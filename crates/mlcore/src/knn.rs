@@ -5,6 +5,7 @@
 //! Euclidean distance is meaningful). Probability estimates are the
 //! fraction of positive neighbours, which is what scikit-learn reports.
 
+use crate::kernels::{self, QUERY_BLOCK, TRAIN_BLOCK};
 use crate::model::Classifier;
 use crate::scratch;
 use tabular::DenseMatrix;
@@ -32,65 +33,102 @@ impl KnnClassifier {
         self.k.min(self.train.n_rows().max(1))
     }
 
-    /// Counts positive labels among the `k` nearest training rows to
-    /// `point` (ties broken by lower index for determinism); returns
-    /// `(positives, k)`. `best` is a caller-owned scratch buffer reused
-    /// across queries to avoid a per-query allocation.
-    fn count_positive_neighbours(
-        &self,
-        point: &[f64],
-        best: &mut Vec<(f64, usize)>,
-    ) -> (usize, usize) {
+    /// Positive-neighbour fractions for every query row of `x`, for
+    /// **several** neighbour counts at once: `out[ki][q]` is the fraction
+    /// of positive labels among the `ks[ki]` nearest training rows to
+    /// query `q` (ties broken by lower index, each `k` clamped to the
+    /// training size).
+    ///
+    /// One blocked distance pass serves every `k`: the `max(ks)` nearest
+    /// neighbours are selected per query with the same worst-tracking
+    /// update (in ascending train-row order) the old per-row scan used,
+    /// then sorted by `(distance, index)` — the `k`-nearest set of any
+    /// smaller `k` is exactly a prefix of that total order, so each
+    /// per-`k` fraction is identical to a dedicated `k`-neighbour query.
+    /// Cross-validation exploits this to score the whole `k` grid from
+    /// one scan per fold.
+    pub fn predict_proba_grid(&self, x: &DenseMatrix, ks: &[usize]) -> Vec<Vec<f64>> {
         let n = self.train.n_rows();
-        let k = self.effective_k().min(n);
-        best.clear();
-        // Index of the current worst (largest distance, ties to the higher
-        // row index) entry of `best`, maintained incrementally during the
-        // fill phase so no sort or rescan is needed until `best` is full.
-        let mut worst = 0;
-        for i in 0..n {
-            let d = self.train.row_distance_sq(i, point);
-            if best.len() < k {
-                best.push((d, i));
-                // New rows carry increasing indices, so `>=` keeps the
-                // tie-broken worst current.
-                if d >= best[worst].0 {
-                    worst = best.len() - 1;
-                }
-            } else if d < best[worst].0 {
-                // Strictly closer than the worst kept neighbour. (An
-                // equal-distance candidate never displaces anything: the
-                // kept entry has the lower index and wins the tie.)
-                best[worst] = (d, i);
-                for (j, item) in best.iter().enumerate() {
-                    if item.0 > best[worst].0
-                        || (item.0 == best[worst].0 && item.1 > best[worst].1)
-                    {
-                        worst = j;
+        let nq = x.n_rows();
+        if n == 0 {
+            return ks.iter().map(|_| vec![0.5; nq]).collect();
+        }
+        let kmax = ks.iter().copied().max().unwrap_or(1).min(n);
+        let mut out: Vec<Vec<f64>> = ks.iter().map(|_| Vec::with_capacity(nq)).collect();
+        // Pooled batch scratch, taken once per call (not per query):
+        // QUERY_BLOCK worst-tracking heaps of up to kmax entries each, the
+        // transposed query block, and the distance tile.
+        let mut heaps = scratch::take_pairs();
+        heaps.resize(QUERY_BLOCK * kmax, (0.0, 0));
+        let mut state = scratch::take_usize(); // per-lane (len, worst) pairs
+        state.resize(2 * QUERY_BLOCK, 0);
+        let mut qt = scratch::take_f64();
+        let mut tile = scratch::take_f64();
+        tile.resize(TRAIN_BLOCK * QUERY_BLOCK, 0.0);
+        for q0 in (0..nq).step_by(QUERY_BLOCK) {
+            let qb = QUERY_BLOCK.min(nq - q0);
+            kernels::transpose_queries(x, q0, qb, &mut qt);
+            state.iter_mut().for_each(|s| *s = 0);
+            for t0 in (0..n).step_by(TRAIN_BLOCK) {
+                let tb = TRAIN_BLOCK.min(n - t0);
+                kernels::sq_dist_block(&self.train, t0, tb, &qt, &mut tile);
+                for q in 0..qb {
+                    let best = &mut heaps[q * kmax..q * kmax + kmax];
+                    let (mut len, mut worst) = (state[2 * q], state[2 * q + 1]);
+                    for t in 0..tb {
+                        let d = tile[t * QUERY_BLOCK + q];
+                        let i = t0 + t;
+                        if len < kmax {
+                            best[len] = (d, i);
+                            // New rows carry increasing indices, so `>=`
+                            // keeps the tie-broken worst current.
+                            if d >= best[worst].0 {
+                                worst = len;
+                            }
+                            len += 1;
+                        } else if d < best[worst].0 {
+                            // Strictly closer than the worst kept
+                            // neighbour. (An equal-distance candidate
+                            // never displaces anything: the kept entry
+                            // has the lower index and wins the tie.)
+                            best[worst] = (d, i);
+                            for (j, item) in best.iter().enumerate() {
+                                if item.0 > best[worst].0
+                                    || (item.0 == best[worst].0 && item.1 > best[worst].1)
+                                {
+                                    worst = j;
+                                }
+                            }
+                        }
                     }
+                    state[2 * q] = len;
+                    state[2 * q + 1] = worst;
+                }
+            }
+            for q in 0..qb {
+                let selected = &mut heaps[q * kmax..q * kmax + kmax];
+                // Total order by (distance, index): the k-nearest set of
+                // any k ≤ kmax is the first k entries.
+                selected.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+                for (ki, &k) in ks.iter().enumerate() {
+                    let eff = k.min(n);
+                    let pos = selected[..eff]
+                        .iter()
+                        .filter(|&&(_, j)| self.labels[j] == 1)
+                        .count();
+                    out[ki].push(pos as f64 / eff as f64);
                 }
             }
         }
-        let pos = best.iter().filter(|&&(_, j)| self.labels[j] == 1).count();
-        (pos, k)
+        out
     }
 }
 
 impl Classifier for KnnClassifier {
     fn predict_proba(&self, x: &DenseMatrix) -> Vec<f64> {
-        let n = self.train.n_rows();
-        if n == 0 {
-            return vec![0.5; x.n_rows()];
-        }
-        // Pooled neighbour heap: reused across queries here and across
-        // models on the same pool worker.
-        let mut scratch = scratch::take_pairs();
-        (0..x.n_rows())
-            .map(|i| {
-                let (pos, k) = self.count_positive_neighbours(x.row(i), &mut scratch);
-                pos as f64 / k as f64
-            })
-            .collect()
+        self.predict_proba_grid(x, &[self.effective_k()])
+            .pop()
+            .unwrap_or_default()
     }
 }
 

@@ -17,6 +17,7 @@ pub mod binned;
 pub mod cv;
 pub mod dtree;
 pub mod gbdt;
+pub mod kernels;
 pub mod knn;
 pub mod linalg;
 pub mod logreg;

@@ -2,8 +2,10 @@
 //! least squares (Newton's method), falling back to gradient descent when
 //! the normal equations are ill-conditioned.
 
+use crate::kernels;
 use crate::linalg::{cholesky_solve, sigmoid};
 use crate::model::Classifier;
+use crate::scratch;
 use tabular::DenseMatrix;
 
 /// A trained logistic-regression model.
@@ -31,31 +33,14 @@ impl LogRegClassifier {
             return LogRegClassifier { weights: vec![0.0; d], bias: 0.0 };
         }
         let mut converged = false;
+        let mut z = scratch::take_f64();
         for _ in 0..max_iter {
-            // Current probabilities.
+            // Batched decision values (bit-identical to the per-row dot),
+            // then the blocked gradient/hessian accumulation kernel.
+            kernels::decision_batch(x, &w[..d], w[d], &mut z);
             let mut grad = vec![0.0; d + 1];
             let mut hess = vec![0.0; (d + 1) * (d + 1)];
-            for (i, &yi) in y.iter().enumerate() {
-                let row = x.row(i);
-                let z = row.iter().zip(&w[..d]).map(|(a, b)| a * b).sum::<f64>() + w[d];
-                let p = sigmoid(z);
-                let err = p - f64::from(yi);
-                let wgt = (p * (1.0 - p)).max(1e-9);
-                for (gj, &xj) in grad[..d].iter_mut().zip(row) {
-                    *gj += err * xj;
-                }
-                grad[d] += err;
-                // Hessian accumulation (upper triangle, then mirrored).
-                for j in 0..d {
-                    let xw = wgt * row[j];
-                    let hrow = &mut hess[j * (d + 1)..];
-                    for (hk, &xk) in hrow[j..d].iter_mut().zip(&row[j..d]) {
-                        *hk += xw * xk;
-                    }
-                    hrow[d] += xw;
-                }
-                hess[d * (d + 1) + d] += wgt;
-            }
+            kernels::irls_accumulate(x, y, &z, &mut grad, &mut hess);
             // L2 penalty (not on bias).
             for j in 0..d {
                 grad[j] += lambda * w[j];
@@ -113,7 +98,13 @@ impl LogRegClassifier {
 
 impl Classifier for LogRegClassifier {
     fn predict_proba(&self, x: &DenseMatrix) -> Vec<f64> {
-        (0..x.n_rows()).map(|i| sigmoid(self.decision(x.row(i)))).collect()
+        // Batched scoring kernel, shared by the study path, CV and the
+        // serving predict handler; each score is bit-identical to
+        // `sigmoid(self.decision(x.row(i)))`.
+        let mut scores = Vec::new();
+        kernels::decision_batch(x, &self.weights, self.bias, &mut scores);
+        scores.iter_mut().for_each(|s| *s = sigmoid(*s));
+        scores
     }
 }
 

@@ -85,6 +85,10 @@ scratch_pool!(
     /// A pooled `Vec<(f64, usize)>` (kNN neighbour distance heaps).
     PAIRS_POOL, take_pairs, PairsScratch, (f64, usize)
 );
+scratch_pool!(
+    /// A pooled `Vec<f32>` (histogram quad buffers and statistic lanes).
+    F32_POOL, take_f32, F32Scratch, f32
+);
 
 #[cfg(test)]
 mod tests {

@@ -14,13 +14,9 @@
 //!   histogram-vs-exact parity tests and as the accuracy baseline.
 
 use crate::binned::BinnedMatrix;
+use crate::kernels::{HistF32, HIST_QUAD};
 use crate::scratch;
 use tabular::DenseMatrix;
-
-/// Histogram cost (`rows × features`) below which a node's histogram is
-/// accumulated sequentially. Checked before asking the pool for its
-/// size, so small fits never touch (or lazily create) the global pool.
-const PARALLEL_HIST_CELLS: usize = 1 << 16;
 
 /// One node of a regression tree, stored in a flat arena.
 #[derive(Debug, Clone)]
@@ -63,9 +59,6 @@ impl Default for TreeParams {
     }
 }
 
-/// Per-bin (gradient sum, hessian sum) accumulator.
-type GhHist = Vec<(f64, f64)>;
-
 impl RegressionTree {
     /// Fits a tree minimising the second-order objective
     /// `Σ g_i f(x_i) + ½ Σ h_i f(x_i)² + ½ λ Σ w²` with exact greedy
@@ -97,80 +90,30 @@ impl RegressionTree {
         let mut tree = RegressionTree { nodes: Vec::new() };
         let mut rows_buf = scratch::take_usize();
         rows_buf.extend_from_slice(rows);
-        tree.build_binned(binned, grad, hess, rows_buf.as_mut_slice(), 0, params, None);
-        tree
-    }
-
-    /// Accumulates the per-bin (gradient, hessian) histogram of `rows` in
-    /// one pass per feature over the contiguous bin column. Large nodes
-    /// split the feature range into `join` halves — each feature's bins
-    /// are a disjoint `hist` slice, and the per-feature row order is the
-    /// sequential one either way, so the sums are bit-identical.
-    fn compute_hist(binned: &BinnedMatrix, rows: &[usize], grad: &[f64], hess: &[f64]) -> GhHist {
-        let mut hist: GhHist = vec![(0.0, 0.0); binned.total_bins()];
-        let n_cols = binned.n_cols();
-        if n_cols > 1
-            && rows.len().saturating_mul(n_cols) >= PARALLEL_HIST_CELLS
-            && rayon::current_num_threads() > 1
-        {
-            Self::accumulate_features(binned, rows, grad, hess, 0, n_cols, &mut hist);
-        } else {
-            for j in 0..n_cols {
-                let slice = &mut hist[binned.offset(j)..binned.offset(j) + binned.n_bins(j)];
-                Self::accumulate_one_feature(binned, rows, grad, hess, j, slice);
-            }
-        }
-        hist
-    }
-
-    /// Accumulates features `f_lo..f_hi` into `hist`, whose element 0 is
-    /// the first bin of feature `f_lo`, splitting recursively so sibling
-    /// halves can run on different workers.
-    fn accumulate_features(
-        binned: &BinnedMatrix,
-        rows: &[usize],
-        grad: &[f64],
-        hess: &[f64],
-        f_lo: usize,
-        f_hi: usize,
-        hist: &mut [(f64, f64)],
-    ) {
-        if f_hi - f_lo <= 1 {
-            Self::accumulate_one_feature(binned, rows, grad, hess, f_lo, hist);
-            return;
-        }
-        let mid = f_lo + (f_hi - f_lo) / 2;
-        let (left, right) = hist.split_at_mut(binned.offset(mid) - binned.offset(f_lo));
-        rayon::join(
-            || Self::accumulate_features(binned, rows, grad, hess, f_lo, mid, left),
-            || Self::accumulate_features(binned, rows, grad, hess, mid, f_hi, right),
+        // Root totals are the only full-row scan: children inherit exact
+        // f64 totals accumulated during their parent's partition pass.
+        let g_sum: f64 = rows_buf.iter().map(|&i| grad[i]).sum();
+        let h_sum: f64 = rows_buf.iter().map(|&i| hess[i]).sum();
+        tree.build_binned(
+            binned,
+            grad,
+            hess,
+            rows_buf.as_mut_slice(),
+            0,
+            params,
+            None,
+            (g_sum, h_sum),
         );
-    }
-
-    /// The per-feature accumulation pass: `slice` is the feature's own
-    /// bin range.
-    fn accumulate_one_feature(
-        binned: &BinnedMatrix,
-        rows: &[usize],
-        grad: &[f64],
-        hess: &[f64],
-        j: usize,
-        slice: &mut [(f64, f64)],
-    ) {
-        if binned.n_bins(j) == 1 {
-            return; // constant feature: never a split candidate
-        }
-        let column = binned.feature_bins(j);
-        for &i in rows {
-            let slot = &mut slice[usize::from(column[i])];
-            slot.0 += grad[i];
-            slot.1 += hess[i];
-        }
+        tree
     }
 
     /// Recursively builds the subtree for `rows` (reordered in place);
     /// returns its arena index. `hist` is the node's precomputed
-    /// histogram when the parent derived it by sibling subtraction.
+    /// histogram when the parent derived it by sibling subtraction;
+    /// `totals` is the node's exact `(Σg, Σh)`, accumulated in stable row
+    /// order by the parent's partition pass (bit-identical to a fresh
+    /// scan of the node's rows), so leaf values never depend on the `f32`
+    /// histogram statistics.
     #[allow(clippy::too_many_arguments)]
     fn build_binned(
         &mut self,
@@ -180,9 +123,11 @@ impl RegressionTree {
         rows: &mut [usize],
         depth: usize,
         params: TreeParams,
-        hist: Option<GhHist>,
+        hist: Option<HistF32>,
+        totals: (f64, f64),
     ) -> usize {
-        let make_leaf = |nodes: &mut Vec<Node>, g_sum: f64, h_sum: f64| {
+        let (g_sum, h_sum) = totals;
+        let make_leaf = |nodes: &mut Vec<Node>| {
             let value = if h_sum + params.reg_lambda > 0.0 {
                 -g_sum / (h_sum + params.reg_lambda)
             } else {
@@ -192,47 +137,71 @@ impl RegressionTree {
             nodes.len() - 1
         };
         if depth >= params.max_depth || rows.len() < 2 {
-            let g_sum: f64 = rows.iter().map(|&i| grad[i]).sum();
-            let h_sum: f64 = rows.iter().map(|&i| hess[i]).sum();
-            return make_leaf(&mut self.nodes, g_sum, h_sum);
+            return make_leaf(&mut self.nodes);
         }
-        let hist = hist.unwrap_or_else(|| Self::compute_hist(binned, rows, grad, hess));
-        // Row totals straight from the rows (constant features are skipped
-        // in the histogram, so a feature slice may be all-zero).
-        let g_sum: f64 = rows.iter().map(|&i| grad[i]).sum();
-        let h_sum: f64 = rows.iter().map(|&i| hess[i]).sum();
+        let hist = hist.unwrap_or_else(|| HistF32::accumulate(binned, rows, grad, hess));
         let parent_score = g_sum * g_sum / (h_sum + params.reg_lambda);
-        let mut best: Option<(f64, usize, usize)> = None; // (gain, feature, bin)
+        // Candidates are compared through the division-free form: with
+        // `S = gl²(hr+λ) + gr²(hl+λ)` and `D = (hl+λ)(hr+λ)`, the gain is
+        // `S/D − parent`, so `gain > min_gain ⟺ S > (min_gain+parent)·D`
+        // and two candidates order by `S₁·D₂ > S₂·D₁` — no divide in the
+        // scan (two `f64` divides per bin dominated it).
+        let gain_floor = params.min_gain + parent_score;
+        let mut best: Option<(f64, f64, usize, usize)> = None; // (S, D, feature, bin)
         for feature in 0..binned.n_cols() {
             let n_bins = binned.n_bins(feature);
             if n_bins < 2 {
                 continue;
             }
-            let slice = &hist[binned.offset(feature)..binned.offset(feature) + n_bins];
-            let mut gl = 0.0;
-            let mut hl = 0.0;
-            for (bin, &(g, h)) in slice[..n_bins - 1].iter().enumerate() {
-                gl += g;
-                hl += h;
+            // Split gain in f64 from the f32 cell sums (the kernel policy:
+            // statistics are f32, decisions are f64).
+            let quads = hist.feature_quads(binned, feature);
+            let mut gl = 0.0f64;
+            let mut hl = 0.0f64;
+            for bin in 0..n_bins - 1 {
+                // An empty bin contributes nothing and partitions the rows
+                // exactly as the last nonempty bin before it did, so the
+                // first-wins tie rule could never select it anyway.
+                // lint:allow(F001, count lane holds exact small integers; zero test is exact)
+                if quads[HIST_QUAD * bin + 2] == 0.0 {
+                    continue;
+                }
+                gl += f64::from(quads[HIST_QUAD * bin]);
+                hl += f64::from(quads[HIST_QUAD * bin + 1]);
                 let gr = g_sum - gl;
                 let hr = h_sum - hl;
                 if hl < params.min_child_weight || hr < params.min_child_weight {
                     continue;
                 }
-                let gain = gl * gl / (hl + params.reg_lambda)
-                    + gr * gr / (hr + params.reg_lambda)
-                    - parent_score;
-                if gain > params.min_gain && best.is_none_or(|(bg, _, _)| gain > bg) {
-                    best = Some((gain, feature, bin));
+                let dl = hl + params.reg_lambda;
+                let dr = hr + params.reg_lambda;
+                let s = gl * gl * dr + gr * gr * dl;
+                let d = dl * dr;
+                if s > gain_floor * d
+                    && best.is_none_or(|(bs, bd, _, _)| s * bd > bs * d)
+                {
+                    best = Some((s, d, feature, bin));
                 }
             }
         }
         match best {
-            None => make_leaf(&mut self.nodes, g_sum, h_sum),
-            Some((_, feature, bin)) => {
-                let threshold = node_split_threshold(binned, feature, bin, rows);
+            None => make_leaf(&mut self.nodes),
+            Some((_, _, feature, bin)) => {
+                // The count cells already know which bins the node
+                // occupies, so the centred threshold needs no row scan.
+                let threshold = split_threshold_from_counts(
+                    binned,
+                    feature,
+                    bin,
+                    hist.feature_quads(binned, feature),
+                );
                 let column = binned.feature_bins(feature);
-                let split_at = partition_rows(rows, |i| usize::from(column[i]) <= bin);
+                let (split_at, left_tot, right_tot) = partition_rows_with_sums(
+                    rows,
+                    grad,
+                    hess,
+                    |i| usize::from(column[i]) <= bin,
+                );
                 let idx = self.nodes.len();
                 self.nodes.push(Node::Leaf { value: 0.0 }); // placeholder
                 // Sibling subtraction: scan only the smaller child; the
@@ -245,8 +214,8 @@ impl RegressionTree {
                     } else {
                         (right_rows, false)
                     };
-                    let small_hist = Self::compute_hist(binned, small, grad, hess);
-                    let large_hist = subtract_hist(hist, &small_hist);
+                    let small_hist = HistF32::accumulate(binned, small, grad, hess);
+                    let large_hist = hist.subtract(&small_hist);
                     if small_is_left {
                         (Some(small_hist), Some(large_hist))
                     } else {
@@ -256,10 +225,11 @@ impl RegressionTree {
                     (None, None)
                 };
                 let (left_rows, right_rows) = rows.split_at_mut(split_at);
-                let left =
-                    self.build_binned(binned, grad, hess, left_rows, depth + 1, params, left_hist);
+                let left = self.build_binned(
+                    binned, grad, hess, left_rows, depth + 1, params, left_hist, left_tot,
+                );
                 let right = self.build_binned(
-                    binned, grad, hess, right_rows, depth + 1, params, right_hist,
+                    binned, grad, hess, right_rows, depth + 1, params, right_hist, right_tot,
                 );
                 self.nodes[idx] = Node::Split { feature, threshold, left, right };
                 idx
@@ -406,6 +376,64 @@ impl RegressionTree {
     }
 }
 
+/// [`partition_rows`] fused with exact child-total accumulation: while
+/// moving rows, sums each side's `(Σg, Σh)` in the same stable order a
+/// fresh scan of the partitioned side would use — so the returned totals
+/// are bit-identical to the per-child row scans they replace, for free
+/// within the pass that touches every row anyway.
+fn partition_rows_with_sums(
+    rows: &mut [usize],
+    grad: &[f64],
+    hess: &[f64],
+    pred: impl Fn(usize) -> bool,
+) -> (usize, (f64, f64), (f64, f64)) {
+    let mut right = scratch::take_usize();
+    right.reserve(rows.len());
+    let mut write = 0;
+    let (mut gl, mut hl) = (0.0f64, 0.0f64);
+    let (mut gr, mut hr) = (0.0f64, 0.0f64);
+    for read in 0..rows.len() {
+        let row = rows[read];
+        if pred(row) {
+            rows[write] = row;
+            write += 1;
+            gl += grad[row];
+            hl += hess[row];
+        } else {
+            right.push(row);
+            gr += grad[row];
+            hr += hess[row];
+        }
+    }
+    rows[write..].copy_from_slice(&right);
+    (write, (gl, hl), (gr, hr))
+}
+
+/// The centred split threshold for "bin ≤ `bin` goes left" on `feature`,
+/// derived from the node histogram's occupancy counts instead of a row
+/// scan: the adjacent occupied bins are the highest nonempty bin ≤ `bin`
+/// and the lowest nonempty bin > `bin`. `quads` is the feature's
+/// [`HistF32::feature_quads`] slice; its count cells are `f32` but hold
+/// exact integers (node sizes sit far below 2^24, and sibling
+/// subtraction of exact integers is itself exact), so this picks the
+/// same bins — and therefore the same threshold — as
+/// [`node_split_threshold`]'s scan over the node's rows.
+fn split_threshold_from_counts(
+    binned: &BinnedMatrix,
+    feature: usize,
+    bin: usize,
+    quads: &[f32],
+) -> f64 {
+    let occupied = |b: usize| quads[HIST_QUAD * b + 2] > 0.0;
+    let left_bin = (0..=bin).rev().find(|&b| occupied(b));
+    let right_bin = (bin + 1..binned.n_bins(feature)).find(|&b| occupied(b));
+    match (left_bin, right_bin) {
+        (Some(l), Some(r)) => binned.split_threshold(feature, l, r),
+        // One side empty (degenerate split): fall back to the cut edge.
+        _ => binned.threshold(feature, bin),
+    }
+}
+
 /// In-place stable partition: rows satisfying `pred` move to the front,
 /// preserving relative order on both sides (determinism of the recursion
 /// depends on stable row order). Returns the boundary index.
@@ -455,15 +483,6 @@ pub(crate) fn node_split_threshold(
         // One side empty (degenerate split): fall back to the cut edge.
         _ => binned.threshold(feature, bin),
     }
-}
-
-/// Parent histogram minus the smaller child's, element-wise.
-fn subtract_hist(mut parent: GhHist, small: &GhHist) -> GhHist {
-    for (p, s) in parent.iter_mut().zip(small) {
-        p.0 -= s.0;
-        p.1 -= s.1;
-    }
-    parent
 }
 
 #[cfg(test)]

@@ -165,20 +165,37 @@ impl Rng64 {
     /// Samples `m` distinct indices from `[0, n)` (Floyd's algorithm order
     /// is not preserved; result is sorted for determinism downstream).
     pub fn sample_indices(&mut self, n: usize, m: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.sample_indices_into(n, m, &mut out);
+        out
+    }
+
+    /// [`Rng64::sample_indices`] writing into a caller-provided buffer —
+    /// identical draws and result, but tight loops (GBDT's per-round row
+    /// subsample) can reuse one allocation across calls.
+    pub fn sample_indices_into(&mut self, n: usize, m: usize, out: &mut Vec<usize>) {
         assert!(m <= n, "cannot sample {m} from {n}");
+        out.clear();
         // For dense samples a shuffle-prefix is cheaper and simpler.
         if m * 3 >= n {
-            let mut all: Vec<usize> = (0..n).collect();
-            self.shuffle(&mut all);
-            all.truncate(m);
-            all.sort_unstable();
-            return all;
+            out.extend(0..n);
+            self.shuffle(out);
+            out.truncate(m);
+            // The prefix holds m distinct values in [0, n); a mark-and-scan
+            // rewrite sorts it in O(n) instead of a comparison sort.
+            let mut mark = vec![false; n];
+            for &i in out.iter() {
+                mark[i] = true;
+            }
+            out.clear();
+            out.extend((0..n).filter(|&i| mark[i]));
+            return;
         }
         let mut chosen = std::collections::BTreeSet::new();
         while chosen.len() < m {
             chosen.insert(self.below(n));
         }
-        chosen.into_iter().collect()
+        out.extend(chosen);
     }
 }
 

@@ -12,7 +12,8 @@ use datasets::DatasetId;
 use demodq::pipeline::sample_split;
 use demodq::StudyScale;
 use fairness::{group_confusions, FairnessMetric, GroupConfusions};
-use mlcore::{accuracy, Classifier, DecisionTreeClassifier, GbdtClassifier};
+use mlcore::kernels::{self, HistF32, HIST_QUAD};
+use mlcore::{accuracy, BinnedMatrix, Classifier, DecisionTreeClassifier, GbdtClassifier, DEFAULT_N_BINS};
 use tabular::{DataFrame, DenseMatrix, FeatureEncoder};
 
 /// Encoded train/test matrices plus the frames for group evaluation.
@@ -159,6 +160,47 @@ fn dtree_hist_matches_exact_on_all_datasets() {
             (acc_exact - acc_hist).abs() <= 0.02,
             "{id:?}: exact {acc_exact:.4} vs hist {acc_hist:.4}"
         );
+    }
+}
+
+/// The `f32` histogram kernel against the `f64` reference accumulator on
+/// every study dataset's real encoded training matrix: gradient/hessian
+/// cells agree to `f32` rounding, and the count lane — exact integers in
+/// `f32` — covers every row of every feature.
+#[test]
+fn f32_hist_matches_f64_reference_on_all_datasets() {
+    for id in DatasetId::all() {
+        let data = encoded_split(id, 31);
+        let x = &data.x_train;
+        let n = x.n_rows();
+        let binned = BinnedMatrix::from_matrix(x, DEFAULT_N_BINS);
+        // The gradients/hessians a first boosting round sees: logistic
+        // refresh at zero scores.
+        let rows: Vec<usize> = (0..n).collect();
+        let scores = vec![0.0f64; n];
+        let mut grad = vec![0.0f64; n];
+        let mut hess = vec![0.0f64; n];
+        kernels::logistic_grad_hess(&rows, &scores, &data.y_train, &mut grad, &mut hess);
+        let hist = HistF32::accumulate(&binned, &rows, &grad, &hess);
+        let reference = kernels::hist_naive(&binned, &rows, &grad, &hess);
+        for j in 0..binned.n_cols() {
+            if binned.n_bins(j) == 1 {
+                continue; // constant feature: reference skips it
+            }
+            let quads = hist.feature_quads(&binned, j);
+            let lo = binned.offset(j);
+            let mut count = 0usize;
+            for b in 0..binned.n_bins(j) {
+                let (rg, rh) = reference[lo + b];
+                let g = f64::from(quads[HIST_QUAD * b]);
+                let h = f64::from(quads[HIST_QUAD * b + 1]);
+                let tol = 1e-3 * (1.0 + rg.abs().max(rh.abs()));
+                assert!((g - rg).abs() < tol, "{id:?} grad {j}/{b}: {g} vs {rg}");
+                assert!((h - rh).abs() < tol, "{id:?} hess {j}/{b}: {h} vs {rh}");
+                count += quads[HIST_QUAD * b + 2] as usize;
+            }
+            assert_eq!(count, n, "{id:?} feature {j}: counts must cover every row");
+        }
     }
 }
 

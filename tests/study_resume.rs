@@ -361,7 +361,7 @@ fn pre_rectification_v1_journal_is_rejected_with_versioned_shape_warning() {
         options.repair_side,
         &options.rectify,
     );
-    let mut v1_summary = fp.summary.replacen("v2|", "v1|", 1);
+    let mut v1_summary = fp.summary.replacen("v3|", "v1|", 1);
     if let Some(cut) = v1_summary.find("|side=") {
         v1_summary.truncate(cut);
     }
@@ -372,7 +372,7 @@ fn pre_rectification_v1_journal_is_rejected_with_versioned_shape_warning() {
 
     // The loader refuses every record and says why.
     let replay = load(&path, &fp);
-    assert!(replay.tasks.is_empty(), "no v1 record may replay into a v2 study");
+    assert!(replay.tasks.is_empty(), "no v1 record may replay into a current-shape study");
     assert!(
         replay.warnings.iter().any(|w| w.contains("versioned study shape")),
         "expected a versioned-shape warning, got {:?}",
