@@ -54,10 +54,16 @@ for kernel in hist knn_block logreg_batch; do
         exit 1
     }
 done
+grep -q '"substrate"' BENCH_study.json || {
+    echo "FAIL: BENCH_study.json is missing the substrate section"
+    exit 1
+}
 
 echo "==> studybench perf gate (vs committed BENCH_study.json)"
-# Checks required fields on both reports (including micro.kernels.*),
-# the end-to-end evals/s floor, and the per-kernel speedup floors.
+# Checks required fields on both reports (including micro.kernels.* and
+# substrate.*), the end-to-end evals/s floor, the per-kernel speedup
+# floors, the substrate rows/s floor, and the absolute peak-RSS gate on
+# the million-row block substrate (< 2x its own heap footprint).
 cargo run --release -p demodq-bench --bin studybench -- \
     --smoke --out target/BENCH_study.json --baseline BENCH_study.json
 
@@ -120,6 +126,35 @@ cmp "$SMOKE_DIR/threads1.json" "$SMOKE_DIR/threads8.json" || {
     exit 1
 }
 echo "thread-count byte-identity smoke OK"
+
+echo "==> large-tier smoke (german @ 2^20-row block pool, journal resume byte-identity)"
+# One dataset, one model at --scale large: the pool is a full million-row
+# block built by chunked generation and sampled through the block store.
+# The journaled first run and a --resume replay must export identical
+# bytes (the journal fingerprint covers the scale, so large-tier records
+# can never be replayed into a small-tier study or vice versa).
+LARGE_DIR=target/large_smoke
+rm -rf "$LARGE_DIR"
+mkdir -p "$LARGE_DIR"
+LARGE_ARGS=(--error mislabels --scale large --seed 42 --datasets german --models log-reg)
+"$RESUME_SMOKE" "${LARGE_ARGS[@]}" --journal "$LARGE_DIR/journal" \
+    --out "$LARGE_DIR/first.json"
+"$RESUME_SMOKE" "${LARGE_ARGS[@]}" --journal "$LARGE_DIR/journal" --resume \
+    --out "$LARGE_DIR/resumed.json" | tee "$LARGE_DIR/resume.log"
+grep -q 'journal-warnings: 0' "$LARGE_DIR/resume.log" || {
+    echo "FAIL: large-tier resume reported journal warnings"
+    exit 1
+}
+hits=$(grep -oE 'journal-hits: [0-9]+' "$LARGE_DIR/resume.log" | grep -oE '[0-9]+')
+if [ "${hits:-0}" -lt 1 ]; then
+    echo "FAIL: large-tier resume replayed no journaled tasks"
+    exit 1
+fi
+cmp "$LARGE_DIR/first.json" "$LARGE_DIR/resumed.json" || {
+    echo "FAIL: large-tier resumed export differs from the first run"
+    exit 1
+}
+echo "large-tier smoke OK (journal hits: $hits)"
 
 echo "==> rectifying-study byte-identity smoke (--repair-side both, 1 vs 8 threads)"
 # The `both` arms refit and leaf-rectify tree models inside each unit;

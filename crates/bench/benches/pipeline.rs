@@ -11,7 +11,7 @@ use mlcore::ModelKind;
 use std::hint::black_box;
 
 fn bench_pipeline(c: &mut Criterion) {
-    let pool = DatasetId::German.generate(2_000, 5).expect("generate");
+    let pool = DatasetId::German.generate_store(2_000, 5).expect("generate");
     let spec = DatasetId::German.spec();
     let mut groups = spec.single_attribute_specs();
     groups.push(spec.intersectional_spec().expect("intersectional"));

@@ -57,6 +57,8 @@ struct Args {
     kill_after: usize,
     threshold: f64,
     repair_side: RepairSide,
+    datasets: Vec<DatasetId>,
+    models: Vec<ModelKind>,
 }
 
 fn parse_args() -> Args {
@@ -70,11 +72,14 @@ fn parse_args() -> Args {
         kill_after: 0,
         threshold: 0.1,
         repair_side: RepairSide::Data,
+        datasets: DatasetId::all().to_vec(),
+        models: ModelKind::all().to_vec(),
     };
     let usage = "usage: resume_smoke [--error missing_values|outliers|mislabels] \
-                 [--scale smoke|default|full] [--seed N] [--journal DIR] [--out PATH] \
+                 [--scale smoke|default|full|large] [--seed N] [--journal DIR] [--out PATH] \
                  [--resume] [--kill-after N] [--threshold F] \
-                 [--repair-side data|model|both]";
+                 [--repair-side data|model|both] \
+                 [--datasets a,b,...] [--models a,b,...]";
     let mut args = std::env::args().skip(1);
     let value = |args: &mut dyn Iterator<Item = String>, flag: &str| {
         args.next().unwrap_or_else(|| {
@@ -131,6 +136,32 @@ fn parse_args() -> Args {
                         std::process::exit(2);
                     });
             }
+            "--datasets" => {
+                parsed.datasets = value(&mut args, "--datasets")
+                    .split(',')
+                    .map(|name| {
+                        DatasetId::all().into_iter().find(|d| d.name() == name).unwrap_or_else(
+                            || {
+                                eprintln!("unknown dataset '{name}'; {usage}");
+                                std::process::exit(2);
+                            },
+                        )
+                    })
+                    .collect();
+            }
+            "--models" => {
+                parsed.models = value(&mut args, "--models")
+                    .split(',')
+                    .map(|name| {
+                        ModelKind::all().into_iter().find(|m| m.name() == name).unwrap_or_else(
+                            || {
+                                eprintln!("unknown model '{name}'; {usage}");
+                                std::process::exit(2);
+                            },
+                        )
+                    })
+                    .collect();
+            }
             other => {
                 eprintln!("unknown argument '{other}'; {usage}");
                 std::process::exit(2);
@@ -154,8 +185,8 @@ fn main() {
     };
     let results = demodq::runner::run_error_type_study_with(
         args.error,
-        &DatasetId::all(),
-        &ModelKind::all(),
+        &args.datasets,
+        &args.models,
         &args.scale,
         args.seed,
         &options,

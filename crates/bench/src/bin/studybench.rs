@@ -1,7 +1,17 @@
 //! Tracked performance benchmark for the study pipeline.
 //!
-//! Two sections, written as JSON (default `BENCH_study.json`):
+//! Sections, written as JSON (default `BENCH_study.json`):
 //!
+//! * **substrate** — the columnar block store at the large tier: one
+//!   dataset generated block-chunked to a million rows, then encoded
+//!   straight into a `BinnedMatrix` off the block views (no intermediate
+//!   dense matrix). Reports rows/s across generate+encode and the
+//!   process peak RSS (`VmHWM`). This section runs **first** in the
+//!   process so the peak-RSS reading reflects only the substrate; it is
+//!   also an absolute memory gate: peak RSS must stay under ~2× the
+//!   substrate's own heap footprint (store + binned matrix) plus a
+//!   fixed process allowance, proving the streaming paths never
+//!   materialise a second full copy of the data.
 //! * **micro** — GBDT training on encoded Adult data with the histogram
 //!   splitter vs the exact splitter (best of three runs each), one
 //!   training run per model kind, and one leaf-rectification run per
@@ -111,6 +121,99 @@ fn parse_args() -> Options {
         std::process::exit(2);
     }
     opts
+}
+
+/// Rows in the substrate bench store (one full block).
+const SUBSTRATE_ROWS: usize = 1 << 20;
+
+/// Peak-RSS ceiling: the substrate's own heap, doubled, plus a fixed
+/// allowance for the binary, allocator slack and transient generation
+/// chunks. Anything above this means a streaming path materialised a
+/// second full copy of the data.
+const SUBSTRATE_RSS_ALLOWANCE: u64 = 192 * 1024 * 1024;
+
+/// Process peak resident set (`VmHWM`) in bytes; `None` off-Linux.
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// Large-tier substrate bench: block-chunked generation of a million-row
+/// store, then view-streamed encode into a `BinnedMatrix`. Must be the
+/// first work the process does (see the module docs). Exits non-zero
+/// when the peak-RSS gate fails.
+fn substrate_section(seed: u64) -> Value {
+    let t = Instant::now();
+    let store =
+        DatasetId::German.generate_store(SUBSTRATE_ROWS, seed ^ 0xB10C).expect("generate store");
+    let gen_seconds = t.elapsed().as_secs_f64();
+    let rows = store.n_rows();
+    eprintln!(
+        "substrate: generated {rows} rows in {} block(s), {gen_seconds:.2}s \
+         ({:.0} rows/s)",
+        store.n_blocks(),
+        rows as f64 / gen_seconds
+    );
+
+    let t = Instant::now();
+    let encoder = FeatureEncoder::fit_store(&store, true).expect("fit encoder on store");
+    let (binned, report) =
+        BinnedMatrix::from_store(&encoder, &store, DEFAULT_N_BINS).expect("bin store");
+    let encode_seconds = t.elapsed().as_secs_f64();
+    assert_eq!(
+        report.unseen_category_rows, 0,
+        "encoding a store with its own encoder saw unseen categories"
+    );
+    eprintln!(
+        "substrate: encoded+binned {rows} x {} in {encode_seconds:.2}s ({:.0} rows/s)",
+        binned.n_cols(),
+        rows as f64 / encode_seconds
+    );
+
+    let store_heap = store.heap_bytes() as u64;
+    let binned_heap = binned.heap_bytes() as u64;
+    let footprint = store_heap + binned_heap;
+    let rows_per_sec = rows as f64 / (gen_seconds + encode_seconds);
+    let peak = peak_rss_bytes();
+    let (peak_bytes, rss_ratio) = match peak {
+        Some(p) => (p, p as f64 / footprint as f64),
+        None => (0, 0.0),
+    };
+    eprintln!(
+        "substrate: heap {:.0} MiB (store {:.0} + binned {:.0}), peak RSS {:.0} MiB \
+         ({rss_ratio:.2}x heap)",
+        footprint as f64 / (1 << 20) as f64,
+        store_heap as f64 / (1 << 20) as f64,
+        binned_heap as f64 / (1 << 20) as f64,
+        peak_bytes as f64 / (1 << 20) as f64,
+    );
+    if let Some(p) = peak {
+        let limit = 2 * footprint + SUBSTRATE_RSS_ALLOWANCE;
+        if p > limit {
+            eprintln!(
+                "MEMORY REGRESSION: peak RSS {p} bytes exceeds the substrate gate \
+                 {limit} (2x heap footprint {footprint} + allowance {SUBSTRATE_RSS_ALLOWANCE})"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("substrate: peak-RSS gate OK ({p} <= {limit} bytes)");
+    } else {
+        eprintln!("substrate: /proc/self/status unavailable, peak-RSS gate skipped");
+    }
+
+    json!({
+        "rows": rows,
+        "n_blocks": store.n_blocks(),
+        "gen_seconds": gen_seconds,
+        "encode_seconds": encode_seconds,
+        "rows_per_sec": rows_per_sec,
+        "store_heap_bytes": store_heap,
+        "binned_heap_bytes": binned_heap,
+        "peak_rss_bytes": peak_bytes,
+        "rss_ratio": rss_ratio,
+    })
 }
 
 /// Best-of-`repeats` wall time of `f`, in milliseconds.
@@ -340,6 +443,12 @@ fn study_section(scale: &StudyScale, seed: u64, threads: usize) -> Value {
 const REQUIRED: &[&[&str]] = &[
     &["schema_version"],
     &["scale"],
+    &["substrate", "rows"],
+    &["substrate", "rows_per_sec"],
+    &["substrate", "store_heap_bytes"],
+    &["substrate", "binned_heap_bytes"],
+    &["substrate", "peak_rss_bytes"],
+    &["substrate", "rss_ratio"],
     &["micro", "gbdt_hist_ms"],
     &["micro", "gbdt_exact_ms"],
     &["micro", "gbdt_speedup"],
@@ -395,6 +504,10 @@ fn main() {
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
     });
 
+    // The substrate section must run before anything else allocates: its
+    // peak-RSS reading (VmHWM) is process-wide and monotone.
+    let substrate = substrate_section(opts.seed);
+
     let mut micro = micro_section(opts.seed);
     if let Value::Object(map) = &mut micro {
         map.insert("kernels".to_string(), kernels_section(opts.seed));
@@ -424,6 +537,7 @@ fn main() {
         "schema_version": 1,
         "scale": opts.scale_name,
         "seed": opts.seed,
+        "substrate": substrate,
         "micro": micro,
         "study": study,
     });
@@ -464,6 +578,26 @@ fn main() {
         eprintln!(
             "perf gate OK: {current:.2} evals/s vs baseline {reference:.2} (floor {floor:.2})"
         );
+    }
+    // Substrate throughput gate: block-chunked generation plus the
+    // view-streamed encode must keep 75% of the baseline's rows/s.
+    {
+        let path = ["substrate", "rows_per_sec"];
+        let current = lookup(&report, &path).and_then(Value::as_f64).unwrap();
+        let reference = lookup(&baseline, &path).and_then(Value::as_f64).unwrap_or(0.0);
+        let floor = 0.75 * reference;
+        if current < floor {
+            eprintln!(
+                "PERF REGRESSION: substrate {current:.0} rows/s is below 75% of the \
+                 baseline {reference:.0} rows/s (floor {floor:.0})"
+            );
+            failed = true;
+        } else {
+            eprintln!(
+                "perf gate OK: substrate {current:.0} rows/s vs baseline {reference:.0} \
+                 (floor {floor:.0})"
+            );
+        }
     }
     // Per-kernel gate on the naive/kernel *speedup* (a within-run ratio,
     // stable across thermal states): each kernel must keep at least 75%

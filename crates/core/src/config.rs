@@ -235,12 +235,28 @@ impl StudyScale {
         }
     }
 
-    /// Parses a scale name (`smoke` / `default` / `full`).
+    /// Million-row study tier: pools are one full block
+    /// (`tabular::ROWS_PER_BLOCK` rows) per dataset, exercising the
+    /// columnar substrate's bounded-memory streaming. Split/seed density
+    /// is kept low — the point is data volume, not score density.
+    pub fn large() -> StudyScale {
+        StudyScale {
+            pool_size: 1 << 20,
+            sample_size: 4_000,
+            n_splits: 1,
+            n_model_seeds: 1,
+            test_fraction: 0.25,
+            cv_folds: 3,
+        }
+    }
+
+    /// Parses a scale name (`smoke` / `default` / `full` / `large`).
     pub fn parse(name: &str) -> Option<StudyScale> {
         match name {
             "smoke" => Some(StudyScale::smoke()),
             "default" => Some(StudyScale::default_scale()),
             "full" => Some(StudyScale::full()),
+            "large" => Some(StudyScale::large()),
             _ => None,
         }
     }
@@ -380,6 +396,9 @@ mod tests {
         assert!(smoke.sample_size < default.sample_size);
         assert!(default.sample_size < full.sample_size);
         assert_eq!(full.scores_per_config(), 100); // the paper's 100 models/config
+        let large = StudyScale::parse("large").unwrap();
+        assert_eq!(large.pool_size, 1 << 20); // exactly one block per pool
+        assert!(large.pool_size > full.pool_size);
         assert!(StudyScale::parse("nope").is_none());
     }
 }

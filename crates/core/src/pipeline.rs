@@ -26,7 +26,8 @@ use demodq_rectify::{rectify_classifier, RectificationReport, RectifyOptions};
 use fairness::{group_confusions, FairnessMetric, GroupConfusions, GroupSpec, Groups};
 use mlcore::{f1_score, tune_and_fit, Classifier, ModelKind, TunedModel};
 use tabular::{
-    split::train_test_split, DataFrame, DenseMatrix, FeatureEncoder, Result, Rng64, TabularError,
+    split::train_test_split, BlockStore, DataFrame, DenseMatrix, FeatureEncoder, Result, Rng64,
+    TabularError,
 };
 
 /// Salt folded into the model seed to derive the rectification
@@ -341,9 +342,14 @@ fn preclean_missing(train: &DataFrame, test: &DataFrame) -> Result<(DataFrame, D
     Ok((clean_train, clean_test))
 }
 
-/// Samples a run's train/test split from the dataset pool.
+/// Samples a run's train/test split from the columnar dataset pool.
+///
+/// The RNG sequence (index sample, then split seed draw) and the
+/// gathered sample are bit-identical to the old dense-frame path:
+/// [`BlockStore::take`] reconstructs exactly the cells
+/// `DataFrame::take` would copy, so exports do not move.
 pub fn sample_split(
-    pool: &DataFrame,
+    pool: &BlockStore,
     scale: &StudyScale,
     split_seed: u64,
 ) -> Result<(DataFrame, DataFrame)> {
@@ -357,7 +363,7 @@ pub fn sample_split(
 
 /// Runs the full Figure 3 pipeline once for one configuration.
 pub fn run_configuration_once(
-    pool: &DataFrame,
+    pool: &BlockStore,
     model: ModelKind,
     repair: &RepairSpec,
     groups: &[GroupSpec],
@@ -379,8 +385,8 @@ mod tests {
     use cleaning::repair::OutlierRepair;
     use datasets::DatasetId;
 
-    fn german_pool() -> DataFrame {
-        DatasetId::German.generate(900, 42).unwrap()
+    fn german_pool() -> BlockStore {
+        DatasetId::German.generate_store(900, 42).unwrap()
     }
 
     fn groups() -> Vec<GroupSpec> {
@@ -422,7 +428,7 @@ mod tests {
 
     #[test]
     fn outlier_arms_keep_rows_and_change_cells() {
-        let pool = DatasetId::Credit.generate(900, 7).unwrap();
+        let pool = DatasetId::Credit.generate_store(900, 7).unwrap();
         let scale = StudyScale::smoke();
         let (train, test) = sample_split(&pool, &scale, 5).unwrap();
         let repair = RepairSpec::Outliers {

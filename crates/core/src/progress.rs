@@ -300,6 +300,34 @@ mod tests {
     }
 
     #[test]
+    fn first_tick_line_is_finite_with_unknown_eta() {
+        // The very first tick: nothing done, (near-)zero elapsed. The
+        // rendered line must contain no NaN/inf from 0/0 rate or ETA math,
+        // and the ETA must read as unknown, not garbage.
+        let t = ProgressTracker::new(100, false, Duration::from_secs(60));
+        let s = t.snapshot();
+        assert_eq!(s.done_units, 0);
+        assert!(s.eta().is_none(), "ETA must be unknown before the first unit");
+        assert!(s.evals_per_sec().is_finite());
+        let line = s.line();
+        assert!(line.contains("0/100 units"), "{line}");
+        assert!(line.contains("ETA ?"), "{line}");
+        assert!(!line.contains("NaN") && !line.contains("inf"), "{line}");
+
+        // Evals recorded at exactly zero elapsed must not divide by zero.
+        let s = ProgressSnapshot {
+            done_units: 0,
+            total_units: 100,
+            evals: 7,
+            elapsed: Duration::ZERO,
+        };
+        assert_eq!(s.evals_per_sec(), 0.0);
+        assert!(s.eta().is_none());
+        let line = s.line();
+        assert!(line.contains("ETA ?") && !line.contains("NaN") && !line.contains("inf"), "{line}");
+    }
+
+    #[test]
     fn tracker_counts_without_printing() {
         let t = ProgressTracker::new(30, false, Duration::from_secs(60));
         t.advance(1, 10);

@@ -69,7 +69,7 @@ use rayon::prelude::*;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
-use tabular::{DataFrame, Result, TabularError};
+use tabular::{BlockStore, DataFrame, Result, TabularError};
 
 /// Paired dirty/repaired score vectors for one group × metric.
 #[derive(Debug, Clone)]
@@ -337,7 +337,7 @@ struct EncodedTask {
 /// stage errors out.
 fn prepare_task(
     sseed: u64,
-    pool: &DataFrame,
+    pool: &BlockStore,
     error: ErrorType,
     variants: &[RepairSpec],
     scale: &StudyScale,
@@ -533,7 +533,7 @@ pub fn run_error_type_study_with(
     let mut group_specs: Vec<Vec<GroupSpec>> = Vec::with_capacity(datasets.len());
     let mut group_labels: Vec<Vec<(String, bool)>> = Vec::with_capacity(datasets.len());
     for id in &datasets {
-        let pool = id.generate(scale.pool_size, study_seed ^ fnv(id.name()))?;
+        let pool = id.generate_store(scale.pool_size, study_seed ^ fnv(id.name()))?;
         let spec = id.spec();
         let mut gs = spec.single_attribute_specs();
         if let Some(inter) = spec.intersectional_spec() {

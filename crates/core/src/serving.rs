@@ -95,6 +95,18 @@ impl ServingModel {
         Ok(self.classifier.predict(&self.encoder.transform(frame)?))
     }
 
+    /// Predicts 0/1 labels and reports how many rows carried a category
+    /// the encoder never saw at fit time (those cells one-hot to all
+    /// zeros, silently shifting the feature distribution — callers should
+    /// surface the count instead of swallowing it).
+    pub fn predict_frame_with_report(
+        &self,
+        frame: &DataFrame,
+    ) -> Result<(Vec<u8>, tabular::encode::TransformReport)> {
+        let (x, report) = self.encoder.transform_with_report(frame)?;
+        Ok((self.classifier.predict(&x), report))
+    }
+
     /// Predicts positive-class probabilities for the rows of `frame`.
     pub fn predict_proba_frame(&self, frame: &DataFrame) -> Result<Vec<f64>> {
         Ok(self.classifier.predict_proba(&self.encoder.transform(frame)?))
@@ -119,7 +131,7 @@ pub fn train_serving_model(
     scale: &StudyScale,
     seed: u64,
 ) -> Result<ServingModel> {
-    let pool = dataset.generate(scale.pool_size, seed)?;
+    let pool = dataset.generate_store(scale.pool_size, seed)?;
     let (train, test) = sample_split(&pool, scale, seed ^ 0x5EED_CAFE)?;
     let encoder = FeatureEncoder::fit(&train, true)?;
     let x_train = encoder.transform(&train)?;

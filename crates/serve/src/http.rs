@@ -140,11 +140,32 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, HttpE
     if request.header("transfer-encoding").is_some() {
         return Err(HttpError::LengthRequired);
     }
-    let content_length = match request.header("content-length") {
-        Some(v) => v
-            .parse::<usize>()
-            .map_err(|_| HttpError::BadRequest(format!("bad content-length {v:?}")))?,
-        None => 0,
+    // Reject duplicate Content-Length headers outright (even when equal) —
+    // mismatched framing between intermediaries is the classic
+    // request-smuggling shape — and accept only pure digit strings:
+    // `parse::<usize>` would otherwise admit forms like "+5" that other
+    // parsers in the chain may read differently.
+    let lengths: Vec<&str> = request
+        .headers
+        .iter()
+        .filter(|(name, _)| name == "content-length")
+        .map(|(_, value)| value.as_str())
+        .collect();
+    let content_length = match lengths.as_slice() {
+        [] => 0,
+        [v] => {
+            if v.is_empty() || !v.bytes().all(|b| b.is_ascii_digit()) {
+                return Err(HttpError::BadRequest(format!("bad content-length {v:?}")));
+            }
+            v.parse::<usize>()
+                .map_err(|_| HttpError::BadRequest(format!("bad content-length {v:?}")))?
+        }
+        _ => {
+            return Err(HttpError::BadRequest(format!(
+                "{} content-length headers in one request",
+                lengths.len()
+            )))
+        }
     };
     if content_length > MAX_BODY_BYTES {
         return Err(HttpError::PayloadTooLarge(format!(
@@ -284,6 +305,29 @@ mod tests {
             .unwrap()
             .unwrap();
         assert_eq!(req.body, b"{\"a\"");
+    }
+
+    #[test]
+    fn duplicate_equal_content_lengths_rejected() {
+        let err = parse(b"POST /v1/predict HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\n{\"a\"")
+            .unwrap_err();
+        assert!(matches!(err, HttpError::BadRequest(_)), "{err:?}");
+    }
+
+    #[test]
+    fn duplicate_conflicting_content_lengths_rejected() {
+        let err = parse(b"POST /v1/predict HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 11\r\n\r\n{\"a\"1234567")
+            .unwrap_err();
+        assert!(matches!(err, HttpError::BadRequest(_)), "{err:?}");
+    }
+
+    #[test]
+    fn signed_content_length_rejected() {
+        // `parse::<usize>` accepts a leading '+'; the framing layer must not.
+        let err = parse(b"POST /v1/predict HTTP/1.1\r\nContent-Length: +5\r\n\r\nhello").unwrap_err();
+        assert!(matches!(err, HttpError::BadRequest(_)), "{err:?}");
+        let err = parse(b"POST /v1/predict HTTP/1.1\r\nContent-Length:\r\n\r\n").unwrap_err();
+        assert!(matches!(err, HttpError::BadRequest(_)), "{err:?}");
     }
 
     #[test]

@@ -50,6 +50,7 @@ struct EndpointMetrics {
 pub struct Metrics {
     endpoints: [EndpointMetrics; ENDPOINTS.len()],
     rejected_queue_full: AtomicU64,
+    unseen_category_rows: AtomicU64,
 }
 
 impl Metrics {
@@ -82,6 +83,17 @@ impl Metrics {
     /// Records a connection rejected because the worker queue was full.
     pub fn observe_queue_full(&self) {
         self.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records prediction rows that carried a category the model's
+    /// encoder never saw at fit time (one-hot encoded as all zeros).
+    pub fn observe_unseen_category_rows(&self, rows: u64) {
+        self.unseen_category_rows.fetch_add(rows, Ordering::Relaxed);
+    }
+
+    /// Total prediction rows with unseen categories so far.
+    pub fn unseen_category_rows(&self) -> u64 {
+        self.unseen_category_rows.load(Ordering::Relaxed)
     }
 
     /// Total requests across all endpoints.
@@ -117,6 +129,14 @@ impl Metrics {
         out.push_str(&format!(
             "demodq_rejected_total {}\n",
             self.rejected_queue_full.load(Ordering::Relaxed)
+        ));
+        out.push_str(
+            "# HELP demodq_unseen_category_rows_total Prediction rows with categories unseen at fit time.\n",
+        );
+        out.push_str("# TYPE demodq_unseen_category_rows_total counter\n");
+        out.push_str(&format!(
+            "demodq_unseen_category_rows_total {}\n",
+            self.unseen_category_rows.load(Ordering::Relaxed)
         ));
         out.push_str("# HELP demodq_request_seconds Request latency per endpoint.\n");
         out.push_str("# TYPE demodq_request_seconds histogram\n");
@@ -166,6 +186,11 @@ mod tests {
         // The unknown path is rolled into `other`.
         assert!(text.contains("demodq_requests_total{endpoint=\"other\"} 1"));
         assert!(text.contains("demodq_rejected_total 1"));
+
+        m.observe_unseen_category_rows(3);
+        m.observe_unseen_category_rows(2);
+        assert_eq!(m.unseen_category_rows(), 5);
+        assert!(m.render().contains("demodq_unseen_category_rows_total 5"));
     }
 
     #[test]

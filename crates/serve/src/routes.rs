@@ -138,15 +138,18 @@ impl App {
         let (rows, single) = request_rows(body)?;
         let frame = frame_from_rows(served.train.schema(), &rows, false)
             .map_err(|e| Response::error(400, &e))?;
-        let predictions =
-            served.predict_frame(&frame).map_err(|e| Response::error(400, &e.to_string()))?;
+        let (predictions, unseen) = served
+            .predict_frame_with_report(&frame)
+            .map_err(|e| Response::error(400, &e.to_string()))?;
         let probabilities = served
             .predict_proba_frame(&frame)
             .map_err(|e| Response::error(400, &e.to_string()))?;
+        self.metrics.observe_unseen_category_rows(unseen.unseen_category_rows);
         let mut reply = json!({
             "dataset": served.dataset.name(),
             "model": served.model.name(),
             "n_rows": predictions.len(),
+            "unseen_category_rows": unseen.unseen_category_rows,
             "predictions": Value::Array(predictions.iter().map(|&p| json!(p)).collect()),
             "probabilities": Value::Array(probabilities.iter().map(|&p| json!(p)).collect()),
         });

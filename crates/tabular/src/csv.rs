@@ -1,9 +1,10 @@
 //! Minimal CSV serialisation for [`DataFrame`]s.
 //!
-//! Supports quoted fields, embedded commas/quotes, and empty-string-as-
-//! missing — enough to persist and reload the synthetic study datasets and
-//! to export results for external analysis. Not a general-purpose CSV
-//! implementation (no multi-line fields).
+//! Supports quoted fields, embedded commas/quotes/newlines (a quoted
+//! field may span CRLF line breaks), a final record without a trailing
+//! newline, and empty-string-as-missing — enough to persist and reload
+//! the synthetic study datasets and to export results for external
+//! analysis.
 
 use crate::column::{CatColumn, Column};
 use crate::error::TabularError;
@@ -13,7 +14,7 @@ use crate::Result;
 use std::io::{BufRead, BufWriter, Write};
 
 fn needs_quoting(s: &str) -> bool {
-    s.contains(',') || s.contains('"') || s.contains('\n')
+    s.contains(',') || s.contains('"') || s.contains('\n') || s.contains('\r')
 }
 
 fn write_field(out: &mut String, s: &str) {
@@ -75,7 +76,42 @@ pub fn write_csv<W: Write>(frame: &DataFrame, writer: W) -> std::io::Result<()> 
     w.flush()
 }
 
-/// Splits one CSV line into fields, honouring double quotes.
+/// Splits CSV text into records, honouring double quotes so a quoted
+/// field may contain embedded LF/CRLF. Record terminators are `\n` or
+/// `\r\n` (the `\r` is stripped); a final record without a trailing
+/// newline is kept. Quote-parity tracking treats the `""` escape as two
+/// toggles, which nets out to "still quoted" — exactly right for finding
+/// record boundaries (stray-quote errors are left to [`split_line`]).
+fn split_records(text: &str) -> Vec<&str> {
+    let bytes = text.as_bytes();
+    let mut records = Vec::new();
+    let mut start = 0usize;
+    let mut in_quotes = false;
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'"' => in_quotes = !in_quotes,
+            b'\n' if !in_quotes => {
+                let mut end = i;
+                if end > start && bytes[end - 1] == b'\r' {
+                    end -= 1;
+                }
+                records.push(&text[start..end]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if start < bytes.len() {
+        let mut end = bytes.len();
+        if end > start && bytes[end - 1] == b'\r' {
+            end -= 1;
+        }
+        records.push(&text[start..end]);
+    }
+    records
+}
+
+/// Splits one CSV record into fields, honouring double quotes.
 fn split_line(line: &str) -> Result<Vec<String>> {
     let mut fields = Vec::new();
     let mut cur = String::new();
@@ -121,7 +157,8 @@ fn split_line(line: &str) -> Result<Vec<String>> {
 /// The header must match the schema's column names (in order). Empty
 /// fields become missing values. Numeric fields must parse as `f64`.
 pub fn from_csv_str(text: &str, schema: Schema) -> Result<DataFrame> {
-    let mut lines = text.lines();
+    let records = split_records(text);
+    let mut lines = records.into_iter();
     let header = lines.next().ok_or_else(|| TabularError::Parse("empty CSV".to_string()))?;
     let header_fields = split_line(header)?;
     if header_fields.len() != schema.len() {
@@ -201,7 +238,8 @@ pub fn read_csv<R: BufRead>(mut reader: R, schema: Schema) -> Result<DataFrame> 
 /// as `f64` become numeric, everything else categorical; all roles are
 /// [`ColumnRole::Feature`].
 pub fn infer_schema(text: &str) -> Result<Schema> {
-    let mut lines = text.lines();
+    let records = split_records(text);
+    let mut lines = records.into_iter();
     let header = lines.next().ok_or_else(|| TabularError::Parse("empty CSV".to_string()))?;
     let names = split_line(header)?;
     let mut numeric = vec![true; names.len()];
@@ -320,5 +358,61 @@ mod tests {
     fn empty_csv_is_an_error() {
         assert!(from_csv_str("", Schema::default()).is_err());
         assert!(infer_schema("").is_err());
+    }
+
+    #[test]
+    fn split_records_honours_quotes_and_terminators() {
+        assert_eq!(split_records("a\nb\n"), vec!["a", "b"]);
+        assert_eq!(split_records("a\r\nb\r\n"), vec!["a", "b"]);
+        // A quoted field spanning LF and CRLF stays one record.
+        assert_eq!(split_records("\"x\ny\",z\nq\n"), vec!["\"x\ny\",z", "q"]);
+        assert_eq!(split_records("\"x\r\ny\"\nq"), vec!["\"x\r\ny\"", "q"]);
+        // Final record without a trailing newline is kept.
+        assert_eq!(split_records("a\nb"), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn quoted_field_with_embedded_crlf_parses() {
+        let text = "id,note,y\n1,\"line one\r\nline two\",0\r\n2,plain,1\r\n";
+        let schema = Schema::new(vec![
+            FieldMeta::new("id", ColumnKind::Numeric, ColumnRole::Feature),
+            FieldMeta::new("note", ColumnKind::Categorical, ColumnRole::Feature),
+            FieldMeta::new("y", ColumnKind::Numeric, ColumnRole::Label),
+        ])
+        .unwrap();
+        let df = from_csv_str(text, schema).unwrap();
+        assert_eq!(df.n_rows(), 2);
+        assert_eq!(df.categorical("note").unwrap().label(0), Some("line one\r\nline two"));
+        assert_eq!(df.categorical("note").unwrap().label(1), Some("plain"));
+
+        // Schema inference must agree with explicit parsing.
+        let inferred = infer_schema(text).unwrap();
+        assert_eq!(inferred.field("id").unwrap().kind, ColumnKind::Numeric);
+        assert_eq!(inferred.field("note").unwrap().kind, ColumnKind::Categorical);
+
+        // And a frame holding such a field must survive a round trip.
+        let df2 = DataFrame::builder()
+            .categorical("memo", ColumnRole::Feature, &[Some("a\r\nb"), Some("c")])
+            .numeric("y", ColumnRole::Label, vec![1.0, 0.0])
+            .build()
+            .unwrap();
+        let back = from_csv_str(&to_csv_string(&df2), df2.schema().clone()).unwrap();
+        assert_eq!(back.categorical("memo").unwrap().label(0), Some("a\r\nb"));
+    }
+
+    #[test]
+    fn final_record_without_trailing_newline_parses() {
+        let schema = Schema::new(vec![
+            FieldMeta::new("x", ColumnKind::Numeric, ColumnRole::Feature),
+            FieldMeta::new("y", ColumnKind::Numeric, ColumnRole::Label),
+        ])
+        .unwrap();
+        let df = from_csv_str("x,y\n1,0\n2,1", schema.clone()).unwrap();
+        assert_eq!(df.n_rows(), 2);
+        assert_eq!(df.numeric("x").unwrap()[1], 2.0);
+        // CRLF variant, also unterminated.
+        let df = from_csv_str("x,y\r\n1,0\r\n2,1", schema).unwrap();
+        assert_eq!(df.n_rows(), 2);
+        assert_eq!(df.labels().unwrap(), vec![0, 1]);
     }
 }

@@ -29,6 +29,7 @@
 //! assert_eq!(matrix.n_cols(), encoder.n_output_cols());
 //! ```
 
+pub mod block;
 pub mod column;
 pub mod csv;
 pub mod describe;
@@ -41,6 +42,7 @@ pub mod schema;
 pub mod split;
 pub mod stats;
 
+pub use block::{Bitmap, Block, BlockStore, BlockView, BlockWriter, ColumnData, ROWS_PER_BLOCK};
 pub use column::{CatColumn, Cell, Column};
 pub use encode::FeatureEncoder;
 pub use error::TabularError;

@@ -86,8 +86,9 @@ fn main() {
     };
     let repair =
         RepairSpec::Missing(MissingRepair { num: NumImpute::Median, cat: CatImpute::Dummy });
+    let pool = demodq_repro::tabular::BlockStore::from_frame(&frame).expect("build block store");
     let pair = run_configuration_once(
-        &frame,
+        &pool,
         ModelKind::LogReg,
         &repair,
         &[spec],

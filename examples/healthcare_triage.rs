@@ -17,13 +17,15 @@ use demodq_repro::fairness::FairnessMetric;
 use demodq_repro::mlcore::ModelKind;
 
 fn main() {
-    let pool = DatasetId::Heart.generate(3_000, 11).expect("generate heart");
+    let pool = DatasetId::Heart.generate_store(3_000, 11).expect("generate heart");
     println!("heart: {} rows; label = presence of cardiovascular disease", pool.n_rows());
 
-    // How many tuples does each outlier detector flag?
+    // How many tuples does each outlier detector flag? (Detector reports
+    // are row-oriented, so materialise the pool's single block once.)
+    let pool_frame = pool.to_frame().expect("materialise pool");
     for detector in DetectorKind::outlier_detectors() {
-        let fitted = detector.fit(&pool, 3).expect("fit");
-        let report = fitted.detect(&pool).expect("detect");
+        let fitted = detector.fit(&pool_frame, 3).expect("fit");
+        let report = fitted.detect(&pool_frame).expect("detect");
         println!(
             "  {:<14} flags {:>5.1}% of tuples",
             detector.name(),

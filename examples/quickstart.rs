@@ -17,7 +17,7 @@ use demodq_repro::mlcore::ModelKind;
 fn main() {
     // 1. Generate the dataset (a seeded synthetic reproduction of the
     //    Statlog German Credit data; see DESIGN.md for the substitution).
-    let pool = DatasetId::German.generate(2_000, 42).expect("generate german");
+    let pool = DatasetId::German.generate_store(2_000, 42).expect("generate german");
     println!(
         "german: {} rows, {} columns, {} missing cells",
         pool.n_rows(),
@@ -25,10 +25,12 @@ fn main() {
         pool.missing_cells()
     );
 
-    // 2. What do the five error detectors flag?
+    // 2. What do the five error detectors flag? (Detector reports are
+    //    row-oriented, so materialise the pool's single block once.)
+    let pool_frame = pool.to_frame().expect("materialise pool");
     for detector in DetectorKind::all() {
-        let fitted = detector.fit(&pool, 7).expect("fit detector");
-        let report = fitted.detect(&pool).expect("detect");
+        let fitted = detector.fit(&pool_frame, 7).expect("fit detector");
+        let report = fitted.detect(&pool_frame).expect("detect");
         println!(
             "  {:<15} flags {:>5.1}% of tuples",
             detector.name(),

@@ -9,7 +9,7 @@ use demodq_repro::demodq::pipeline::{prepare_arms, run_configuration_once, sampl
 use demodq_repro::demodq::runner::run_error_type_study_with;
 use demodq_repro::fairness::{CmpOp, GroupPredicate, GroupSpec};
 use demodq_repro::mlcore::ModelKind;
-use demodq_repro::tabular::{ColumnRole, DataFrame};
+use demodq_repro::tabular::{BlockStore, ColumnRole, DataFrame};
 
 /// A frame whose every row has a missing value: the dirty baseline
 /// (drop incomplete rows) has nothing left to train on and must error.
@@ -56,8 +56,9 @@ fn single_class_labels_do_not_panic() {
         test_fraction: 0.25,
         cv_folds: 3,
     };
+    let pool = BlockStore::from_frame(&frame).unwrap();
     let pair = run_configuration_once(
-        &frame,
+        &pool,
         ModelKind::LogReg,
         &RepairSpec::Mislabels,
         &groups,
@@ -95,7 +96,7 @@ fn constant_features_are_harmless() {
 /// an error from the pipeline, not a panic.
 #[test]
 fn unknown_sensitive_attribute_errors() {
-    let pool = DatasetId::German.generate(400, 1).unwrap();
+    let pool = DatasetId::German.generate_store(400, 1).unwrap();
     let groups = vec![GroupSpec::SingleAttribute(GroupPredicate::cat(
         "not_a_column",
         CmpOp::Eq,
@@ -117,7 +118,7 @@ fn unknown_sensitive_attribute_errors() {
 /// pool.
 #[test]
 fn oversampling_clamps_to_pool() {
-    let pool = DatasetId::German.generate(200, 3).unwrap();
+    let pool = DatasetId::German.generate_store(200, 3).unwrap();
     let scale = StudyScale {
         pool_size: 200,
         sample_size: 10_000,
@@ -244,7 +245,8 @@ fn extreme_magnitudes_stay_finite() {
                 strategy: NumImpute::Median,
             },
         };
-        let pair = run_configuration_once(&frame, ModelKind::LogReg, &repair, &groups, &scale, 1, 2)
+        let pool = BlockStore::from_frame(&frame).unwrap();
+        let pair = run_configuration_once(&pool, ModelKind::LogReg, &repair, &groups, &scale, 1, 2)
             .expect("extreme magnitudes should not break the pipeline");
         assert!(pair.dirty.test_accuracy.is_finite());
         assert!(pair.repaired.test_accuracy.is_finite());

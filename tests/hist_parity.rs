@@ -34,7 +34,7 @@ struct Encoded {
 /// greedy trees would dominate the comparison.
 fn encoded_split(id: DatasetId, seed: u64) -> Encoded {
     let scale = StudyScale { pool_size: 2000, sample_size: 1200, test_fraction: 0.3, ..StudyScale::smoke() };
-    let pool = id.generate(scale.pool_size, seed).expect("generate pool");
+    let pool = id.generate_store(scale.pool_size, seed).expect("generate pool");
     let (train, test) = sample_split(&pool, &scale, seed ^ 0xA11CE).expect("split");
     let train = train.drop_incomplete_rows().expect("drop train rows");
     let test = test.drop_incomplete_rows().expect("drop test rows");

@@ -17,7 +17,7 @@ fn smoke() -> StudyScale {
 #[test]
 fn every_dataset_supports_its_declared_error_types_end_to_end() {
     for id in DatasetId::all() {
-        let pool = id.generate(700, 3).unwrap();
+        let pool = id.generate_store(700, 3).unwrap();
         let spec = id.spec();
         let groups = spec.single_attribute_specs();
         for error in &spec.error_types {
@@ -40,7 +40,7 @@ fn every_dataset_supports_its_declared_error_types_end_to_end() {
 
 #[test]
 fn dirty_baseline_semantics_match_the_paper() {
-    let pool = DatasetId::Credit.generate(900, 5).unwrap();
+    let pool = DatasetId::Credit.generate_store(900, 5).unwrap();
     let (train, test) = sample_split(&pool, &smoke(), 1).unwrap();
 
     // Missing values: dirty train drops incomplete rows; dirty test is
@@ -71,7 +71,7 @@ fn dirty_baseline_semantics_match_the_paper() {
 
 #[test]
 fn intersectional_confusions_never_exceed_test_size() {
-    let pool = DatasetId::Adult.generate(800, 9).unwrap();
+    let pool = DatasetId::Adult.generate_store(800, 9).unwrap();
     let spec = DatasetId::Adult.spec();
     let mut groups = spec.single_attribute_specs();
     groups.push(spec.intersectional_spec().unwrap());
@@ -98,7 +98,7 @@ fn intersectional_confusions_never_exceed_test_size() {
 
 #[test]
 fn fairness_metrics_computable_from_pipeline_output() {
-    let pool = DatasetId::Heart.generate(800, 13).unwrap();
+    let pool = DatasetId::Heart.generate_store(800, 13).unwrap();
     let spec = DatasetId::Heart.spec();
     let groups = spec.single_attribute_specs();
     let variant = RepairSpec::Outliers {
@@ -121,7 +121,7 @@ fn fairness_metrics_computable_from_pipeline_output() {
 
 #[test]
 fn all_three_models_run_the_same_configuration() {
-    let pool = DatasetId::German.generate(700, 21).unwrap();
+    let pool = DatasetId::German.generate_store(700, 21).unwrap();
     let spec = DatasetId::German.spec();
     let groups = spec.single_attribute_specs();
     let missing = RepairSpec::Missing(MissingRepair::all()[0]);

@@ -63,7 +63,7 @@ fn result_record_keys_are_stable_across_serialisations() {
     // between runs. Our records use ordered maps; serialising the same
     // run twice must give byte-identical JSON, and the technique prefix
     // in every key must match the configured repair.
-    let pool = DatasetId::German.generate(700, 77).unwrap();
+    let pool = DatasetId::German.generate_store(700, 77).unwrap();
     let spec = DatasetId::German.spec();
     let groups = spec.single_attribute_specs();
     let repair = RepairSpec::Missing(demodq_repro::cleaning::repair::MissingRepair {

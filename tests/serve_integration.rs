@@ -113,6 +113,29 @@ fn serves_predict_clean_audit_over_tcp() {
         let p = p.as_f64().expect("probability");
         assert!((0.0..=1.0).contains(&p));
     }
+    // In-vocabulary rows carry no unseen categories.
+    assert_eq!(reply.get("unseen_category_rows").and_then(Value::as_u64), Some(0));
+
+    // --- /v1/predict surfaces rows with categories unseen at fit time ---
+    let mut rows = sample_rows(3);
+    for i in [0, 2] {
+        if let Value::Object(map) = &mut rows[i] {
+            map.insert("purpose".to_string(), Value::String("hovercraft".to_string()));
+        }
+    }
+    let body = serde_json::to_string(&serde_json::json!({
+        "dataset": "german",
+        "model": "log-reg",
+        "rows": Value::Array(rows),
+    }))
+    .unwrap();
+    let (status, reply) = exchange_json(addr, "POST", "/v1/predict", Some(&body));
+    assert_eq!(status, 200, "predict with unseen category failed: {reply}");
+    assert_eq!(
+        reply.get("unseen_category_rows").and_then(Value::as_u64),
+        Some(2),
+        "unseen-category rows must be tallied, not silently zero-encoded: {reply}"
+    );
 
     // --- /v1/audit on a labeled batch ---
     let rows = sample_rows(40);
@@ -210,6 +233,10 @@ fn serves_predict_clean_audit_over_tcp() {
     let metrics = String::from_utf8(metrics).expect("metrics are text");
     assert!(metrics.contains("demodq_requests_total{endpoint=\"/v1/predict\"}"));
     assert!(metrics.contains("demodq_request_seconds_bucket"));
+    assert!(
+        metrics.contains("demodq_unseen_category_rows_total 2"),
+        "the unseen-category tally from the predict above must be exported: {metrics}"
+    );
 
     // --- startup training time is exported per served model ---
     assert!(metrics.contains("# TYPE serve_startup_train_seconds gauge"));
