@@ -67,6 +67,36 @@ echo "==> studybench perf gate (vs committed BENCH_study.json)"
 cargo run --release -p demodq-bench --bin studybench -- \
     --smoke --out target/BENCH_study.json --baseline BENCH_study.json
 
+echo "==> serve-bench throughput gate (vs committed BENCH_serve.json)"
+# Boots the event-driven server on an ephemeral port, hammers /v1/predict
+# with the committed benchmark shape, and fails on any 5xx, any mid-run
+# connection reset, a missing fairness-drift gauge, or throughput below
+# 75% of the committed baseline (machine noise headroom; a real
+# regression in the event loop or the batcher blows well past 25%).
+SERVE_DIR=target/serve_bench
+rm -rf "$SERVE_DIR"
+mkdir -p "$SERVE_DIR"
+./target/release/demodq-serve --datasets german --models log-reg --quiet \
+    --addr 127.0.0.1:0 --addr-file "$SERVE_DIR/addr" &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+for _ in $(seq 1 150); do
+    [ -s "$SERVE_DIR/addr" ] && break
+    sleep 0.2
+done
+[ -s "$SERVE_DIR/addr" ] || {
+    echo "FAIL: demodq-serve never published its address"
+    exit 1
+}
+./target/release/loadgen --addr "$(cat "$SERVE_DIR/addr")" \
+    --connections 4 --pipeline 32 --batch-rows 1 --duration 5 \
+    --baseline BENCH_serve.json --baseline-frac 0.75 \
+    --require-drift-gauges --out "$SERVE_DIR/BENCH_serve.json"
+kill "$SERVE_PID" 2>/dev/null || true
+wait "$SERVE_PID" 2>/dev/null || true
+trap - EXIT
+echo "serve-bench gate OK"
+
 echo "==> crash-resume smoke (kill -9 mid-study, resume from journal)"
 # resume_smoke was compiled by the --workspace --all-targets build above.
 SMOKE_DIR=target/resume_smoke

@@ -1,20 +1,28 @@
 //! Load generator for `demodq-serve`: hammers `POST /v1/predict` with
-//! keep-alive connections and reports throughput and latency percentiles
-//! as JSON on stdout, cross-checked against the server's own `/metrics`.
+//! keep-alive (optionally pipelined) connections and reports throughput
+//! and exact latency quantiles as JSON on stdout, cross-checked against
+//! the server's own `/metrics`.
 //!
 //! ```sh
 //! demodq-serve --quiet &
 //! cargo run --release -p demodq-bench --bin loadgen -- \
 //!     --addr 127.0.0.1:8080 --dataset german --model log-reg \
-//!     --connections 8 --duration 5 --min-rps 1000
+//!     --connections 8 --pipeline 16 --batch-rows 8 --duration 5 \
+//!     --min-rps 1000 --require-drift-gauges
 //! ```
 //!
-//! Exit status is nonzero when any 5xx was observed or `--min-rps` was
-//! not reached, so the bin doubles as an acceptance check.
+//! Latency is tallied per endpoint into counting histograms (1µs buckets
+//! plus an exact overflow map), so quantiles are exact over *every*
+//! request, not a sample, at constant memory. Exit status is nonzero
+//! when any 5xx was observed, a connection was reset mid-run, `--min-rps`
+//! / the `--baseline` floor was not reached, or (with
+//! `--require-drift-gauges`) the fairness drift gauges are missing from
+//! `/metrics` — so the bin doubles as an acceptance check.
 
 use datasets::DatasetId;
 use demodq_serve::codec::rows_from_frame;
 use serde_json::{json, Value};
+use std::collections::{BTreeMap, VecDeque};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -25,16 +33,23 @@ struct Args {
     addr: String,
     dataset: String,
     model: String,
-    batch: usize,
+    batch_rows: usize,
     connections: usize,
+    pipeline: usize,
     duration: Duration,
     min_rps: f64,
+    baseline: Option<String>,
+    baseline_frac: f64,
+    out: Option<String>,
+    require_drift_gauges: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--addr HOST:PORT] [--dataset NAME] [--model NAME] \
-         [--batch N] [--connections N] [--duration SECONDS] [--min-rps N]"
+         [--batch-rows N] [--connections N] [--pipeline N] [--duration SECONDS] \
+         [--min-rps N] [--baseline BENCH.json] [--baseline-frac X] [--out FILE] \
+         [--require-drift-gauges]"
     );
     std::process::exit(2);
 }
@@ -44,10 +59,15 @@ fn parse_args() -> Args {
         addr: "127.0.0.1:8080".to_string(),
         dataset: "german".to_string(),
         model: "log-reg".to_string(),
-        batch: 8,
+        batch_rows: 8,
         connections: 8,
+        pipeline: 1,
         duration: Duration::from_secs(5),
         min_rps: 0.0,
+        baseline: None,
+        baseline_frac: 0.75,
+        out: None,
+        require_drift_gauges: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -56,13 +76,23 @@ fn parse_args() -> Args {
             "--addr" => args.addr = value(),
             "--dataset" => args.dataset = value(),
             "--model" => args.model = value(),
-            "--batch" => args.batch = value().parse().unwrap_or_else(|_| usage()),
+            // `--batch` kept as an alias for scripts written against v1.
+            "--batch-rows" | "--batch" => {
+                args.batch_rows = value().parse().unwrap_or_else(|_| usage());
+            }
             "--connections" => args.connections = value().parse().unwrap_or_else(|_| usage()),
+            "--pipeline" => args.pipeline = value().parse().unwrap_or_else(|_| usage()),
             "--duration" => {
                 args.duration =
                     Duration::from_secs_f64(value().parse().unwrap_or_else(|_| usage()));
             }
             "--min-rps" => args.min_rps = value().parse().unwrap_or_else(|_| usage()),
+            "--baseline" => args.baseline = Some(value()),
+            "--baseline-frac" => {
+                args.baseline_frac = value().parse().unwrap_or_else(|_| usage());
+            }
+            "--out" => args.out = Some(value()),
+            "--require-drift-gauges" => args.require_drift_gauges = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other:?}");
@@ -73,14 +103,103 @@ fn parse_args() -> Args {
     args
 }
 
+/// Exact latency tallies at constant memory: a dense 1µs-bucket array up
+/// to 100ms plus an exact per-value overflow map for slower requests.
+/// Quantiles computed from this are exact over all recorded samples
+/// (bucket width 1µs == the recording resolution), never sampled.
+#[derive(Default)]
+struct LatencyHistogram {
+    dense: Vec<u64>,
+    overflow: BTreeMap<u64, u64>,
+    count: u64,
+    sum_us: u64,
+    max_us: u64,
+}
+
+const DENSE_BUCKETS: usize = 100_000; // 0..100ms at 1µs resolution
+
+impl LatencyHistogram {
+    fn record(&mut self, us: u64) {
+        if self.dense.is_empty() {
+            self.dense = vec![0; DENSE_BUCKETS];
+        }
+        if (us as usize) < DENSE_BUCKETS {
+            self.dense[us as usize] += 1;
+        } else {
+            *self.overflow.entry(us).or_insert(0) += 1;
+        }
+        self.count += 1;
+        self.sum_us += us;
+        self.max_us = self.max_us.max(us);
+    }
+
+    fn merge(&mut self, other: &LatencyHistogram) {
+        if self.dense.is_empty() {
+            self.dense = vec![0; DENSE_BUCKETS];
+        }
+        for (i, &c) in other.dense.iter().enumerate() {
+            self.dense[i] += c;
+        }
+        for (&us, &c) in &other.overflow {
+            *self.overflow.entry(us).or_insert(0) += c;
+        }
+        self.count += other.count;
+        self.sum_us += other.sum_us;
+        self.max_us = self.max_us.max(other.max_us);
+    }
+
+    /// Exact p-quantile in microseconds (nearest-rank).
+    fn quantile_us(&self, p: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (us, &c) in self.dense.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(us as u64);
+            }
+        }
+        for (&us, &c) in &self.overflow {
+            seen += c;
+            if seen >= rank {
+                return Some(us);
+            }
+        }
+        Some(self.max_us)
+    }
+
+    fn to_json(&self) -> Value {
+        let ms = |q: Option<u64>| q.map_or(Value::Null, |us| json!(us as f64 / 1000.0));
+        json!({
+            "count": self.count,
+            "mean": if self.count == 0 {
+                Value::Null
+            } else {
+                json!(self.sum_us as f64 / self.count as f64 / 1000.0)
+            },
+            "p50": ms(self.quantile_us(0.50)),
+            "p90": ms(self.quantile_us(0.90)),
+            "p99": ms(self.quantile_us(0.99)),
+            "p999": ms(self.quantile_us(0.999)),
+            "max": json!(self.max_us as f64 / 1000.0),
+        })
+    }
+}
+
 /// Per-worker tallies, merged after the run.
 #[derive(Default)]
 struct WorkerStats {
-    latencies_us: Vec<u64>,
+    latency: LatencyHistogram,
     status_2xx: u64,
     status_4xx: u64,
     status_5xx: u64,
+    /// Connect failures before the first successful request.
     io_errors: u64,
+    /// Connections that died mid-run (reset, premature close, write
+    /// failure on an established connection). Any of these fails the run.
+    resets: u64,
 }
 
 fn main() {
@@ -92,7 +211,7 @@ fn main() {
 
     // One fixed request body for every worker: rows drawn from the
     // dataset's generator so they always match the served schema.
-    let frame = dataset.generate(args.batch.max(1), 4242).expect("generate request rows");
+    let frame = dataset.generate(args.batch_rows.max(1), 4242).expect("generate request rows");
     let body = serde_json::to_string(&json!({
         "dataset": args.dataset,
         "model": args.model,
@@ -121,116 +240,205 @@ fn main() {
 
     let stop = Arc::new(AtomicBool::new(false));
     let started = Instant::now();
+    let pipeline = args.pipeline.max(1);
     let workers: Vec<_> = (0..args.connections.max(1))
         .map(|_| {
             let addr = args.addr.clone();
             let request = request.clone();
             let stop = Arc::clone(&stop);
-            std::thread::spawn(move || run_worker(&addr, &request, &stop))
+            std::thread::spawn(move || run_worker(&addr, &request, &stop, pipeline))
         })
         .collect();
-    std::thread::sleep(args.duration);
+
+    // While the fleet runs, probe the observability endpoints from the
+    // main thread so the report carries per-endpoint latency histograms.
+    let mut probe_hists: BTreeMap<&str, LatencyHistogram> = BTreeMap::new();
+    let deadline = started + args.duration;
+    while Instant::now() < deadline {
+        for path in ["/healthz", "/metrics"] {
+            let probe = format!("GET {path} HTTP/1.1\r\nHost: loadgen\r\nConnection: close\r\n\r\n");
+            let sent = Instant::now();
+            if matches!(one_request(&args.addr, &probe), Ok(r) if r.status == 200) {
+                probe_hists
+                    .entry(path)
+                    .or_default()
+                    .record(sent.elapsed().as_micros() as u64);
+            }
+        }
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        std::thread::sleep(remaining.min(Duration::from_millis(250)));
+    }
     stop.store(true, Ordering::SeqCst);
+
     let mut total = WorkerStats::default();
     for worker in workers {
         let stats = worker.join().expect("worker thread");
-        total.latencies_us.extend(stats.latencies_us);
+        total.latency.merge(&stats.latency);
         total.status_2xx += stats.status_2xx;
         total.status_4xx += stats.status_4xx;
         total.status_5xx += stats.status_5xx;
         total.io_errors += stats.io_errors;
+        total.resets += stats.resets;
     }
     let elapsed = started.elapsed().as_secs_f64();
-
-    total.latencies_us.sort_unstable();
-    let n = total.latencies_us.len();
     let requests = total.status_2xx + total.status_4xx + total.status_5xx;
     let rps = requests as f64 / elapsed;
-    let percentile = |p: f64| -> f64 {
-        if n == 0 {
-            return f64::NAN;
-        }
-        let idx = ((p * n as f64).ceil() as usize).clamp(1, n) - 1;
-        total.latencies_us[idx] as f64 / 1000.0
-    };
-    let mean_ms = if n == 0 {
-        f64::NAN
-    } else {
-        total.latencies_us.iter().sum::<u64>() as f64 / n as f64 / 1000.0
-    };
+
+    let metrics_text = scrape_metrics_text(&args.addr);
+    let drift_gauges_present = metrics_text
+        .as_deref()
+        .is_some_and(|t| t.contains("serve_fairness_drift") && t.contains("serve_fairness_window_disparity"));
+
+    let mut latency_by_endpoint = serde_json::Map::new();
+    latency_by_endpoint.insert("/v1/predict".to_string(), total.latency.to_json());
+    for (path, hist) in &probe_hists {
+        latency_by_endpoint.insert((*path).to_string(), hist.to_json());
+    }
 
     let report = json!({
         "target": args.addr,
         "endpoint": "/v1/predict",
         "dataset": args.dataset,
         "model": args.model,
-        "batch_rows": args.batch,
+        "batch_rows": args.batch_rows,
         "connections": args.connections,
+        "pipeline": pipeline,
         "duration_seconds": elapsed,
         "requests": requests,
         "requests_per_second": rps,
-        "rows_per_second": rps * args.batch as f64,
+        "rows_per_second": rps * args.batch_rows as f64,
         "status": {
             "2xx": total.status_2xx,
             "4xx": total.status_4xx,
             "5xx": total.status_5xx,
             "io_errors": total.io_errors,
+            "resets": total.resets,
         },
-        "latency_ms": {
-            "mean": mean_ms,
-            "p50": percentile(0.50),
-            "p90": percentile(0.90),
-            "p99": percentile(0.99),
-            "max": percentile(1.0),
-        },
-        "server_metrics": scrape_metrics(&args.addr),
+        "latency_ms": Value::Object(latency_by_endpoint),
+        "drift_gauges_present": drift_gauges_present,
+        "server_metrics": summarize_metrics(metrics_text.as_deref()),
     });
-    println!("{}", serde_json::to_string_pretty(&report).expect("encode report"));
+    let rendered = serde_json::to_string_pretty(&report).expect("encode report");
+    println!("{rendered}");
+    if let Some(path) = &args.out {
+        if let Err(e) = std::fs::write(path, format!("{rendered}\n")) {
+            eprintln!("cannot write --out {path}: {e}");
+            std::process::exit(1);
+        }
+    }
 
+    let mut failed = false;
     if total.status_5xx > 0 {
         eprintln!("FAIL: {} server errors", total.status_5xx);
-        std::process::exit(1);
+        failed = true;
+    }
+    if total.resets > 0 {
+        eprintln!("FAIL: {} connections reset mid-run", total.resets);
+        failed = true;
     }
     if args.min_rps > 0.0 && rps < args.min_rps {
         eprintln!("FAIL: {rps:.0} req/s below required {:.0}", args.min_rps);
+        failed = true;
+    }
+    if let Some(path) = &args.baseline {
+        match baseline_rps(path) {
+            Some(committed) => {
+                let floor = committed * args.baseline_frac;
+                if rps < floor {
+                    eprintln!(
+                        "FAIL: {rps:.0} req/s below {:.0}% of committed {committed:.0} ({floor:.0})",
+                        args.baseline_frac * 100.0
+                    );
+                    failed = true;
+                } else {
+                    eprintln!(
+                        "baseline ok: {rps:.0} req/s >= {floor:.0} \
+                         ({:.0}% of committed {committed:.0})",
+                        args.baseline_frac * 100.0
+                    );
+                }
+            }
+            None => {
+                eprintln!("FAIL: cannot read requests_per_second from baseline {path}");
+                failed = true;
+            }
+        }
+    }
+    if args.require_drift_gauges && !drift_gauges_present {
+        eprintln!("FAIL: fairness drift gauges missing from /metrics");
+        failed = true;
+    }
+    if failed {
         std::process::exit(1);
     }
 }
 
-/// One keep-alive connection looping until `stop`; reconnects on error.
-fn run_worker(addr: &str, request: &str, stop: &AtomicBool) -> WorkerStats {
+/// The committed throughput from a previous `--out` report.
+fn baseline_rps(path: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    serde_json::from_str(&text).ok()?.get("requests_per_second")?.as_f64()
+}
+
+/// One keep-alive connection with `pipeline` requests in flight, looping
+/// until `stop`; reconnects on error. In-flight requests abandoned at
+/// stop time are not counted (neither as served nor as resets).
+fn run_worker(addr: &str, request: &str, stop: &AtomicBool, pipeline: usize) -> WorkerStats {
     let mut stats = WorkerStats::default();
-    let mut connection: Option<BufReader<TcpStream>> = None;
     while !stop.load(Ordering::SeqCst) {
-        let mut reader = match connection.take() {
-            Some(reader) => reader,
-            None => match connect(addr) {
-                Ok(reader) => reader,
-                Err(_) => {
-                    stats.io_errors += 1;
-                    std::thread::sleep(Duration::from_millis(10));
-                    continue;
-                }
-            },
+        let mut reader = match connect(addr) {
+            Ok(reader) => reader,
+            Err(_) => {
+                stats.io_errors += 1;
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
         };
-        let sent = Instant::now();
-        let outcome = reader
-            .get_mut()
-            .write_all(request.as_bytes())
-            .and_then(|()| read_response(&mut reader));
-        match outcome {
-            Ok(reply) => {
-                stats.latencies_us.push(sent.elapsed().as_micros() as u64);
-                match reply.status {
-                    200..=299 => stats.status_2xx += 1,
-                    500..=599 => stats.status_5xx += 1,
-                    _ => stats.status_4xx += 1,
+        // Prime the pipeline, then keep exactly `pipeline` requests in
+        // flight: one response read, one request written.
+        let mut inflight: VecDeque<Instant> = VecDeque::with_capacity(pipeline);
+        let mut broken = false;
+        for _ in 0..pipeline {
+            if reader.get_mut().write_all(request.as_bytes()).is_err() {
+                broken = true;
+                break;
+            }
+            inflight.push_back(Instant::now());
+        }
+        while !broken && !inflight.is_empty() {
+            match read_response(&mut reader) {
+                Ok(reply) => {
+                    if let Some(sent) = inflight.pop_front() {
+                        stats.latency.record(sent.elapsed().as_micros() as u64);
+                    }
+                    match reply.status {
+                        200..=299 => stats.status_2xx += 1,
+                        500..=599 => stats.status_5xx += 1,
+                        _ => stats.status_4xx += 1,
+                    }
+                    if reply.close {
+                        break; // server closed; reconnect
+                    }
                 }
-                if !reply.close {
-                    connection = Some(reader); // keep-alive: reuse
+                Err(_) => {
+                    // An established connection died with responses
+                    // outstanding: that's a mid-run reset unless we
+                    // abandoned it ourselves at stop time.
+                    if !stop.load(Ordering::SeqCst) {
+                        stats.resets += 1;
+                    }
+                    break;
                 }
             }
-            Err(_) => stats.io_errors += 1, // drop; next loop reconnects
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            if reader.get_mut().write_all(request.as_bytes()).is_err() {
+                if !stop.load(Ordering::SeqCst) {
+                    stats.resets += 1;
+                }
+                break;
+            }
+            inflight.push_back(Instant::now());
         }
     }
     stats
@@ -290,16 +498,16 @@ fn one_request(addr: &str, request: &str) -> std::io::Result<HttpReply> {
     read_response(&mut reader)
 }
 
-/// Pulls the counters the report cross-checks from `GET /metrics`.
-fn scrape_metrics(addr: &str) -> Value {
+/// Fetches the raw `/metrics` text (None if unreachable).
+fn scrape_metrics_text(addr: &str) -> Option<String> {
     let request = "GET /metrics HTTP/1.1\r\nHost: loadgen\r\nConnection: close\r\n\r\n";
-    let Ok(reply) = one_request(addr, request) else {
-        return Value::Null;
-    };
-    if reply.status != 200 {
-        return Value::Null;
-    }
-    let text = reply.body;
+    let reply = one_request(addr, request).ok()?;
+    (reply.status == 200).then_some(reply.body)
+}
+
+/// Pulls the counters the report cross-checks from the `/metrics` text.
+fn summarize_metrics(text: Option<&str>) -> Value {
+    let Some(text) = text else { return Value::Null };
     let counter = |name: &str| -> Value {
         let total: f64 = text
             .lines()
@@ -308,10 +516,12 @@ fn scrape_metrics(addr: &str) -> Value {
             .sum();
         json!(total)
     };
-    let predict_total = counter("demodq_requests_total{endpoint=\"/v1/predict\"}");
     json!({
-        "predict_requests_total": predict_total,
+        "predict_requests_total": counter("demodq_requests_total{endpoint=\"/v1/predict\"}"),
         "errors_total": counter("demodq_errors_total"),
         "rejected_total": counter("demodq_rejected_total"),
+        "batches_total": counter("demodq_batches_total"),
+        "batched_requests_total": counter("demodq_batched_requests_total"),
+        "registry_generation": counter("serve_registry_generation"),
     })
 }

@@ -67,5 +67,5 @@ pub use results::FailedTask;
 pub use runner::{
     run_error_type_study, run_error_type_study_with, ConfigScores, GroupMetricScores, StudyResults,
 };
-pub use serving::{train_serving_model, RectificationGap, ServingModel, ServingRectification};
+pub use serving::{train_serving_model, BaselineDisparity, RectificationGap, ServingModel, ServingRectification};
 pub use tables::ImpactTable;

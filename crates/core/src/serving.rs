@@ -51,6 +51,21 @@ pub struct ServingRectification {
     pub gaps: Vec<RectificationGap>,
 }
 
+/// Training-time fairness reference point for one group spec: the served
+/// classifier's disparities on the held-out test split. The serving
+/// tier's sliding-window drift telemetry compares live-traffic windows
+/// against these values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineDisparity {
+    /// Group spec label, e.g. `sex` or `sex*age`.
+    pub group: String,
+    /// Absolute predictive-parity disparity; `None` when undefined on the
+    /// test split.
+    pub predictive_parity: Option<f64>,
+    /// Absolute equal-opportunity disparity; `None` when undefined.
+    pub equal_opportunity: Option<f64>,
+}
+
 /// A tuned classifier packaged with everything needed to serve it: the
 /// fitted feature encoder, the training frame (for fitting detectors with
 /// train-time statistics), and the dataset's fairness group specs.
@@ -79,6 +94,10 @@ pub struct ServingModel {
     /// Post-training rectification summary; `Some` exactly when the
     /// classifier is a tree family and its leaves were searched.
     pub rectification: Option<ServingRectification>,
+    /// Test-split disparities of the classifier actually served (post
+    /// rectification where applicable), one entry per group spec — the
+    /// baseline the live drift telemetry measures against.
+    pub baseline_disparities: Vec<BaselineDisparity>,
 }
 
 impl ServingModel {
@@ -188,7 +207,18 @@ pub fn train_serving_model(
         }
         None => None,
     };
-    let test_accuracy = accuracy(&y_test, &classifier.predict(&x_test));
+    let served_preds = classifier.predict(&x_test);
+    let test_accuracy = accuracy(&y_test, &served_preds);
+    let mut baseline_disparities = Vec::with_capacity(groups.len());
+    for gs in &groups {
+        let membership = gs.evaluate(&test)?;
+        let gc = group_confusions(&y_test, &served_preds, &membership);
+        baseline_disparities.push(BaselineDisparity {
+            group: gs.label(),
+            predictive_parity: FairnessMetric::PredictiveParity.absolute_disparity(&gc),
+            equal_opportunity: FairnessMetric::EqualOpportunity.absolute_disparity(&gc),
+        });
+    }
     Ok(ServingModel {
         dataset,
         model,
@@ -200,6 +230,7 @@ pub fn train_serving_model(
         train,
         groups,
         rectification,
+        baseline_disparities,
     })
 }
 
@@ -226,6 +257,14 @@ mod tests {
         assert!(probas.iter().all(|p| (0.0..=1.0).contains(p)));
         // Linear models have no editable decision regions.
         assert!(served.rectification.is_none());
+        // Every group spec carries a drift baseline from the test split.
+        assert_eq!(served.baseline_disparities.len(), served.groups.len());
+        for (b, gs) in served.baseline_disparities.iter().zip(&served.groups) {
+            assert_eq!(b.group, gs.label());
+            for v in [b.predictive_parity, b.equal_opportunity].into_iter().flatten() {
+                assert!((0.0..=1.0).contains(&v), "baseline {v} out of range");
+            }
+        }
     }
 
     #[test]

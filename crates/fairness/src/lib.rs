@@ -40,11 +40,13 @@ pub mod confusion;
 pub mod groups;
 pub mod leaf;
 pub mod metrics;
+pub mod window;
 
 pub use confusion::{group_confusions, GroupConfusions};
 pub use groups::{CmpOp, GroupPredicate, GroupSpec, Groups, PredicateValue};
 pub use leaf::{per_leaf_accounting, LeafAccounting};
 pub use metrics::FairnessMetric;
+pub use window::{disparity_drift, SlidingGroupWindow};
 
 /// Re-export: the confusion-matrix type the metrics consume.
 pub use mlcore_types::ConfusionMatrix;

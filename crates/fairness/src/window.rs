@@ -1,0 +1,245 @@
+//! Sliding-window group accounting for live fairness-drift telemetry.
+//!
+//! A [`SlidingGroupWindow`] holds the last `capacity` labeled
+//! observations of one (privileged/disadvantaged) group spec and keeps
+//! the pair of confusion matrices incrementally up to date, so a serving
+//! tier can compute windowed disparities in O(1) per observation instead
+//! of re-tallying the window on every scrape.
+//!
+//! Determinism: the window is **count-based** and every observation is
+//! stamped with a caller-supplied logical `tick` (an injected clock, not
+//! a wall-clock read — this module never touches `SystemTime`/`Instant`,
+//! so drift accounting replays identically in tests). Time-based
+//! trimming, when wanted, goes through [`SlidingGroupWindow::evict_older_than`]
+//! with whatever tick source the caller injects.
+
+use crate::confusion::GroupConfusions;
+use crate::metrics::FairnessMetric;
+use std::collections::VecDeque;
+
+/// One labeled, group-attributed observation, packed to a byte plus its
+/// logical timestamp.
+#[derive(Debug, Clone, Copy)]
+struct Observation {
+    tick: u64,
+    /// bit 0: privileged, bit 1: y_true, bit 2: y_pred.
+    bits: u8,
+}
+
+impl Observation {
+    fn new(tick: u64, privileged: bool, y_true: bool, y_pred: bool) -> Observation {
+        let bits =
+            u8::from(privileged) | (u8::from(y_true) << 1) | (u8::from(y_pred) << 2);
+        Observation { tick, bits }
+    }
+
+    fn privileged(self) -> bool {
+        self.bits & 1 != 0
+    }
+
+    fn y_true(self) -> bool {
+        self.bits & 2 != 0
+    }
+
+    fn y_pred(self) -> bool {
+        self.bits & 4 != 0
+    }
+}
+
+/// A bounded sliding window of labeled predictions for one group spec,
+/// with incrementally maintained group confusion matrices.
+#[derive(Debug, Clone)]
+pub struct SlidingGroupWindow {
+    capacity: usize,
+    entries: VecDeque<Observation>,
+    counts: GroupConfusions,
+    /// Total observations ever pushed (not capped by the window).
+    observed: u64,
+}
+
+impl SlidingGroupWindow {
+    /// A window holding at most `capacity` observations (min 1).
+    pub fn new(capacity: usize) -> SlidingGroupWindow {
+        let capacity = capacity.max(1);
+        SlidingGroupWindow {
+            capacity,
+            entries: VecDeque::with_capacity(capacity.min(4096)),
+            counts: GroupConfusions::default(),
+            observed: 0,
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Observations currently inside the window.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the window holds no observations.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total observations ever pushed through the window.
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Adds one labeled observation at logical time `tick`, evicting the
+    /// oldest entry when the window is full. Nonzero labels count as
+    /// positive. Ticks are expected to be non-decreasing; the window does
+    /// not reorder.
+    pub fn push(&mut self, tick: u64, privileged: bool, y_true: u8, y_pred: u8) {
+        if self.entries.len() == self.capacity {
+            if let Some(old) = self.entries.pop_front() {
+                Self::tally(&mut self.counts, old, false);
+            }
+        }
+        let obs = Observation::new(tick, privileged, y_true != 0, y_pred != 0);
+        Self::tally(&mut self.counts, obs, true);
+        self.entries.push_back(obs);
+        self.observed += 1;
+    }
+
+    /// Drops observations whose tick is older than `now_tick - max_age`.
+    /// `now_tick` comes from the caller's injected clock, so eviction is
+    /// as deterministic as the tick stream itself.
+    pub fn evict_older_than(&mut self, now_tick: u64, max_age: u64) {
+        let cutoff = now_tick.saturating_sub(max_age);
+        while let Some(&front) = self.entries.front() {
+            if front.tick >= cutoff {
+                break;
+            }
+            Self::tally(&mut self.counts, front, false);
+            self.entries.pop_front();
+        }
+    }
+
+    /// The window's current pair of group confusion matrices.
+    pub fn confusions(&self) -> GroupConfusions {
+        self.counts
+    }
+
+    /// Windowed signed disparity of `metric`; `None` while the metric is
+    /// undefined on the window (e.g. a group with no positives yet).
+    pub fn signed_disparity(&self, metric: FairnessMetric) -> Option<f64> {
+        metric.signed_disparity(&self.counts)
+    }
+
+    /// Windowed absolute disparity of `metric`.
+    pub fn absolute_disparity(&self, metric: FairnessMetric) -> Option<f64> {
+        metric.absolute_disparity(&self.counts)
+    }
+
+    fn tally(counts: &mut GroupConfusions, obs: Observation, add: bool) {
+        let cm = if obs.privileged() { &mut counts.privileged } else { &mut counts.disadvantaged };
+        let cell = match (obs.y_true(), obs.y_pred()) {
+            (false, false) => &mut cm.tn,
+            (false, true) => &mut cm.fp,
+            (true, false) => &mut cm.fn_,
+            (true, true) => &mut cm.tp,
+        };
+        if add {
+            *cell += 1;
+        } else {
+            *cell = cell.saturating_sub(1);
+        }
+    }
+}
+
+/// Drift of a windowed disparity against a training-time baseline:
+/// `window - baseline`, defined only when both sides are.
+pub fn disparity_drift(window: Option<f64>, baseline: Option<f64>) -> Option<f64> {
+    match (window, baseline) {
+        (Some(w), Some(b)) => Some(w - b),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::confusion::group_confusions;
+    use crate::groups::Groups;
+
+    /// Reference: re-tally the window contents from scratch.
+    fn brute_force(entries: &[(bool, u8, u8)]) -> GroupConfusions {
+        let y_true: Vec<u8> = entries.iter().map(|e| e.1).collect();
+        let y_pred: Vec<u8> = entries.iter().map(|e| e.2).collect();
+        let groups = Groups {
+            privileged: entries.iter().map(|e| e.0).collect(),
+            disadvantaged: entries.iter().map(|e| !e.0).collect(),
+        };
+        group_confusions(&y_true, &y_pred, &groups)
+    }
+
+    #[test]
+    fn incremental_counts_match_brute_force_through_eviction() {
+        let mut window = SlidingGroupWindow::new(8);
+        let mut log: Vec<(bool, u8, u8)> = Vec::new();
+        // A deterministic pseudo-stream of 50 observations.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        for tick in 0..50u64 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let privileged = state & 1 == 0;
+            let y_true = u8::from(state & 2 != 0);
+            let y_pred = u8::from(state & 4 != 0);
+            window.push(tick, privileged, y_true, y_pred);
+            log.push((privileged, y_true, y_pred));
+            let tail = &log[log.len().saturating_sub(8)..];
+            assert_eq!(window.confusions(), brute_force(tail), "tick {tick}");
+            assert_eq!(window.len(), tail.len());
+        }
+        assert_eq!(window.observed(), 50);
+        assert_eq!(window.capacity(), 8);
+    }
+
+    #[test]
+    fn disparities_follow_the_window_not_the_history() {
+        let mut window = SlidingGroupWindow::new(4);
+        assert!(window.is_empty());
+        assert!(window.signed_disparity(FairnessMetric::EqualOpportunity).is_none());
+        // Fill with perfect parity: both groups get a recalled positive.
+        window.push(0, true, 1, 1);
+        window.push(1, false, 1, 1);
+        window.push(2, true, 1, 1);
+        window.push(3, false, 1, 1);
+        assert_eq!(window.signed_disparity(FairnessMetric::EqualOpportunity), Some(0.0));
+        // Push 4 unfair observations: privileged positives recalled, the
+        // disadvantaged missed; the fair prefix must be fully evicted.
+        window.push(4, true, 1, 1);
+        window.push(5, false, 1, 0);
+        window.push(6, true, 1, 1);
+        window.push(7, false, 1, 0);
+        let eo = window.signed_disparity(FairnessMetric::EqualOpportunity);
+        assert_eq!(eo, Some(1.0), "window must forget the fair history");
+        assert_eq!(window.absolute_disparity(FairnessMetric::EqualOpportunity), Some(1.0));
+        assert_eq!(window.len(), 4);
+    }
+
+    #[test]
+    fn tick_eviction_uses_the_injected_clock() {
+        let mut window = SlidingGroupWindow::new(100);
+        for tick in 0..10u64 {
+            window.push(tick, tick & 1 == 0, 1, 1);
+        }
+        window.evict_older_than(12, 5); // cutoff at tick 7
+        assert_eq!(window.len(), 3, "ticks 7, 8, 9 survive");
+        let gc = window.confusions();
+        assert_eq!(gc.privileged.tp + gc.disadvantaged.tp, 3);
+        // Re-running the same eviction is a no-op (deterministic).
+        window.evict_older_than(12, 5);
+        assert_eq!(window.len(), 3);
+    }
+
+    #[test]
+    fn drift_is_defined_only_when_both_sides_are() {
+        assert_eq!(disparity_drift(Some(0.4), Some(0.1)), Some(0.30000000000000004));
+        assert_eq!(disparity_drift(None, Some(0.1)), None);
+        assert_eq!(disparity_drift(Some(0.4), None), None);
+    }
+}

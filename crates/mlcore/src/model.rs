@@ -18,6 +18,19 @@ pub trait Classifier: Send + Sync {
         self.predict_proba(x).iter().map(|&p| u8::from(p >= 0.5)).collect()
     }
 
+    /// Hard predictions and probabilities from a single scoring pass.
+    ///
+    /// The batched serving path needs both; scoring once and thresholding
+    /// the same probabilities guarantees the pair is always consistent
+    /// (and bit-identical to calling [`Classifier::predict_proba`] and
+    /// [`Classifier::predict`] separately) while halving the work for
+    /// every model family.
+    fn predict_with_proba(&self, x: &DenseMatrix) -> (Vec<u8>, Vec<f64>) {
+        let proba = self.predict_proba(x);
+        let labels = proba.iter().map(|&p| u8::from(p >= 0.5)).collect();
+        (labels, proba)
+    }
+
     /// Mutable access to the concrete model for post-training edits
     /// (leaf rectification). `None` for families without editable
     /// structure; the tree learners override this with `Some(self)`.

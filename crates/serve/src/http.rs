@@ -179,6 +179,71 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, HttpE
     Ok(Some(Request { body, ..request }))
 }
 
+/// Outcome of a non-blocking parse attempt over a connection's buffered
+/// bytes (see [`try_parse`]).
+#[derive(Debug)]
+pub enum ParseOutcome {
+    /// A complete request, plus the number of buffer bytes it consumed
+    /// (pipelined requests may follow at that offset).
+    Complete(Request, usize),
+    /// The buffer holds only a prefix of a request; read more bytes.
+    NeedMore,
+    /// The buffered bytes can never become a valid request; answer with
+    /// the error's status and close.
+    Invalid(HttpError),
+}
+
+/// Attempts to parse one request from a partially filled buffer without
+/// blocking, for the event-driven server. Shares every framing rule and
+/// hardening check with [`read_request`]: the only extra logic is
+/// distinguishing "not yet complete" from "malformed", which the blocking
+/// reader never needs (it waits on the socket instead).
+pub fn try_parse(buf: &[u8]) -> ParseOutcome {
+    if buf.is_empty() {
+        return ParseOutcome::NeedMore;
+    }
+    // Only judge the head once it is fully buffered: a partial header
+    // line would otherwise be mistaken for a malformed one.
+    if find_head_end(buf).is_none() {
+        if buf.len() > MAX_HEADER_BYTES {
+            return ParseOutcome::Invalid(HttpError::PayloadTooLarge(format!(
+                "headers exceed the {MAX_HEADER_BYTES}-byte limit"
+            )));
+        }
+        return ParseOutcome::NeedMore;
+    }
+    let mut slice = buf;
+    match read_request(&mut slice) {
+        Ok(Some(request)) => ParseOutcome::Complete(request, buf.len() - slice.len()),
+        Ok(None) => ParseOutcome::NeedMore,
+        // The head was complete, so an EOF can only mean the body is
+        // still in flight (oversized bodies were already rejected as 413
+        // from the Content-Length header alone).
+        Err(HttpError::Io(e)) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+            ParseOutcome::NeedMore
+        }
+        Err(e) => ParseOutcome::Invalid(e),
+    }
+}
+
+/// Index just past the blank line ending the request head, if fully
+/// buffered. Accepts CRLF and bare-LF line endings, mixed.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    let mut i = 0usize;
+    while let Some(rel) = buf[i..].iter().position(|&b| b == b'\n') {
+        let at = i + rel;
+        match buf.get(at + 1) {
+            Some(b'\n') => return Some(at + 2),
+            Some(b'\r') if buf.get(at + 2) == Some(&b'\n') => return Some(at + 3),
+            _ => i = at + 1,
+        }
+        if i >= buf.len() {
+            break;
+        }
+    }
+    None
+}
+
 /// Reads one CRLF- (or LF-) terminated line into `line` (terminator
 /// stripped), charging its length against the shared header budget.
 /// Returns the number of raw bytes consumed (0 at EOF).
@@ -267,7 +332,9 @@ impl Response {
 fn reason_phrase(status: u16) -> &'static str {
     match status {
         200 => "OK",
+        202 => "Accepted",
         400 => "Bad Request",
+        409 => "Conflict",
         404 => "Not Found",
         405 => "Method Not Allowed",
         411 => "Length Required",
@@ -408,5 +475,84 @@ mod tests {
     fn lf_only_line_endings_are_accepted() {
         let req = parse(b"GET /metrics HTTP/1.1\nHost: x\n\n").unwrap().unwrap();
         assert_eq!(req.path, "/metrics");
+    }
+
+    // --- incremental (non-blocking) parsing ---
+
+    #[test]
+    fn try_parse_needs_more_on_every_prefix_then_completes() {
+        let raw = b"POST /v1/predict HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello";
+        for cut in 0..raw.len() {
+            assert!(
+                matches!(try_parse(&raw[..cut]), ParseOutcome::NeedMore),
+                "prefix of {cut} bytes must be incomplete"
+            );
+        }
+        match try_parse(raw) {
+            ParseOutcome::Complete(req, consumed) => {
+                assert_eq!(req.path, "/v1/predict");
+                assert_eq!(req.body, b"hello");
+                assert_eq!(consumed, raw.len());
+            }
+            other => panic!("expected Complete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_parse_reports_pipelined_request_boundaries() {
+        let raw = b"GET /healthz HTTP/1.1\r\n\r\nGET /metrics HTTP/1.1\r\n\r\n";
+        let ParseOutcome::Complete(first, consumed) = try_parse(raw) else {
+            panic!("first request must parse");
+        };
+        assert_eq!(first.path, "/healthz");
+        let ParseOutcome::Complete(second, rest) = try_parse(&raw[consumed..]) else {
+            panic!("second request must parse");
+        };
+        assert_eq!(second.path, "/metrics");
+        assert_eq!(consumed + rest, raw.len());
+    }
+
+    #[test]
+    fn try_parse_rejects_malformed_heads_only_once_complete() {
+        // A garbage head is NeedMore until terminated, then Invalid.
+        assert!(matches!(try_parse(b"NONSENSE"), ParseOutcome::NeedMore));
+        match try_parse(b"NONSENSE\r\n\r\n") {
+            ParseOutcome::Invalid(e) => assert_eq!(e.status(), 400),
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_parse_applies_the_header_and_body_limits() {
+        // Unterminated heads blow the header budget.
+        let big = vec![b'a'; MAX_HEADER_BYTES + 1];
+        match try_parse(&big) {
+            ParseOutcome::Invalid(e) => assert_eq!(e.status(), 413),
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+        // A declared oversized body is rejected before it arrives.
+        let raw =
+            format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
+        match try_parse(raw.as_bytes()) {
+            ParseOutcome::Invalid(e) => assert_eq!(e.status(), 413),
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+        // Request smuggling hardening applies unchanged.
+        match try_parse(b"POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 9\r\n\r\nbody") {
+            ParseOutcome::Invalid(e) => assert_eq!(e.status(), 400),
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_parse_handles_lf_only_terminators() {
+        let raw = b"GET /healthz HTTP/1.1\nHost: x\n\n";
+        match try_parse(raw) {
+            ParseOutcome::Complete(req, consumed) => {
+                assert_eq!(req.path, "/healthz");
+                assert_eq!(consumed, raw.len());
+            }
+            other => panic!("expected Complete, got {other:?}"),
+        }
     }
 }

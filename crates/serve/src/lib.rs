@@ -18,14 +18,18 @@
 //! designed for in-process integration tests and examples.
 
 pub mod codec;
+pub mod drift;
+pub mod event;
 pub mod http;
 pub mod metrics;
+pub mod nb;
 pub mod registry;
 pub mod routes;
 pub mod server;
 
+pub use drift::{DriftConfig, DriftEntry, DriftStore};
 pub use http::{Request, Response};
 pub use metrics::Metrics;
-pub use registry::Registry;
+pub use registry::{Registry, SharedRegistry};
 pub use routes::App;
 pub use server::{Server, ServerConfig};

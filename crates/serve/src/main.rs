@@ -2,7 +2,7 @@
 //! ctrl-c, then drain gracefully.
 
 use demodq::StudyScale;
-use demodq_serve::{App, Registry, Server, ServerConfig};
+use demodq_serve::{App, DriftConfig, Registry, Server, ServerConfig};
 use datasets::DatasetId;
 use mlcore::ModelKind;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -41,12 +41,22 @@ struct Args {
     datasets: Vec<DatasetId>,
     models: Vec<ModelKind>,
     quiet: bool,
+    threaded: bool,
+    batch_wait_us: Option<u64>,
+    batch_max_rows: Option<usize>,
+    max_connections: Option<usize>,
+    drift_threshold: Option<f64>,
+    drift_window: Option<usize>,
+    addr_file: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: demodq-serve [--addr HOST:PORT] [--scale smoke|default|full] \
-         [--seed N] [--workers N] [--datasets a,b] [--models a,b] [--quiet]"
+         [--seed N] [--workers N] [--datasets a,b] [--models a,b] [--quiet] \
+         [--threaded] [--batch-wait-us N] [--batch-max-rows N] \
+         [--max-connections N] [--drift-threshold X] [--drift-window N] \
+         [--addr-file PATH]"
     );
     std::process::exit(2);
 }
@@ -60,6 +70,13 @@ fn parse_args() -> Args {
         datasets: DatasetId::all().to_vec(),
         models: ModelKind::all().to_vec(),
         quiet: false,
+        threaded: false,
+        batch_wait_us: None,
+        batch_max_rows: None,
+        max_connections: None,
+        drift_threshold: None,
+        drift_window: None,
+        addr_file: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -101,6 +118,28 @@ fn parse_args() -> Args {
                     .collect();
             }
             "--quiet" => args.quiet = true,
+            "--threaded" => args.threaded = true,
+            "--batch-wait-us" => {
+                args.batch_wait_us =
+                    Some(value("--batch-wait-us").parse().unwrap_or_else(|_| usage()));
+            }
+            "--batch-max-rows" => {
+                args.batch_max_rows =
+                    Some(value("--batch-max-rows").parse().unwrap_or_else(|_| usage()));
+            }
+            "--max-connections" => {
+                args.max_connections =
+                    Some(value("--max-connections").parse().unwrap_or_else(|_| usage()));
+            }
+            "--drift-threshold" => {
+                args.drift_threshold =
+                    Some(value("--drift-threshold").parse().unwrap_or_else(|_| usage()));
+            }
+            "--drift-window" => {
+                args.drift_window =
+                    Some(value("--drift-window").parse().unwrap_or_else(|_| usage()));
+            }
+            "--addr-file" => args.addr_file = Some(value("--addr-file")),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other:?}");
@@ -151,12 +190,38 @@ fn main() {
         config.workers = workers;
         config.queue_capacity = workers;
     }
-    let app = Arc::new(App::new(registry));
+    if args.threaded {
+        config.event_driven = false;
+    }
+    if let Some(us) = args.batch_wait_us {
+        config.batch_wait = Duration::from_micros(us);
+    }
+    if let Some(rows) = args.batch_max_rows {
+        config.batch_max_rows = rows.max(1);
+    }
+    if let Some(conns) = args.max_connections {
+        config.max_connections = conns.max(1);
+    }
+    let mut drift = DriftConfig::default();
+    if let Some(threshold) = args.drift_threshold {
+        drift.alert_threshold = threshold;
+    }
+    if let Some(window) = args.drift_window {
+        drift.window = window.max(1);
+    }
+    let app = Arc::new(App::with_drift(registry, drift));
     let server = Server::spawn(Arc::clone(&app), config).unwrap_or_else(|e| {
         eprintln!("bind failed: {e}");
         std::process::exit(1);
     });
     eprintln!("listening on http://{}", server.local_addr());
+    if let Some(path) = &args.addr_file {
+        // Scripts (ci.sh, loadgen drivers) poll this file to learn the
+        // bound ephemeral port.
+        if let Err(e) = std::fs::write(path, server.local_addr().to_string()) {
+            eprintln!("cannot write --addr-file {path}: {e}");
+        }
+    }
 
     while !SHUTDOWN.load(Ordering::SeqCst) {
         std::thread::sleep(Duration::from_millis(100));

@@ -45,12 +45,25 @@ struct EndpointMetrics {
     latency: Histogram,
 }
 
+/// Micro-batch size histogram bucket upper bounds (rows per flushed
+/// batch), plus an implicit +Inf.
+const BATCH_BUCKET_BOUNDS: [u64; 9] = [1, 2, 4, 8, 16, 32, 64, 128, 256];
+
 /// The service's metrics registry.
 #[derive(Default)]
 pub struct Metrics {
     endpoints: [EndpointMetrics; ENDPOINTS.len()],
     rejected_queue_full: AtomicU64,
     unseen_category_rows: AtomicU64,
+    // Event-loop / micro-batching counters.
+    batches_total: AtomicU64,
+    batched_requests_total: AtomicU64,
+    batched_rows_total: AtomicU64,
+    batch_size_buckets: [AtomicU64; BATCH_BUCKET_BOUNDS.len() + 1],
+    connections_total: AtomicU64,
+    connections_active: AtomicU64,
+    connections_idle_closed: AtomicU64,
+    read_paused_total: AtomicU64,
 }
 
 impl Metrics {
@@ -96,6 +109,57 @@ impl Metrics {
         self.unseen_category_rows.load(Ordering::Relaxed)
     }
 
+    /// Records one flushed prediction micro-batch: how many coalesced
+    /// requests it carried and how many rows were scored together.
+    pub fn observe_batch(&self, requests: u64, rows: u64) {
+        self.batches_total.fetch_add(1, Ordering::Relaxed);
+        self.batched_requests_total.fetch_add(requests, Ordering::Relaxed);
+        self.batched_rows_total.fetch_add(rows, Ordering::Relaxed);
+        let slot = BATCH_BUCKET_BOUNDS
+            .iter()
+            .position(|&b| rows <= b)
+            .unwrap_or(BATCH_BUCKET_BOUNDS.len());
+        self.batch_size_buckets[slot].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total flushed micro-batches.
+    pub fn batches_total(&self) -> u64 {
+        self.batches_total.load(Ordering::Relaxed)
+    }
+
+    /// Total requests that went through a micro-batch.
+    pub fn batched_requests_total(&self) -> u64 {
+        self.batched_requests_total.load(Ordering::Relaxed)
+    }
+
+    /// Records a newly accepted connection.
+    pub fn observe_connection_opened(&self) {
+        self.connections_total.fetch_add(1, Ordering::Relaxed);
+        self.connections_active.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a closed connection.
+    pub fn observe_connection_closed(&self) {
+        // Saturating: a close without a matching open (can only be a
+        // bookkeeping bug) must not wrap the gauge to u64::MAX.
+        let _ = self.connections_active.fetch_update(
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+            |v| Some(v.saturating_sub(1)),
+        );
+    }
+
+    /// Records a connection reaped by the idle/slow-loris sweep.
+    pub fn observe_idle_closed(&self) {
+        self.connections_idle_closed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a read-side backpressure pause (slow reader with a full
+    /// write buffer).
+    pub fn observe_read_paused(&self) {
+        self.read_paused_total.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Total requests across all endpoints.
     pub fn total_requests(&self) -> u64 {
         self.endpoints.iter().map(|e| e.requests.load(Ordering::Relaxed)).sum()
@@ -137,6 +201,59 @@ impl Metrics {
         out.push_str(&format!(
             "demodq_unseen_category_rows_total {}\n",
             self.unseen_category_rows.load(Ordering::Relaxed)
+        ));
+        out.push_str("# HELP demodq_batches_total Prediction micro-batches flushed by the event loop.\n");
+        out.push_str("# TYPE demodq_batches_total counter\n");
+        out.push_str(&format!("demodq_batches_total {}\n", self.batches_total.load(Ordering::Relaxed)));
+        out.push_str("# HELP demodq_batched_requests_total Requests scored inside a micro-batch.\n");
+        out.push_str("# TYPE demodq_batched_requests_total counter\n");
+        out.push_str(&format!(
+            "demodq_batched_requests_total {}\n",
+            self.batched_requests_total.load(Ordering::Relaxed)
+        ));
+        out.push_str("# HELP demodq_batched_rows_total Prediction rows scored inside a micro-batch.\n");
+        out.push_str("# TYPE demodq_batched_rows_total counter\n");
+        out.push_str(&format!(
+            "demodq_batched_rows_total {}\n",
+            self.batched_rows_total.load(Ordering::Relaxed)
+        ));
+        out.push_str("# HELP demodq_batch_rows Rows per flushed micro-batch.\n");
+        out.push_str("# TYPE demodq_batch_rows histogram\n");
+        let mut cumulative = 0u64;
+        for (bound, bucket) in BATCH_BUCKET_BOUNDS.iter().zip(&self.batch_size_buckets) {
+            cumulative += bucket.load(Ordering::Relaxed);
+            out.push_str(&format!("demodq_batch_rows_bucket{{le=\"{bound}\"}} {cumulative}\n"));
+        }
+        cumulative += self.batch_size_buckets[BATCH_BUCKET_BOUNDS.len()].load(Ordering::Relaxed);
+        out.push_str(&format!("demodq_batch_rows_bucket{{le=\"+Inf\"}} {cumulative}\n"));
+        out.push_str(&format!(
+            "demodq_batch_rows_sum {}\n",
+            self.batched_rows_total.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!("demodq_batch_rows_count {}\n", self.batches_total.load(Ordering::Relaxed)));
+        out.push_str("# HELP demodq_connections_total Connections accepted since startup.\n");
+        out.push_str("# TYPE demodq_connections_total counter\n");
+        out.push_str(&format!(
+            "demodq_connections_total {}\n",
+            self.connections_total.load(Ordering::Relaxed)
+        ));
+        out.push_str("# HELP demodq_connections_active Currently open connections.\n");
+        out.push_str("# TYPE demodq_connections_active gauge\n");
+        out.push_str(&format!(
+            "demodq_connections_active {}\n",
+            self.connections_active.load(Ordering::Relaxed)
+        ));
+        out.push_str("# HELP demodq_connections_idle_closed_total Connections reaped by the idle/slow-loris sweep.\n");
+        out.push_str("# TYPE demodq_connections_idle_closed_total counter\n");
+        out.push_str(&format!(
+            "demodq_connections_idle_closed_total {}\n",
+            self.connections_idle_closed.load(Ordering::Relaxed)
+        ));
+        out.push_str("# HELP demodq_read_paused_total Read-side backpressure pauses (slow readers).\n");
+        out.push_str("# TYPE demodq_read_paused_total counter\n");
+        out.push_str(&format!(
+            "demodq_read_paused_total {}\n",
+            self.read_paused_total.load(Ordering::Relaxed)
         ));
         out.push_str("# HELP demodq_request_seconds Request latency per endpoint.\n");
         out.push_str("# TYPE demodq_request_seconds histogram\n");

@@ -1,14 +1,20 @@
-//! The read-only model registry: one [`ServingModel`] per requested
-//! (dataset, model-kind) pair, trained at startup and shared behind `Arc`
-//! by every worker thread.
+//! The model registry: one [`ServingModel`] per requested (dataset,
+//! model-kind) pair, trained at startup — plus [`SharedRegistry`], the
+//! hot-swappable, generation-tagged handle the server actually reads
+//! from. A background retrain builds a whole new [`Registry`] off to the
+//! side and swaps it in atomically; readers always see exactly one
+//! complete generation, never a half-trained mix.
 
 use demodq::serving::{train_serving_model, ServingModel};
 use demodq::StudyScale;
 use datasets::DatasetId;
 use mlcore::ModelKind;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 
-/// The registry. Immutable after construction, so workers need no locks.
+/// One immutable registry generation. Workers never mutate it, so it
+/// needs no locks once built.
 pub struct Registry {
     models: BTreeMap<(&'static str, &'static str), ServingModel>,
     /// Wall-clock training seconds per (dataset, model), measured at
@@ -16,6 +22,9 @@ pub struct Registry {
     /// `serve_startup_train_seconds`.
     train_seconds: BTreeMap<(&'static str, &'static str), f64>,
     scale_name: String,
+    scale: StudyScale,
+    datasets: Vec<DatasetId>,
+    model_kinds: Vec<ModelKind>,
     seed: u64,
 }
 
@@ -61,7 +70,21 @@ impl Registry {
             train_seconds.insert(key, seconds);
             registry.insert(key, served);
         }
-        Ok(Registry { models: registry, train_seconds, scale_name: scale_name.to_string(), seed })
+        Ok(Registry {
+            models: registry,
+            train_seconds,
+            scale_name: scale_name.to_string(),
+            scale: *scale,
+            datasets: datasets.to_vec(),
+            model_kinds: models.to_vec(),
+            seed,
+        })
+    }
+
+    /// Retrains the same roster (datasets × model kinds, same scale) at a
+    /// different seed — the background half of a hot swap.
+    pub fn retrain(&self, seed: u64) -> tabular::Result<Registry> {
+        Registry::train(&self.datasets, &self.model_kinds, &self.scale, &self.scale_name, seed)
     }
 
     /// Startup training wall seconds per (dataset, model), in
@@ -114,6 +137,98 @@ impl Registry {
     }
 }
 
+/// The hot-swappable registry handle.
+///
+/// Readers take a [`SharedRegistry::snapshot`] — an `Arc` clone of the
+/// current generation paired with its generation number, captured under
+/// one brief mutex so the pair can never tear. The server snapshots once
+/// per micro-batch, so every response in a batch reflects exactly one
+/// generation; swaps replace the `Arc` and bump the generation
+/// monotonically.
+pub struct SharedRegistry {
+    current: Mutex<(Arc<Registry>, u64)>,
+    swaps: AtomicU64,
+    retrain_inflight: AtomicBool,
+}
+
+impl SharedRegistry {
+    /// Wraps the startup registry as generation 1.
+    pub fn new(registry: Registry) -> SharedRegistry {
+        SharedRegistry {
+            current: Mutex::new((Arc::new(registry), 1)),
+            swaps: AtomicU64::new(0),
+            retrain_inflight: AtomicBool::new(false),
+        }
+    }
+
+    /// The current generation and its registry, captured atomically.
+    pub fn snapshot(&self) -> (Arc<Registry>, u64) {
+        // A poisoned lock only means a panic elsewhere while holding it;
+        // the (Arc, u64) pair itself is always internally consistent.
+        let guard = self.current.lock().unwrap_or_else(PoisonError::into_inner);
+        (Arc::clone(&guard.0), guard.1)
+    }
+
+    /// The current generation number.
+    pub fn generation(&self) -> u64 {
+        self.current.lock().unwrap_or_else(PoisonError::into_inner).1
+    }
+
+    /// Completed swaps so far (generation = swaps + 1).
+    pub fn swaps(&self) -> u64 {
+        self.swaps.load(Ordering::SeqCst)
+    }
+
+    /// Atomically installs `next` as the new current generation and
+    /// returns its generation number. In-flight readers keep scoring
+    /// against the snapshot they already hold.
+    pub fn swap(&self, next: Arc<Registry>) -> u64 {
+        let mut guard = self.current.lock().unwrap_or_else(PoisonError::into_inner);
+        guard.0 = next;
+        guard.1 += 1;
+        self.swaps.fetch_add(1, Ordering::SeqCst);
+        guard.1
+    }
+
+    /// Whether a background retrain is currently running.
+    pub fn retrain_in_flight(&self) -> bool {
+        self.retrain_inflight.load(Ordering::SeqCst)
+    }
+
+    /// Kicks off a background retrain of the current roster at `seed`;
+    /// the new registry is swapped in when training finishes. Only one
+    /// retrain may be in flight at a time — a second request is refused
+    /// (the caller maps that to 409).
+    pub fn begin_retrain(self: &Arc<Self>, seed: u64) -> Result<(), &'static str> {
+        if self
+            .retrain_inflight
+            .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            return Err("a retrain is already in flight");
+        }
+        let shared = Arc::clone(self);
+        let spawned = std::thread::Builder::new()
+            .name("demodq-retrain".to_string())
+            .spawn(move || {
+                let (base, _) = shared.snapshot();
+                match base.retrain(seed) {
+                    Ok(next) => {
+                        let generation = shared.swap(Arc::new(next));
+                        eprintln!("serve: hot-swapped registry generation {generation} (seed {seed})");
+                    }
+                    Err(e) => eprintln!("serve: background retrain failed: {e}"),
+                }
+                shared.retrain_inflight.store(false, Ordering::SeqCst);
+            });
+        if spawned.is_err() {
+            self.retrain_inflight.store(false, Ordering::SeqCst);
+            return Err("could not spawn the retrain thread");
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,5 +258,35 @@ mod tests {
         let (dataset, model, seconds) = timings[0];
         assert_eq!((dataset, model), ("german", "log-reg"));
         assert!(seconds > 0.0);
+    }
+
+    #[test]
+    fn shared_registry_swaps_atomically_and_monotonically() {
+        let a = Registry::train(
+            &[DatasetId::German],
+            &[ModelKind::LogReg],
+            &StudyScale::smoke(),
+            "smoke",
+            11,
+        )
+        .unwrap();
+        let b = Arc::new(a.retrain(12).unwrap());
+        assert_eq!(b.seed(), 12);
+        assert_eq!(b.len(), 1, "retrain reuses the roster");
+
+        let shared = Arc::new(SharedRegistry::new(a));
+        let (snap, generation) = shared.snapshot();
+        assert_eq!(generation, 1);
+        assert_eq!(snap.seed(), 11);
+        assert_eq!(shared.swaps(), 0);
+
+        assert_eq!(shared.swap(Arc::clone(&b)), 2);
+        // The old snapshot keeps working after the swap (no torn reads).
+        assert_eq!(snap.seed(), 11);
+        let (snap2, generation2) = shared.snapshot();
+        assert_eq!((snap2.seed(), generation2), (12, 2));
+        assert_eq!(shared.swaps(), 1);
+        assert_eq!(shared.generation(), 2);
+        assert!(!shared.retrain_in_flight());
     }
 }

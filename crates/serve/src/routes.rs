@@ -1,20 +1,36 @@
-//! Endpoint handlers: routing, JSON body handling, and the three model
-//! endpoints (`/v1/predict`, `/v1/clean`, `/v1/audit`).
+//! Endpoint handlers: routing, JSON body handling, the model endpoints
+//! (`/v1/predict`, `/v1/clean`, `/v1/audit`), and the batched predict
+//! scorer the event loop drives.
+//!
+//! Prediction is *always* scored through the batched path: the blocking
+//! route wraps a request into a one-job batch, the event loop coalesces
+//! concurrent requests into larger ones. A batch snapshots the registry
+//! exactly once, so every response in it reflects one generation; jobs
+//! are grouped by (dataset, model), their transformed rows concatenated,
+//! and each group scored with a single batched classifier call. Feature
+//! encoding and scoring are row-independent, so batched results are
+//! bit-identical to scoring each request alone.
 
 use crate::codec::{cell_to_json, frame_from_rows};
+use crate::drift::{DriftConfig, DriftEntry, DriftStore};
 use crate::http::{Request, Response};
 use crate::metrics::Metrics;
-use crate::registry::Registry;
+use crate::registry::{Registry, SharedRegistry};
 use cleaning::detect::DetectorKind;
 use cleaning::repair::{LabelRepair, MissingRepair, OutlierRepair};
 use demodq::serving::ServingModel;
 use fairness::{group_confusions, ConfusionMatrix, FairnessMetric, GroupConfusions};
 use serde_json::{json, Value};
+use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::Instant;
+use tabular::{DataFrame, DenseMatrix};
 
-/// Shared application state: the registry, the metrics, and the clock.
+/// Shared application state: the hot-swappable registry, the metrics, the
+/// drift windows, and the clock.
 pub struct App {
-    registry: Registry,
+    registry: Arc<SharedRegistry>,
+    drift: DriftStore,
     metrics: Metrics,
     started: Instant,
 }
@@ -22,10 +38,52 @@ pub struct App {
 /// Handler-internal error: already a rendered response.
 type Handled = Result<Response, Response>;
 
+/// A parsed, validated `/v1/predict` request waiting to be scored. The
+/// event loop collects these across connections and scores them together
+/// via [`App::predict_batch`].
+pub struct PredictJob {
+    dataset: String,
+    model: String,
+    rows: Vec<Value>,
+    single: bool,
+    started: Instant,
+}
+
+impl PredictJob {
+    /// Rows this job contributes to a micro-batch.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// When the request was parsed (for latency accounting by the caller).
+    pub fn started(&self) -> Instant {
+        self.started
+    }
+}
+
+/// What the event loop should do with a parsed request.
+pub enum Routed {
+    /// Handled synchronously; metrics already recorded.
+    Immediate(Response),
+    /// A predict job to coalesce into the current micro-batch. The caller
+    /// records `/v1/predict` metrics when the batch resolves.
+    Predict(Box<PredictJob>),
+}
+
 impl App {
-    /// Wraps a trained registry.
+    /// Wraps a trained registry with default drift telemetry.
     pub fn new(registry: Registry) -> App {
-        App { registry, metrics: Metrics::new(), started: Instant::now() }
+        App::with_drift(registry, DriftConfig::default())
+    }
+
+    /// Wraps a trained registry with explicit drift-telemetry knobs.
+    pub fn with_drift(registry: Registry, drift: DriftConfig) -> App {
+        App {
+            registry: Arc::new(SharedRegistry::new(registry)),
+            drift: DriftStore::new(drift),
+            metrics: Metrics::new(),
+            started: Instant::now(),
+        }
     }
 
     /// The metrics registry (shared with the server loop).
@@ -33,14 +91,26 @@ impl App {
         &self.metrics
     }
 
-    /// The model registry.
-    pub fn registry(&self) -> &Registry {
+    /// The drift-telemetry store.
+    pub fn drift(&self) -> &DriftStore {
+        &self.drift
+    }
+
+    /// The hot-swappable registry handle (for `/v1/reload` driving and
+    /// tests that swap generations directly).
+    pub fn shared_registry(&self) -> &Arc<SharedRegistry> {
         &self.registry
+    }
+
+    /// A snapshot of the current registry generation.
+    pub fn registry(&self) -> Arc<Registry> {
+        self.registry.snapshot().0
     }
 
     /// Handles one parsed request: routes it, converts a handler panic
     /// into a 500, and records the outcome in [`App::metrics`]. Used by
-    /// the socket loop and callable directly for in-process serving.
+    /// the threaded socket loop and callable directly for in-process
+    /// serving.
     pub fn handle(&self, request: &Request) -> Response {
         let started = Instant::now();
         // A handler panic must cost one 500, not the calling thread.
@@ -51,15 +121,158 @@ impl App {
         response
     }
 
+    /// Routes one request for the event loop: predict requests become
+    /// deferred jobs (metrics recorded by the caller at batch
+    /// resolution), everything else is answered inline via
+    /// [`App::handle`].
+    pub fn route_or_defer(&self, request: &Request) -> Routed {
+        if request.method == "POST" && request.path == "/v1/predict" {
+            let started = Instant::now();
+            match self.parse_predict(request) {
+                Ok(job) => Routed::Predict(Box::new(job)),
+                Err(response) => {
+                    self.metrics.observe("/v1/predict", response.status, started.elapsed());
+                    Routed::Immediate(response)
+                }
+            }
+        } else {
+            Routed::Immediate(self.handle(request))
+        }
+    }
+
+    /// Scores a micro-batch of predict jobs with one registry snapshot
+    /// and one batched classifier call per (dataset, model) group.
+    /// Returns exactly one response per job, in order; a panic anywhere
+    /// in scoring costs the whole batch a 500 each, never the serving
+    /// thread.
+    pub fn predict_batch(&self, jobs: &[PredictJob]) -> Vec<Response> {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.predict_batch_inner(jobs)))
+            .unwrap_or_else(|_| {
+                jobs.iter().map(|_| Response::error(500, "internal error")).collect()
+            })
+    }
+
+    fn predict_batch_inner(&self, jobs: &[PredictJob]) -> Vec<Response> {
+        // One snapshot per batch: every job in it sees one generation.
+        let (registry, generation) = self.registry.snapshot();
+
+        // Per-job preparation; failures are isolated to their own job.
+        enum Prep<'a> {
+            Ready { served: &'a ServingModel, frame: DataFrame, x: DenseMatrix, unseen: u64 },
+            Failed(Response),
+        }
+        let mut preps: Vec<Prep> = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            let prep = registry
+                .get(&job.dataset, &job.model)
+                .ok_or_else(|| {
+                    Response::error(
+                        404,
+                        &format!(
+                            "no model for dataset {:?} and model {:?}",
+                            job.dataset, job.model
+                        ),
+                    )
+                })
+                .and_then(|served| {
+                    let frame = frame_from_rows(served.train.schema(), &job.rows, false)
+                        .map_err(|e| Response::error(400, &e))?;
+                    let (x, report) = served
+                        .encoder
+                        .transform_with_report(&frame)
+                        .map_err(|e| Response::error(400, &e.to_string()))?;
+                    Ok(Prep::Ready { served, frame, x, unseen: report.unseen_category_rows })
+                });
+            preps.push(prep.unwrap_or_else(Prep::Failed));
+        }
+
+        // Group ready jobs by model identity and score each group with a
+        // single batched call over the concatenated feature rows. Rows
+        // are scored independently by every model family, so splitting
+        // the concatenated result reproduces per-job scoring bit for bit.
+        let mut groups: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        for (i, prep) in preps.iter().enumerate() {
+            if let Prep::Ready { served, .. } = prep {
+                groups.entry((served.dataset.name(), served.model.name())).or_default().push(i);
+            }
+        }
+        let mut scored: Vec<Option<(Vec<u8>, Vec<f64>)>> = Vec::with_capacity(jobs.len());
+        scored.resize_with(jobs.len(), || None);
+        let mut scored_rows = 0u64;
+        for indices in groups.values() {
+            let mut n_cols = 0usize;
+            let mut total_rows = 0usize;
+            let mut data: Vec<f64> = Vec::new();
+            let mut served_ref: Option<&ServingModel> = None;
+            for &i in indices {
+                if let Prep::Ready { served, x, .. } = &preps[i] {
+                    n_cols = x.n_cols();
+                    total_rows += x.n_rows();
+                    data.extend_from_slice(x.as_slice());
+                    served_ref = Some(served);
+                }
+            }
+            let Some(served) = served_ref else { continue };
+            let x_cat = DenseMatrix::from_vec(total_rows, n_cols, data);
+            let (labels, probas) = served.classifier.predict_with_proba(&x_cat);
+            scored_rows += total_rows as u64;
+            let mut offset = 0usize;
+            for &i in indices {
+                if let Prep::Ready { x, .. } = &preps[i] {
+                    let n = x.n_rows();
+                    scored[i] = Some((
+                        labels[offset..offset + n].to_vec(),
+                        probas[offset..offset + n].to_vec(),
+                    ));
+                    offset += n;
+                }
+            }
+        }
+        self.metrics.observe_batch(jobs.len() as u64, scored_rows);
+
+        // Per-job responses; labeled rows feed the drift windows.
+        let mut responses = Vec::with_capacity(jobs.len());
+        for (i, (prep, job)) in preps.iter().zip(jobs).enumerate() {
+            let response = match prep {
+                Prep::Failed(r) => {
+                    Response { status: r.status, content_type: r.content_type, body: r.body.clone() }
+                }
+                Prep::Ready { served, frame, unseen, .. } => match scored[i].take() {
+                    None => Response::error(500, "batch scoring skipped a job"),
+                    Some((predictions, probabilities)) => {
+                        self.metrics.observe_unseen_category_rows(*unseen);
+                        if let Some(labels) = optional_labels(frame) {
+                            self.drift.observe(served, frame, &labels, &predictions);
+                        }
+                        predict_reply(
+                            served,
+                            generation,
+                            *unseen,
+                            &predictions,
+                            &probabilities,
+                            job.single,
+                        )
+                    }
+                },
+            };
+            responses.push(response);
+        }
+        responses
+    }
+
     /// Routes one parsed request to its handler.
     fn route(&self, request: &Request) -> Response {
         let result = match (request.method.as_str(), request.path.as_str()) {
             ("GET", "/healthz") => Ok(self.healthz()),
             ("GET", "/metrics") => Ok(Response::text(200, self.render_metrics())),
-            ("POST", "/v1/predict") => self.json_body(request).and_then(|b| self.predict(&b)),
+            ("POST", "/v1/predict") => self.parse_predict(request).map(|job| {
+                let mut responses = self.predict_batch(&[job]);
+                responses.pop().unwrap_or_else(|| Response::error(500, "empty batch result"))
+            }),
             ("POST", "/v1/clean") => self.json_body(request).and_then(|b| self.clean(&b)),
             ("POST", "/v1/audit") => self.json_body(request).and_then(|b| self.audit(&b)),
-            (_, "/healthz" | "/metrics" | "/v1/predict" | "/v1/clean" | "/v1/audit") => {
+            ("POST", "/v1/reload") => self.json_body_or_empty(request).and_then(|b| self.reload(&b)),
+            (_, "/healthz" | "/metrics" | "/v1/predict" | "/v1/clean" | "/v1/audit" | "/v1/reload") => {
                 Err(Response::error(405, "method not allowed"))
             }
             _ => Err(Response::error(404, "no such endpoint")),
@@ -67,20 +280,31 @@ impl App {
         result.unwrap_or_else(|error| error)
     }
 
-    /// The request-level metrics plus the startup training-time gauge
-    /// (fixed after construction, so rendered from the registry rather
-    /// than tracked as a counter).
+    /// The request-level metrics plus registry and drift gauges.
     fn render_metrics(&self) -> String {
+        let (registry, generation) = self.registry.snapshot();
         let mut out = self.metrics.render();
+        out.push_str("# HELP serve_registry_generation Current model registry generation (bumped by each hot swap).\n");
+        out.push_str("# TYPE serve_registry_generation gauge\n");
+        out.push_str(&format!("serve_registry_generation {generation}\n"));
+        out.push_str("# HELP serve_registry_swaps_total Completed registry hot swaps.\n");
+        out.push_str("# TYPE serve_registry_swaps_total counter\n");
+        out.push_str(&format!("serve_registry_swaps_total {}\n", self.registry.swaps()));
+        out.push_str("# HELP serve_registry_retrain_in_flight Whether a background retrain is running.\n");
+        out.push_str("# TYPE serve_registry_retrain_in_flight gauge\n");
+        out.push_str(&format!(
+            "serve_registry_retrain_in_flight {}\n",
+            u8::from(self.registry.retrain_in_flight())
+        ));
         out.push_str("# HELP serve_startup_train_seconds Wall-clock seconds spent training each served model at startup.\n");
         out.push_str("# TYPE serve_startup_train_seconds gauge\n");
-        for (dataset, model, seconds) in self.registry.startup_train_seconds() {
+        for (dataset, model, seconds) in registry.startup_train_seconds() {
             out.push_str(&format!(
                 "serve_startup_train_seconds{{dataset=\"{dataset}\",model=\"{model}\"}} {seconds:.6}\n"
             ));
         }
         let mut gap_lines = String::new();
-        for served in self.registry.entries() {
+        for served in registry.entries() {
             let Some(rect) = &served.rectification else { continue };
             for gap in &rect.gaps {
                 for (phase, value) in [("pre", gap.pre), ("post", gap.post)] {
@@ -99,12 +323,61 @@ impl App {
             out.push_str("# TYPE serve_rectification_gap gauge\n");
             out.push_str(&gap_lines);
         }
+        self.render_drift_metrics(&mut out);
         out
     }
 
+    /// Sliding-window fairness gauges: windowed disparity, drift against
+    /// the training-time baseline, and the alert bit, per (dataset,
+    /// model, group). HELP/TYPE lines are emitted even before labeled
+    /// traffic arrives so scrapers can discover the gauge family.
+    fn render_drift_metrics(&self, out: &mut String) {
+        out.push_str("# HELP serve_fairness_drift_alert_threshold Absolute drift beyond which a window alerts.\n");
+        out.push_str("# TYPE serve_fairness_drift_alert_threshold gauge\n");
+        out.push_str(&format!(
+            "serve_fairness_drift_alert_threshold {:.6}\n",
+            self.drift.alert_threshold()
+        ));
+        out.push_str("# HELP serve_fairness_window_disparity Sliding-window absolute fairness disparity over labeled serving traffic.\n");
+        out.push_str("# TYPE serve_fairness_window_disparity gauge\n");
+        out.push_str("# HELP serve_fairness_drift Windowed disparity minus the model's training-time test-split baseline.\n");
+        out.push_str("# TYPE serve_fairness_drift gauge\n");
+        out.push_str("# HELP serve_fairness_drift_alert 1 when any metric's |drift| exceeds the alert threshold.\n");
+        out.push_str("# TYPE serve_fairness_drift_alert gauge\n");
+        out.push_str("# HELP serve_fairness_window_size Observations currently inside each drift window.\n");
+        out.push_str("# TYPE serve_fairness_window_size gauge\n");
+        for e in self.drift.snapshot() {
+            let labels =
+                format!("dataset=\"{}\",model=\"{}\",group=\"{}\"", e.dataset, e.model, e.group);
+            for (metric, window, drift) in [
+                ("predictive_parity", e.predictive_parity, e.drift_predictive_parity),
+                ("equal_opportunity", e.equal_opportunity, e.drift_equal_opportunity),
+            ] {
+                if let Some(w) = window {
+                    out.push_str(&format!(
+                        "serve_fairness_window_disparity{{{labels},metric=\"{metric}\"}} {w:.6}\n"
+                    ));
+                }
+                if let Some(d) = drift {
+                    out.push_str(&format!(
+                        "serve_fairness_drift{{{labels},metric=\"{metric}\"}} {d:.6}\n"
+                    ));
+                }
+            }
+            out.push_str(&format!(
+                "serve_fairness_drift_alert{{{labels}}} {}\n",
+                u8::from(e.alert)
+            ));
+            out.push_str(&format!(
+                "serve_fairness_window_size{{{labels}}} {}\n",
+                e.window_len
+            ));
+        }
+    }
+
     fn healthz(&self) -> Response {
-        let models: Vec<Value> = self
-            .registry
+        let (registry, generation) = self.registry.snapshot();
+        let models: Vec<Value> = registry
             .entries()
             .map(|m| {
                 json!({
@@ -120,8 +393,11 @@ impl App {
             200,
             &json!({
                 "status": "ok",
-                "scale": self.registry.scale_name(),
-                "seed": self.registry.seed(),
+                "scale": registry.scale_name(),
+                "seed": registry.seed(),
+                "generation": generation,
+                "swaps": self.registry.swaps(),
+                "retrain_in_flight": self.registry.retrain_in_flight(),
                 "uptime_seconds": self.started.elapsed().as_secs(),
                 "models": Value::Array(models),
             }),
@@ -133,41 +409,52 @@ impl App {
             .map_err(|e| Response::error(400, &format!("invalid JSON body: {e}")))
     }
 
-    fn predict(&self, body: &Value) -> Handled {
-        let served = self.lookup_model(body)?;
-        let (rows, single) = request_rows(body)?;
-        let frame = frame_from_rows(served.train.schema(), &rows, false)
-            .map_err(|e| Response::error(400, &e))?;
-        let (predictions, unseen) = served
-            .predict_frame_with_report(&frame)
-            .map_err(|e| Response::error(400, &e.to_string()))?;
-        let probabilities = served
-            .predict_proba_frame(&frame)
-            .map_err(|e| Response::error(400, &e.to_string()))?;
-        self.metrics.observe_unseen_category_rows(unseen.unseen_category_rows);
-        let mut reply = json!({
-            "dataset": served.dataset.name(),
-            "model": served.model.name(),
-            "n_rows": predictions.len(),
-            "unseen_category_rows": unseen.unseen_category_rows,
-            "predictions": Value::Array(predictions.iter().map(|&p| json!(p)).collect()),
-            "probabilities": Value::Array(probabilities.iter().map(|&p| json!(p)).collect()),
-        });
-        if single {
-            if let Some(map) = reply.as_object() {
-                let mut map = map.clone();
-                map.insert("prediction".to_string(), json!(predictions[0]));
-                map.insert("probability".to_string(), json!(probabilities[0]));
-                reply = Value::Object(map);
-            }
+    /// Like [`App::json_body`], but an empty body reads as `{}` (for
+    /// endpoints whose parameters are all optional).
+    fn json_body_or_empty(&self, request: &Request) -> Result<Value, Response> {
+        if request.body.is_empty() {
+            return Ok(json!({}));
         }
-        Ok(Response::json(200, &reply))
+        self.json_body(request)
+    }
+
+    fn parse_predict(&self, request: &Request) -> Result<PredictJob, Response> {
+        let body = self.json_body(request)?;
+        let dataset = require_str(&body, "dataset")?.to_string();
+        let model = require_str(&body, "model")?.to_string();
+        let (rows, single) = request_rows(&body)?;
+        Ok(PredictJob { dataset, model, rows, single, started: Instant::now() })
+    }
+
+    /// `POST /v1/reload`: kick off a background retrain of the current
+    /// roster and atomically swap it in when done. Body may carry
+    /// `{"seed": N}`; the default is the current seed + 1. Answers 202
+    /// immediately, or 409 while a retrain is already in flight.
+    fn reload(&self, body: &Value) -> Handled {
+        let (registry, generation) = self.registry.snapshot();
+        let seed = match body.get("seed") {
+            None | Some(Value::Null) => registry.seed().wrapping_add(1),
+            Some(v) => v
+                .as_u64()
+                .ok_or_else(|| Response::error(400, "\"seed\" must be an unsigned integer"))?,
+        };
+        match self.registry.begin_retrain(seed) {
+            Ok(()) => Ok(Response::json(
+                202,
+                &json!({
+                    "status": "retraining",
+                    "seed": seed,
+                    "current_generation": generation,
+                }),
+            )),
+            Err(message) => Err(Response::error(409, message)),
+        }
     }
 
     fn clean(&self, body: &Value) -> Handled {
+        let (registry, _) = self.registry.snapshot();
         let dataset = require_str(body, "dataset")?;
-        let served = self
-            .registry
+        let served = registry
             .any_for_dataset(dataset)
             .ok_or_else(|| Response::error(404, &format!("no models for dataset {dataset:?}")))?;
         let detector = parse_detector(require_str(body, "detector")?)?;
@@ -302,7 +589,8 @@ impl App {
     }
 
     fn audit(&self, body: &Value) -> Handled {
-        let served = self.lookup_model(body)?;
+        let (registry, generation) = self.registry.snapshot();
+        let served = lookup_model(&registry, body)?;
         let (rows, _) = request_rows(body)?;
         let frame = frame_from_rows(served.train.schema(), &rows, true)
             .map_err(|e| Response::error(400, &e))?;
@@ -310,6 +598,11 @@ impl App {
         let y_pred =
             served.predict_frame(&frame).map_err(|e| Response::error(400, &e.to_string()))?;
         let accuracy = mlcore::accuracy(&y_true, &y_pred);
+
+        // Audited batches are labeled by construction, so they also feed
+        // the sliding drift windows.
+        let labels: Vec<Option<u8>> = y_true.iter().copied().map(Some).collect();
+        self.drift.observe(served, &frame, &labels, &y_pred);
 
         let mut groups = Vec::with_capacity(served.groups.len());
         for spec in &served.groups {
@@ -350,29 +643,146 @@ impl App {
             })
         });
 
+        // Live drift telemetry for this (dataset, model): windowed
+        // disparities vs the training-time baseline, with alert bits.
+        let windows: Vec<Value> = self
+            .drift
+            .snapshot()
+            .iter()
+            .filter(|e| e.dataset == served.dataset.name() && e.model == served.model.name())
+            .map(drift_entry_json)
+            .collect();
+
         Ok(Response::json(
             200,
             &json!({
                 "dataset": served.dataset.name(),
                 "model": served.model.name(),
+                "generation": generation,
                 "n_rows": y_true.len(),
                 "accuracy": accuracy,
                 "groups": Value::Array(groups),
                 "rectification": rectification,
+                "drift": {
+                    "alert_threshold": self.drift.alert_threshold(),
+                    "windows": Value::Array(windows),
+                },
             }),
         ))
     }
+}
 
-    fn lookup_model(&self, body: &Value) -> Result<&ServingModel, Response> {
-        let dataset = require_str(body, "dataset")?;
-        let model = require_str(body, "model")?;
-        self.registry.get(dataset, model).ok_or_else(|| {
-            Response::error(
-                404,
-                &format!("no model for dataset {dataset:?} and model {model:?}"),
-            )
-        })
+fn lookup_model<'a>(registry: &'a Registry, body: &Value) -> Result<&'a ServingModel, Response> {
+    let dataset = require_str(body, "dataset")?;
+    let model = require_str(body, "model")?;
+    registry.get(dataset, model).ok_or_else(|| {
+        Response::error(
+            404,
+            &format!("no model for dataset {dataset:?} and model {model:?}"),
+        )
+    })
+}
+
+/// Builds the `/v1/predict` success payload by direct string assembly.
+/// This is the hottest serialization in the server, so it skips the
+/// intermediate `Value` tree; float formatting mirrors the JSON
+/// encoder's (`Display`, with a trailing `.0` for integral values), so
+/// the payload is identical to the tree-built equivalent.
+fn predict_reply(
+    served: &ServingModel,
+    generation: u64,
+    unseen: u64,
+    predictions: &[u8],
+    probabilities: &[f64],
+    single: bool,
+) -> Response {
+    use std::fmt::Write as _;
+    let mut body = String::with_capacity(160 + probabilities.len() * 22);
+    let _ = write!(
+        body,
+        "{{\"dataset\":\"{}\",\"model\":\"{}\",\"generation\":{generation},\"n_rows\":{},\
+         \"unseen_category_rows\":{unseen},\"predictions\":[",
+        served.dataset.name(),
+        served.model.name(),
+        predictions.len(),
+    );
+    for (i, p) in predictions.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        let _ = write!(body, "{p}");
     }
+    body.push_str("],\"probabilities\":[");
+    for (i, &q) in probabilities.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        push_json_f64(&mut body, q);
+    }
+    body.push(']');
+    if single {
+        if let (Some(&p0), Some(&q0)) = (predictions.first(), probabilities.first()) {
+            let _ = write!(body, ",\"prediction\":{p0},\"probability\":");
+            push_json_f64(&mut body, q0);
+        }
+    }
+    body.push('}');
+    Response { status: 200, content_type: "application/json", body: body.into_bytes() }
+}
+
+/// Appends `v` formatted exactly as the JSON encoder would (`null` for
+/// non-finite, `Display` plus a `.0` suffix for integral values).
+fn push_json_f64(out: &mut String, v: f64) {
+    use std::fmt::Write as _;
+    if !v.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    let start = out.len();
+    let _ = write!(out, "{v}");
+    if !out[start..].contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+/// Per-row 0/1 labels of `frame`'s label column, `None` where missing;
+/// `None` overall when the frame has no usable (numeric) label column or
+/// no row carries a label. Serving rows are unlabeled by default — only
+/// clients that send ground truth feed the drift windows.
+fn optional_labels(frame: &DataFrame) -> Option<Vec<Option<u8>>> {
+    let field = frame.schema().label()?;
+    let data = frame.numeric(&field.name).ok()?;
+    let labels: Vec<Option<u8>> = data
+        .iter()
+        .map(|&x| {
+            if x.is_nan() {
+                None
+            } else {
+                // lint:allow(F001, labels are stored as exact 0.0/1.0; nonzero test is the contract)
+                Some(u8::from(x != 0.0))
+            }
+        })
+        .collect();
+    labels.iter().any(Option::is_some).then_some(labels)
+}
+
+fn drift_entry_json(e: &DriftEntry) -> Value {
+    json!({
+        "group": e.group,
+        "window_len": e.window_len,
+        "observed": e.observed,
+        "predictive_parity": {
+            "window": option_json(e.predictive_parity),
+            "baseline": option_json(e.baseline_predictive_parity),
+            "drift": option_json(e.drift_predictive_parity),
+        },
+        "equal_opportunity": {
+            "window": option_json(e.equal_opportunity),
+            "baseline": option_json(e.baseline_equal_opportunity),
+            "drift": option_json(e.drift_equal_opportunity),
+        },
+        "alert": e.alert,
+    })
 }
 
 /// Extracts `rows` (array) or `row` (single object); the bool is true for

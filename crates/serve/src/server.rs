@@ -37,6 +37,17 @@ pub struct ServerConfig {
     pub write_timeout: Duration,
     /// Emit one structured log line per request to stderr.
     pub log_requests: bool,
+    /// Use the single-threaded epoll event loop with micro-batching
+    /// (Linux only; elsewhere the threaded loop always runs).
+    pub event_driven: bool,
+    /// Flush the predict micro-batch once it holds this many rows.
+    pub batch_max_rows: usize,
+    /// Flush the predict micro-batch once its oldest job has waited this
+    /// long, even if more traffic keeps arriving.
+    pub batch_wait: Duration,
+    /// Open-connection cap for the event loop; connections beyond it are
+    /// answered 503 at accept time.
+    pub max_connections: usize,
 }
 
 impl Default for ServerConfig {
@@ -50,6 +61,10 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(5),
             log_requests: true,
+            event_driven: cfg!(target_os = "linux"),
+            batch_max_rows: 64,
+            batch_wait: Duration::from_millis(1),
+            max_connections: 1024,
         }
     }
 }
@@ -70,9 +85,16 @@ impl Server {
         listener.set_nonblocking(true)?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let accept_shutdown = Arc::clone(&shutdown);
+        let event_driven = config.event_driven && cfg!(target_os = "linux");
         let accept_handle = std::thread::Builder::new()
             .name("demodq-accept".to_string())
-            .spawn(move || accept_loop(listener, app, config, accept_shutdown))?;
+            .spawn(move || {
+                if event_driven {
+                    run_event_loop(listener, app, config, accept_shutdown);
+                } else {
+                    accept_loop(listener, app, config, accept_shutdown);
+                }
+            })?;
         Ok(Server { local_addr, shutdown, accept_handle: Some(accept_handle) })
     }
 
@@ -105,7 +127,27 @@ impl Drop for Server {
     }
 }
 
-fn accept_loop(
+#[cfg(target_os = "linux")]
+fn run_event_loop(
+    listener: TcpListener,
+    app: Arc<App>,
+    config: ServerConfig,
+    shutdown: Arc<AtomicBool>,
+) {
+    crate::event::run(listener, app, config, shutdown);
+}
+
+#[cfg(not(target_os = "linux"))]
+fn run_event_loop(
+    listener: TcpListener,
+    app: Arc<App>,
+    config: ServerConfig,
+    shutdown: Arc<AtomicBool>,
+) {
+    accept_loop(listener, app, config, shutdown);
+}
+
+pub(crate) fn accept_loop(
     listener: TcpListener,
     app: Arc<App>,
     config: ServerConfig,
@@ -241,7 +283,7 @@ fn log_request(peer: &str, request: &Request, response: &Response, elapsed: Dura
 }
 
 /// One structured JSON log line per request, on stderr.
-fn log_line(peer: &str, method: &str, path: &str, status: u16, elapsed: Duration, body_bytes: usize) {
+pub(crate) fn log_line(peer: &str, method: &str, path: &str, status: u16, elapsed: Duration, body_bytes: usize) {
     let ts_ms = SystemTime::now()
         .duration_since(UNIX_EPOCH)
         .map(|d| d.as_millis() as u64)

@@ -58,12 +58,13 @@ pub struct Schema {
 impl Schema {
     /// Builds a schema, validating name uniqueness.
     pub fn new(fields: Vec<FieldMeta>) -> Result<Self> {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::HashSet::with_capacity(fields.len());
         for f in &fields {
-            if !seen.insert(f.name.clone()) {
+            if !seen.insert(f.name.as_str()) {
                 return Err(TabularError::Parse(format!("duplicate column name '{}'", f.name)));
             }
         }
+        drop(seen);
         Ok(Schema { fields })
     }
 

@@ -77,6 +77,7 @@ fn serves_predict_clean_audit_over_tcp() {
             read_timeout: Duration::from_millis(500),
             write_timeout: Duration::from_secs(5),
             log_requests: false,
+            ..ServerConfig::default()
         },
     )
     .expect("spawn server");

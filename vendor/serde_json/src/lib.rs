@@ -592,6 +592,23 @@ impl<'a> Parser<'a> {
         self.expect(b'"')?;
         let mut out = String::new();
         loop {
+            // Fast path: bulk-copy the run up to the next quote, escape,
+            // or control byte (UTF-8 validated once per run, not per
+            // character). The slow loop below only handles the byte that
+            // ended the run.
+            let start = self.pos;
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                match std::str::from_utf8(&self.bytes[start..self.pos]) {
+                    Ok(s) => out.push_str(s),
+                    Err(_) => return self.err("invalid UTF-8"),
+                }
+            }
             match self.bump() {
                 None => return self.err("unterminated string"),
                 Some(b'"') => return Ok(out),
