@@ -1,27 +1,62 @@
 #!/usr/bin/env bash
 # The full local CI gate. Run before pushing.
 #
-#   ./ci.sh          # build + tests + lint (tier-1 is the first two steps)
+#   ./ci.sh          # build + tests + lint + analyses (tier-1 is the first two steps)
 #   ./ci.sh quick    # tier-1 only: release build + root-package tests
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "==> cargo build --release"
+# --- per-stage timing -------------------------------------------------------
+# `stage NAME` closes the previous stage's clock and opens the next; the
+# summary at the end shows where CI time actually goes.
+STAGE_NAMES=()
+STAGE_SECS=()
+STAGE_T0=$SECONDS
+CURRENT_STAGE=""
+stage() {
+    local now=$SECONDS
+    if [ -n "$CURRENT_STAGE" ]; then
+        STAGE_NAMES+=("$CURRENT_STAGE")
+        STAGE_SECS+=($((now - STAGE_T0)))
+    fi
+    CURRENT_STAGE="$1"
+    STAGE_T0=$now
+    echo "==> $1"
+}
+stage_summary() {
+    local now=$SECONDS
+    if [ -n "$CURRENT_STAGE" ]; then
+        STAGE_NAMES+=("$CURRENT_STAGE")
+        STAGE_SECS+=($((now - STAGE_T0)))
+        CURRENT_STAGE=""
+    fi
+    local i total=0
+    echo
+    echo "==> per-stage timing"
+    for i in "${!STAGE_NAMES[@]}"; do
+        printf '%5ss  %s\n' "${STAGE_SECS[$i]}" "${STAGE_NAMES[$i]}"
+        total=$((total + STAGE_SECS[i]))
+    done
+    printf '%5ss  total\n' "$total"
+}
+
+stage "cargo build --release"
 cargo build --release
 
-echo "==> cargo test -q (tier-1: root package, incl. serve integration)"
+stage "cargo test -q (tier-1: root package, incl. serve integration)"
 cargo test -q
 
 if [ "${1:-}" = "quick" ]; then
+    stage_summary
     exit 0
 fi
 
-echo "==> cargo build --release --workspace --all-targets"
+stage "cargo build --release --workspace --all-targets"
 # The root build above skips the crate binaries (demodq-serve,
 # demodq-bench, resume_smoke); compile everything the later gates drive.
 cargo build --release --workspace --all-targets
 
-echo "==> lint coverage: every workspace member lives under a linted root"
+stage "lint coverage: every workspace member lives under a linted root"
 # demodq-lint scans the crates/, vendor/ and src/ trees. A workspace
 # member added anywhere else would silently escape the determinism and
 # safety lints, so any Cargo.toml outside those roots fails the gate.
@@ -35,16 +70,39 @@ while IFS= read -r manifest; do
     esac
 done < <(find . -name Cargo.toml -not -path './target/*')
 
-echo "==> demodq-lint (determinism & safety lints vs lint-baseline.txt)"
+stage "demodq-lint (determinism & safety lints vs lint-baseline.txt)"
 cargo run -q --release -p demodq-lint -- --format json
 
-echo "==> cargo test --workspace -q"
+stage "demodq-analyze (flow-aware T001/L001/E001/K001 vs lint-baseline.txt)"
+cargo run -q --release -p demodq-lint --bin demodq-analyze -- --format json
+
+stage "analyzer fixture self-check (seeded violations must fail an empty baseline)"
+# Guards the gate itself: the committed fixture tree seeds at least one
+# violation per analysis code, so a pass against an empty baseline means
+# the analyzer has silently stopped finding anything.
+rc=0
+cargo run -q --release -p demodq-lint --bin demodq-analyze -- \
+    --root crates/lint/tests/fixtures/analyze/ws --no-baseline \
+    --format json > target/analyze_fixture.json || rc=$?
+if [ "$rc" -ne 1 ]; then
+    echo "FAIL: seeded fixture tree exited $rc (want 1: violations found)"
+    exit 1
+fi
+for code in T001 L001 E001 K001; do
+    grep -q "\"$code\"" target/analyze_fixture.json || {
+        echo "FAIL: $code did not fire on the seeded fixture tree"
+        exit 1
+    }
+done
+echo "analyzer fixture self-check OK (all four codes fired)"
+
+stage "cargo test --workspace -q"
 cargo test --workspace -q
 
-echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+stage "cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> committed baseline carries the per-kernel bench sections"
+stage "committed baseline carries the per-kernel bench sections"
 # Cheap pre-flight before the expensive bench run: the committed baseline
 # must already have every micro.kernels.* section, or the studybench
 # required-field check below would only fail after minutes of work.
@@ -59,7 +117,7 @@ grep -q '"substrate"' BENCH_study.json || {
     exit 1
 }
 
-echo "==> studybench perf gate (vs committed BENCH_study.json)"
+stage "studybench perf gate (vs committed BENCH_study.json)"
 # Checks required fields on both reports (including micro.kernels.* and
 # substrate.*), the end-to-end evals/s floor, the per-kernel speedup
 # floors, the substrate rows/s floor, and the absolute peak-RSS gate on
@@ -67,7 +125,7 @@ echo "==> studybench perf gate (vs committed BENCH_study.json)"
 cargo run --release -p demodq-bench --bin studybench -- \
     --smoke --out target/BENCH_study.json --baseline BENCH_study.json
 
-echo "==> serve-bench throughput gate (vs committed BENCH_serve.json)"
+stage "serve-bench throughput gate (vs committed BENCH_serve.json)"
 # Boots the event-driven server on an ephemeral port, hammers /v1/predict
 # with the committed benchmark shape, and fails on any 5xx, any mid-run
 # connection reset, a missing fairness-drift gauge, or throughput below
@@ -97,7 +155,7 @@ wait "$SERVE_PID" 2>/dev/null || true
 trap - EXIT
 echo "serve-bench gate OK"
 
-echo "==> crash-resume smoke (kill -9 mid-study, resume from journal)"
+stage "crash-resume smoke (kill -9 mid-study, resume from journal)"
 # resume_smoke was compiled by the --workspace --all-targets build above.
 SMOKE_DIR=target/resume_smoke
 rm -rf "$SMOKE_DIR"
@@ -137,7 +195,7 @@ cmp "$SMOKE_DIR/clean.json" "$SMOKE_DIR/resumed.json" || {
 }
 echo "crash-resume smoke OK (journal hits: $hits)"
 
-echo "==> thread-count byte-identity smoke (1 vs 2 vs 8 threads)"
+stage "thread-count byte-identity smoke (1 vs 2 vs 8 threads)"
 # The serial run is the reference semantics; any parallel run must export
 # the identical bytes (unit seeds derive from grid position, never from
 # the schedule, and the histogram kernel's parallel feature scans add
@@ -157,7 +215,7 @@ cmp "$SMOKE_DIR/threads1.json" "$SMOKE_DIR/threads8.json" || {
 }
 echo "thread-count byte-identity smoke OK"
 
-echo "==> large-tier smoke (german @ 2^20-row block pool, journal resume byte-identity)"
+stage "large-tier smoke (german @ 2^20-row block pool, journal resume byte-identity)"
 # One dataset, one model at --scale large: the pool is a full million-row
 # block built by chunked generation and sampled through the block store.
 # The journaled first run and a --resume replay must export identical
@@ -186,7 +244,7 @@ cmp "$LARGE_DIR/first.json" "$LARGE_DIR/resumed.json" || {
 }
 echo "large-tier smoke OK (journal hits: $hits)"
 
-echo "==> rectifying-study byte-identity smoke (--repair-side both, 1 vs 8 threads)"
+stage "rectifying-study byte-identity smoke (--repair-side both, 1 vs 8 threads)"
 # The `both` arms refit and leaf-rectify tree models inside each unit;
 # the schedule-independence guarantee must survive that extra work.
 DEMODQ_THREADS=1 "$RESUME_SMOKE" "${SMOKE_ARGS[@]}" --repair-side both \
@@ -203,4 +261,5 @@ cmp "$SMOKE_DIR/rectify1.json" "$SMOKE_DIR/rectify8.json" || {
 }
 echo "rectifying-study byte-identity smoke OK"
 
+stage_summary
 echo "CI green."

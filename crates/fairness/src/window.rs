@@ -236,6 +236,75 @@ mod tests {
         assert_eq!(window.len(), 3);
     }
 
+    /// Every gauge a scrape could export from `window`: either undefined
+    /// (`None`) or a finite number — a NaN/inf in telemetry is a bug.
+    fn assert_gauges_finite(window: &SlidingGroupWindow, context: &str) {
+        for metric in FairnessMetric::all() {
+            for gauge in
+                [window.signed_disparity(metric), window.absolute_disparity(metric)]
+            {
+                if let Some(v) = gauge {
+                    assert!(v.is_finite(), "{context}: {metric:?} produced {v}");
+                }
+                let drift = disparity_drift(gauge, Some(0.25));
+                if let Some(v) = drift {
+                    assert!(v.is_finite(), "{context}: {metric:?} drift produced {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_window_gauges_are_undefined_not_nan() {
+        let window = SlidingGroupWindow::new(16);
+        assert!(window.is_empty());
+        for metric in FairnessMetric::all() {
+            assert_eq!(window.signed_disparity(metric), None);
+            assert_eq!(window.absolute_disparity(metric), None);
+        }
+        assert_gauges_finite(&window, "empty window");
+    }
+
+    #[test]
+    fn single_group_traffic_never_yields_nan() {
+        // Only privileged observations: every cross-group difference is
+        // undefined, and nothing may leak a NaN from the empty side.
+        let mut window = SlidingGroupWindow::new(8);
+        for tick in 0..12u64 {
+            window.push(tick, true, u8::from(tick & 1 == 0), u8::from(tick & 2 == 0));
+            assert_gauges_finite(&window, "privileged-only traffic");
+        }
+        for metric in FairnessMetric::all() {
+            assert_eq!(
+                window.signed_disparity(metric),
+                None,
+                "{metric:?} must be undefined with an empty disadvantaged side"
+            );
+        }
+    }
+
+    #[test]
+    fn window_of_size_one_stays_finite_across_every_observation_shape() {
+        // Capacity clamps to 1; each push fully replaces the window, so
+        // the gauges flip between None and single-observation values —
+        // all of which must be finite.
+        let mut window = SlidingGroupWindow::new(0);
+        assert_eq!(window.capacity(), 1);
+        for privileged in [false, true] {
+            for y_true in [0u8, 1] {
+                for y_pred in [0u8, 1] {
+                    window.push(0, privileged, y_true, y_pred);
+                    assert_eq!(window.len(), 1);
+                    assert_gauges_finite(
+                        &window,
+                        &format!("size-1 window ({privileged}, {y_true}, {y_pred})"),
+                    );
+                }
+            }
+        }
+        assert_eq!(window.observed(), 8);
+    }
+
     #[test]
     fn drift_is_defined_only_when_both_sides_are() {
         assert_eq!(disparity_drift(Some(0.4), Some(0.1)), Some(0.30000000000000004));

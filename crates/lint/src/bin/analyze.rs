@@ -1,18 +1,19 @@
-//! `demodq-lint` CLI: lints the workspace, compares against the
-//! committed baseline and exits nonzero on any drift.
+//! `demodq-analyze` CLI: parses the workspace, builds the call graph,
+//! runs the flow-aware analyses (T001/L001/E001/K001) and compares
+//! against the shared `lint-baseline.txt`.
 //!
 //! ```text
-//! demodq-lint [--root DIR] [--baseline FILE] [--format human|json]
-//!             [--write-baseline] [--no-baseline] [--codes]
+//! demodq-analyze [--root DIR] [--baseline FILE] [--format human|json]
+//!                [--write-baseline] [--no-baseline] [--codes]
 //! ```
 //!
-//! Exit codes: `0` clean (tree matches the baseline exactly), `1` new
-//! findings or stale baseline entries, `2` usage or I/O error.
+//! Exit codes: `0` clean (tree matches the analyzer scope of the
+//! baseline exactly), `1` new findings or stale entries, `2` usage or
+//! I/O error.
 
+use demodq_lint::analyze::{analyze_tree, AnalyzeConfig};
 use demodq_lint::output::{print_human, print_json};
-use demodq_lint::{
-    compare_scoped, lint_tree, rewrite_baseline_scoped, Baseline, Code, Config,
-};
+use demodq_lint::{compare_scoped, rewrite_baseline_scoped, Baseline, Code};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -58,7 +59,7 @@ fn parse_cli() -> Result<Cli, String> {
             "--no-baseline" => cli.no_baseline = true,
             "--codes" => cli.codes = true,
             "--help" | "-h" => {
-                return Err("usage: demodq-lint [--root DIR] [--baseline FILE] \
+                return Err("usage: demodq-analyze [--root DIR] [--baseline FILE] \
                             [--format human|json] [--write-baseline] [--no-baseline] [--codes]"
                     .to_string())
             }
@@ -77,32 +78,32 @@ fn main() -> ExitCode {
         }
     };
     if cli.codes {
-        for code in Code::ALL {
+        for code in Code::ANALYSIS {
             println!("{}  {}", code.name(), code.describe());
         }
         return ExitCode::SUCCESS;
     }
 
-    let config = Config::demodq();
-    let report = match lint_tree(&cli.root, &config) {
+    let config = AnalyzeConfig::demodq();
+    let report = match analyze_tree(&cli.root, &config) {
         Ok(report) => report,
         Err(e) => {
-            eprintln!("demodq-lint: scan failed: {e}");
+            eprintln!("demodq-analyze: scan failed: {e}");
             return ExitCode::from(2);
         }
     };
 
     let baseline_path = cli.baseline.clone().unwrap_or_else(|| cli.root.join("lint-baseline.txt"));
     if cli.write_baseline {
-        // Rewrite only the lexical scope: the analyzer's grandfathered
-        // entries in the shared baseline file must survive untouched.
+        // Rewrite only the analyzer scope: the lexical linter's entries
+        // in the shared baseline file must survive untouched.
         let old = std::fs::read_to_string(&baseline_path)
             .ok()
             .and_then(|t| Baseline::parse(&t).ok())
             .unwrap_or_default();
-        let baseline = rewrite_baseline_scoped(&old, &report, &Code::LEXICAL);
+        let baseline = rewrite_baseline_scoped(&old, &report, &Code::ANALYSIS);
         if let Err(e) = std::fs::write(&baseline_path, baseline.render()) {
-            eprintln!("demodq-lint: cannot write {}: {e}", baseline_path.display());
+            eprintln!("demodq-analyze: cannot write {}: {e}", baseline_path.display());
             return ExitCode::from(2);
         }
         eprintln!(
@@ -121,13 +122,13 @@ fn main() -> ExitCode {
             Ok(text) => match Baseline::parse(&text) {
                 Ok(baseline) => baseline,
                 Err(e) => {
-                    eprintln!("demodq-lint: {e}");
+                    eprintln!("demodq-analyze: {e}");
                     return ExitCode::from(2);
                 }
             },
             Err(e) => {
                 eprintln!(
-                    "demodq-lint: cannot read baseline {} ({e}); run with --write-baseline \
+                    "demodq-analyze: cannot read baseline {} ({e}); run with --write-baseline \
                      to create it or --no-baseline to compare against empty",
                     baseline_path.display()
                 );
@@ -136,11 +137,11 @@ fn main() -> ExitCode {
         }
     };
 
-    // Gate only on the lexical scope — T001/L001/E001/K001 belong to
-    // demodq-analyze, which shares this baseline file.
-    let verdict = compare_scoped(&report, &baseline, &Code::LEXICAL);
+    // Gate only on the analyzer scope — the lexical codes belong to
+    // demodq-lint, which shares this baseline file.
+    let verdict = compare_scoped(&report, &baseline, &Code::ANALYSIS);
     match cli.format {
-        Format::Human => print_human("demodq-lint", &report, &verdict),
+        Format::Human => print_human("demodq-analyze", &report, &verdict),
         Format::Json => print_json(&report, &verdict),
     }
     if verdict.clean() {

@@ -1,0 +1,372 @@
+//! Workspace call-graph construction over the parsed ASTs.
+//!
+//! Resolution is **name-based and over-approximating** — there is no
+//! type information. A path call `Qual::f(..)` links to every workspace
+//! function named `f` whose impl type, enclosing module, or crate
+//! matches `Qual`; a bare call `f(..)` prefers same-crate functions and
+//! falls back to every workspace `f`; a method call `.m(..)` links to
+//! every impl/trait method named `m` in the workspace. Paths that match
+//! nothing (std and external crates) produce no edge — the analyses
+//! pattern-match those call sites directly instead.
+
+use crate::ast::{Expr, File};
+use std::collections::BTreeMap;
+
+/// A call observed in a function body, normalized for the analyses.
+#[derive(Debug, Clone)]
+pub enum RawCall {
+    /// `path::to::f(args)`.
+    Path {
+        /// Path segments (`["SystemTime", "now"]`).
+        path: Vec<String>,
+        /// 1-based line.
+        line: usize,
+        /// Whether the argument span contains an identifier.
+        args_have_ident: bool,
+    },
+    /// `recv.name(args)`.
+    Method {
+        /// Method name.
+        name: String,
+        /// Receiver `ident(.ident)*` chain; empty for computed receivers.
+        recv: Vec<String>,
+        /// 1-based line.
+        line: usize,
+        /// Top-level argument count.
+        n_args: usize,
+        /// Whether the argument span contains an identifier.
+        args_have_ident: bool,
+    },
+    /// `name!(...)`.
+    Macro {
+        /// Macro name.
+        name: String,
+        /// 1-based line.
+        line: usize,
+    },
+}
+
+impl RawCall {
+    /// The call's source line.
+    pub fn line(&self) -> usize {
+        match self {
+            RawCall::Path { line, .. } | RawCall::Method { line, .. } | RawCall::Macro { line, .. } => {
+                *line
+            }
+        }
+    }
+}
+
+/// A resolved workspace call edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// Index of the callee in [`Graph::fns`].
+    pub callee: usize,
+    /// 1-based line of the call site in the caller.
+    pub line: usize,
+    /// Index of the call in the caller's [`FnNode::calls`] — the
+    /// source-order position (lines tie for one-liners, this doesn't).
+    pub seq: usize,
+}
+
+/// One function in the graph.
+#[derive(Debug)]
+pub struct FnNode {
+    /// Crate name (from the file path).
+    pub krate: String,
+    /// Workspace-relative file.
+    pub file: String,
+    /// Module path: file-derived segments plus inline `mod`s.
+    pub modules: Vec<String>,
+    /// Impl/trait type name for methods.
+    pub owner: Option<String>,
+    /// Function name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// `#[test]` / `#[cfg(test)]`-gated.
+    pub in_test: bool,
+    /// Every call in the body, in source order.
+    pub calls: Vec<RawCall>,
+    /// Resolved workspace edges.
+    pub edges: Vec<Edge>,
+}
+
+impl FnNode {
+    /// `file:line` display for messages.
+    pub fn site(&self) -> String {
+        format!("{}:{}", self.file, self.line)
+    }
+
+    /// Qualified display name (`Type::name` or `name`).
+    pub fn display(&self) -> String {
+        match &self.owner {
+            Some(t) => format!("{t}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// The workspace call graph.
+#[derive(Debug, Default)]
+pub struct Graph {
+    /// Every function, in file/source order.
+    pub fns: Vec<FnNode>,
+    by_name: BTreeMap<String, Vec<usize>>,
+}
+
+/// Module path derived from a file's workspace-relative path:
+/// `crates/core/src/a/b.rs` → `["a", "b"]`, `.../a/mod.rs` → `["a"]`,
+/// `src/lib.rs` / `src/main.rs` → `[]`.
+pub fn file_modules(rel: &str) -> Vec<String> {
+    let after_src = match rel.find("/src/") {
+        Some(i) => &rel[i + "/src/".len()..],
+        // tests/, examples/, build.rs — not modules of the lib.
+        None => return Vec::new(),
+    };
+    let mut mods: Vec<String> = after_src.split('/').map(String::from).collect();
+    let Some(last) = mods.pop() else { return Vec::new() };
+    match last.as_str() {
+        "lib.rs" | "main.rs" | "mod.rs" => {}
+        name => {
+            let stem = name.strip_suffix(".rs").unwrap_or(name);
+            mods.push(stem.to_string());
+        }
+    }
+    // src/bin/foo.rs is its own root, not a `bin::foo` module.
+    if mods.first().map(String::as_str) == Some("bin") {
+        mods.remove(0);
+    }
+    mods
+}
+
+/// Builds the graph over a set of parsed files.
+pub fn build(files: &[File]) -> Graph {
+    let mut graph = Graph::default();
+    for file in files {
+        let base_mods = file_modules(&file.rel);
+        for fr in file.functions() {
+            let mut modules = base_mods.clone();
+            modules.extend(fr.modules.iter().cloned());
+            let mut calls = Vec::new();
+            if let Some(body) = &fr.item.body {
+                body.walk(&mut |e| match e {
+                    Expr::Call(c) => calls.push(RawCall::Path {
+                        path: c.path.clone(),
+                        line: c.line,
+                        args_have_ident: c.args_have_ident,
+                    }),
+                    Expr::MethodCall(m) => calls.push(RawCall::Method {
+                        name: m.name.clone(),
+                        recv: m.recv.clone(),
+                        line: m.line,
+                        n_args: m.n_args,
+                        args_have_ident: m.args_have_ident,
+                    }),
+                    Expr::Macro(m) => calls.push(RawCall::Macro { name: m.name.clone(), line: m.line }),
+                    _ => {}
+                });
+            }
+            let idx = graph.fns.len();
+            graph.by_name.entry(fr.item.name.clone()).or_default().push(idx);
+            graph.fns.push(FnNode {
+                krate: file.krate.clone(),
+                file: file.rel.clone(),
+                modules,
+                owner: fr.owner.map(String::from),
+                name: fr.item.name.clone(),
+                line: fr.item.line,
+                in_test: fr.in_test,
+                calls,
+                edges: Vec::new(),
+            });
+        }
+    }
+    resolve_edges(&mut graph);
+    graph
+}
+
+/// Crate-name match with the `demodq_` lib-name prefix normalized away
+/// (`demodq_core::...` refers to the `crates/core` member) and `-`/`_`
+/// treated as equal.
+fn crate_matches(qualifier: &str, krate: &str) -> bool {
+    let q = qualifier.strip_prefix("demodq_").unwrap_or(qualifier);
+    q.replace('-', "_") == krate.replace('-', "_")
+}
+
+fn resolve_edges(graph: &mut Graph) {
+    let mut all_edges: Vec<Vec<Edge>> = Vec::with_capacity(graph.fns.len());
+    for caller_idx in 0..graph.fns.len() {
+        let caller = &graph.fns[caller_idx];
+        let mut edges: Vec<Edge> = Vec::new();
+        for (seq, call) in caller.calls.iter().enumerate() {
+            match call {
+                RawCall::Path { path, line, .. } => {
+                    let Some(name) = path.last() else { continue };
+                    let Some(cands) = graph.by_name.get(name) else { continue };
+                    let qualifier = if path.len() >= 2 { Some(path[path.len() - 2].as_str()) } else { None };
+                    let matched: Vec<usize> = match qualifier {
+                        // `Self::f()` — the caller's own impl type.
+                        Some("Self") => cands
+                            .iter()
+                            .copied()
+                            .filter(|&i| {
+                                graph.fns[i].krate == caller.krate
+                                    && graph.fns[i].owner == caller.owner
+                            })
+                            .collect(),
+                        // Path keywords point into the caller's crate.
+                        Some("crate") | Some("super") | Some("self") | None => {
+                            let same: Vec<usize> = cands
+                                .iter()
+                                .copied()
+                                .filter(|&i| graph.fns[i].krate == caller.krate)
+                                .collect();
+                            if same.is_empty() && qualifier.is_none() {
+                                // A bare call with no same-crate target may
+                                // be a `use`-imported workspace fn.
+                                cands.clone()
+                            } else {
+                                same
+                            }
+                        }
+                        Some(q) => cands
+                            .iter()
+                            .copied()
+                            .filter(|&i| {
+                                let f = &graph.fns[i];
+                                f.owner.as_deref() == Some(q)
+                                    || f.modules.last().map(String::as_str) == Some(q)
+                                    || crate_matches(q, &f.krate)
+                            })
+                            .collect(),
+                    };
+                    for i in matched {
+                        if graph.fns[i].in_test && !caller.in_test {
+                            continue;
+                        }
+                        edges.push(Edge { callee: i, line: *line, seq });
+                    }
+                }
+                RawCall::Method { name, .. } => {
+                    let Some(cands) = graph.by_name.get(name) else { continue };
+                    for &i in cands {
+                        // Methods only — a free fn cannot be `.name()`-called.
+                        if graph.fns[i].owner.is_none() {
+                            continue;
+                        }
+                        if graph.fns[i].in_test && !caller.in_test {
+                            continue;
+                        }
+                        edges.push(Edge { callee: i, line: call.line(), seq });
+                    }
+                }
+                RawCall::Macro { .. } => {}
+            }
+        }
+        edges.sort_by_key(|e| (e.callee, e.line, e.seq));
+        edges.dedup();
+        all_edges.push(edges);
+    }
+    for (node, edges) in graph.fns.iter_mut().zip(all_edges) {
+        node.edges = edges;
+    }
+}
+
+impl Graph {
+    /// Reverse adjacency: for each fn, the `(caller, call line)` pairs
+    /// that target it.
+    pub fn callers(&self) -> Vec<Vec<(usize, usize)>> {
+        let mut rev: Vec<Vec<(usize, usize)>> = vec![Vec::new(); self.fns.len()];
+        for (caller, node) in self.fns.iter().enumerate() {
+            for edge in &node.edges {
+                rev[edge.callee].push((caller, edge.line));
+            }
+        }
+        rev
+    }
+
+    /// Indices of fns defined in files matched by `pred`.
+    pub fn fns_in_files(&self, pred: impl Fn(&str) -> bool) -> Vec<usize> {
+        (0..self.fns.len()).filter(|&i| pred(&self.fns[i].file)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser;
+
+    fn graph_of(files: &[(&str, &str)]) -> Graph {
+        let parsed: Vec<File> =
+            files.iter().map(|(rel, src)| parser::parse_source(rel, src).file).collect();
+        build(&parsed)
+    }
+
+    fn idx(g: &Graph, name: &str) -> usize {
+        g.fns.iter().position(|f| f.name == name).unwrap_or_else(|| panic!("fn {name}"))
+    }
+
+    fn has_edge(g: &Graph, from: &str, to: &str) -> bool {
+        let (f, t) = (idx(g, from), idx(g, to));
+        g.fns[f].edges.iter().any(|e| e.callee == t)
+    }
+
+    #[test]
+    fn file_module_paths() {
+        assert_eq!(file_modules("crates/core/src/journal.rs"), vec!["journal"]);
+        assert_eq!(file_modules("crates/core/src/lib.rs"), Vec::<String>::new());
+        assert_eq!(file_modules("crates/core/src/repair/mod.rs"), vec!["repair"]);
+        assert_eq!(file_modules("crates/serve/src/bin/loadgen.rs"), vec!["loadgen"]);
+        assert_eq!(file_modules("tests/study_resume.rs"), Vec::<String>::new());
+    }
+
+    #[test]
+    fn bare_and_qualified_calls_resolve() {
+        let g = graph_of(&[
+            (
+                "crates/a/src/lib.rs",
+                "pub fn entry() { helper(); journal::append(1); demodq_b::far(); }\n\
+                 fn helper() {}",
+            ),
+            ("crates/a/src/journal.rs", "pub fn append(x: u64) {}"),
+            ("crates/b/src/lib.rs", "pub fn far() {}"),
+        ]);
+        assert!(has_edge(&g, "entry", "helper"));
+        assert!(has_edge(&g, "entry", "append"), "module-qualified call resolves");
+        assert!(has_edge(&g, "entry", "far"), "crate-qualified call resolves");
+    }
+
+    #[test]
+    fn method_calls_over_approximate_and_self_resolves() {
+        let g = graph_of(&[(
+            "crates/a/src/lib.rs",
+            "pub struct R;\n\
+             impl R {\n\
+                 pub fn new() -> R { Self::setup(); R }\n\
+                 fn setup() {}\n\
+                 pub fn observe(&self) {}\n\
+             }\n\
+             pub fn driver(r: &R) { r.observe(); }",
+        )]);
+        assert!(has_edge(&g, "new", "setup"), "Self:: resolves in-impl");
+        assert!(has_edge(&g, "driver", "observe"), "method call links to impl method");
+    }
+
+    #[test]
+    fn std_paths_and_test_fns_produce_no_edges() {
+        let g = graph_of(&[(
+            "crates/a/src/lib.rs",
+            "pub fn entry() { std::thread::sleep(d); helper_t(); }\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+                 pub fn helper_t() { super::entry(); }\n\
+             }",
+        )]);
+        let entry = idx(&g, "entry");
+        // sleep matches no workspace fn; helper_t is test-gated.
+        assert!(g.fns[entry].edges.is_empty(), "{:?}", g.fns[entry].edges);
+        // But the test fn's own edge back into non-test code exists.
+        assert!(has_edge(&g, "helper_t", "entry"));
+    }
+}

@@ -72,6 +72,19 @@ struct Lexer {
 
 impl Lexer {
     fn run(mut self, source: &str) -> Lexed {
+        // Shebang: `#!` at the very start of the file is a host-interpreter
+        // line, not two Rust tokens — unless the next char is `[`, which
+        // makes it an inner attribute (`#![deny(...)]`). Consuming the line
+        // whole keeps the stray `#` `!` pair from ever desyncing attribute
+        // or raw-string tracking downstream.
+        if self.peek(0) == Some('#') && self.peek(1) == Some('!') && self.peek(2) != Some('[') {
+            while let Some(c) = self.peek(0) {
+                if c == '\n' {
+                    break;
+                }
+                self.pos += 1;
+            }
+        }
         while let Some(c) = self.peek(0) {
             match c {
                 '\n' => {
@@ -485,6 +498,45 @@ fn real() { HashMap::new(); }
     #[test]
     fn raw_identifier_is_an_ident() {
         assert_eq!(idents("let r#type = 1;"), vec!["let", "type"]);
+    }
+
+    #[test]
+    fn shebang_is_skipped_whole() {
+        // A shebang line is not Rust tokens; in particular a stray `r#"`
+        // inside it must not open a raw string that swallows the file.
+        let src = "#!/usr/bin/env -S cargo -Zscript r#\"\nfn real() { let x = Instant::now(); }\n";
+        let names = idents(src);
+        assert!(names.contains(&"Instant".to_string()), "code after the shebang still lexes");
+        assert!(!names.contains(&"usr".to_string()), "shebang body yields no tokens");
+        // The `#` and `!` themselves are consumed, not emitted as puncts.
+        let puncts: Vec<char> = lex(src)
+            .tokens
+            .iter()
+            .filter_map(|t| match t.tok {
+                Tok::Punct(c) => Some(c),
+                _ => None,
+            })
+            .collect();
+        assert!(!puncts.contains(&'#'));
+    }
+
+    #[test]
+    fn inner_attribute_header_is_not_a_shebang() {
+        // `#![deny(...)]` at file start is an inner attribute: the `#`,
+        // `!`, `[` tokens must survive and raw-string tracking after the
+        // header must stay in sync.
+        let src = "#![deny(unsafe_op_in_unsafe_fn)]\n#![allow(dead_code)]\nlet s = r#\"SystemTime::now()\"#;\nlet after = 1;\n";
+        let lexed = lex(src);
+        let names = idents(src);
+        assert!(names.contains(&"deny".to_string()));
+        assert!(names.contains(&"after".to_string()));
+        assert!(!names.contains(&"SystemTime".to_string()), "raw string stayed a string");
+        let hashes = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.tok == Tok::Punct('#'))
+            .count();
+        assert_eq!(hashes, 2, "one `#` punct per inner attribute");
     }
 
     #[test]

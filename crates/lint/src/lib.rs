@@ -18,6 +18,14 @@
 //! | P001 | `.unwrap()` / `.expect(..)` / `panic!` in library-crate code outside tests |
 //! | F001 | float `==` / `!=` comparison against a float literal in library code |
 //!
+//! The same crate also ships `demodq-analyze` — an AST/call-graph
+//! analyzer ([`analyze`], codes T001/L001/E001/K001) that catches the
+//! flow-level hazards these token lints cannot see (a tainted helper
+//! three calls away, a lock-order inversion across functions, a
+//! blocking call on an event-loop path). Both tools share the
+//! suppression syntax and the baseline file; each gates only on its own
+//! code scope ([`Code::LEXICAL`] vs [`Code::ANALYSIS`]).
+//!
 //! # Suppressions
 //!
 //! A finding is suppressed by `// lint:allow(CODE, reason)` on the same
@@ -33,7 +41,14 @@
 //! can only ever shrink, and `--write-baseline` regenerates it after a
 //! burn-down.
 
+pub mod analyze;
+pub mod ast;
+pub mod callgraph;
 pub mod lexer;
+pub mod locks;
+pub mod output;
+pub mod parser;
+pub mod taint;
 
 use lexer::{Comment, Lexed, Tok, Token};
 use std::collections::BTreeMap;
@@ -55,11 +70,39 @@ pub enum Code {
     P001,
     /// Float `==` / `!=` comparison.
     F001,
+    /// Interprocedural determinism taint (analyzer).
+    T001,
+    /// Lock-order cycle (analyzer).
+    L001,
+    /// Blocking call reachable from the event loop (analyzer).
+    E001,
+    /// Allocation in a hot kernel (analyzer).
+    K001,
 }
 
 impl Code {
     /// All codes, in reporting order.
-    pub const ALL: [Code; 6] = [Code::D001, Code::D002, Code::D003, Code::S001, Code::P001, Code::F001];
+    pub const ALL: [Code; 10] = [
+        Code::D001,
+        Code::D002,
+        Code::D003,
+        Code::S001,
+        Code::P001,
+        Code::F001,
+        Code::T001,
+        Code::L001,
+        Code::E001,
+        Code::K001,
+    ];
+
+    /// The token-level codes `demodq-lint` owns. The two tools share one
+    /// baseline file; each compares only its own scope so the other's
+    /// grandfathered entries are never reported stale.
+    pub const LEXICAL: [Code; 6] =
+        [Code::D001, Code::D002, Code::D003, Code::S001, Code::P001, Code::F001];
+
+    /// The flow-aware codes `demodq-analyze` owns.
+    pub const ANALYSIS: [Code; 4] = [Code::T001, Code::L001, Code::E001, Code::K001];
 
     /// The stable code string.
     pub fn name(self) -> &'static str {
@@ -70,6 +113,10 @@ impl Code {
             Code::S001 => "S001",
             Code::P001 => "P001",
             Code::F001 => "F001",
+            Code::T001 => "T001",
+            Code::L001 => "L001",
+            Code::E001 => "E001",
+            Code::K001 => "K001",
         }
     }
 
@@ -91,6 +138,22 @@ impl Code {
             Code::S001 => "unsafe block or unsafe impl without an attached // SAFETY: comment",
             Code::P001 => "unwrap/expect/panic! in library-crate code outside tests",
             Code::F001 => "float ==/!= comparison against a float literal",
+            Code::T001 => {
+                "determinism taint: a fn in an export/journal/runner/summary file \
+                 transitively calls a wall-clock/entropy source through the call graph"
+            }
+            Code::L001 => {
+                "lock-order cycle: two Mutex/RwLock guards are acquired in both orders \
+                 somewhere in the workspace (one call level inlined)"
+            }
+            Code::E001 => {
+                "blocking call (thread::sleep, read_to_end/write_all, lock held across \
+                 predict_batch) on a path reachable from the epoll event loop"
+            }
+            Code::K001 => {
+                "allocation (Vec::new/push/to_vec/vec!/format!) inside a hot scoring \
+                 kernel; buffers must come from the caller-reserved scratch pool"
+            }
         }
     }
 
@@ -389,16 +452,27 @@ fn lex_file(source: &str) -> Lexed {
 /// line(s) and, when written on comment-only lines, the next code line
 /// below it.
 fn apply_suppressions(scan: &FileScan<'_>, findings: &mut [Finding]) {
-    if scan.allows.is_empty() {
+    suppress_core(&scan.allows, &scan.code_lines, findings.iter_mut());
+}
+
+/// The suppression core, shared between the lexical linter (which holds
+/// a full [`FileScan`]) and the analyzer (which re-derives the allow
+/// facts from the lex it already has).
+fn suppress_core<'a>(
+    allows: &[Allow],
+    code_lines: &[bool],
+    findings: impl Iterator<Item = &'a mut Finding>,
+) {
+    if allows.is_empty() {
         return;
     }
-    for finding in findings.iter_mut() {
-        for allow in &scan.allows {
+    for finding in findings {
+        for allow in allows {
             if allow.code != finding.code {
                 continue;
             }
             let allow_on_comment_only_line =
-                scan.code_lines.get(allow.line).map(|has_code| !has_code).unwrap_or(true);
+                code_lines.get(allow.line).map(|has_code| !has_code).unwrap_or(true);
             let covers = if allow.end_line >= finding.line {
                 // Same line (trailing comment) or a comment above that
                 // hasn't started yet — only the same line counts here.
@@ -409,9 +483,8 @@ fn apply_suppressions(scan: &FileScan<'_>, findings: &mut [Finding]) {
                 // between it and the finding line (a trailing allow on
                 // an unrelated code line never leaks downward).
                 allow_on_comment_only_line
-                    && (allow.end_line + 1..finding.line).all(|l| {
-                        l >= scan.code_lines.len() || !scan.code_lines[l]
-                    })
+                    && (allow.end_line + 1..finding.line)
+                        .all(|l| l >= code_lines.len() || !code_lines[l])
             };
             if covers {
                 if allow.reason.is_some() {
@@ -426,6 +499,45 @@ fn apply_suppressions(scan: &FileScan<'_>, findings: &mut [Finding]) {
             }
         }
     }
+}
+
+/// Is `line` covered by a valid (reasoned) `lint:allow` for any of
+/// `codes`? Used by the taint analysis: a wall-clock source the lexical
+/// D002 lint excused with a reason (telemetry-only timing) must not
+/// seed interprocedural taint either — the human already adjudicated
+/// that call site.
+pub(crate) fn line_excused(lexed: &Lexed, line: usize, codes: &[Code]) -> bool {
+    let mut dummies: Vec<Finding> = codes
+        .iter()
+        .map(|&code| Finding {
+            file: String::new(),
+            line,
+            code,
+            message: String::new(),
+            suppressed: false,
+            reason: None,
+        })
+        .collect();
+    let mut refs: Vec<&mut Finding> = dummies.iter_mut().collect();
+    suppress_by_allows(lexed, &mut refs);
+    dummies.iter().any(|f| f.suppressed)
+}
+
+/// Applies `lint:allow` suppressions to analyzer findings for one file,
+/// deriving the allow list and code-line map from its lex.
+pub(crate) fn suppress_by_allows(lexed: &Lexed, findings: &mut [&mut Finding]) {
+    let n_lines = lexed.n_lines.max(1);
+    let mut allows = Vec::new();
+    for comment in &lexed.comments {
+        allows.extend(parse_allows(comment));
+    }
+    let mut code_lines = vec![false; n_lines + 2];
+    for token in &lexed.tokens {
+        if token.line <= n_lines {
+            code_lines[token.line] = true;
+        }
+    }
+    suppress_core(&allows, &code_lines, findings.iter_mut().map(|f| &mut **f));
 }
 
 fn ident_is(tok: &Tok, name: &str) -> bool {
@@ -685,8 +797,15 @@ fn lint_f001(scan: &FileScan<'_>, findings: &mut Vec<Finding>) {
 /// for deterministic reporting. Skips `target`, VCS metadata and lint
 /// fixture directories.
 pub fn collect_files(root: &Path, config: &Config) -> std::io::Result<Vec<PathBuf>> {
+    collect_rs_files(root, &config.roots)
+}
+
+/// Recursively collects `.rs` files under `roots`, sorted for
+/// deterministic reporting (the analyzer scans a different root set
+/// than the lexical linter, hence the root-list form).
+pub fn collect_rs_files(root: &Path, roots: &[String]) -> std::io::Result<Vec<PathBuf>> {
     let mut files = Vec::new();
-    for top in &config.roots {
+    for top in roots {
         let dir = root.join(top);
         if dir.is_dir() {
             walk(&dir, &mut files)?;
@@ -849,6 +968,46 @@ pub fn compare(report: &Report, baseline: &Baseline) -> Verdict {
         }
     }
     verdict
+}
+
+/// Compares only the given code scope of a report against the matching
+/// slice of the baseline. The lexical linter and the analyzer share one
+/// baseline file; each gates on its own codes ([`Code::LEXICAL`] /
+/// [`Code::ANALYSIS`]) so neither sees the other's grandfathered
+/// entries as stale.
+pub fn compare_scoped(report: &Report, baseline: &Baseline, codes: &[Code]) -> Verdict {
+    let in_scope = |c: &Code| codes.contains(c);
+    let scoped_report = Report {
+        findings: report.findings.iter().filter(|f| in_scope(&f.code)).cloned().collect(),
+        files_scanned: report.files_scanned,
+    };
+    let scoped_baseline = Baseline {
+        counts: baseline
+            .counts
+            .iter()
+            .filter(|((_, c), _)| in_scope(c))
+            .map(|(k, v)| (k.clone(), *v))
+            .collect(),
+    };
+    compare(&scoped_report, &scoped_baseline)
+}
+
+/// Rewrites the in-scope slice of a baseline from a report, preserving
+/// the other tool's entries verbatim (`--write-baseline` must never
+/// drop the sibling scope).
+pub fn rewrite_baseline_scoped(old: &Baseline, report: &Report, codes: &[Code]) -> Baseline {
+    let mut counts: BTreeMap<(String, Code), usize> = old
+        .counts
+        .iter()
+        .filter(|((_, c), _)| !codes.contains(c))
+        .map(|(k, v)| (k.clone(), *v))
+        .collect();
+    for ((file, code), n) in Baseline::from_report(report).counts {
+        if codes.contains(&code) {
+            counts.insert((file, code), n);
+        }
+    }
+    Baseline { counts }
 }
 
 /// Minimal JSON string escaping for the machine-readable output.

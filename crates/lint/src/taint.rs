@@ -1,0 +1,163 @@
+//! T001 — interprocedural determinism taint.
+//!
+//! Sources are the wall-clock/entropy calls the lexical D002/D003 lints
+//! match (`SystemTime::now`, `Instant::now`, `from_entropy`,
+//! `thread_rng`, literal-seeded `seed_from_u64`); sinks are the
+//! functions defined in the determinism-critical files (export /
+//! journal / runner / results / report / tables / metrics). Taint
+//! propagates from a source-containing function to every transitive
+//! caller through the call graph, so a sink that reaches a tainted
+//! helper three calls away is reported with the full call chain — the
+//! lexical lints only ever see the file the source sits in.
+//!
+//! Functions in the telemetry allowlist (the D002 allowlist) are
+//! neither sources nor propagators: progress bars and benchmark
+//! harnesses measure wall-clock by design, and their callers must not
+//! inherit taint from them. Test functions are ignored entirely.
+
+use crate::callgraph::{Graph, RawCall};
+use crate::{Code, Finding};
+
+/// Describes the determinism source a call site matches, if any.
+pub fn source_pattern(call: &RawCall) -> Option<String> {
+    match call {
+        RawCall::Path { path, args_have_ident, .. } => {
+            let last = path.last().map(String::as_str)?;
+            let qual = path.len().checked_sub(2).map(|i| path[i].as_str());
+            match (qual, last) {
+                (Some("SystemTime"), "now") => Some("SystemTime::now()".to_string()),
+                (Some("Instant"), "now") => Some("Instant::now()".to_string()),
+                (_, "from_entropy") => Some("from_entropy()".to_string()),
+                (_, "thread_rng") => Some("thread_rng()".to_string()),
+                (_, "seed_from_u64") if !args_have_ident => {
+                    Some("seed_from_u64(<literal>)".to_string())
+                }
+                _ => None,
+            }
+        }
+        RawCall::Method { name, args_have_ident, .. } => match name.as_str() {
+            "from_entropy" => Some(".from_entropy()".to_string()),
+            "seed_from_u64" if !args_have_ident => Some(".seed_from_u64(<literal>)".to_string()),
+            _ => None,
+        },
+        RawCall::Macro { .. } => None,
+    }
+}
+
+/// How a function became tainted.
+#[derive(Debug, Clone)]
+enum Taint {
+    /// The fn itself contains a source call at this line.
+    Direct { line: usize, desc: String },
+    /// The fn calls a tainted fn at this line.
+    Via { line: usize, callee: usize },
+}
+
+/// Runs T001 over the graph. `is_sink_file` selects the
+/// determinism-critical files; `is_allowed_file` the telemetry
+/// allowlist (no sources, no propagation); `is_excused` reports call
+/// sites a reasoned `lint:allow(D002/D003/T001)` already adjudicated —
+/// those do not seed taint.
+pub fn run(
+    graph: &Graph,
+    is_sink_file: &dyn Fn(&str) -> bool,
+    is_allowed_file: &dyn Fn(&str) -> bool,
+    is_excused: &dyn Fn(&str, usize) -> bool,
+    findings: &mut Vec<Finding>,
+) {
+    let n = graph.fns.len();
+    let mut taint: Vec<Option<Taint>> = vec![None; n];
+    let mut queue: Vec<usize> = Vec::new();
+
+    // Seed: functions that contain a source call directly.
+    for (i, f) in graph.fns.iter().enumerate() {
+        if f.in_test || is_allowed_file(&f.file) {
+            continue;
+        }
+        for call in &f.calls {
+            if let Some(desc) = source_pattern(call) {
+                if is_excused(&f.file, call.line()) {
+                    continue;
+                }
+                taint[i] = Some(Taint::Direct { line: call.line(), desc });
+                queue.push(i);
+                break;
+            }
+        }
+    }
+
+    // Propagate to transitive callers (reverse BFS).
+    let callers = graph.callers();
+    let mut head = 0;
+    while head < queue.len() {
+        let cur = queue[head];
+        head += 1;
+        for &(caller, line) in &callers[cur] {
+            if taint[caller].is_some() {
+                continue;
+            }
+            let cf = &graph.fns[caller];
+            if cf.in_test || is_allowed_file(&cf.file) {
+                continue;
+            }
+            taint[caller] = Some(Taint::Via { line, callee: cur });
+            queue.push(caller);
+        }
+    }
+
+    // Report every tainted sink-file function, with its chain.
+    for (i, f) in graph.fns.iter().enumerate() {
+        if !is_sink_file(&f.file) || f.in_test {
+            continue;
+        }
+        let Some(t) = &taint[i] else { continue };
+        let (line, chain) = chain_of(graph, &taint, i, t);
+        findings.push(Finding {
+            file: f.file.clone(),
+            line,
+            code: Code::T001,
+            message: format!(
+                "determinism taint: `{}` (in a determinism-critical file) reaches a \
+                 wall-clock/entropy source: {chain}; derive values from the seed-derivation \
+                 helpers or hoist the source behind the telemetry boundary",
+                f.display()
+            ),
+            suppressed: false,
+            reason: None,
+        });
+    }
+}
+
+/// Renders `sink -> a -> b [source() at file:line]` and returns the
+/// line to report (the sink fn's own call/source line — where the
+/// suppression, if any, belongs).
+fn chain_of(graph: &Graph, taint: &[Option<Taint>], start: usize, t: &Taint) -> (usize, String) {
+    let mut chain = vec![graph.fns[start].display()];
+    let mut reported_line: Option<usize> = None;
+    let mut cur_fn = start;
+    let mut cur = t.clone();
+    let mut guard = 0;
+    loop {
+        guard += 1;
+        match cur {
+            Taint::Direct { line, desc } => {
+                reported_line.get_or_insert(line);
+                let site = &graph.fns[cur_fn].file;
+                let msg = format!("{} [{desc} at {site}:{line}]", chain.join(" -> "));
+                return (reported_line.unwrap_or(line), msg);
+            }
+            Taint::Via { line, callee } => {
+                reported_line.get_or_insert(line);
+                chain.push(graph.fns[callee].display());
+                cur_fn = callee;
+                match &taint[callee] {
+                    Some(next) if guard < 64 => cur = next.clone(),
+                    _ => {
+                        let msg = chain.join(" -> ");
+                        return (reported_line.unwrap_or(line), msg);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! Integration tests for `demodq-analyze`: each analysis code has a
+//! seeded-violation case that fails without the analysis and passes
+//! with it, plus allowlist/suppression behavior and the committed
+//! fixture tree (the same tree `ci.sh` drives through the binary).
+
+use demodq_lint::analyze::{analyze_sources, analyze_tree, AnalyzeConfig};
+use demodq_lint::{compare_scoped, Baseline, Code, Finding};
+use std::path::Path;
+
+fn analyze(files: &[(&str, &str)]) -> Vec<Finding> {
+    let sources: Vec<(String, String)> =
+        files.iter().map(|(rel, src)| (rel.to_string(), src.to_string())).collect();
+    analyze_sources(&sources, &AnalyzeConfig::demodq()).findings
+}
+
+fn active_of(findings: &[Finding], code: Code) -> Vec<&Finding> {
+    findings.iter().filter(|f| f.code == code && !f.suppressed).collect()
+}
+
+// -- T001 -------------------------------------------------------------------
+
+#[test]
+fn t001_catches_taint_three_calls_away() {
+    let findings = analyze(&[
+        (
+            "crates/core/src/export.rs",
+            "pub fn export_rows() { shape::helper_a(); }",
+        ),
+        ("crates/core/src/shape.rs", "pub fn helper_a() { timeutil::helper_b(); }"),
+        (
+            "crates/core/src/timeutil.rs",
+            "pub fn helper_b() -> u64 { std::time::Instant::now().elapsed().as_nanos() as u64 }",
+        ),
+    ]);
+    let t001 = active_of(&findings, Code::T001);
+    assert_eq!(t001.len(), 1, "{findings:?}");
+    assert_eq!(t001[0].file, "crates/core/src/export.rs");
+    assert!(t001[0].message.contains("export_rows -> helper_a -> helper_b"), "{}", t001[0].message);
+    assert!(t001[0].message.contains("Instant::now()"), "{}", t001[0].message);
+}
+
+#[test]
+fn t001_is_silent_without_a_sink_path() {
+    // The same taint chain rooted outside the determinism-critical
+    // files is not reported (D002 still covers the source lexically).
+    let findings = analyze(&[
+        ("crates/core/src/misc.rs", "pub fn caller() { timeutil::helper_b(); }"),
+        (
+            "crates/core/src/timeutil.rs",
+            "pub fn helper_b() -> u64 { std::time::Instant::now().elapsed().as_nanos() as u64 }",
+        ),
+    ]);
+    assert!(active_of(&findings, Code::T001).is_empty(), "{findings:?}");
+}
+
+#[test]
+fn t001_stops_at_the_telemetry_allowlist() {
+    // progress.rs is allowlisted: it may read the clock, and callers
+    // must not inherit taint from it.
+    let findings = analyze(&[
+        ("crates/core/src/runner.rs", "pub fn run_study() { progress::tick(); }"),
+        (
+            "crates/core/src/progress.rs",
+            "pub fn tick() { let _ = std::time::Instant::now(); }",
+        ),
+    ]);
+    assert!(active_of(&findings, Code::T001).is_empty(), "{findings:?}");
+}
+
+#[test]
+fn t001_honors_reasoned_lexical_allows_and_own_suppressions() {
+    // A source the D002 lint excused with a reason does not seed taint.
+    let excused = analyze(&[(
+        "crates/core/src/journal.rs",
+        "pub fn stamp() -> u64 {\n\
+         // lint:allow(D002, telemetry-only timing; never feeds exports)\n\
+         std::time::Instant::now().elapsed().as_nanos() as u64\n\
+         }",
+    )]);
+    assert!(active_of(&excused, Code::T001).is_empty(), "{excused:?}");
+
+    // A T001 suppression on the reported line works like any other.
+    let suppressed = analyze(&[
+        (
+            "crates/core/src/export.rs",
+            "pub fn export_rows() {\n\
+             // lint:allow(T001, fixture: chain adjudicated in this test)\n\
+             shape::helper_a();\n\
+             }",
+        ),
+        (
+            "crates/core/src/shape.rs",
+            "pub fn helper_a() { let _ = std::time::Instant::now(); }",
+        ),
+    ]);
+    let t001: Vec<_> = suppressed.iter().filter(|f| f.code == Code::T001).collect();
+    assert_eq!(t001.len(), 1, "{suppressed:?}");
+    assert!(t001[0].suppressed, "{suppressed:?}");
+}
+
+// -- L001 -------------------------------------------------------------------
+
+const LOCK_STRUCT: &str = "pub struct S { a: std::sync::Mutex<u64>, b: std::sync::Mutex<u64> }\n";
+
+#[test]
+fn l001_detects_ab_ba_cycle() {
+    let findings = analyze(&[(
+        "crates/serve/src/registry.rs",
+        &format!(
+            "{LOCK_STRUCT}\
+             impl S {{\n\
+                 pub fn ab(&self) {{ let x = self.a.lock(); let y = self.b.lock(); drop((x, y)); }}\n\
+                 pub fn ba(&self) {{ let y = self.b.lock(); let x = self.a.lock(); drop((y, x)); }}\n\
+             }}"
+        ),
+    )]);
+    assert!(!active_of(&findings, Code::L001).is_empty(), "{findings:?}");
+}
+
+#[test]
+fn l001_consistent_order_is_clean() {
+    let findings = analyze(&[(
+        "crates/serve/src/registry.rs",
+        &format!(
+            "{LOCK_STRUCT}\
+             impl S {{\n\
+                 pub fn ab(&self) {{ let x = self.a.lock(); let y = self.b.lock(); drop((x, y)); }}\n\
+                 pub fn ab2(&self) {{ let x = self.a.lock(); let y = self.b.lock(); drop((x, y)); }}\n\
+             }}"
+        ),
+    )]);
+    assert!(active_of(&findings, Code::L001).is_empty(), "{findings:?}");
+}
+
+#[test]
+fn l001_sees_the_cycle_through_one_call_level() {
+    let findings = analyze(&[(
+        "crates/serve/src/registry.rs",
+        &format!(
+            "{LOCK_STRUCT}\
+             impl S {{\n\
+                 pub fn ab(&self) {{ let x = self.a.lock(); self.take_b(); drop(x); }}\n\
+                 pub fn take_b(&self) {{ let _ = self.b.lock(); }}\n\
+                 pub fn ba(&self) {{ let y = self.b.lock(); self.take_a(); drop(y); }}\n\
+                 pub fn take_a(&self) {{ let _ = self.a.lock(); }}\n\
+             }}"
+        ),
+    )]);
+    assert!(!active_of(&findings, Code::L001).is_empty(), "{findings:?}");
+}
+
+#[test]
+fn l001_sibling_callees_do_not_fabricate_an_order() {
+    // take_a and take_b are called back-to-back; neither holds the
+    // other's lock, so no A->B or B->A edge may appear even when
+    // another fn orders them the other way.
+    let findings = analyze(&[(
+        "crates/serve/src/registry.rs",
+        &format!(
+            "{LOCK_STRUCT}\
+             impl S {{\n\
+                 pub fn seq(&self) {{ self.take_a(); self.take_b(); }}\n\
+                 pub fn take_b(&self) {{ let _ = self.b.lock(); }}\n\
+                 pub fn take_a(&self) {{ let _ = self.a.lock(); }}\n\
+                 pub fn ba(&self) {{ let y = self.b.lock(); let x = self.a.lock(); drop((y, x)); }}\n\
+             }}"
+        ),
+    )]);
+    assert!(active_of(&findings, Code::L001).is_empty(), "{findings:?}");
+}
+
+// -- E001 -------------------------------------------------------------------
+
+#[test]
+fn e001_catches_sleep_two_calls_deep() {
+    let findings = analyze(&[
+        ("crates/serve/src/event.rs", "pub fn handle_readable() { util::retry(); }"),
+        (
+            "crates/serve/src/util.rs",
+            "pub fn retry() { nap(); }\n\
+             fn nap() { std::thread::sleep(std::time::Duration::from_millis(1)); }",
+        ),
+    ]);
+    let e001 = active_of(&findings, Code::E001);
+    assert_eq!(e001.len(), 1, "{findings:?}");
+    assert_eq!(e001[0].file, "crates/serve/src/util.rs");
+    assert!(e001[0].message.contains("handle_readable -> retry -> nap"), "{}", e001[0].message);
+}
+
+#[test]
+fn e001_catches_lock_held_across_predict_batch() {
+    let findings = analyze(&[(
+        "crates/serve/src/event.rs",
+        "pub struct L { registry: std::sync::Mutex<u64> }\n\
+         impl L {\n\
+             pub fn flush(&self) {\n\
+                 let g = self.registry.lock();\n\
+                 let _ = predict_batch(&[1.0]);\n\
+                 drop(g);\n\
+             }\n\
+         }\n\
+         pub fn predict_batch(rows: &[f64]) -> usize { rows.len() }",
+    )]);
+    let e001 = active_of(&findings, Code::E001);
+    assert_eq!(e001.len(), 1, "{findings:?}");
+    assert!(e001[0].message.contains("predict_batch"), "{}", e001[0].message);
+}
+
+#[test]
+fn e001_ignores_the_threaded_fallback_and_unreachable_code() {
+    let findings = analyze(&[
+        // The event loop may fall back into server.rs, which blocks by
+        // design — reachability must not cross into it.
+        ("crates/serve/src/event.rs", "pub fn run() { accept_loop(); }"),
+        (
+            "crates/serve/src/server.rs",
+            "pub fn accept_loop() { std::thread::sleep(std::time::Duration::from_millis(1)); }",
+        ),
+        // Blocking code nobody reaches from event.rs is not flagged.
+        (
+            "crates/serve/src/warmup.rs",
+            "pub fn warm() { std::thread::sleep(std::time::Duration::from_millis(1)); }",
+        ),
+    ]);
+    assert!(active_of(&findings, Code::E001).is_empty(), "{findings:?}");
+}
+
+// -- K001 -------------------------------------------------------------------
+
+#[test]
+fn k001_flags_every_allocation_shape_in_kernels_only() {
+    let kernel_src = "pub fn score(xs: &[f64]) -> Vec<f64> {\n\
+                      let mut out = Vec::new();\n\
+                      out.push(1.0);\n\
+                      let s = format!(\"n={}\", xs.len());\n\
+                      let c = xs.to_vec();\n\
+                      let v = vec![0.0; 4];\n\
+                      drop((s, c, v));\n\
+                      out\n\
+                      }";
+    let findings = analyze(&[
+        ("crates/mlcore/src/kernels.rs", kernel_src),
+        // Identical code outside the kernel files is not K001's business.
+        ("crates/mlcore/src/train.rs", kernel_src),
+    ]);
+    let k001 = active_of(&findings, Code::K001);
+    assert_eq!(k001.len(), 5, "{findings:?}");
+    assert!(k001.iter().all(|f| f.file == "crates/mlcore/src/kernels.rs"));
+}
+
+#[test]
+fn k001_suppression_with_reason_is_honored() {
+    let findings = analyze(&[(
+        "crates/mlcore/src/kernels.rs",
+        "pub fn score() -> Vec<f64> {\n\
+         // lint:allow(K001, reference kernel kept off the hot path)\n\
+         let out = Vec::new();\n\
+         out\n\
+         }",
+    )]);
+    let k001: Vec<_> = findings.iter().filter(|f| f.code == Code::K001).collect();
+    assert_eq!(k001.len(), 1);
+    assert!(k001[0].suppressed);
+}
+
+// -- Fixture tree (the ci.sh self-check target) -----------------------------
+
+#[test]
+fn seeded_fixture_tree_fails_an_empty_baseline_with_all_codes() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/analyze/ws");
+    let report = analyze_tree(&root, &AnalyzeConfig::demodq()).expect("analyze fixture tree");
+    let fired: std::collections::BTreeSet<Code> =
+        report.active().map(|f| f.code).collect();
+    for code in Code::ANALYSIS {
+        assert!(fired.contains(&code), "{} did not fire on the fixture tree", code.name());
+    }
+    let verdict = compare_scoped(&report, &Baseline::default(), &Code::ANALYSIS);
+    assert!(!verdict.clean(), "fixture tree must fail an empty baseline");
+    assert!(verdict.stale.is_empty());
+}
+
+#[test]
+fn fixture_taint_chain_crosses_module_boundaries() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/analyze/ws");
+    let report = analyze_tree(&root, &AnalyzeConfig::demodq()).expect("analyze fixture tree");
+    let t001: Vec<_> = report.active().filter(|f| f.code == Code::T001).collect();
+    assert!(
+        t001.iter().any(|f| f.message.contains("export_summary -> stamp_helper -> entropy_leak")),
+        "{t001:?}"
+    );
+}

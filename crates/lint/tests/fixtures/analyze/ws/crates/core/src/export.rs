@@ -1,0 +1,21 @@
+//! Seeded T001 violation: the export path reaches a wall-clock source
+//! through two layers of helpers — invisible to the lexical D002 lint
+//! (which only sees this file), caught by the call-graph taint pass.
+
+pub fn export_summary(rows: &[u64]) -> String {
+    let stamp = helpers::stamp_helper();
+    format!("{}:{}", rows.len(), stamp)
+}
+
+pub mod helpers {
+    pub fn stamp_helper() -> u64 {
+        deep::entropy_leak()
+    }
+
+    pub mod deep {
+        pub fn entropy_leak() -> u64 {
+            let t = std::time::Instant::now();
+            t.elapsed().as_nanos() as u64
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! Seeded K001 violations: every allocation shape the hot-kernel scan
+//! must catch.
+
+pub fn score_rows(xs: &[f64]) -> Vec<f64> {
+    let mut out = Vec::new();
+    for x in xs {
+        out.push(x * 2.0);
+    }
+    let label = format!("rows={}", xs.len());
+    let copy = xs.to_vec();
+    let extra = vec![0.0; copy.len()];
+    drop((label, extra));
+    out
+}

@@ -1,0 +1,9 @@
+//! The blocking call hides one more hop down.
+
+pub fn retry_with_backoff() {
+    nap(10);
+}
+
+fn nap(ms: u64) {
+    std::thread::sleep(std::time::Duration::from_millis(ms));
+}

@@ -1,0 +1,19 @@
+//! Seeded E001 violations: a handler in the event loop reaches
+//! `thread::sleep` two calls deep, and another scores a batch while a
+//! lock is (assumed) held.
+
+pub struct Loop {
+    pub app: crate::App,
+}
+
+impl Loop {
+    pub fn handle_readable(&mut self) {
+        crate::backoff::retry_with_backoff();
+    }
+
+    pub fn flush_batch(&mut self) {
+        let _guard = self.app.registry.lock();
+        let out = self.app.predict_batch(&[1.0, 2.0]);
+        drop(out);
+    }
+}

@@ -250,6 +250,7 @@ pub fn hist_naive(
     grad: &[f64],
     hess: &[f64],
 ) -> Vec<(f64, f64)> {
+    // lint:allow(K001, naive reference kernel for parity tests and the bench baseline; never on the study hot path)
     let mut hist = vec![(0.0, 0.0); binned.total_bins()];
     for j in 0..binned.n_cols() {
         if binned.n_bins(j) == 1 {
@@ -356,6 +357,7 @@ pub fn decision_batch(x: &DenseMatrix, weights: &[f64], bias: f64, out: &mut Vec
         i += 4;
     }
     while i < n {
+        // lint:allow(K001, push into capacity the caller reserved from the scratch pool; the tail loop never reallocates)
         out.push(x.row(i).iter().zip(weights).map(|(a, b)| a * b).sum::<f64>() + bias);
         i += 1;
     }

@@ -183,6 +183,7 @@ impl Loop {
                         let mut buf = Vec::new();
                         let _ = Response::error(503, "server is at capacity")
                             .write_to(&mut buf, false);
+                        // lint:allow(E001, one-shot ~100-byte shed response to a freshly accepted socket; fits the send buffer and the stream is dropped immediately)
                         let _ = stream.write_all(&buf);
                         continue;
                     }
@@ -550,6 +551,7 @@ impl Loop {
                     let _ = conn.stream.set_nonblocking(false);
                     let _ = conn.stream.set_write_timeout(Some(write_timeout));
                     let pos = conn.write_pos;
+                    // lint:allow(E001, shutdown drain: deliberately blocking with an explicit write timeout after the loop has stopped serving)
                     let _ = conn.stream.write_all(&conn.write_buf[pos..]);
                 }
             }

@@ -323,6 +323,7 @@ impl Response {
             self.body.len(),
             connection,
         )?;
+        // lint:allow(E001, generic W is an in-memory Vec<u8> on every event-loop path; only the threaded fallback passes a socket, off-loop)
         writer.write_all(&self.body)?;
         writer.flush()
     }

